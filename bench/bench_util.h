@@ -1,0 +1,83 @@
+#ifndef IRES_BENCH_BENCH_UTIL_H_
+#define IRES_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ires_server.h"
+#include "engines/standard_engines.h"
+#include "workloadgen/asap_workflows.h"
+
+namespace ires::bench {
+
+/// Outcome of planning + executing one workflow configuration.
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  double exec_seconds = 0.0;      // simulated
+  double exec_cost = 0.0;         // #VM*cores*GB*t metric
+  double planning_ms = 0.0;       // real wall clock
+  ExecutionPlan plan;
+};
+
+/// Plans and executes `w` against `registry`. When `only_engine` is
+/// non-empty, every other engine is marked OFF first (the single-engine
+/// baselines of §4.1).
+inline RunOutcome PlanAndExecute(const GeneratedWorkload& w,
+                                 EngineRegistry* registry,
+                                 const std::string& only_engine = "",
+                                 uint64_t seed = 4711) {
+  RunOutcome out;
+  std::vector<std::pair<std::string, bool>> saved;
+  if (!only_engine.empty()) {
+    for (const std::string& name : registry->Names()) {
+      saved.emplace_back(name, registry->IsAvailable(name));
+      if (name != only_engine) (void)registry->SetAvailable(name, false);
+    }
+  }
+
+  DpPlanner planner(&w.library, registry);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto plan = planner.Plan(w.graph, {});
+  out.planning_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (!plan.ok()) {
+    out.error = plan.status().ToString();
+  } else {
+    ClusterSimulator cluster(16, 4, 8.0);
+    Enforcer enforcer(registry, &cluster, seed);
+    ExecutionReport report = enforcer.Execute(plan.value());
+    if (report.status.ok()) {
+      out.ok = true;
+      out.exec_seconds = report.makespan_seconds;
+      out.exec_cost = report.total_cost;
+      out.plan = std::move(plan).value();
+    } else {
+      out.error = report.status.ToString();
+    }
+  }
+
+  for (const auto& [name, was_on] : saved) {
+    (void)registry->SetAvailable(name, was_on);
+  }
+  return out;
+}
+
+/// Prints a table cell: the time with 1 decimal, or "fail".
+inline std::string Cell(const RunOutcome& out) {
+  if (!out.ok) return "fail";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", out.exec_seconds);
+  return buf;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace ires::bench
+
+#endif  // IRES_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// Reproduces deliverable Figure 12: execution times of the text-analytics
+// workflow (tf-idf -> k-means) on single engines (scikit-learn, Spark/MLlib)
+// versus IReS, across corpus sizes.
+//
+// Paper shape targets: scikit wins below ~10k documents; between ~10k and
+// ~40k IReS picks the *hybrid* plan (tf-idf on scikit, k-means on Spark,
+// with an automatically inserted move/transform) and beats the best single
+// engine by up to ~30%; beyond that everything runs on Spark.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ires;
+  using namespace ires::bench;
+
+  auto registry = MakeStandardEngineRegistry();
+  PrintHeader(
+      "Figure 12: text analytics (tf-idf + k-means) exec time [s] vs docs");
+  std::printf("%10s %10s %10s %10s %22s %10s\n", "documents", "scikit",
+              "Spark", "IReS", "IReS plan", "gain");
+
+  for (double docs : {1e3, 5e3, 10e3, 20e3, 30e3, 40e3, 60e3, 100e3, 200e3}) {
+    const GeneratedWorkload w = MakeTextAnalyticsWorkflow(docs);
+    const RunOutcome scikit = PlanAndExecute(w, registry.get(), "scikit");
+    const RunOutcome spark = PlanAndExecute(w, registry.get(), "Spark");
+    const RunOutcome ires = PlanAndExecute(w, registry.get());
+
+    std::string tfidf_engine, kmeans_engine;
+    for (const PlanStep& step : ires.plan.steps) {
+      if (step.algorithm == "TF_IDF") tfidf_engine = step.engine;
+      if (step.algorithm == "kmeans") kmeans_engine = step.engine;
+    }
+    const double best_single =
+        std::min(scikit.ok ? scikit.exec_seconds : 1e18,
+                 spark.ok ? spark.exec_seconds : 1e18);
+    char gain[32] = "-";
+    if (ires.ok && best_single < 1e18) {
+      std::snprintf(gain, sizeof(gain), "%+.0f%%",
+                    100.0 * (best_single - ires.exec_seconds) / best_single);
+    }
+    std::printf("%10.0f %10s %10s %10s %10s/%-11s %10s\n", docs,
+                Cell(scikit).c_str(), Cell(spark).c_str(), Cell(ires).c_str(),
+                tfidf_engine.c_str(), kmeans_engine.c_str(), gain);
+  }
+  std::printf(
+      "\nshape check: hybrid scikit/Spark plan should appear for mid sizes "
+      "with positive gain\n");
+  return 0;
+}

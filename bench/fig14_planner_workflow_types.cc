@@ -1,0 +1,67 @@
+// Reproduces deliverable Figure 14: workflow optimization (planning) time
+// for the five Pegasus workflow families, ranging the workflow size from 30
+// to 1000 operator nodes, with m = 4 and m = 8 alternative engines per
+// operator.
+//
+// Paper shape targets: near-linear growth with workflow size; Montage ~2x
+// the others (it is the most connected family); <10 s even at 1000 nodes.
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "workloadgen/pegasus.h"
+
+namespace {
+
+double PlanSeconds(const ires::GeneratedWorkload& w,
+                   ires::EngineRegistry* registry) {
+  ires::DpPlanner planner(&w.library, registry);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto plan = planner.Plan(w.graph, {});
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return -1.0;
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ires;
+  using namespace ires::bench;
+
+  const PegasusType kTypes[] = {PegasusType::kMontage,
+                                PegasusType::kCyberShake,
+                                PegasusType::kEpigenomics,
+                                PegasusType::kInspiral, PegasusType::kSipht};
+  const int kSizes[] = {30, 100, 300, 1000};
+
+  for (int engines : {4, 8}) {
+    EngineRegistry registry;
+    PegasusGenerator::RegisterSyntheticEngines(&registry, engines);
+    PrintHeader("Figure 14: optimization time [s], " +
+                std::to_string(engines) + " engines");
+    std::printf("%8s", "nodes");
+    for (PegasusType type : kTypes) {
+      std::printf(" %12s", PegasusTypeName(type));
+    }
+    std::printf("\n");
+    for (int size : kSizes) {
+      std::printf("%8d", size);
+      for (PegasusType type : kTypes) {
+        PegasusGenerator generator;
+        GeneratedWorkload w = generator.Generate(type, size, engines);
+        std::printf(" %12.4f", PlanSeconds(w, &registry));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nshape check: ~linear in nodes, Montage slowest, all < 10 s\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces deliverable Figure 17: execution time and execution cost of
+// the Spark (MLlib) tf-idf operator versus input size under three resource
+// strategies on a 32-core / 54 GB cluster:
+//   max resources  - statically grab everything,
+//   min resources  - statically grab the minimum,
+//   IReS           - NSGA-II provisioning against the trained models.
+//
+// Paper shape targets: IReS matches the max-resources execution time while
+// its cost sits between the two static strategies, growing with the input
+// as more resources are provisioned.
+
+#include "bench_util.h"
+#include "provisioning/resource_provisioner.h"
+
+int main() {
+  using namespace ires;
+  using namespace ires::bench;
+
+  auto registry = MakeStandardEngineRegistry();
+  SimulatedEngine* spark = registry->Find("Spark");
+
+  // 32 cores / 54 GB total: 8 containers x 4 cores x 6.75 GB.
+  NsgaResourceProvisioner::Limits limits;
+  limits.max_containers = 8;
+  limits.max_cores_per_container = 4;
+  limits.max_memory_gb_per_container = 6.75;
+  Nsga2::Options ga;
+  ga.population = 40;
+  ga.generations = 60;
+  NsgaResourceProvisioner provisioner(limits, ga);
+
+  const Resources kMax{8, 4, 6.75};
+  const Resources kMin{1, 1, 1.0};
+
+  PrintHeader(
+      "Figure 17: Spark tf-idf exec time [s] and cost vs input size");
+  std::printf("%10s | %9s %9s %9s | %9s %9s %9s | %s\n", "documents",
+              "t(max)", "t(min)", "t(IReS)", "c(max)", "c(min)", "c(IReS)",
+              "IReS allocation");
+
+  for (double docs : {1e3, 10e3, 100e3, 1e6, 10e6}) {
+    OperatorRunRequest request;
+    request.algorithm = "TF_IDF";
+    request.input_bytes = docs * kBytesPerDocument;
+    request.input_records = docs;
+
+    auto estimate = [&](const Resources& res) {
+      OperatorRunRequest r = request;
+      r.resources = res;
+      return spark->Estimate(r).value();
+    };
+    const OperatorRunEstimate with_max = estimate(kMax);
+    const OperatorRunEstimate with_min = estimate(kMin);
+    request.resources = kMax;
+    const Resources chosen = provisioner.Advise(
+        *spark, request, OptimizationPolicy::MinimizeTime());
+    const OperatorRunEstimate with_ires = estimate(chosen);
+
+    std::printf("%10.0f | %9.1f %9.1f %9.1f | %9.0f %9.0f %9.0f | %s\n",
+                docs, with_max.exec_seconds, with_min.exec_seconds,
+                with_ires.exec_seconds, with_max.cost, with_min.cost,
+                with_ires.cost, chosen.ToString().c_str());
+  }
+  std::printf(
+      "\nshape check: t(IReS) ~ t(max); c(min) <= c(IReS) <= c(max), with "
+      "c(IReS) approaching c(max) as the input grows\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// External API demo (deliverable §3.5): drives the IReS server through its
+// RESTful routes exactly as the other ASAP components would — registering
+// the LineCount artefacts, storing the workflow, materializing and
+// executing it — and prints every request/response exchange.
+//
+//   $ ./rest_api_demo
+
+#include <cstdio>
+
+#include "core/rest_api.h"
+
+namespace {
+
+void Call(ires::RestApi* api, const char* method, const char* path,
+          const char* body = "") {
+  const ires::ApiResponse response = api->Handle(method, path, body);
+  std::printf("%-4s %-45s -> %d %s\n", method, path, response.code,
+              response.body.substr(0, 120).c_str());
+}
+
+}  // namespace
+
+int main() {
+  ires::IresServer server;
+  ires::RestApi api(&server);
+
+  std::printf("--- registering artefacts over the API ---\n");
+  Call(&api, "POST", "/apiv1/datasets/asapServerLog",
+       "Constraints.Engine.FS=HDFS\n"
+       "Execution.path=hdfs:///user/root/asap-server.log\n"
+       "Optimization.size=1e9\nOptimization.documents=5e6\n");
+  Call(&api, "POST", "/apiv1/abstractOperators/LineCount",
+       "Constraints.OpSpecification.Algorithm.name=LineCount\n");
+  Call(&api, "POST", "/apiv1/operators/LineCount_Spark",
+       "Constraints.Engine=Spark\n"
+       "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+       "Constraints.Input0.Engine.FS=HDFS\n"
+       "Constraints.Output0.Engine.FS=HDFS\n");
+  Call(&api, "POST", "/apiv1/operators/LineCount_Python",
+       "Constraints.Engine=Python\n"
+       "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+       "Constraints.Input0.Engine.FS=Local\n"
+       "Constraints.Output0.Engine.FS=Local\n");
+
+  std::printf("\n--- inspecting the library ---\n");
+  Call(&api, "GET", "/apiv1/operators");
+  Call(&api, "GET", "/apiv1/operators/LineCount_Spark");
+  Call(&api, "GET", "/apiv1/engines");
+
+  std::printf("\n--- workflow lifecycle ---\n");
+  Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow",
+       "asapServerLog,LineCount,0\nLineCount,d1,0\nd1,$$target\n");
+  Call(&api, "GET", "/apiv1/workflows");
+  Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow/materialize");
+  Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow/execute");
+
+  std::printf("\n--- failure handling: kill Spark and re-materialize ---\n");
+  Call(&api, "PUT", "/apiv1/engines/Spark/availability", "off");
+  Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow/materialize");
+  return 0;
+}

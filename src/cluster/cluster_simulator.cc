@@ -1,0 +1,145 @@
+#include "cluster/cluster_simulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ires {
+
+ClusterSimulator::ClusterSimulator(int nodes, int cores_per_node,
+                                   double memory_gb_per_node) {
+  nodes_.resize(std::max(0, nodes));
+  for (NodeState& n : nodes_) {
+    n.cores_total = cores_per_node;
+    n.memory_total_gb = memory_gb_per_node;
+  }
+}
+
+int ClusterSimulator::healthy_node_count() const {
+  return static_cast<int>(
+      std::count_if(nodes_.begin(), nodes_.end(), [](const NodeState& n) {
+        return n.health == NodeHealth::kHealthy;
+      }));
+}
+
+int ClusterSimulator::total_cores() const {
+  int total = 0;
+  for (const NodeState& n : nodes_) total += n.cores_total;
+  return total;
+}
+
+double ClusterSimulator::total_memory_gb() const {
+  double total = 0.0;
+  for (const NodeState& n : nodes_) total += n.memory_total_gb;
+  return total;
+}
+
+int ClusterSimulator::free_cores() const {
+  int total = 0;
+  for (const NodeState& n : nodes_) {
+    if (n.health == NodeHealth::kHealthy) {
+      total += n.cores_total - n.cores_used;
+    }
+  }
+  return total;
+}
+
+double ClusterSimulator::free_memory_gb() const {
+  double total = 0.0;
+  for (const NodeState& n : nodes_) {
+    if (n.health == NodeHealth::kHealthy) {
+      total += n.memory_total_gb - n.memory_used_gb;
+    }
+  }
+  return total;
+}
+
+Result<ClusterSimulator::Allocation> ClusterSimulator::Allocate(
+    const Resources& request) {
+  if (request.containers <= 0 || request.cores <= 0 ||
+      request.memory_gb <= 0.0) {
+    return Status::InvalidArgument("allocation request must be positive");
+  }
+  // First-fit over nodes sorted by descending free cores; we tentatively
+  // place every container and only commit when all fit.
+  std::vector<int> order(nodes_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<NodeState> scratch = nodes_;
+  std::vector<int> placement;
+  placement.reserve(request.containers);
+  for (int c = 0; c < request.containers; ++c) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const int fa = scratch[a].cores_total - scratch[a].cores_used;
+      const int fb = scratch[b].cores_total - scratch[b].cores_used;
+      if (fa != fb) return fa > fb;
+      return a < b;
+    });
+    bool placed = false;
+    for (int idx : order) {
+      NodeState& n = scratch[idx];
+      if (n.health != NodeHealth::kHealthy) continue;
+      if (n.cores_total - n.cores_used >= request.cores &&
+          n.memory_total_gb - n.memory_used_gb >= request.memory_gb) {
+        n.cores_used += request.cores;
+        n.memory_used_gb += request.memory_gb;
+        placement.push_back(idx);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return Status::ResourceExhausted(
+          "cannot place container " + std::to_string(c) + " of " +
+          request.ToString());
+    }
+  }
+  nodes_ = std::move(scratch);
+  Allocation alloc;
+  alloc.id = next_allocation_id_++;
+  alloc.request = request;
+  alloc.container_nodes = std::move(placement);
+  allocations_.emplace(alloc.id, alloc);
+  return alloc;
+}
+
+Status ClusterSimulator::Release(int allocation_id) {
+  auto it = allocations_.find(allocation_id);
+  if (it == allocations_.end()) {
+    return Status::NotFound("allocation " + std::to_string(allocation_id));
+  }
+  const Allocation& alloc = it->second;
+  for (int node_idx : alloc.container_nodes) {
+    nodes_[node_idx].cores_used -= alloc.request.cores;
+    nodes_[node_idx].memory_used_gb -= alloc.request.memory_gb;
+  }
+  allocations_.erase(it);
+  return Status::OK();
+}
+
+void ClusterSimulator::SetNodeHealth(int node_index, NodeHealth health) {
+  if (node_index < 0 || node_index >= node_count()) return;
+  nodes_[node_index].health = health;
+}
+
+void ClusterSimulator::SetServiceStatus(const std::string& service, bool on) {
+  services_[service] = on;
+}
+
+bool ClusterSimulator::IsServiceOn(const std::string& service) const {
+  auto it = services_.find(service);
+  return it == services_.end() ? true : it->second;
+}
+
+std::vector<int> ClusterSimulator::FailedAllocations() const {
+  std::vector<int> failed;
+  for (const auto& [id, alloc] : allocations_) {
+    for (int node_idx : alloc.container_nodes) {
+      if (nodes_[node_idx].health == NodeHealth::kUnhealthy) {
+        failed.push_back(id);
+        break;
+      }
+    }
+  }
+  return failed;
+}
+
+}  // namespace ires

@@ -1,0 +1,83 @@
+#ifndef IRES_CLUSTER_CLUSTER_SIMULATOR_H_
+#define IRES_CLUSTER_CLUSTER_SIMULATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cluster/resources.h"
+
+namespace ires {
+
+/// Health of a cluster node as reported by the platform's periodic health
+/// scripts (deliverable §2.3).
+enum class NodeHealth { kHealthy, kUnhealthy };
+
+/// Container-level cluster resource manager — the simulator standing in for
+/// YARN. Tracks per-node core/memory capacity, places container requests,
+/// and maintains node health plus per-service (engine/datastore) ON/OFF
+/// availability.
+class ClusterSimulator {
+ public:
+  struct NodeState {
+    int cores_total = 0;
+    double memory_total_gb = 0.0;
+    int cores_used = 0;
+    double memory_used_gb = 0.0;
+    NodeHealth health = NodeHealth::kHealthy;
+  };
+
+  /// A granted allocation: which node hosts each container.
+  struct Allocation {
+    int id = -1;
+    Resources request;
+    std::vector<int> container_nodes;
+  };
+
+  /// Builds a homogeneous cluster of `nodes` nodes.
+  ClusterSimulator(int nodes, int cores_per_node, double memory_gb_per_node);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int healthy_node_count() const;
+  const NodeState& node(int i) const { return nodes_[i]; }
+
+  int total_cores() const;
+  double total_memory_gb() const;
+  int free_cores() const;
+  double free_memory_gb() const;
+
+  /// Places `request` on healthy nodes (first-fit decreasing free capacity).
+  /// Fails with ResourceExhausted when the request cannot be satisfied.
+  Result<Allocation> Allocate(const Resources& request);
+
+  /// Returns the resources of allocation `id` to the pool.
+  Status Release(int allocation_id);
+
+  int active_allocations() const {
+    return static_cast<int>(allocations_.size());
+  }
+
+  /// Health script outcome for one node. Unhealthy nodes stop accepting
+  /// containers; running containers on them are considered failed (the
+  /// execution monitor reacts to that).
+  void SetNodeHealth(int node_index, NodeHealth health);
+
+  /// Service (engine/datastore) availability map: the ON/OFF status checks
+  /// of §2.3. Unknown services default to ON.
+  void SetServiceStatus(const std::string& service, bool on);
+  bool IsServiceOn(const std::string& service) const;
+
+  /// Allocation ids that have at least one container on an unhealthy node.
+  std::vector<int> FailedAllocations() const;
+
+ private:
+  std::vector<NodeState> nodes_;
+  std::map<int, Allocation> allocations_;
+  std::map<std::string, bool> services_;
+  int next_allocation_id_ = 1;
+};
+
+}  // namespace ires
+
+#endif  // IRES_CLUSTER_CLUSTER_SIMULATOR_H_

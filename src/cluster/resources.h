@@ -1,0 +1,41 @@
+#ifndef IRES_CLUSTER_RESOURCES_H_
+#define IRES_CLUSTER_RESOURCES_H_
+
+#include <cstdio>
+#include <string>
+
+namespace ires {
+
+/// A container-level resource request, the unit YARN (and our simulator)
+/// allocates: `containers` containers, each with `cores` vCPUs and
+/// `memory_gb` of RAM.
+struct Resources {
+  int containers = 1;
+  int cores = 1;
+  double memory_gb = 1.0;
+
+  int total_cores() const { return containers * cores; }
+  double total_memory_gb() const { return containers * memory_gb; }
+
+  /// The paper's execution-cost metric (§4.4, after Truong & Dustdar):
+  /// #VM · cores/VM · GB/VM · t.
+  double CostForDuration(double seconds) const {
+    return containers * cores * memory_gb * seconds;
+  }
+
+  std::string ToString() const {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%dx(%dc,%.2fg)", containers, cores,
+                  memory_gb);
+    return buf;
+  }
+
+  friend bool operator==(const Resources& a, const Resources& b) {
+    return a.containers == b.containers && a.cores == b.cores &&
+           a.memory_gb == b.memory_gb;
+  }
+};
+
+}  // namespace ires
+
+#endif  // IRES_CLUSTER_RESOURCES_H_

@@ -1,0 +1,42 @@
+#ifndef IRES_COMMON_LOGGING_H_
+#define IRES_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ires {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimal leveled logger. Messages below the global threshold are dropped.
+/// The threshold defaults to kWarning so that library internals stay quiet in
+/// tests and benches; examples raise it to kInfo for narration.
+class Logger {
+ public:
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+  static void Log(LogLevel level, const std::string& message);
+};
+
+/// Stream-style helper: `IRES_LOG(kInfo) << "planned in " << ms << "ms";`
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define IRES_LOG(level) ::ires::LogMessage(::ires::LogLevel::level)
+
+}  // namespace ires
+
+#endif  // IRES_COMMON_LOGGING_H_

@@ -1,0 +1,133 @@
+#ifndef IRES_COMMON_STATUS_H_
+#define IRES_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ires {
+
+/// Error category for a failed operation. Mirrors the failure modes the IReS
+/// platform distinguishes: user input problems, missing library entries,
+/// engine/runtime failures and internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,      // engine or service is down
+  kResourceExhausted,// e.g. operator input exceeds engine memory
+  kExecutionError,   // a container / operator run failed
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. IReS public APIs never throw; every
+/// fallible call returns a Status or a Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Value-or-error holder. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps call sites terse:
+  /// `return some_plan;`
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status:
+  /// `return Status::NotFound(...)`.
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define IRES_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ires::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating its Status on error and
+/// otherwise binding the value to `lhs`.
+#define IRES_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto IRES_CONCAT_(res_, __LINE__) = (expr);   \
+  if (!IRES_CONCAT_(res_, __LINE__).ok())       \
+    return IRES_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(IRES_CONCAT_(res_, __LINE__)).value()
+
+#define IRES_CONCAT_INNER_(a, b) a##b
+#define IRES_CONCAT_(a, b) IRES_CONCAT_INNER_(a, b)
+
+}  // namespace ires
+
+#endif  // IRES_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef IRES_COMMON_STRINGS_H_
+#define IRES_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ires {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits and trims ASCII whitespace from every field; drops empty fields.
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view text);
+
+/// Formats a byte count as a human-readable string ("1.5GB").
+std::string HumanBytes(double bytes);
+
+/// Formats a duration in seconds with ms precision ("12.345s").
+std::string HumanSeconds(double seconds);
+
+}  // namespace ires
+
+#endif  // IRES_COMMON_STRINGS_H_

@@ -1,0 +1,155 @@
+#include "core/ires_server.h"
+
+#include <algorithm>
+
+#include "engines/standard_engines.h"
+#include "profiling/profiler.h"
+
+namespace ires {
+
+Result<OperatorRunEstimate> ModelBasedCostEstimator::Estimate(
+    const SimulatedEngine& engine, const OperatorRunRequest& request) const {
+  // Feasibility always comes from the engine; each metric prediction is
+  // replaced by its refined model when one has been trained.
+  auto analytic = engine.Estimate(request);
+  if (!analytic.ok()) return analytic.status();
+  OperatorRunEstimate estimate = analytic.value();
+
+  const ModelLibrary::OperatorModels* models =
+      models_->Find(request.algorithm, engine.name());
+  if (models == nullptr) return estimate;
+  const Vector features = Profiler::FeatureVector(request);
+  if (models->exec_time.has_model()) {
+    const double predicted = models->exec_time.Predict(features);
+    if (predicted > 0.0) {
+      estimate.exec_seconds = predicted;
+      estimate.cost = request.resources.CostForDuration(predicted);
+    }
+  }
+  if (models->output_bytes.has_model()) {
+    estimate.output_bytes =
+        std::max(0.0, models->output_bytes.Predict(features));
+  }
+  if (models->output_records.has_model()) {
+    estimate.output_records =
+        std::max(0.0, models->output_records.Predict(features));
+  }
+  return estimate;
+}
+
+IresServer::IresServer(Config config) : config_(config) {
+  engines_ = MakeStandardEngineRegistry();
+  cluster_ = std::make_unique<ClusterSimulator>(
+      config.cluster_nodes, config.cores_per_node, config.memory_gb_per_node);
+  planner_ = std::make_unique<DpPlanner>(&library_, engines_.get());
+  enforcer_ = std::make_unique<Enforcer>(engines_.get(), cluster_.get(),
+                                         config.seed);
+  monitor_ = std::make_unique<ExecutionMonitor>(engines_.get(),
+                                                cluster_.get());
+  NsgaResourceProvisioner::Limits limits;
+  limits.max_containers = config.cluster_nodes / 2;
+  limits.max_cores_per_container = config.cores_per_node;
+  limits.max_memory_gb_per_container = config.memory_gb_per_node * 0.85;
+  Nsga2::Options ga;
+  ga.population = 24;
+  ga.generations = 30;
+  provisioner_ = std::make_unique<NsgaResourceProvisioner>(limits, ga);
+  model_estimator_ = std::make_unique<ModelBasedCostEstimator>(&models_);
+}
+
+Status IresServer::RegisterDataset(const std::string& name,
+                                   const std::string& description) {
+  IRES_ASSIGN_OR_RETURN(MetadataTree meta,
+                        MetadataTree::ParseDescription(description));
+  return library_.AddDataset(Dataset(name, std::move(meta)));
+}
+
+Status IresServer::RegisterAbstractOperator(const std::string& name,
+                                            const std::string& description) {
+  IRES_ASSIGN_OR_RETURN(MetadataTree meta,
+                        MetadataTree::ParseDescription(description));
+  return library_.AddAbstract(AbstractOperator(name, std::move(meta)));
+}
+
+Status IresServer::RegisterMaterializedOperator(
+    const std::string& name, const std::string& description) {
+  IRES_ASSIGN_OR_RETURN(MetadataTree meta,
+                        MetadataTree::ParseDescription(description));
+  return library_.AddMaterialized(MaterializedOperator(name, std::move(meta)));
+}
+
+Status IresServer::ImportLibrary(const OperatorLibrary& library) {
+  for (const auto& [name, dataset] : library.datasets()) {
+    IRES_RETURN_IF_ERROR(library_.AddDataset(dataset));
+  }
+  for (const auto& [name, op] : library.abstract()) {
+    IRES_RETURN_IF_ERROR(library_.AddAbstract(op));
+  }
+  for (const auto& [name, op] : library.materialized()) {
+    IRES_RETURN_IF_ERROR(library_.AddMaterialized(op));
+  }
+  return Status::OK();
+}
+
+Result<WorkflowGraph> IresServer::ParseWorkflow(
+    const std::string& graph_text) const {
+  return WorkflowGraph::ParseGraphFile(graph_text, library_);
+}
+
+Result<ExecutionPlan> IresServer::MaterializeWorkflow(
+    const WorkflowGraph& graph, OptimizationPolicy policy) {
+  DpPlanner::Options options;
+  options.policy = policy;
+  if (config_.use_refined_models) options.estimator = model_estimator_.get();
+  if (config_.provision_resources) options.advisor = provisioner_.get();
+  return planner_->Plan(graph, options);
+}
+
+Result<RecoveryOutcome> IresServer::ExecuteWorkflow(
+    const WorkflowGraph& graph, OptimizationPolicy policy) {
+  DpPlanner::Options options;
+  options.policy = policy;
+  if (config_.use_refined_models) options.estimator = model_estimator_.get();
+  if (config_.provision_resources) options.advisor = provisioner_.get();
+
+  RecoveringExecutor recovering(planner_.get(), enforcer_.get(),
+                                engines_.get());
+  auto outcome = recovering.Run(graph, options, ReplanStrategy::kIresReplan);
+  if (outcome.ok()) {
+    RefineFromReport(outcome.value().final_plan,
+                     outcome.value().final_report);
+  }
+  return outcome;
+}
+
+OnlineEstimator* IresServer::estimator(const std::string& algorithm,
+                                       const std::string& engine) {
+  return &models_.Get(algorithm, engine)->exec_time;
+}
+
+void IresServer::RefineFromReport(const ExecutionPlan& plan,
+                                  const ExecutionReport& report) {
+  // Model refinement (deliverable §2.2.2): every successfully executed
+  // operator feeds its observed runtime back into the estimator library.
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind != PlanStep::Kind::kOperator) continue;
+    const StepResult& result = report.steps[step.id];
+    if (!result.status.ok()) continue;
+    OperatorRunRequest request;
+    request.algorithm = step.algorithm;
+    request.input_bytes = step.input_bytes;
+    request.input_records = step.input_records;
+    request.resources = step.resources;
+    request.params = step.params;
+    double output_bytes = 0.0, output_records = 0.0;
+    for (const DatasetInstance& out : step.outputs) {
+      output_bytes += out.bytes;
+      output_records += out.records;
+    }
+    models_.ObserveRun(step.algorithm, step.engine, request,
+                       result.finish_seconds - result.start_seconds,
+                       output_bytes, output_records);
+  }
+}
+
+}  // namespace ires

@@ -1,0 +1,131 @@
+#ifndef IRES_CORE_IRES_SERVER_H_
+#define IRES_CORE_IRES_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_simulator.h"
+#include "core/model_library.h"
+#include "executor/enforcer.h"
+#include "executor/execution_monitor.h"
+#include "executor/recovering_executor.h"
+#include "modeling/refinement.h"
+#include "planner/dp_planner.h"
+#include "profiling/profiler.h"
+#include "provisioning/resource_provisioner.h"
+#include "workflow/workflow_graph.h"
+
+namespace ires {
+
+/// Cost estimator backed by the online-refined model library: it predicts
+/// execution time, output size and output cardinality with each
+/// (algorithm, engine) pair's trained estimators when they exist, and falls
+/// back to the engine's analytic model otherwise. Feasibility always comes
+/// from the engine.
+class ModelBasedCostEstimator : public CostEstimator {
+ public:
+  explicit ModelBasedCostEstimator(const ModelLibrary* models)
+      : models_(models) {}
+
+  Result<OperatorRunEstimate> Estimate(
+      const SimulatedEngine& engine,
+      const OperatorRunRequest& request) const override;
+
+ private:
+  const ModelLibrary* models_;
+};
+
+/// The IReS server facade: wires the interface, optimizer and executor
+/// layers (deliverable Fig. 1) into the API the examples and experiments
+/// drive — register artefacts, materialize (plan) workflows, execute them
+/// with monitoring/recovery, and refine the models with every run.
+class IresServer {
+ public:
+  struct Config {
+    int cluster_nodes = 16;
+    int cores_per_node = 4;
+    double memory_gb_per_node = 8.0;
+    uint64_t seed = 99;
+    /// When true the planner consults the online-refined models; otherwise
+    /// the converged analytic models.
+    bool use_refined_models = false;
+    /// When set, NSGA-II provisions container resources per operator.
+    bool provision_resources = false;
+  };
+
+  IresServer() : IresServer(Config()) {}
+  explicit IresServer(Config config);
+
+  // ---- Interface layer ----------------------------------------------------
+  /// Registers artefacts from their key=value description text.
+  Status RegisterDataset(const std::string& name,
+                         const std::string& description);
+  Status RegisterAbstractOperator(const std::string& name,
+                                  const std::string& description);
+  Status RegisterMaterializedOperator(const std::string& name,
+                                      const std::string& description);
+  /// Imports an externally assembled library (merges, name clashes fail).
+  Status ImportLibrary(const OperatorLibrary& library);
+  /// Parses a workflow `graph` file against the current library.
+  Result<WorkflowGraph> ParseWorkflow(const std::string& graph_text) const;
+
+  // ---- Optimizer layer ----------------------------------------------------
+  /// Materializes (plans) a workflow under `policy`.
+  Result<ExecutionPlan> MaterializeWorkflow(
+      const WorkflowGraph& graph,
+      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+
+  // ---- Executor layer -----------------------------------------------------
+  /// Plans + executes with monitoring and IResReplan recovery; feeds every
+  /// observed operator run back into the model-refinement library.
+  Result<RecoveryOutcome> ExecuteWorkflow(
+      const WorkflowGraph& graph,
+      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+
+  // ---- Access to the wired components (experiments drive them directly). --
+  OperatorLibrary& library() { return library_; }
+  EngineRegistry& engines() { return *engines_; }
+  ClusterSimulator& cluster() { return *cluster_; }
+  DpPlanner& planner() { return *planner_; }
+  Enforcer& enforcer() { return *enforcer_; }
+  ExecutionMonitor& monitor() { return *monitor_; }
+  NsgaResourceProvisioner& provisioner() { return *provisioner_; }
+
+
+  /// The refined execution-time estimator for one (algorithm, engine)
+  /// pair, created on first use.
+  OnlineEstimator* estimator(const std::string& algorithm,
+                             const std::string& engine);
+
+  /// The full multi-metric model library.
+  ModelLibrary& models() { return models_; }
+
+  /// Persists / restores the model library (profiling samples + refits),
+  /// so a restarted server keeps its learned knowledge.
+  Status SaveModels(const std::string& dir) const {
+    return models_.SaveToDirectory(dir);
+  }
+  Status LoadModels(const std::string& dir) {
+    return models_.LoadFromDirectory(dir);
+  }
+
+ private:
+  void RefineFromReport(const ExecutionPlan& plan,
+                        const ExecutionReport& report);
+
+  Config config_;
+  OperatorLibrary library_;
+  std::unique_ptr<EngineRegistry> engines_;
+  std::unique_ptr<ClusterSimulator> cluster_;
+  std::unique_ptr<DpPlanner> planner_;
+  std::unique_ptr<Enforcer> enforcer_;
+  std::unique_ptr<ExecutionMonitor> monitor_;
+  std::unique_ptr<NsgaResourceProvisioner> provisioner_;
+  ModelLibrary models_;
+  std::unique_ptr<ModelBasedCostEstimator> model_estimator_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_CORE_IRES_SERVER_H_

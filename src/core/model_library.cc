@@ -1,0 +1,127 @@
+#include "core/model_library.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "profiling/profiler.h"
+
+namespace ires {
+
+namespace {
+
+constexpr const char* kMetricNames[] = {"execTime", "outputBytes",
+                                        "outputRecords"};
+
+OnlineEstimator* MetricEstimator(ModelLibrary::OperatorModels* models,
+                                 int metric) {
+  switch (metric) {
+    case 0: return &models->exec_time;
+    case 1: return &models->output_bytes;
+    default: return &models->output_records;
+  }
+}
+
+}  // namespace
+
+ModelLibrary::OperatorModels* ModelLibrary::Get(const std::string& algorithm,
+                                                const std::string& engine) {
+  auto key = std::make_pair(algorithm, engine);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    it = models_.emplace(key, std::make_unique<OperatorModels>()).first;
+  }
+  return it->second.get();
+}
+
+const ModelLibrary::OperatorModels* ModelLibrary::Find(
+    const std::string& algorithm, const std::string& engine) const {
+  auto it = models_.find({algorithm, engine});
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+void ModelLibrary::ObserveRun(const std::string& algorithm,
+                              const std::string& engine,
+                              const OperatorRunRequest& request,
+                              double actual_seconds, double output_bytes,
+                              double output_records) {
+  OperatorModels* models = Get(algorithm, engine);
+  const Vector features = Profiler::FeatureVector(request);
+  models->exec_time.Observe(features, actual_seconds);
+  models->output_bytes.Observe(features, output_bytes);
+  models->output_records.Observe(features, output_records);
+}
+
+Status ModelLibrary::SaveToDirectory(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::Internal("mkdir failed: " + dir);
+  for (const auto& [key, models] : models_) {
+    for (int metric = 0; metric < 3; ++metric) {
+      const OnlineEstimator* estimator = MetricEstimator(
+          const_cast<OperatorModels*>(models.get()), metric);
+      const auto samples = estimator->ExportSamples();
+      if (samples.empty()) continue;
+      const fs::path path = fs::path(dir) / (key.first + "__" + key.second +
+                                             "." + kMetricNames[metric] +
+                                             ".csv");
+      std::ofstream out(path);
+      if (!out) return Status::Internal("cannot write " + path.string());
+      for (const OnlineEstimator::Sample& sample : samples) {
+        out << sample.target;
+        for (double f : sample.features) out << ',' << f;
+        out << '\n';
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelLibrary::LoadFromDirectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(dir)) return Status::NotFound("model directory: " + dir);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (!EndsWith(filename, ".csv")) continue;
+    // <algorithm>__<engine>.<metric>.csv
+    const size_t sep = filename.find("__");
+    if (sep == std::string::npos) continue;
+    const std::string stem = filename.substr(0, filename.size() - 4);
+    const size_t metric_dot = stem.rfind('.');
+    if (metric_dot == std::string::npos || metric_dot < sep) continue;
+    const std::string algorithm = stem.substr(0, sep);
+    const std::string engine = stem.substr(sep + 2, metric_dot - sep - 2);
+    const std::string metric_name = stem.substr(metric_dot + 1);
+    int metric = -1;
+    for (int m = 0; m < 3; ++m) {
+      if (metric_name == kMetricNames[m]) metric = m;
+    }
+    if (metric < 0) continue;
+
+    std::ifstream in(entry.path());
+    if (!in) return Status::Internal("cannot read " + entry.path().string());
+    std::vector<OnlineEstimator::Sample> samples;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::vector<std::string> fields = SplitAndTrim(line, ',');
+      if (fields.empty()) continue;
+      OnlineEstimator::Sample sample;
+      sample.target = std::strtod(fields[0].c_str(), nullptr);
+      for (size_t i = 1; i < fields.size(); ++i) {
+        sample.features.push_back(std::strtod(fields[i].c_str(), nullptr));
+      }
+      samples.push_back(std::move(sample));
+    }
+    OnlineEstimator* estimator =
+        MetricEstimator(Get(algorithm, engine), metric);
+    // A failed refit (e.g. too few samples) still keeps the samples.
+    (void)estimator->ImportSamples(samples);
+  }
+  return Status::OK();
+}
+
+}  // namespace ires

@@ -1,0 +1,60 @@
+#ifndef IRES_CORE_MODEL_LIBRARY_H_
+#define IRES_CORE_MODEL_LIBRARY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engines/engine.h"
+#include "modeling/refinement.h"
+
+namespace ires {
+
+/// The IReS model library (deliverable §2: "the models are stored and
+/// updated in an IReS library"): for every (operator algorithm, engine)
+/// pair it keeps one online-refined estimator per profiled metric —
+/// execution time, output size and output cardinality — and persists the
+/// underlying profiling samples across server restarts.
+class ModelLibrary {
+ public:
+  /// The per-(operator, engine) metric estimators.
+  struct OperatorModels {
+    OnlineEstimator exec_time;
+    OnlineEstimator output_bytes;
+    OnlineEstimator output_records;
+  };
+
+  ModelLibrary() = default;
+  ModelLibrary(const ModelLibrary&) = delete;
+  ModelLibrary& operator=(const ModelLibrary&) = delete;
+
+  /// The models for one pair, created on first use.
+  OperatorModels* Get(const std::string& algorithm,
+                      const std::string& engine);
+  const OperatorModels* Find(const std::string& algorithm,
+                             const std::string& engine) const;
+
+  /// Feeds one observed run into all metric estimators.
+  void ObserveRun(const std::string& algorithm, const std::string& engine,
+                  const OperatorRunRequest& request, double actual_seconds,
+                  double output_bytes, double output_records);
+
+  size_t size() const { return models_.size(); }
+
+  /// Persists every estimator's sample window as CSV files
+  /// (`<dir>/<algorithm>__<engine>.<metric>.csv`, one `target,f0,f1,...`
+  /// row per sample). Overwrites existing files.
+  Status SaveToDirectory(const std::string& dir) const;
+
+  /// Loads every CSV produced by SaveToDirectory and refits the estimators.
+  Status LoadFromDirectory(const std::string& dir);
+
+ private:
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<OperatorModels>>
+      models_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_CORE_MODEL_LIBRARY_H_

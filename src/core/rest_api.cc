@@ -1,0 +1,209 @@
+#include "core/rest_api.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace ires {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ApiResponse Error(int code, const std::string& message) {
+  return {code, "{\"error\":\"" + JsonEscape(message) + "\"}"};
+}
+
+ApiResponse FromStatus(const Status& status, int ok_code = 200,
+                       const std::string& ok_body = "{\"ok\":true}") {
+  if (status.ok()) return {ok_code, ok_body};
+  switch (status.code()) {
+    case StatusCode::kNotFound: return Error(404, status.message());
+    case StatusCode::kAlreadyExists: return Error(409, status.message());
+    case StatusCode::kInvalidArgument: return Error(400, status.message());
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kResourceExhausted:
+      return Error(422, status.message());
+    default: return Error(500, status.ToString());
+  }
+}
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(items[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+ApiResponse RestApi::Handle(const std::string& method,
+                            const std::string& path,
+                            const std::string& body) {
+  std::vector<std::string> parts = SplitAndTrim(path, '/');
+  if (parts.size() < 2 || parts[0] != "apiv1") {
+    return Error(404, "unknown route: " + path);
+  }
+  const std::string& resource = parts[1];
+  if (resource == "engines") return HandleEngines(method, parts, body);
+  if (resource == "datasets" || resource == "abstractOperators" ||
+      resource == "operators") {
+    return HandleDescriptions(method, parts, body);
+  }
+  if (resource == "workflows") return HandleWorkflows(method, parts, body);
+  return Error(404, "unknown resource: " + resource);
+}
+
+ApiResponse RestApi::HandleEngines(const std::string& method,
+                                   const std::vector<std::string>& parts,
+                                   const std::string& body) {
+  if (method == "GET" && parts.size() == 2) {
+    std::string out = "{";
+    bool first = true;
+    for (const std::string& name : server_->engines().Names()) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(name) + "\":\"" +
+             (server_->engines().IsAvailable(name) ? "ON" : "OFF") + "\"";
+    }
+    out += "}";
+    return {200, out};
+  }
+  if (method == "PUT" && parts.size() == 4 && parts[3] == "availability") {
+    const std::string value = ToLower(Trim(body));
+    if (value != "on" && value != "off") {
+      return Error(400, "availability body must be 'on' or 'off'");
+    }
+    return FromStatus(
+        server_->engines().SetAvailable(parts[2], value == "on"));
+  }
+  return Error(404, "unknown engines route");
+}
+
+ApiResponse RestApi::HandleDescriptions(const std::string& method,
+                                        const std::vector<std::string>& parts,
+                                        const std::string& body) {
+  const std::string& resource = parts[1];
+  OperatorLibrary& library = server_->library();
+
+  if (method == "GET" && parts.size() == 2) {
+    std::vector<std::string> names;
+    if (resource == "datasets") {
+      for (const auto& [name, d] : library.datasets()) names.push_back(name);
+    } else if (resource == "abstractOperators") {
+      for (const auto& [name, o] : library.abstract()) names.push_back(name);
+    } else {
+      names = library.MaterializedNames();
+    }
+    return {200, JsonStringArray(names)};
+  }
+
+  if (parts.size() != 3) return Error(404, "expected /" + resource + "/{name}");
+  const std::string& name = parts[2];
+
+  if (method == "GET") {
+    const MetadataTree* meta = nullptr;
+    if (resource == "datasets") {
+      const Dataset* d = library.FindDatasetByName(name);
+      if (d != nullptr) meta = &d->meta();
+    } else if (resource == "abstractOperators") {
+      const AbstractOperator* o = library.FindAbstractByName(name);
+      if (o != nullptr) meta = &o->meta();
+    } else {
+      const MaterializedOperator* o = library.FindMaterializedByName(name);
+      if (o != nullptr) meta = &o->meta();
+    }
+    if (meta == nullptr) return Error(404, resource + ": " + name);
+    return {200, "{\"name\":\"" + JsonEscape(name) + "\",\"description\":\"" +
+                     JsonEscape(meta->ToDescription()) + "\"}"};
+  }
+
+  if (method == "POST") {
+    Status added;
+    if (resource == "datasets") {
+      added = server_->RegisterDataset(name, body);
+    } else if (resource == "abstractOperators") {
+      added = server_->RegisterAbstractOperator(name, body);
+    } else {
+      added = server_->RegisterMaterializedOperator(name, body);
+    }
+    return FromStatus(added, 201);
+  }
+  return Error(404, "unsupported method " + method);
+}
+
+ApiResponse RestApi::HandleWorkflows(const std::string& method,
+                                     const std::vector<std::string>& parts,
+                                     const std::string& body) {
+  if (method == "GET" && parts.size() == 2) {
+    std::vector<std::string> names;
+    for (const auto& [name, graph] : workflows_) names.push_back(name);
+    return {200, JsonStringArray(names)};
+  }
+  if (method == "POST" && parts.size() == 3) {
+    auto graph = server_->ParseWorkflow(body);
+    if (!graph.ok()) return FromStatus(graph.status());
+    const Status valid = graph.value().Validate();
+    if (!valid.ok()) return FromStatus(valid);
+    if (workflows_.count(parts[2]) > 0) {
+      return Error(409, "workflow exists: " + parts[2]);
+    }
+    workflows_.emplace(parts[2], std::move(graph).value());
+    return {201, "{\"ok\":true}"};
+  }
+  if (method == "POST" && parts.size() == 4) {
+    auto it = workflows_.find(parts[2]);
+    if (it == workflows_.end()) return Error(404, "workflow: " + parts[2]);
+    if (parts[3] == "materialize") {
+      auto plan = server_->MaterializeWorkflow(it->second);
+      if (!plan.ok()) return FromStatus(plan.status());
+      char head[160];
+      std::snprintf(head, sizeof(head),
+                    "{\"estimatedSeconds\":%.3f,\"estimatedCost\":%.1f,"
+                    "\"steps\":%zu,\"plan\":\"",
+                    plan.value().estimated_seconds,
+                    plan.value().estimated_cost, plan.value().steps.size());
+      return {200,
+              std::string(head) + JsonEscape(plan.value().ToString()) + "\"}"};
+    }
+    if (parts[3] == "execute") {
+      auto outcome = server_->ExecuteWorkflow(it->second);
+      if (!outcome.ok()) return FromStatus(outcome.status());
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"executionSeconds\":%.3f,\"planningMs\":%.3f,"
+                    "\"replans\":%d}",
+                    outcome.value().total_execution_seconds,
+                    outcome.value().total_planning_ms,
+                    outcome.value().replans);
+      return {200, buf};
+    }
+  }
+  return Error(404, "unknown workflows route");
+}
+
+}  // namespace ires

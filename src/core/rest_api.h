@@ -1,0 +1,67 @@
+#ifndef IRES_CORE_REST_API_H_
+#define IRES_CORE_REST_API_H_
+
+#include <map>
+#include <string>
+
+#include "core/ires_server.h"
+
+namespace ires {
+
+/// Response of one API call: an HTTP-style status code plus a JSON body.
+struct ApiResponse {
+  int code = 200;
+  std::string body;
+
+  bool ok() const { return code >= 200 && code < 300; }
+};
+
+/// The platform's external API (deliverable §3.5): the IReS server exposes
+/// its functionality to the rest of the ASAP components through a RESTful
+/// interface. This class implements the resource routing and JSON
+/// serialization; a transport (HTTP server, CLI, tests) feeds it
+/// (method, path, body) triples. Supported routes:
+///
+///   GET  /apiv1/engines                         list engines + status
+///   PUT  /apiv1/engines/{name}/availability     body: "on" | "off"
+///   GET  /apiv1/datasets                        list datasets
+///   GET  /apiv1/datasets/{name}                 one description
+///   POST /apiv1/datasets/{name}                 body: description text
+///   GET  /apiv1/abstractOperators[/{name}]
+///   POST /apiv1/abstractOperators/{name}
+///   GET  /apiv1/operators[/{name}]              materialized operators
+///   POST /apiv1/operators/{name}                (the send_operator.sh path)
+///   GET  /apiv1/workflows                       list stored workflows
+///   POST /apiv1/workflows/{name}                body: `graph` file text
+///   POST /apiv1/workflows/{name}/materialize    plan; returns the plan
+///   POST /apiv1/workflows/{name}/execute        plan + run + refine models
+class RestApi {
+ public:
+  explicit RestApi(IresServer* server) : server_(server) {}
+
+  /// Dispatches one request. Unknown routes return 404, bad payloads 400,
+  /// conflicts 409, planner/executor failures 422/500.
+  ApiResponse Handle(const std::string& method, const std::string& path,
+                     const std::string& body = "");
+
+ private:
+  ApiResponse HandleEngines(const std::string& method,
+                            const std::vector<std::string>& parts,
+                            const std::string& body);
+  ApiResponse HandleDescriptions(const std::string& method,
+                                 const std::vector<std::string>& parts,
+                                 const std::string& body);
+  ApiResponse HandleWorkflows(const std::string& method,
+                              const std::vector<std::string>& parts,
+                              const std::string& body);
+
+  IresServer* server_;
+  std::map<std::string, WorkflowGraph> workflows_;
+};
+
+/// Minimal JSON string escaping for API payloads.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace ires
+
+#endif  // IRES_CORE_REST_API_H_

@@ -1,0 +1,36 @@
+#include "engines/data_movement.h"
+
+#include <utility>
+
+namespace ires {
+
+DataMovementModel::DataMovementModel()
+    : default_bandwidth_(100e6),       // 100 MB/s, a 1GbE-class link
+      fixed_latency_seconds_(1.0),     // move-job submission overhead
+      transform_seconds_per_gb_(2.0) {}
+
+double DataMovementModel::MoveSeconds(double bytes,
+                                      const std::string& from_store,
+                                      const std::string& to_store,
+                                      bool transform) const {
+  double seconds = 0.0;
+  if (from_store != to_store) {
+    double bandwidth = default_bandwidth_;
+    auto it = bandwidth_.find({from_store, to_store});
+    if (it != bandwidth_.end()) bandwidth = it->second;
+    seconds += fixed_latency_seconds_ + bytes / bandwidth;
+  }
+  if (transform) {
+    if (from_store == to_store) seconds += fixed_latency_seconds_;
+    seconds += transform_seconds_per_gb_ * bytes / 1e9;
+  }
+  return seconds;
+}
+
+void DataMovementModel::SetBandwidth(const std::string& from_store,
+                                     const std::string& to_store,
+                                     double bytes_per_second) {
+  bandwidth_[{from_store, to_store}] = bytes_per_second;
+}
+
+}  // namespace ires

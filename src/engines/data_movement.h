@@ -1,0 +1,46 @@
+#ifndef IRES_ENGINES_DATA_MOVEMENT_H_
+#define IRES_ENGINES_DATA_MOVEMENT_H_
+
+#include <map>
+#include <string>
+
+namespace ires {
+
+/// Cost model for the move/transform operators the planner injects between
+/// engines with mismatched stores or formats (deliverable §2.2.3, lines
+/// 22-25 of Algorithm 1).
+class DataMovementModel {
+ public:
+  DataMovementModel();
+
+  /// Seconds to ship `bytes` from `from_store` to `to_store`, plus a format
+  /// transformation pass when `transform` is set. Moving within the same
+  /// store without a transform is free.
+  double MoveSeconds(double bytes, const std::string& from_store,
+                     const std::string& to_store, bool transform) const;
+
+  /// Overrides the effective bandwidth (bytes/second) between two stores
+  /// (asymmetric; set both directions explicitly if needed).
+  void SetBandwidth(const std::string& from_store, const std::string& to_store,
+                    double bytes_per_second);
+
+  void set_default_bandwidth(double bytes_per_second) {
+    default_bandwidth_ = bytes_per_second;
+  }
+  void set_fixed_latency_seconds(double seconds) {
+    fixed_latency_seconds_ = seconds;
+  }
+  void set_transform_seconds_per_gb(double seconds) {
+    transform_seconds_per_gb_ = seconds;
+  }
+
+ private:
+  double default_bandwidth_;           // bytes/s
+  double fixed_latency_seconds_;       // per-move setup (job submission)
+  double transform_seconds_per_gb_;    // format conversion pass
+  std::map<std::pair<std::string, std::string>, double> bandwidth_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_ENGINES_DATA_MOVEMENT_H_

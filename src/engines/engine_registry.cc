@@ -1,0 +1,45 @@
+#include "engines/engine_registry.h"
+
+namespace ires {
+
+Status EngineRegistry::Add(std::unique_ptr<SimulatedEngine> engine) {
+  if (engine == nullptr) return Status::InvalidArgument("null engine");
+  const std::string name = engine->name();
+  if (name.empty()) return Status::InvalidArgument("engine needs a name");
+  if (engines_.count(name) > 0) {
+    return Status::AlreadyExists("engine: " + name);
+  }
+  engines_.emplace(name, std::move(engine));
+  return Status::OK();
+}
+
+SimulatedEngine* EngineRegistry::Find(const std::string& name) {
+  auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+const SimulatedEngine* EngineRegistry::Find(const std::string& name) const {
+  auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [name, engine] : engines_) names.push_back(name);
+  return names;
+}
+
+Status EngineRegistry::SetAvailable(const std::string& name, bool on) {
+  SimulatedEngine* engine = Find(name);
+  if (engine == nullptr) return Status::NotFound("engine: " + name);
+  engine->set_available(on);
+  return Status::OK();
+}
+
+bool EngineRegistry::IsAvailable(const std::string& name) const {
+  const SimulatedEngine* engine = Find(name);
+  return engine != nullptr && engine->available();
+}
+
+}  // namespace ires

@@ -1,0 +1,46 @@
+#ifndef IRES_ENGINES_ENGINE_REGISTRY_H_
+#define IRES_ENGINES_ENGINE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engines/data_movement.h"
+#include "engines/engine.h"
+
+namespace ires {
+
+/// Registry of the deployed engines and the data-movement model between
+/// their stores — the "Multi-Engine Cloud" box of the architecture figure.
+class EngineRegistry {
+ public:
+  EngineRegistry() = default;
+
+  /// Registers an engine; names must be unique.
+  Status Add(std::unique_ptr<SimulatedEngine> engine);
+
+  SimulatedEngine* Find(const std::string& name);
+  const SimulatedEngine* Find(const std::string& name) const;
+
+  /// Names of all registered engines, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Marks an engine ON/OFF (the service-availability check of §2.3).
+  Status SetAvailable(const std::string& name, bool on);
+  bool IsAvailable(const std::string& name) const;
+
+  DataMovementModel& movement() { return movement_; }
+  const DataMovementModel& movement() const { return movement_; }
+
+  size_t size() const { return engines_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<SimulatedEngine>> engines_;
+  DataMovementModel movement_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_ENGINES_ENGINE_REGISTRY_H_

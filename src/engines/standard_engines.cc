@@ -1,0 +1,240 @@
+#include "engines/standard_engines.h"
+
+namespace ires {
+
+namespace {
+
+// Default container grid: 8 containers x 2 cores x 2 GB — 16 cores total,
+// matching the 16-VM OpenStack deployment of the evaluation.
+const Resources kClusterDefault{8, 2, 2.0};
+// Effective Amdahl factor of the default grid at parallel_fraction 0.95:
+// 0.05 + 0.95/16 ~= 0.109. Single-core rates below are chosen so that
+// rate * 0.109 hits the effective rates quoted in the comments.
+
+std::unique_ptr<SimulatedEngine> MakeEngine(SimulatedEngine::Config config) {
+  return std::make_unique<SimulatedEngine>(std::move(config));
+}
+
+AlgorithmProfile Profile(double startup, double seconds_per_gb,
+                         double parallel_fraction, double memory_per_input,
+                         double out_bytes, double out_records) {
+  AlgorithmProfile p;
+  p.startup_seconds = startup;
+  p.seconds_per_gb = seconds_per_gb;
+  p.parallel_fraction = parallel_fraction;
+  p.memory_per_input = memory_per_input;
+  p.output_bytes_ratio = out_bytes;
+  p.output_records_ratio = out_records;
+  return p;
+}
+
+}  // namespace
+
+std::unique_ptr<EngineRegistry> MakeStandardEngineRegistry() {
+  auto registry = std::make_unique<EngineRegistry>();
+
+  // ----- Java: centralized JVM process on one node (3 GB heap). -----------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Java";
+    cfg.kind = EngineKind::kCentralized;
+    cfg.memory_budget_gb = 3.0;
+    cfg.default_resources = {1, 1, 3.0};
+    cfg.native_store = "Local";
+    auto engine = MakeEngine(cfg);
+    // Pagerank: t = 2 + 150 s/GB; OOM when 5x working set exceeds 3 GB
+    // (~30M edges) -> wins small graphs, dies at 100M (Fig. 11).
+    engine->SetProfile("Pagerank", Profile(2.0, 150.0, 0.0, 5.0, 0.1, 1.0));
+    // Wordcount (centralized Java baseline of Fig. 16a).
+    engine->SetProfile("Wordcount", Profile(1.5, 45.0, 0.0, 2.0, 0.05, 0.1));
+    engine->SetProfile("*", Profile(1.0, 60.0, 0.0, 2.0, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Python: the HelloWorld workflow engine of Table 1. ---------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Python";
+    cfg.kind = EngineKind::kCentralized;
+    cfg.memory_budget_gb = 3.0;
+    cfg.default_resources = {1, 1, 2.0};
+    cfg.native_store = "Local";
+    auto engine = MakeEngine(cfg);
+    engine->SetProfile("*", Profile(1.0, 80.0, 0.0, 2.0, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- scikit-learn: centralized Python ML (text analytics). ------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "scikit";
+    cfg.kind = EngineKind::kCentralized;
+    cfg.memory_budget_gb = 6.0;
+    cfg.default_resources = {1, 1, 6.0};
+    cfg.native_store = "Local";
+    auto engine = MakeEngine(cfg);
+    // TF_IDF: 45 s/GB (~0.45 s per 1k docs) -> beats Spark tf-idf up to
+    // ~85k docs; with the intermediate move, the hybrid plan flips to full
+    // Spark near ~55k docs.
+    engine->SetProfile("TF_IDF", Profile(1.0, 45.0, 0.0, 2.5, 0.5, 1.0));
+    // k-means on tf-idf vectors: 450 s/GB -> Spark k-means wins above ~7k
+    // docs, opening the hybrid window of Fig. 12.
+    engine->SetProfile("kmeans", Profile(1.0, 450.0, 0.0, 3.0, 0.01, 0.001));
+    engine->SetProfile("*", Profile(1.0, 100.0, 0.0, 2.5, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Spark: distributed, disk-backed, 24 GB aggregate cache. ----------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Spark";
+    cfg.kind = EngineKind::kDistributedDisk;
+    cfg.memory_budget_gb = 24.0;
+    cfg.spill_slowdown = 3.0;
+    cfg.default_resources = kClusterDefault;
+    cfg.native_store = "HDFS";
+    auto engine = MakeEngine(cfg);
+    // Pagerank: effective ~44 s/GB at 16 cores; high startup.
+    engine->SetProfile("Pagerank", Profile(12.0, 400.0, 0.95, 2.0, 0.1, 1.0));
+    // MLlib text operators (effective ~30 / ~26 s/GB).
+    engine->SetProfile("TF_IDF", Profile(14.0, 275.0, 0.95, 1.5, 0.5, 1.0));
+    engine->SetProfile("kmeans", Profile(14.0, 240.0, 0.95, 1.8, 0.01, 0.001));
+    // SparkSQL joins: effective ~8 s/GB, never OOMs (spills instead).
+    engine->SetProfile("SPJQuery", Profile(15.0, 73.0, 0.95, 2.0, 0.2, 0.2));
+    engine->SetProfile("SPJHeavyQuery",
+                       Profile(15.0, 90.0, 0.95, 4.0, 0.2, 0.2));
+    engine->SetProfile("Wordcount", Profile(10.0, 90.0, 0.95, 1.5, 0.05, 0.1));
+    engine->SetProfile("*", Profile(12.0, 150.0, 0.95, 2.0, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- MLlib: Spark's ML library surfaced as its own engine entry (the
+  // fault-tolerance experiment of Table 1 lists it separately). ------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "MLLib";
+    cfg.kind = EngineKind::kDistributedDisk;
+    cfg.memory_budget_gb = 24.0;
+    cfg.default_resources = kClusterDefault;
+    cfg.native_store = "HDFS";
+    auto engine = MakeEngine(cfg);
+    engine->SetProfile("*", Profile(13.0, 160.0, 0.95, 2.0, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Hama: BSP, strictly memory-resident (8 GB aggregate). ------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Hama";
+    cfg.kind = EngineKind::kDistributedMemory;
+    cfg.memory_budget_gb = 8.0;
+    cfg.default_resources = kClusterDefault;
+    cfg.native_store = "HDFS";
+    auto engine = MakeEngine(cfg);
+    // Pagerank: effective ~27 s/GB -> fastest for medium graphs; working
+    // set 4.5x input exceeds 8 GB past ~90M edges (dies at 100M).
+    engine->SetProfile("Pagerank", Profile(6.0, 250.0, 0.95, 4.5, 0.1, 1.0));
+    engine->SetProfile("*", Profile(6.0, 300.0, 0.95, 4.0, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Hadoop MapReduce: distributed, disk-heavy, slow startup. ---------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "MapReduce";
+    cfg.kind = EngineKind::kDistributedDisk;
+    cfg.memory_budget_gb = 32.0;
+    cfg.default_resources = kClusterDefault;
+    cfg.native_store = "HDFS";
+    auto engine = MakeEngine(cfg);
+    engine->SetProfile("Wordcount",
+                       Profile(15.0, 300.0, 0.90, 1.2, 0.05, 0.1));
+    engine->SetProfile("TF_IDF", Profile(18.0, 350.0, 0.90, 1.5, 0.5, 1.0));
+    engine->SetProfile("kmeans", Profile(18.0, 380.0, 0.90, 1.8, 0.01, 0.001));
+    engine->SetProfile("*", Profile(15.0, 320.0, 0.90, 1.5, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- PostgreSQL: centralized RDBMS, disk-backed (never OOMs). ---------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "PostgreSQL";
+    cfg.kind = EngineKind::kCentralized;
+    cfg.memory_budget_gb = 1e6;  // disk-backed: effectively unbounded
+    cfg.default_resources = {1, 2, 4.0};
+    cfg.native_store = "PostgreSQL";
+    auto engine = MakeEngine(cfg);
+    // Disk-backed: only buffer-pool working memory is needed (0.05x).
+    engine->SetProfile("SPJQuery", Profile(0.5, 15.0, 0.0, 0.05, 0.2, 0.2));
+    engine->SetProfile("SPJHeavyQuery",
+                       Profile(0.5, 25.0, 0.0, 0.05, 0.2, 0.2));
+    engine->SetProfile("*", Profile(0.5, 50.0, 0.0, 0.05, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- MemSQL: distributed in-memory SQL (12 GB aggregate). -------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "MemSQL";
+    cfg.kind = EngineKind::kDistributedMemory;
+    cfg.memory_budget_gb = 12.0;
+    cfg.default_resources = kClusterDefault;
+    cfg.native_store = "MemSQL";
+    auto engine = MakeEngine(cfg);
+    // Light joins keep intermediates ~1.5x input; heavy (lineitem-scale)
+    // joins blow up 4x, so the heavy query (and with it the whole-workflow
+    // plan) dies on MemSQL past ~3.5 GB of TPC-H scale.
+    engine->SetProfile("SPJQuery", Profile(1.0, 37.0, 0.95, 1.5, 0.2, 0.2));
+    engine->SetProfile("SPJHeavyQuery",
+                       Profile(1.0, 45.0, 0.95, 4.0, 0.2, 0.2));
+    engine->SetProfile("*", Profile(1.0, 40.0, 0.95, 1.5, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Cilk: single-node multicore C++ runtime; hosts the hand-tuned
+  // tf-idf/k-means binaries of deliverable §3.4. Much faster per core than
+  // the Python stack but limited to one machine. ---------------------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Cilk";
+    cfg.kind = EngineKind::kCentralized;
+    cfg.memory_budget_gb = 6.0;
+    cfg.default_resources = {1, 4, 6.0};
+    cfg.native_store = "Local";
+    auto engine = MakeEngine(cfg);
+    // Centralized engines use one container but do scale with its cores.
+    engine->SetProfile("TF_IDF", Profile(0.5, 80.0, 0.9, 2.0, 0.5, 1.0));
+    engine->SetProfile("kmeans", Profile(0.5, 600.0, 0.9, 2.5, 0.01, 0.001));
+    engine->SetProfile("*", Profile(0.5, 120.0, 0.9, 2.0, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Hive: SQL-on-MapReduce; listed in Table 1. ------------------------
+  {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Hive";
+    cfg.kind = EngineKind::kDistributedDisk;
+    cfg.memory_budget_gb = 32.0;
+    cfg.default_resources = kClusterDefault;
+    cfg.native_store = "HDFS";
+    auto engine = MakeEngine(cfg);
+    engine->SetProfile("SPJQuery", Profile(20.0, 200.0, 0.90, 1.5, 0.2, 0.2));
+    engine->SetProfile("*", Profile(20.0, 250.0, 0.90, 1.5, 1.0, 1.0));
+    (void)registry->Add(std::move(engine));
+  }
+
+  // ----- Store-to-store bandwidths. ----------------------------------------
+  DataMovementModel& movement = registry->movement();
+  movement.SetBandwidth("PostgreSQL", "HDFS", 40e6);
+  movement.SetBandwidth("HDFS", "PostgreSQL", 35e6);
+  movement.SetBandwidth("MemSQL", "HDFS", 120e6);
+  movement.SetBandwidth("HDFS", "MemSQL", 110e6);
+  movement.SetBandwidth("PostgreSQL", "MemSQL", 45e6);
+  movement.SetBandwidth("MemSQL", "PostgreSQL", 40e6);
+  movement.SetBandwidth("Local", "HDFS", 80e6);
+  movement.SetBandwidth("HDFS", "Local", 90e6);
+
+  return registry;
+}
+
+}  // namespace ires

@@ -1,0 +1,42 @@
+#ifndef IRES_ENGINES_STANDARD_ENGINES_H_
+#define IRES_ENGINES_STANDARD_ENGINES_H_
+
+#include <memory>
+
+#include "engines/engine_registry.h"
+
+namespace ires {
+
+/// Builds the engine fleet the ASAP evaluation deployed (deliverable §4:
+/// Hadoop MapReduce, Spark + MLlib, Hama, Java, Python/scikit-learn,
+/// PostgreSQL, MemSQL, Hive), with performance models calibrated so that the
+/// paper's qualitative behaviour holds:
+///
+///  * PageRank ("Pagerank", input = edge list at ~20 B/edge): centralized
+///    Java wins small graphs, OOMs past a single node's memory; Hama wins
+///    medium graphs, OOMs past the aggregate cluster memory; Spark is
+///    slower but survives everything (Fig. 11).
+///  * Text analytics ("TF_IDF", "kmeans", input = corpus at ~10 KB/doc):
+///    scikit wins small corpora; Spark/MLlib wins large; the tf-idf
+///    crossover sits well above the k-means crossover, opening the hybrid
+///    window where scikit tf-idf + Spark k-means beats both single-engine
+///    plans (Fig. 12).
+///  * Relational ("SPJQuery" light joins, "SPJHeavyQuery" joins with large
+///    intermediates): PostgreSQL is fine for small inputs but centralized;
+///    MemSQL is fastest while the working set fits its aggregate memory;
+///    SparkSQL always completes (Fig. 13).
+///  * "Wordcount" (MapReduce) and "HelloWorld" (all engines of Table 1)
+///    support the modeling and fault-tolerance experiments.
+///
+/// All engines default to the 16-VM-class cluster of the paper
+/// (8 containers x 2 cores x 2 GB).
+std::unique_ptr<EngineRegistry> MakeStandardEngineRegistry();
+
+/// Bytes per graph edge assumed by the Pagerank workloads.
+inline constexpr double kBytesPerEdge = 20.0;
+/// Bytes per document assumed by the text-analytics workloads.
+inline constexpr double kBytesPerDocument = 10e3;
+
+}  // namespace ires
+
+#endif  // IRES_ENGINES_STANDARD_ENGINES_H_

@@ -1,0 +1,209 @@
+#include "executor/enforcer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace ires {
+
+namespace {
+
+struct CompletionEvent {
+  double time = 0.0;
+  int step_id = -1;
+  int allocation_id = -1;
+  bool operator>(const CompletionEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return step_id > other.step_id;
+  }
+};
+
+}  // namespace
+
+ExecutionReport Enforcer::Execute(const ExecutionPlan& plan) {
+  ExecutionReport report;
+  report.steps.resize(plan.steps.size());
+
+  std::vector<int> pending_deps(plan.steps.size(), 0);
+  std::vector<std::vector<int>> dependents(plan.steps.size());
+  for (const PlanStep& step : plan.steps) {
+    pending_deps[step.id] = static_cast<int>(step.deps.size());
+    for (int dep : step.deps) dependents[dep].push_back(step.id);
+  }
+
+  // Ready queue ordered by step id for determinism.
+  std::vector<int> ready;
+  for (const PlanStep& step : plan.steps) {
+    if (pending_deps[step.id] == 0) ready.push_back(step.id);
+  }
+  std::sort(ready.begin(), ready.end());
+
+  std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                      std::greater<CompletionEvent>>
+      running;
+  std::map<int, int> step_of_allocation;
+  std::vector<std::pair<double, int>> failures = std::move(node_failures_);
+  node_failures_.clear();
+  std::sort(failures.begin(), failures.end());
+  size_t next_failure = 0;
+  double now = 0.0;
+  int completed = 0;
+
+  // Marks one completed step's outputs as materialized.
+  auto complete_step = [&](const CompletionEvent& event) {
+    (void)cluster_->Release(event.allocation_id);
+    step_of_allocation.erase(event.allocation_id);
+    StepResult& result = report.steps[event.step_id];
+    result.finish_seconds = event.time;
+    result.status = Status::OK();
+    report.total_cost += result.cost;
+    report.makespan_seconds = std::max(report.makespan_seconds, event.time);
+    for (const DatasetInstance& out : plan.steps[event.step_id].outputs) {
+      report.materialized[out.dataset_node] = out;
+    }
+  };
+
+  // Aborts the workflow: `failed_steps` fail at `now`; everything else
+  // still running drains so its outputs count as materialized for
+  // replanning.
+  auto abort_workflow = [&](const Status& cause,
+                            const std::vector<int>& failed_steps) {
+    report.status = cause;
+    report.failed_step = failed_steps.empty() ? -1 : failed_steps.front();
+    for (int step_id : failed_steps) {
+      report.steps[step_id].status = cause;
+      report.steps[step_id].finish_seconds = now;
+    }
+    report.makespan_seconds = std::max(report.makespan_seconds, now);
+    while (!running.empty()) {
+      const CompletionEvent event = running.top();
+      running.pop();
+      if (std::find(failed_steps.begin(), failed_steps.end(),
+                    event.step_id) != failed_steps.end()) {
+        (void)cluster_->Release(event.allocation_id);
+        continue;  // this one died; no outputs
+      }
+      complete_step(event);
+    }
+  };
+
+  auto start_step = [&](int step_id) -> Status {
+    const PlanStep& step = plan.steps[step_id];
+    StepResult& result = report.steps[step_id];
+    result.step_id = step_id;
+    result.start_seconds = now;
+
+    // Execution monitoring: service availability + injected faults.
+    SimulatedEngine* engine = engines_->Find(step.engine);
+    if (engine == nullptr) {
+      return Status::NotFound("engine not deployed: " + step.engine);
+    }
+    if (!engine->available()) {
+      return Status::Unavailable("engine " + step.engine + " is OFF");
+    }
+    if (fault_injector_ && fault_injector_(step, now)) {
+      return Status::ExecutionError("fault injected while running " +
+                                    step.name + " on " + step.engine);
+    }
+
+    double duration;
+    double cost;
+    if (step.kind == PlanStep::Kind::kMove) {
+      // Moves ship bytes between stores; noise mirrors network variance.
+      duration =
+          step.estimated_seconds * std::exp(rng_.Normal(0.0, 0.05));
+      cost = step.resources.CostForDuration(duration);
+    } else {
+      OperatorRunRequest request;
+      request.algorithm = step.algorithm;
+      request.input_bytes = step.input_bytes;
+      request.input_records = step.input_records;
+      request.resources = step.resources;
+      request.params = step.params;
+      auto run = engine->Run(request, &rng_);
+      if (!run.ok()) return run.status();
+      duration = run.value().exec_seconds;
+      cost = run.value().cost;
+    }
+
+    auto allocation = cluster_->Allocate(step.resources);
+    if (!allocation.ok()) return allocation.status();
+
+    result.cost = cost;
+    step_of_allocation[allocation.value().id] = step_id;
+    running.push(CompletionEvent{now + duration, step_id,
+                                 allocation.value().id});
+    return Status::OK();
+  };
+
+  while (true) {
+    // Launch every ready step we can place right now.
+    std::vector<int> deferred;
+    for (int step_id : ready) {
+      Status started = start_step(step_id);
+      if (started.ok()) continue;
+      if (started.code() == StatusCode::kResourceExhausted &&
+          !running.empty()) {
+        // Cluster is momentarily full; retry after the next completion.
+        deferred.push_back(step_id);
+        continue;
+      }
+      // Hard failure: engine down / fault injected / unplaceable.
+      abort_workflow(started, {step_id});
+      return report;
+    }
+    ready = std::move(deferred);
+
+    if (running.empty()) break;
+
+    // A scheduled node failure may precede the next completion.
+    const CompletionEvent next_completion = running.top();
+    if (next_failure < failures.size() &&
+        failures[next_failure].first <= next_completion.time) {
+      now = failures[next_failure].first;
+      const int node = failures[next_failure].second;
+      ++next_failure;
+      cluster_->SetNodeHealth(node, NodeHealth::kUnhealthy);
+      std::vector<int> dead_steps;
+      for (int allocation_id : cluster_->FailedAllocations()) {
+        auto it = step_of_allocation.find(allocation_id);
+        if (it != step_of_allocation.end()) dead_steps.push_back(it->second);
+      }
+      std::sort(dead_steps.begin(), dead_steps.end());
+      if (!dead_steps.empty()) {
+        abort_workflow(
+            Status::ExecutionError("cluster node " + std::to_string(node) +
+                                   " became UNHEALTHY"),
+            dead_steps);
+        return report;
+      }
+      continue;  // node died idle; keep executing
+    }
+
+    running.pop();
+    now = next_completion.time;
+    complete_step(next_completion);
+    ++completed;
+    for (int dependent : dependents[next_completion.step_id]) {
+      if (--pending_deps[dependent] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), dependent),
+                     dependent);
+      }
+    }
+  }
+
+  if (completed != static_cast<int>(plan.steps.size())) {
+    report.status = Status::Internal("scheduler deadlock: " +
+                                     std::to_string(completed) + "/" +
+                                     std::to_string(plan.steps.size()) +
+                                     " steps completed");
+  } else {
+    report.status = Status::OK();
+  }
+  report.makespan_seconds = std::max(report.makespan_seconds, now);
+  return report;
+}
+
+}  // namespace ires

@@ -1,0 +1,79 @@
+#ifndef IRES_EXECUTOR_ENFORCER_H_
+#define IRES_EXECUTOR_ENFORCER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_simulator.h"
+#include "common/rng.h"
+#include "engines/engine_registry.h"
+#include "planner/execution_plan.h"
+
+namespace ires {
+
+/// Outcome of one plan step.
+struct StepResult {
+  int step_id = -1;
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  double cost = 0.0;
+  Status status;
+};
+
+/// Outcome of enforcing a plan.
+struct ExecutionReport {
+  Status status;                // overall: OK or the first failure
+  double makespan_seconds = 0.0;
+  double total_cost = 0.0;
+  std::vector<StepResult> steps;
+  /// Intermediate results that completed successfully: abstract dataset
+  /// node -> where/what it is. These seed IResReplan after a failure.
+  std::map<std::string, DatasetInstance> materialized;
+  int failed_step = -1;
+};
+
+/// The executor-layer enforcer (deliverable §2.3): turns the planner's
+/// execution plan into container allocations on the simulated cluster and
+/// advances a discrete-event simulation of the run. Step durations are the
+/// engines' noisy ground truth, so enforcement times differ slightly from
+/// planning estimates, as on a real cluster.
+class Enforcer {
+ public:
+  /// Inspects a step about to start; returning true injects a fault and
+  /// fails the step (used by the fault-tolerance experiments to kill an
+  /// engine mid-workflow).
+  using FaultInjector = std::function<bool(const PlanStep&, double now)>;
+
+  Enforcer(EngineRegistry* engines, ClusterSimulator* cluster,
+           uint64_t seed = 777)
+      : engines_(engines), cluster_(cluster), rng_(seed) {}
+
+  void set_fault_injector(FaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
+
+  /// Schedules cluster node `node_index` to die at simulated time
+  /// `at_seconds`: the health scripts mark it UNHEALTHY and every step with
+  /// a container on it fails (the hardware-failure path of §2.3). Cleared
+  /// after each Execute call.
+  void ScheduleNodeFailure(int node_index, double at_seconds) {
+    node_failures_.push_back({at_seconds, node_index});
+  }
+
+  /// Runs the plan to completion or first failure. On failure the report
+  /// carries the completed steps' materialized outputs and the failed step.
+  ExecutionReport Execute(const ExecutionPlan& plan);
+
+ private:
+  EngineRegistry* engines_;
+  ClusterSimulator* cluster_;
+  Rng rng_;
+  FaultInjector fault_injector_;
+  std::vector<std::pair<double, int>> node_failures_;  // (time, node)
+};
+
+}  // namespace ires
+
+#endif  // IRES_EXECUTOR_ENFORCER_H_

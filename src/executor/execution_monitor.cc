@@ -1,0 +1,48 @@
+#include "executor/execution_monitor.h"
+
+namespace ires {
+
+std::vector<int> ExecutionMonitor::RunHealthChecks() {
+  std::vector<int> unhealthy;
+  for (int i = 0; i < cluster_->node_count(); ++i) {
+    const ClusterSimulator::NodeState& state = cluster_->node(i);
+    NodeHealth health;
+    if (health_script_) {
+      health = health_script_(state);
+    } else {
+      // Default script: a node is unhealthy when its memory is
+      // oversubscribed (more promised to containers than it has).
+      health = state.memory_used_gb > state.memory_total_gb
+                   ? NodeHealth::kUnhealthy
+                   : state.health;
+    }
+    cluster_->SetNodeHealth(i, health);
+    if (health == NodeHealth::kUnhealthy) unhealthy.push_back(i);
+  }
+  return unhealthy;
+}
+
+std::vector<std::string> ExecutionMonitor::UnavailableEngines(
+    const ExecutionPlan& plan) const {
+  std::vector<std::string> off;
+  for (const std::string& engine : plan.EnginesUsed()) {
+    if (!engines_->IsAvailable(engine)) off.push_back(engine);
+  }
+  return off;
+}
+
+bool ExecutionMonitor::PlanIsRunnable(const ExecutionPlan& plan) {
+  if (!UnavailableEngines(plan).empty()) return false;
+  return RunHealthChecks().empty();
+}
+
+std::vector<NodeHealth> ExecutionMonitor::HealthSnapshot() const {
+  std::vector<NodeHealth> snapshot;
+  snapshot.reserve(cluster_->node_count());
+  for (int i = 0; i < cluster_->node_count(); ++i) {
+    snapshot.push_back(cluster_->node(i).health);
+  }
+  return snapshot;
+}
+
+}  // namespace ires

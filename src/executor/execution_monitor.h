@@ -1,0 +1,56 @@
+#ifndef IRES_EXECUTOR_EXECUTION_MONITOR_H_
+#define IRES_EXECUTOR_EXECUTION_MONITOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_simulator.h"
+#include "engines/engine_registry.h"
+#include "planner/execution_plan.h"
+
+namespace ires {
+
+/// The execution monitor of deliverable §2.3: runs (simulated) health
+/// scripts on every cluster node and checks the ON/OFF status of every
+/// service an execution plan needs. Its findings gate both planning (engines
+/// reported OFF are excluded) and execution (failures trigger replanning).
+class ExecutionMonitor {
+ public:
+  /// A health script: given a node's state, report HEALTHY/UNHEALTHY.
+  /// The default script flags nodes whose memory is oversubscribed.
+  using HealthScript =
+      std::function<NodeHealth(const ClusterSimulator::NodeState&)>;
+
+  ExecutionMonitor(EngineRegistry* engines, ClusterSimulator* cluster)
+      : engines_(engines), cluster_(cluster) {}
+
+  /// Installs a custom health script (parametrizable per deployment).
+  void set_health_script(HealthScript script) {
+    health_script_ = std::move(script);
+  }
+
+  /// Runs the health script on every node, updates the cluster's health
+  /// map, and returns the indices of UNHEALTHY nodes.
+  std::vector<int> RunHealthChecks();
+
+  /// Service-availability sweep: returns the engines that are OFF out of
+  /// those the plan relies on.
+  std::vector<std::string> UnavailableEngines(const ExecutionPlan& plan) const;
+
+  /// True when every engine the plan needs is ON and every node is healthy.
+  bool PlanIsRunnable(const ExecutionPlan& plan);
+
+  /// Snapshot of per-node health (HEALTHY/UNHEALTHY), by node index.
+  std::vector<NodeHealth> HealthSnapshot() const;
+
+ private:
+  EngineRegistry* engines_;
+  ClusterSimulator* cluster_;
+  HealthScript health_script_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_EXECUTOR_EXECUTION_MONITOR_H_

@@ -1,0 +1,75 @@
+#include "executor/recovering_executor.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace ires {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<RecoveryOutcome> RecoveringExecutor::Run(const WorkflowGraph& graph,
+                                                DpPlanner::Options options,
+                                                ReplanStrategy strategy) {
+  RecoveryOutcome outcome;
+
+  for (int attempt = 0;; ++attempt) {
+    const auto plan_start = std::chrono::steady_clock::now();
+    auto plan = planner_->Plan(graph, options);
+    const double plan_ms = ElapsedMs(plan_start);
+    outcome.total_planning_ms += plan_ms;
+    if (attempt > 0) outcome.replanning_ms += plan_ms;
+    if (!plan.ok()) {
+      outcome.status = plan.status();
+      return outcome.status;
+    }
+
+    ExecutionReport report = enforcer_->Execute(plan.value());
+    outcome.total_execution_seconds += report.makespan_seconds;
+
+    if (report.status.ok()) {
+      outcome.status = Status::OK();
+      outcome.final_report = std::move(report);
+      outcome.final_plan = std::move(plan).value();
+      return outcome;
+    }
+
+    // Failure: the engine that hosted the failed step is reported OFF so
+    // the next plan excludes it (§2.3).
+    if (report.failed_step >= 0) {
+      const std::string& dead_engine =
+          plan.value().steps[report.failed_step].engine;
+      IRES_LOG(kInfo) << "engine " << dead_engine
+                      << " failed; marking OFF and replanning";
+      (void)engines_->SetAvailable(dead_engine, false);
+    }
+    ++outcome.replans;
+    if (outcome.replans > max_replans_) {
+      outcome.status = report.status;
+      return outcome.status;
+    }
+
+    switch (strategy) {
+      case ReplanStrategy::kIresReplan:
+        // Identify every successfully materialized intermediate and seed
+        // the next planning round with it — completed work is never redone.
+        for (const auto& [node, instance] : report.materialized) {
+          options.materialized_intermediates[node] = instance;
+        }
+        break;
+      case ReplanStrategy::kTrivialReplan:
+        options.materialized_intermediates.clear();
+        break;
+    }
+  }
+}
+
+}  // namespace ires

@@ -1,0 +1,60 @@
+#ifndef IRES_EXECUTOR_RECOVERING_EXECUTOR_H_
+#define IRES_EXECUTOR_RECOVERING_EXECUTOR_H_
+
+#include <vector>
+
+#include "executor/enforcer.h"
+#include "planner/dp_planner.h"
+
+namespace ires {
+
+/// How the platform reacts to a mid-workflow failure (deliverable §4.5).
+enum class ReplanStrategy {
+  /// IReS behaviour: keep successfully materialized intermediate results,
+  /// replan only the residual workflow on the surviving engines.
+  kIresReplan,
+  /// Baseline: discard intermediates and reschedule the entire workflow.
+  kTrivialReplan,
+};
+
+/// End-to-end outcome of a run with recovery.
+struct RecoveryOutcome {
+  Status status;
+  /// Total simulated execution time across all attempts.
+  double total_execution_seconds = 0.0;
+  /// Total wall-clock planning time across all attempts (milliseconds) —
+  /// the "planning time" column of Figures 20-22.
+  double total_planning_ms = 0.0;
+  /// Planning time of replans only (excluding the initial plan).
+  double replanning_ms = 0.0;
+  int replans = 0;
+  ExecutionReport final_report;
+  ExecutionPlan final_plan;
+};
+
+/// Plans, executes, monitors and — on failure — replans a workflow until it
+/// completes or no feasible plan remains. Failed engines are marked OFF so
+/// that replanning excludes them, exactly as §2.3 prescribes.
+class RecoveringExecutor {
+ public:
+  RecoveringExecutor(const DpPlanner* planner, Enforcer* enforcer,
+                     EngineRegistry* engines)
+      : planner_(planner), enforcer_(enforcer), engines_(engines) {}
+
+  /// At most this many replans before giving up.
+  void set_max_replans(int n) { max_replans_ = n; }
+
+  Result<RecoveryOutcome> Run(const WorkflowGraph& graph,
+                              DpPlanner::Options options,
+                              ReplanStrategy strategy);
+
+ private:
+  const DpPlanner* planner_;
+  Enforcer* enforcer_;
+  EngineRegistry* engines_;
+  int max_replans_ = 5;
+};
+
+}  // namespace ires
+
+#endif  // IRES_EXECUTOR_RECOVERING_EXECUTOR_H_

@@ -1,0 +1,56 @@
+#include "executor/trace.h"
+
+#include <cstdio>
+
+namespace ires {
+
+namespace {
+
+const char* KindName(PlanStep::Kind kind) {
+  return kind == PlanStep::Kind::kMove ? "move" : "operator";
+}
+
+}  // namespace
+
+std::string ExecutionTraceJson(const ExecutionPlan& plan,
+                               const ExecutionReport& report) {
+  std::string out = "[";
+  bool first = true;
+  for (const PlanStep& step : plan.steps) {
+    const StepResult& result = report.steps[step.id];
+    if (result.step_id < 0) continue;  // never started
+    if (!first) out += ",";
+    first = false;
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"step\":%d,\"name\":\"%s\",\"engine\":\"%s\","
+                  "\"kind\":\"%s\",\"start\":%.3f,\"finish\":%.3f,"
+                  "\"cost\":%.1f,\"ok\":%s}",
+                  step.id, step.name.c_str(), step.engine.c_str(),
+                  KindName(step.kind), result.start_seconds,
+                  result.finish_seconds, result.cost,
+                  result.status.ok() ? "true" : "false");
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string ExecutionTraceCsv(const ExecutionPlan& plan,
+                              const ExecutionReport& report) {
+  std::string out = "step,name,engine,kind,start,finish,cost,ok\n";
+  for (const PlanStep& step : plan.steps) {
+    const StepResult& result = report.steps[step.id];
+    if (result.step_id < 0) continue;
+    char buf[320];
+    std::snprintf(buf, sizeof(buf), "%d,%s,%s,%s,%.3f,%.3f,%.1f,%d\n",
+                  step.id, step.name.c_str(), step.engine.c_str(),
+                  KindName(step.kind), result.start_seconds,
+                  result.finish_seconds, result.cost,
+                  result.status.ok() ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ires

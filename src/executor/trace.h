@@ -1,0 +1,24 @@
+#ifndef IRES_EXECUTOR_TRACE_H_
+#define IRES_EXECUTOR_TRACE_H_
+
+#include <string>
+
+#include "executor/enforcer.h"
+#include "planner/execution_plan.h"
+
+namespace ires {
+
+/// Serializes an execution report as a Gantt-style JSON array — one object
+/// per step with its name, engine, kind, start/finish (simulated seconds),
+/// cost and status. What the platform's monitoring UI renders.
+std::string ExecutionTraceJson(const ExecutionPlan& plan,
+                               const ExecutionReport& report);
+
+/// The same timeline as CSV (`step,name,engine,kind,start,finish,cost,ok`)
+/// for spreadsheet-side analysis.
+std::string ExecutionTraceCsv(const ExecutionPlan& plan,
+                              const ExecutionReport& report);
+
+}  // namespace ires
+
+#endif  // IRES_EXECUTOR_TRACE_H_

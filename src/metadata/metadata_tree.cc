@@ -1,0 +1,182 @@
+#include "metadata/metadata_tree.h"
+
+#include <functional>
+
+#include "common/strings.h"
+
+namespace ires {
+
+namespace {
+
+// Splits a dotted path into segments; empty path -> no segments.
+std::vector<std::string> PathSegments(std::string_view path) {
+  if (path.empty()) return {};
+  return Split(path, '.');
+}
+
+}  // namespace
+
+void MetadataTree::Set(std::string_view path, std::string value) {
+  Node* node = FindMutable(path, /*create=*/true);
+  node->value = std::move(value);
+}
+
+std::optional<std::string> MetadataTree::Get(std::string_view path) const {
+  const Node* node = FindConst(path);
+  if (node == nullptr) return std::nullopt;
+  return node->value;
+}
+
+std::string MetadataTree::GetOr(std::string_view path,
+                                std::string fallback) const {
+  std::optional<std::string> v = Get(path);
+  return v.has_value() ? *v : std::move(fallback);
+}
+
+bool MetadataTree::Has(std::string_view path) const {
+  return FindConst(path) != nullptr;
+}
+
+const MetadataTree::Node* MetadataTree::Find(std::string_view path) const {
+  return FindConst(path);
+}
+
+bool MetadataTree::Erase(std::string_view path) {
+  std::vector<std::string> segments = PathSegments(path);
+  if (segments.empty()) return false;
+  Node* node = &root_;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    auto it = node->children.find(segments[i]);
+    if (it == node->children.end()) return false;
+    node = &it->second;
+  }
+  return node->children.erase(segments.back()) > 0;
+}
+
+std::vector<std::string> MetadataTree::ChildLabels(
+    std::string_view path) const {
+  const Node* node = FindConst(path);
+  std::vector<std::string> labels;
+  if (node == nullptr) return labels;
+  labels.reserve(node->children.size());
+  for (const auto& [label, child] : node->children) labels.push_back(label);
+  return labels;
+}
+
+std::vector<std::pair<std::string, std::string>> MetadataTree::Flatten()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::function<void(const Node&, const std::string&)> visit =
+      [&](const Node& node, const std::string& prefix) {
+        if (node.value.has_value() && !prefix.empty()) {
+          out.emplace_back(prefix, *node.value);
+        }
+        for (const auto& [label, child] : node.children) {
+          visit(child, prefix.empty() ? label : prefix + "." + label);
+        }
+      };
+  visit(root_, "");
+  return out;
+}
+
+std::string MetadataTree::ToDescription() const {
+  std::string out;
+  for (const auto& [path, value] : Flatten()) {
+    out += path;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<MetadataTree> MetadataTree::ParseDescription(std::string_view text) {
+  MetadataTree tree;
+  int line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("description line " +
+                                     std::to_string(line_no) +
+                                     " has no '=': " + line);
+    }
+    std::string path = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (path.empty()) {
+      return Status::InvalidArgument("description line " +
+                                     std::to_string(line_no) +
+                                     " has an empty path");
+    }
+    // Unescape "\:" (used by the platform for HDFS URIs).
+    std::string unescaped;
+    unescaped.reserve(value.size());
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (value[i] == '\\' && i + 1 < value.size() && value[i + 1] == ':') {
+        unescaped += ':';
+        ++i;
+      } else {
+        unescaped += value[i];
+      }
+    }
+    tree.Set(path, std::move(unescaped));
+  }
+  return tree;
+}
+
+size_t MetadataTree::NodeCount() const {
+  std::function<size_t(const Node&)> count = [&](const Node& node) -> size_t {
+    size_t n = 0;
+    for (const auto& [label, child] : node.children) n += 1 + count(child);
+    return n;
+  };
+  return count(root_);
+}
+
+namespace {
+bool NodesEqual(const MetadataTree::Node& a, const MetadataTree::Node& b) {
+  if (a.value != b.value) return false;
+  if (a.children.size() != b.children.size()) return false;
+  auto ia = a.children.begin();
+  auto ib = b.children.begin();
+  for (; ia != a.children.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (!NodesEqual(ia->second, ib->second)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool operator==(const MetadataTree& a, const MetadataTree& b) {
+  return NodesEqual(a.root_, b.root_);
+}
+
+MetadataTree::Node* MetadataTree::FindMutable(std::string_view path,
+                                              bool create) {
+  Node* node = &root_;
+  for (const std::string& segment : PathSegments(path)) {
+    if (create) {
+      node = &node->children[segment];
+    } else {
+      auto it = node->children.find(segment);
+      if (it == node->children.end()) return nullptr;
+      node = &it->second;
+    }
+  }
+  return node;
+}
+
+const MetadataTree::Node* MetadataTree::FindConst(
+    std::string_view path) const {
+  const Node* node = &root_;
+  for (const std::string& segment : PathSegments(path)) {
+    auto it = node->children.find(segment);
+    if (it == node->children.end()) return nullptr;
+    node = &it->second;
+  }
+  return node;
+}
+
+}  // namespace ires

@@ -1,0 +1,100 @@
+#ifndef IRES_METADATA_METADATA_TREE_H_
+#define IRES_METADATA_METADATA_TREE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ires {
+
+/// The generic tree of properties that accompanies every IReS dataset and
+/// operator (deliverable §2.1). Nodes are string-labelled and children are
+/// kept lexicographically ordered (std::map), which is what enables the
+/// one-pass O(t) matching algorithm in tree_match.h.
+///
+/// Trees are populated from dotted paths, mirroring the on-disk description
+/// format used by the platform:
+///
+///   Constraints.Engine=Spark
+///   Constraints.OpSpecification.Algorithm.name=TF_IDF
+///   Execution.Argument0=In0.path.local
+///
+/// Leaf values are strings; the special value "*" acts as a wildcard during
+/// abstract/materialized matching.
+class MetadataTree {
+ public:
+  /// Wildcard leaf value: matches any concrete value for the same path.
+  static constexpr std::string_view kWildcard = "*";
+
+  struct Node {
+    std::optional<std::string> value;
+    std::map<std::string, Node> children;
+
+    bool IsLeaf() const { return children.empty(); }
+  };
+
+  MetadataTree() = default;
+
+  /// Sets the value at the dotted `path`, creating intermediate nodes.
+  /// Overwrites any previous value at that path.
+  void Set(std::string_view path, std::string value);
+
+  /// Returns the value at `path`, or nullopt when the node is absent or has
+  /// no value of its own.
+  std::optional<std::string> Get(std::string_view path) const;
+
+  /// Returns the value at `path` or `fallback` when absent.
+  std::string GetOr(std::string_view path, std::string fallback) const;
+
+  /// True when a node (leaf or interior) exists at `path`.
+  bool Has(std::string_view path) const;
+
+  /// Returns the subtree rooted at `path`, or nullptr when absent. The
+  /// pointer is invalidated by subsequent mutation.
+  const Node* Find(std::string_view path) const;
+
+  /// Removes the node at `path` (and its subtree). Returns true if removed.
+  bool Erase(std::string_view path);
+
+  /// Lists the immediate child labels of the node at `path` (empty path =
+  /// root), in lexicographic order.
+  std::vector<std::string> ChildLabels(std::string_view path) const;
+
+  /// Flattens the tree back to sorted "path=value" pairs (leaves with values
+  /// only). Interior nodes that carry a value are included too.
+  std::vector<std::pair<std::string, std::string>> Flatten() const;
+
+  /// Serializes to the on-disk description format (one `path=value` line per
+  /// flattened entry, sorted).
+  std::string ToDescription() const;
+
+  /// Parses the on-disk description format: `path=value` lines, `#` comments,
+  /// blank lines ignored, `\:` unescaped to `:` inside values (the format the
+  /// deliverable uses for HDFS paths). Returns InvalidArgument on lines
+  /// without '=' or with an empty path.
+  static Result<MetadataTree> ParseDescription(std::string_view text);
+
+  /// Total number of nodes, excluding the root. Matching cost is O(nodes).
+  size_t NodeCount() const;
+
+  bool Empty() const { return root_.children.empty() && !root_.value; }
+
+  const Node& root() const { return root_; }
+
+  /// Structural + value equality.
+  friend bool operator==(const MetadataTree& a, const MetadataTree& b);
+
+ private:
+  Node* FindMutable(std::string_view path, bool create);
+  const Node* FindConst(std::string_view path) const;
+
+  Node root_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_METADATA_METADATA_TREE_H_

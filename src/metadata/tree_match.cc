@@ -1,0 +1,60 @@
+#include "metadata/tree_match.h"
+
+namespace ires {
+
+namespace {
+
+// Recursive ordered merge. `prefix` tracks the dotted path for diagnostics.
+MatchResult MatchNodes(const MetadataTree::Node& pattern,
+                       const MetadataTree::Node& concrete,
+                       const std::string& prefix) {
+  if (pattern.value.has_value() &&
+      *pattern.value != MetadataTree::kWildcard) {
+    if (!concrete.value.has_value() || *concrete.value != *pattern.value) {
+      return MatchResult::Fail(prefix);
+    }
+  }
+  // Linear merge over the lexicographically ordered children: advance the
+  // concrete iterator to each pattern label; std::map iteration order makes
+  // this a single pass over both child lists.
+  auto cit = concrete.children.begin();
+  for (const auto& [label, pattern_child] : pattern.children) {
+    while (cit != concrete.children.end() && cit->first < label) ++cit;
+    const std::string child_path =
+        prefix.empty() ? label : prefix + "." + label;
+    if (cit == concrete.children.end() || cit->first != label) {
+      return MatchResult::Fail(child_path);
+    }
+    MatchResult r = MatchNodes(pattern_child, cit->second, child_path);
+    if (!r.matched) return r;
+    ++cit;
+  }
+  return MatchResult::Ok();
+}
+
+}  // namespace
+
+MatchResult MatchTrees(const MetadataTree& pattern,
+                       const MetadataTree& concrete) {
+  return MatchNodes(pattern.root(), concrete.root(), "");
+}
+
+MatchResult MatchTreeNodes(const MetadataTree::Node& pattern,
+                           const MetadataTree::Node& concrete,
+                           const std::string& prefix) {
+  return MatchNodes(pattern, concrete, prefix);
+}
+
+MatchResult MatchSubtrees(const MetadataTree& pattern,
+                          const MetadataTree& concrete,
+                          std::string_view path) {
+  const MetadataTree::Node* pattern_sub = pattern.Find(path);
+  if (pattern_sub == nullptr) return MatchResult::Ok();
+  const MetadataTree::Node* concrete_sub = concrete.Find(path);
+  if (concrete_sub == nullptr) {
+    return MatchResult::Fail(std::string(path));
+  }
+  return MatchNodes(*pattern_sub, *concrete_sub, std::string(path));
+}
+
+}  // namespace ires

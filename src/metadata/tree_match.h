@@ -1,0 +1,49 @@
+#ifndef IRES_METADATA_TREE_MATCH_H_
+#define IRES_METADATA_TREE_MATCH_H_
+
+#include <string>
+
+#include "metadata/metadata_tree.h"
+
+namespace ires {
+
+/// Outcome of a metadata match attempt. On failure, `mismatch_path` names the
+/// first (lexicographically) constraint that could not be satisfied, which
+/// the planner surfaces in diagnostics.
+struct MatchResult {
+  bool matched = false;
+  std::string mismatch_path;
+
+  static MatchResult Ok() { return {true, {}}; }
+  static MatchResult Fail(std::string path) {
+    return {false, std::move(path)};
+  }
+};
+
+/// One-pass structural matching of metadata trees (deliverable §2.2.3): every
+/// leaf of `pattern` must be satisfied by `concrete`:
+///   * the same path must exist in `concrete`;
+///   * values must be equal, unless the pattern value is "*" (wildcard) or
+///     the pattern node carries no value (pure structural constraint).
+/// Fields present only in `concrete` are unconstrained. Because both trees
+/// keep children lexicographically ordered, the walk is a linear merge:
+/// O(min(|pattern|, |concrete|)) node visits.
+MatchResult MatchTrees(const MetadataTree& pattern,
+                       const MetadataTree& concrete);
+
+/// Node-level variant: matches two subtrees directly. `prefix` seeds the
+/// diagnostic path reported on mismatch.
+MatchResult MatchTreeNodes(const MetadataTree::Node& pattern,
+                           const MetadataTree::Node& concrete,
+                           const std::string& prefix = "");
+
+/// Matches only the subtree at `path` of both trees; a missing pattern
+/// subtree matches trivially, a missing concrete subtree fails (unless the
+/// pattern subtree is also missing).
+MatchResult MatchSubtrees(const MetadataTree& pattern,
+                          const MetadataTree& concrete,
+                          std::string_view path);
+
+}  // namespace ires
+
+#endif  // IRES_METADATA_TREE_MATCH_H_

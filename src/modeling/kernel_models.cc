@@ -1,0 +1,215 @@
+#include "modeling/kernel_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ires {
+
+namespace {
+
+// Computes per-column mean and standard deviation (std clamped away from 0).
+void ColumnStats(const Matrix& x, Vector* mean, Vector* std) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  mean->assign(d, 0.0);
+  std->assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) (*mean)[c] += x(r, c);
+  }
+  for (size_t c = 0; c < d; ++c) (*mean)[c] /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      const double diff = x(r, c) - (*mean)[c];
+      (*std)[c] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    (*std)[c] = std::sqrt((*std)[c] / static_cast<double>(n));
+    if ((*std)[c] < 1e-9) (*std)[c] = 1.0;
+  }
+}
+
+Vector StandardizeRow(const Vector& x, const Vector& mean, const Vector& std) {
+  Vector out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double m = i < mean.size() ? mean[i] : 0.0;
+    const double s = i < std.size() ? std[i] : 1.0;
+    out[i] = (x[i] - m) / s;
+  }
+  return out;
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  double s = 0.0;
+  const size_t d = std::min(a.size(), b.size());
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+Vector GaussianProcess::Standardize(const Vector& x) const {
+  return StandardizeRow(x, feature_mean_, feature_std_);
+}
+
+double GaussianProcess::Kernel(const Vector& a, const Vector& b) const {
+  return std::exp(-SquaredDistance(a, b) /
+                  (2.0 * length_scale_ * length_scale_));
+}
+
+Status GaussianProcess::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  ColumnStats(x, &feature_mean_, &feature_std_);
+  train_x_ = Matrix(n, x.cols());
+  for (size_t r = 0; r < n; ++r) {
+    Vector z = Standardize(x.Row(r));
+    for (size_t c = 0; c < x.cols(); ++c) train_x_(r, c) = z[c];
+  }
+  y_mean_ = Mean(y);
+  Vector centered(n);
+  for (size_t i = 0; i < n; ++i) centered[i] = y[i] - y_mean_;
+
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vector ri = train_x_.Row(i);
+    for (size_t j = i; j < n; ++j) {
+      const double v = Kernel(ri, train_x_.Row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise_;
+  }
+  IRES_ASSIGN_OR_RETURN(alpha_, SolveLinearSystem(std::move(k), centered));
+  return Status::OK();
+}
+
+double GaussianProcess::Predict(const Vector& x) const {
+  if (alpha_.empty()) return y_mean_;
+  const Vector z = Standardize(x);
+  double out = y_mean_;
+  for (size_t i = 0; i < train_x_.rows(); ++i) {
+    out += alpha_[i] * Kernel(z, train_x_.Row(i));
+  }
+  return out;
+}
+
+Vector RbfNetwork::Activations(const Vector& x) const {
+  const Vector z = StandardizeRow(x, feature_mean_, feature_std_);
+  Vector act(center_points_.rows() + 1);
+  for (size_t i = 0; i < center_points_.rows(); ++i) {
+    act[i] = std::exp(-SquaredDistance(z, center_points_.Row(i)) /
+                      (2.0 * width_ * width_));
+  }
+  act.back() = 1.0;  // bias
+  return act;
+}
+
+Status RbfNetwork::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  ColumnStats(x, &feature_mean_, &feature_std_);
+  Matrix z(n, x.cols());
+  for (size_t r = 0; r < n; ++r) {
+    Vector row = StandardizeRow(x.Row(r), feature_mean_, feature_std_);
+    for (size_t c = 0; c < x.cols(); ++c) z(r, c) = row[c];
+  }
+
+  const size_t k = std::min<size_t>(centers_, n);
+  // k-means++ style seeding followed by Lloyd iterations.
+  Rng rng(seed_);
+  std::vector<size_t> seeds;
+  seeds.push_back(static_cast<size_t>(rng.UniformInt(0, n - 1)));
+  while (seeds.size() < k) {
+    Vector dist(n, std::numeric_limits<double>::infinity());
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t s : seeds) {
+        dist[i] = std::min(dist[i], SquaredDistance(z.Row(i), z.Row(s)));
+      }
+      total += dist[i];
+    }
+    double pick = rng.Uniform() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      pick -= dist[i];
+      if (pick <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  center_points_ = Matrix(k, x.cols());
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t f = 0; f < x.cols(); ++f) center_points_(c, f) = z(seeds[c], f);
+  }
+  std::vector<size_t> assign(n, 0);
+  for (int iter = 0; iter < 20; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(z.Row(i), center_points_.Row(c));
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    Matrix sums(k, x.cols());
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[assign[i]];
+      for (size_t f = 0; f < x.cols(); ++f) sums(assign[i], f) += z(i, f);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (size_t f = 0; f < x.cols(); ++f) {
+        center_points_(c, f) = sums(c, f) / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Width: average inter-center distance (or 1 when a single center).
+  if (k > 1) {
+    double total = 0.0;
+    int pairs = 0;
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        total += std::sqrt(
+            SquaredDistance(center_points_.Row(a), center_points_.Row(b)));
+        ++pairs;
+      }
+    }
+    width_ = std::max(total / pairs, 1e-3);
+  } else {
+    width_ = 1.0;
+  }
+
+  // Linear readout over activations.
+  Matrix design;
+  for (size_t i = 0; i < n; ++i) {
+    // Activations() standardizes internally, so pass the raw row.
+    design.AppendRow(Activations(x.Row(i)));
+  }
+  IRES_ASSIGN_OR_RETURN(weights_, SolveLeastSquares(design, y, 1e-6));
+  return Status::OK();
+}
+
+double RbfNetwork::Predict(const Vector& x) const {
+  if (weights_.empty()) return 0.0;
+  return Dot(Activations(x), weights_);
+}
+
+}  // namespace ires

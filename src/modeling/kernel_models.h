@@ -1,0 +1,66 @@
+#ifndef IRES_MODELING_KERNEL_MODELS_H_
+#define IRES_MODELING_KERNEL_MODELS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "modeling/model.h"
+
+namespace ires {
+
+/// Gaussian-process regression with an RBF kernel and observation noise
+/// (equivalent to kernel ridge regression for the posterior mean, which is
+/// all the planner consumes). Features are standardized internally.
+class GaussianProcess : public Model {
+ public:
+  explicit GaussianProcess(double length_scale = 1.0, double noise = 1e-2)
+      : length_scale_(length_scale), noise_(noise) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "GaussianProcess"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<GaussianProcess>(length_scale_, noise_);
+  }
+
+ private:
+  Vector Standardize(const Vector& x) const;
+  double Kernel(const Vector& a, const Vector& b) const;
+
+  double length_scale_;
+  double noise_;
+  Matrix train_x_;          // standardized training inputs
+  Vector alpha_;            // (K + noise I)^{-1} y
+  Vector feature_mean_, feature_std_;
+  double y_mean_ = 0.0;
+};
+
+/// Radial Basis Function network (Broomhead & Lowe): k-means picks the
+/// centers, then a linear readout is fit over the Gaussian activations.
+class RbfNetwork : public Model {
+ public:
+  explicit RbfNetwork(int centers = 8, uint64_t seed = 23)
+      : centers_(centers), seed_(seed) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "RBFNetwork"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<RbfNetwork>(centers_, seed_);
+  }
+
+ private:
+  Vector Activations(const Vector& x) const;
+
+  int centers_;
+  uint64_t seed_;
+  Matrix center_points_;
+  double width_ = 1.0;
+  Vector weights_;  // one per center + bias (last)
+  Vector feature_mean_, feature_std_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_KERNEL_MODELS_H_

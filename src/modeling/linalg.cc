@@ -1,0 +1,111 @@
+#include "modeling/linalg.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ires {
+
+Vector Matrix::Row(size_t r) const {
+  Vector row(cols_);
+  for (size_t c = 0; c < cols_; ++c) row[c] = (*this)(r, c);
+  return row;
+}
+
+void Matrix::AppendRow(const Vector& row) {
+  if (rows_ == 0) cols_ = row.size();
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Result<Vector> SolveLinearSystem(Matrix a, Vector b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: shape mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best) {
+        best = std::fabs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("singular linear system");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  Vector x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+Result<Vector> SolveLeastSquares(const Matrix& x, const Vector& y,
+                                 double lambda, const Vector* weights) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (y.size() != n) {
+    return Status::InvalidArgument("SolveLeastSquares: y size mismatch");
+  }
+  Matrix xtx(d, d);
+  Vector xty(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights != nullptr ? (*weights)[i] : 1.0;
+    for (size_t a = 0; a < d; ++a) {
+      const double xa = x(i, a);
+      xty[a] += w * xa * y[i];
+      for (size_t b = a; b < d; ++b) {
+        xtx(a, b) += w * xa * x(i, b);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+    xtx(a, a) += lambda;
+  }
+  return SolveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace ires

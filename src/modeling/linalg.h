@@ -1,0 +1,59 @@
+#ifndef IRES_MODELING_LINALG_H_
+#define IRES_MODELING_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ires {
+
+using Vector = std::vector<double>;
+
+/// Minimal row-major dense matrix for the estimation models. Sized for the
+/// profiling workloads (tens of features, hundreds of samples), not BLAS.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Copies row `r` out as a Vector.
+  Vector Row(size_t r) const;
+
+  /// Appends a row; the first row fixes the column count.
+  void AppendRow(const Vector& row);
+
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for square A by Gaussian elimination with partial
+/// pivoting. Fails with FailedPrecondition on (near-)singular systems.
+Result<Vector> SolveLinearSystem(Matrix a, Vector b);
+
+/// Solves the (ridge-regularized) least squares problem
+///   min ||X w - y||² + lambda ||w||²
+/// via the normal equations. `weights` (optional, per-sample) scales each
+/// row's contribution.
+Result<Vector> SolveLeastSquares(const Matrix& x, const Vector& y,
+                                 double lambda = 1e-8,
+                                 const Vector* weights = nullptr);
+
+double Dot(const Vector& a, const Vector& b);
+double Mean(const Vector& v);
+double Variance(const Vector& v);
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_LINALG_H_

@@ -1,0 +1,131 @@
+#include "modeling/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ires {
+
+Status LinearRegression::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("no training samples");
+  // Design matrix with a trailing 1-column for the intercept.
+  Matrix design(x.rows(), x.cols() + 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) design(r, c) = x(r, c);
+    design(r, x.cols()) = 1.0;
+  }
+  IRES_ASSIGN_OR_RETURN(Vector w, SolveLeastSquares(design, y, lambda_));
+  intercept_ = w.back();
+  w.pop_back();
+  coef_ = std::move(w);
+  return Status::OK();
+}
+
+double LinearRegression::Predict(const Vector& x) const {
+  double out = intercept_;
+  const size_t d = std::min(x.size(), coef_.size());
+  for (size_t i = 0; i < d; ++i) out += coef_[i] * x[i];
+  return out;
+}
+
+Status LeastMedianSquares::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  const size_t d = x.cols();
+  // Classic LMS uses elemental subsets: just enough points to determine a
+  // fit, so that most trials are outlier-free.
+  const size_t subsample = std::min(n, d + 2);
+
+  Rng rng(seed_);
+  double best_median = std::numeric_limits<double>::infinity();
+  bool fitted = false;
+
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+
+  for (int trial = 0; trial < trials_; ++trial) {
+    rng.Shuffle(&indices);
+    Matrix sub_x(subsample, d);
+    Vector sub_y(subsample);
+    for (size_t i = 0; i < subsample; ++i) {
+      for (size_t c = 0; c < d; ++c) sub_x(i, c) = x(indices[i], c);
+      sub_y[i] = y[indices[i]];
+    }
+    LinearRegression candidate(1e-6);
+    if (!candidate.Fit(sub_x, sub_y).ok()) continue;
+    // Median of squared residuals on the full data.
+    Vector residuals(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double r = candidate.Predict(x.Row(i)) - y[i];
+      residuals[i] = r * r;
+    }
+    std::nth_element(residuals.begin(), residuals.begin() + n / 2,
+                     residuals.end());
+    const double median = residuals[n / 2];
+    if (median < best_median) {
+      best_median = median;
+      best_ = candidate;
+      fitted = true;
+    }
+  }
+  if (!fitted) {
+    return Status::FailedPrecondition("LeastMedianSquares: all trials failed");
+  }
+  // Reweighted step: refit by OLS on the half of the data the winning
+  // candidate considers inliers.
+  std::vector<std::pair<double, size_t>> ranked(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double r = best_.Predict(x.Row(i)) - y[i];
+    ranked[i] = {r * r, i};
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const size_t keep = std::min(n, std::max<size_t>(d + 2, n / 2));
+  Matrix in_x(keep, d);
+  Vector in_y(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    for (size_t c = 0; c < d; ++c) in_x(i, c) = x(ranked[i].second, c);
+    in_y[i] = y[ranked[i].second];
+  }
+  LinearRegression refit(1e-6);
+  if (refit.Fit(in_x, in_y).ok()) best_ = refit;
+  return Status::OK();
+}
+
+double LeastMedianSquares::Predict(const Vector& x) const {
+  return best_.Predict(x);
+}
+
+Vector PolynomialRegression::Expand(const Vector& x) const {
+  Vector out;
+  out.reserve(x.size() * degree_ + x.size() * x.size() / 2);
+  for (double v : x) {
+    double p = v;
+    for (int k = 1; k <= degree_; ++k) {
+      out.push_back(p);
+      p *= v;
+    }
+  }
+  if (degree_ >= 2) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      for (size_t j = i + 1; j < x.size(); ++j) {
+        out.push_back(x[i] * x[j]);
+      }
+    }
+  }
+  return out;
+}
+
+Status PolynomialRegression::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("no training samples");
+  Matrix expanded;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    expanded.AppendRow(Expand(x.Row(r)));
+  }
+  return fitter_.Fit(expanded, y);
+}
+
+double PolynomialRegression::Predict(const Vector& x) const {
+  return fitter_.Predict(Expand(x));
+}
+
+}  // namespace ires

@@ -1,0 +1,82 @@
+#ifndef IRES_MODELING_LINEAR_MODELS_H_
+#define IRES_MODELING_LINEAR_MODELS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "modeling/model.h"
+
+namespace ires {
+
+/// Ordinary least squares with an intercept term and light ridge
+/// regularization for numerical stability.
+class LinearRegression : public Model {
+ public:
+  explicit LinearRegression(double lambda = 1e-8) : lambda_(lambda) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "LinearRegression"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<LinearRegression>(lambda_);
+  }
+
+  const Vector& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  Vector coef_;
+  double intercept_ = 0.0;
+};
+
+/// Robust regression in the spirit of WEKA's LeastMedSq (Rousseeuw & Leroy):
+/// repeatedly fits OLS on small random subsamples and keeps the candidate
+/// with the smallest median squared residual on the full data.
+class LeastMedianSquares : public Model {
+ public:
+  explicit LeastMedianSquares(int trials = 40, uint64_t seed = 17)
+      : trials_(trials), seed_(seed) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "LeastMedianSquares"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<LeastMedianSquares>(trials_, seed_);
+  }
+
+ private:
+  int trials_;
+  uint64_t seed_;
+  LinearRegression best_;
+};
+
+/// Polynomial curve fitting: expands every feature to powers 1..degree plus
+/// pairwise products (degree >= 2), then solves regularized least squares.
+/// This is the "interpolation and curve fitting" family from the paper.
+class PolynomialRegression : public Model {
+ public:
+  explicit PolynomialRegression(int degree = 2, double lambda = 1e-6)
+      : degree_(degree), lambda_(lambda) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override {
+    return "PolynomialRegression(d=" + std::to_string(degree_) + ")";
+  }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<PolynomialRegression>(degree_, lambda_);
+  }
+
+ private:
+  Vector Expand(const Vector& x) const;
+
+  int degree_;
+  double lambda_;
+  LinearRegression fitter_{1e-6};
+};
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_LINEAR_MODELS_H_

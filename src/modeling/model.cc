@@ -1,0 +1,28 @@
+#include "modeling/model.h"
+
+#include <cmath>
+
+namespace ires {
+
+double Rmse(const Model& model, const Matrix& x, const Vector& y) {
+  if (x.rows() == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double err = model.Predict(x.Row(i)) - y[i];
+    sum += err * err;
+  }
+  return std::sqrt(sum / static_cast<double>(x.rows()));
+}
+
+double MeanRelativeError(const Model& model, const Matrix& x,
+                         const Vector& y) {
+  if (x.rows() == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double err = std::fabs(model.Predict(x.Row(i)) - y[i]);
+    sum += err / std::max(std::fabs(y[i]), 1e-9);
+  }
+  return sum / static_cast<double>(x.rows());
+}
+
+}  // namespace ires

@@ -1,0 +1,45 @@
+#ifndef IRES_MODELING_MODEL_H_
+#define IRES_MODELING_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "modeling/linalg.h"
+
+namespace ires {
+
+/// Interface shared by all estimation models in the IReS library. Mirrors
+/// the role WEKA's regressors play in the original platform (deliverable
+/// §2.2.1): each model approximates one performance/cost metric of one
+/// (operator, engine) pair as a function of data-, operator- and
+/// resource-specific parameters.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on the feature matrix `x` (one sample per row) and targets `y`.
+  /// Refitting the same instance discards previous parameters.
+  virtual Status Fit(const Matrix& x, const Vector& y) = 0;
+
+  /// Point prediction for a feature vector. Valid after a successful Fit.
+  virtual double Predict(const Vector& x) const = 0;
+
+  /// Human-readable family name ("LinearRegression", "RBFNetwork", ...).
+  virtual std::string name() const = 0;
+
+  /// Deep copy with the same hyperparameters (fitted state need not be
+  /// copied); used by cross-validation to train fresh folds.
+  virtual std::unique_ptr<Model> Clone() const = 0;
+};
+
+/// Root-mean-square error of `model` on the given samples.
+double Rmse(const Model& model, const Matrix& x, const Vector& y);
+
+/// Mean relative error |pred - actual| / max(|actual|, eps).
+double MeanRelativeError(const Model& model, const Matrix& x,
+                         const Vector& y);
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_MODEL_H_

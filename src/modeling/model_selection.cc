@@ -1,0 +1,108 @@
+#include "modeling/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "modeling/kernel_models.h"
+#include "modeling/linear_models.h"
+#include "modeling/neural.h"
+#include "modeling/tree_models.h"
+
+namespace ires {
+
+std::vector<std::unique_ptr<Model>> DefaultModelZoo() {
+  std::vector<std::unique_ptr<Model>> zoo;
+  zoo.push_back(std::make_unique<GaussianProcess>());
+  zoo.push_back(std::make_unique<MultilayerPerceptron>());
+  zoo.push_back(std::make_unique<LeastMedianSquares>());
+  zoo.push_back(std::make_unique<Bagging>());
+  zoo.push_back(std::make_unique<RandomSubspace>());
+  zoo.push_back(std::make_unique<RegressionByDiscretization>());
+  zoo.push_back(std::make_unique<RbfNetwork>());
+  // Complementary baselines kept in the library alongside the WEKA set.
+  zoo.push_back(std::make_unique<LinearRegression>());
+  zoo.push_back(std::make_unique<PolynomialRegression>(2));
+  return zoo;
+}
+
+Result<std::unique_ptr<Model>> CrossValidationSelector::SelectAndFit(
+    const Matrix& x, const Vector& y,
+    std::vector<std::unique_ptr<Model>> candidates,
+    SelectionReport* report) const {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  if (candidates.empty()) candidates = DefaultModelZoo();
+
+  const int folds = std::max(2, std::min<int>(folds_, static_cast<int>(n)));
+  Rng rng(seed_);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+
+  double best_rmse = std::numeric_limits<double>::infinity();
+  size_t best_index = 0;
+  if (report != nullptr) report->per_model_rmse.clear();
+
+  for (size_t m = 0; m < candidates.size(); ++m) {
+    double total_sq = 0.0;
+    size_t total_count = 0;
+    bool failed = false;
+    for (int fold = 0; fold < folds && !failed; ++fold) {
+      Matrix train_x, test_x;
+      Vector train_y, test_y;
+      for (size_t i = 0; i < n; ++i) {
+        const bool in_test =
+            static_cast<int>(i % static_cast<size_t>(folds)) == fold;
+        if (in_test) {
+          test_x.AppendRow(x.Row(order[i]));
+          test_y.push_back(y[order[i]]);
+        } else {
+          train_x.AppendRow(x.Row(order[i]));
+          train_y.push_back(y[order[i]]);
+        }
+      }
+      if (train_x.rows() == 0 || test_x.rows() == 0) continue;
+      std::unique_ptr<Model> fold_model = candidates[m]->Clone();
+      if (!fold_model->Fit(train_x, train_y).ok()) {
+        failed = true;
+        break;
+      }
+      for (size_t i = 0; i < test_x.rows(); ++i) {
+        const double err = fold_model->Predict(test_x.Row(i)) - test_y[i];
+        total_sq += err * err;
+        ++total_count;
+      }
+    }
+    if (failed || total_count == 0) {
+      if (report != nullptr) {
+        report->per_model_rmse.emplace_back(
+            candidates[m]->name(), std::numeric_limits<double>::infinity());
+      }
+      continue;
+    }
+    const double rmse =
+        std::sqrt(total_sq / static_cast<double>(total_count));
+    if (report != nullptr) {
+      report->per_model_rmse.emplace_back(candidates[m]->name(), rmse);
+    }
+    if (rmse < best_rmse) {
+      best_rmse = rmse;
+      best_index = m;
+    }
+  }
+  if (!std::isfinite(best_rmse)) {
+    return Status::FailedPrecondition("no candidate model could be fitted");
+  }
+
+  std::unique_ptr<Model> winner = candidates[best_index]->Clone();
+  IRES_RETURN_IF_ERROR(winner->Fit(x, y));
+  if (report != nullptr) {
+    report->best_model = winner->name();
+    report->best_cv_rmse = best_rmse;
+  }
+  return winner;
+}
+
+}  // namespace ires

@@ -1,0 +1,47 @@
+#ifndef IRES_MODELING_MODEL_SELECTION_H_
+#define IRES_MODELING_MODEL_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "modeling/model.h"
+
+namespace ires {
+
+/// The full menu of approximation techniques the platform trains per
+/// (operator, engine) metric — the C++ equivalents of the WEKA models listed
+/// in deliverable §2.2.1.
+std::vector<std::unique_ptr<Model>> DefaultModelZoo();
+
+/// Result of a cross-validated model selection run.
+struct SelectionReport {
+  std::string best_model;
+  double best_cv_rmse = 0.0;
+  std::vector<std::pair<std::string, double>> per_model_rmse;
+};
+
+/// Picks the model family that best fits the available profiling data using
+/// k-fold cross validation (Kohavi 1995), then refits the winner on the full
+/// data. Returns the fitted winner.
+class CrossValidationSelector {
+ public:
+  explicit CrossValidationSelector(int folds = 5, uint64_t seed = 41)
+      : folds_(folds), seed_(seed) {}
+
+  /// Runs CV over `candidates` (falls back to DefaultModelZoo() when empty).
+  /// `report`, when non-null, receives per-model scores.
+  Result<std::unique_ptr<Model>> SelectAndFit(
+      const Matrix& x, const Vector& y,
+      std::vector<std::unique_ptr<Model>> candidates = {},
+      SelectionReport* report = nullptr) const;
+
+ private:
+  int folds_;
+  uint64_t seed_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_MODEL_SELECTION_H_

@@ -1,0 +1,123 @@
+#include "modeling/neural.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ires {
+
+Vector MultilayerPerceptron::Standardize(const Vector& x) const {
+  Vector out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double m = i < feature_mean_.size() ? feature_mean_[i] : 0.0;
+    const double s = i < feature_std_.size() ? feature_std_[i] : 1.0;
+    out[i] = (x[i] - m) / s;
+  }
+  return out;
+}
+
+Status MultilayerPerceptron::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  const size_t d = x.cols();
+  const int h = options_.hidden_units;
+
+  feature_mean_.assign(d, 0.0);
+  feature_std_.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) feature_mean_[c] += x(r, c);
+  }
+  for (size_t c = 0; c < d; ++c) feature_mean_[c] /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) {
+      const double diff = x(r, c) - feature_mean_[c];
+      feature_std_[c] += diff * diff;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    feature_std_[c] = std::sqrt(feature_std_[c] / static_cast<double>(n));
+    if (feature_std_[c] < 1e-9) feature_std_[c] = 1.0;
+  }
+  y_mean_ = Mean(y);
+  y_std_ = std::sqrt(std::max(Variance(y), 1e-12));
+
+  Rng rng(options_.seed);
+  hidden_weights_.assign(h, Vector(d + 1, 0.0));
+  for (auto& w : hidden_weights_) {
+    for (double& v : w) v = rng.Normal(0.0, 0.5 / std::sqrt(d + 1.0));
+  }
+  output_weights_.assign(h + 1, 0.0);
+  for (double& v : output_weights_) v = rng.Normal(0.0, 0.5 / std::sqrt(h + 1.0));
+
+  std::vector<Vector> hidden_vel(h, Vector(d + 1, 0.0));
+  Vector output_vel(h + 1, 0.0);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  Vector hidden_act(h), hidden_raw(h);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n;
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end =
+          std::min(n, start + static_cast<size_t>(options_.batch_size));
+      std::vector<Vector> hidden_grad(h, Vector(d + 1, 0.0));
+      Vector output_grad(h + 1, 0.0);
+      for (size_t idx = start; idx < end; ++idx) {
+        const Vector z = Standardize(x.Row(order[idx]));
+        const double target = (y[order[idx]] - y_mean_) / y_std_;
+        // Forward.
+        for (int j = 0; j < h; ++j) {
+          double s = hidden_weights_[j][d];
+          for (size_t c = 0; c < d; ++c) s += hidden_weights_[j][c] * z[c];
+          hidden_raw[j] = s;
+          hidden_act[j] = std::tanh(s);
+        }
+        double pred = output_weights_[h];
+        for (int j = 0; j < h; ++j) pred += output_weights_[j] * hidden_act[j];
+        const double err = pred - target;
+        // Backward.
+        for (int j = 0; j < h; ++j) {
+          output_grad[j] += err * hidden_act[j];
+          const double dtanh = 1.0 - hidden_act[j] * hidden_act[j];
+          const double delta = err * output_weights_[j] * dtanh;
+          for (size_t c = 0; c < d; ++c) hidden_grad[j][c] += delta * z[c];
+          hidden_grad[j][d] += delta;
+        }
+        output_grad[h] += err;
+      }
+      const double scale =
+          options_.learning_rate / static_cast<double>(end - start);
+      for (int j = 0; j < h; ++j) {
+        for (size_t c = 0; c <= d; ++c) {
+          hidden_vel[j][c] =
+              options_.momentum * hidden_vel[j][c] - scale * hidden_grad[j][c];
+          hidden_weights_[j][c] += hidden_vel[j][c];
+        }
+        output_vel[j] = options_.momentum * output_vel[j] - scale * output_grad[j];
+        output_weights_[j] += output_vel[j];
+      }
+      output_vel[h] = options_.momentum * output_vel[h] - scale * output_grad[h];
+      output_weights_[h] += output_vel[h];
+    }
+  }
+  return Status::OK();
+}
+
+double MultilayerPerceptron::Predict(const Vector& x) const {
+  if (hidden_weights_.empty()) return y_mean_;
+  const Vector z = Standardize(x);
+  const size_t d = feature_mean_.size();
+  const int h = static_cast<int>(hidden_weights_.size());
+  double pred = output_weights_[h];
+  for (int j = 0; j < h; ++j) {
+    double s = hidden_weights_[j][d];
+    for (size_t c = 0; c < d && c < z.size(); ++c) {
+      s += hidden_weights_[j][c] * z[c];
+    }
+    pred += output_weights_[j] * std::tanh(s);
+  }
+  return pred * y_std_ + y_mean_;
+}
+
+}  // namespace ires

@@ -1,0 +1,51 @@
+#ifndef IRES_MODELING_NEURAL_H_
+#define IRES_MODELING_NEURAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "modeling/model.h"
+
+namespace ires {
+
+/// Multilayer perceptron regressor (the paper's neural-network estimator):
+/// one tanh hidden layer, linear output, trained with mini-batch SGD and
+/// momentum. Inputs and target are standardized internally so the default
+/// hyperparameters work across metrics with very different scales.
+class MultilayerPerceptron : public Model {
+ public:
+  struct Options {
+    int hidden_units = 16;
+    int epochs = 300;
+    double learning_rate = 0.01;
+    double momentum = 0.9;
+    int batch_size = 16;
+    uint64_t seed = 29;
+  };
+
+  MultilayerPerceptron() : MultilayerPerceptron(Options{}) {}
+  explicit MultilayerPerceptron(Options options) : options_(options) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "MultilayerPerceptron"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<MultilayerPerceptron>(options_);
+  }
+
+ private:
+  Vector Standardize(const Vector& x) const;
+
+  Options options_;
+  // Weights: hidden [h][d+1] (last = bias), output [h+1] (last = bias).
+  std::vector<Vector> hidden_weights_;
+  Vector output_weights_;
+  Vector feature_mean_, feature_std_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+};
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_NEURAL_H_

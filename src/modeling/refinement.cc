@@ -1,0 +1,94 @@
+#include "modeling/refinement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ires {
+
+double OnlineEstimator::Predict(const Vector& features) const {
+  if (model_ == nullptr) return running_mean_;
+  return model_->Predict(features);
+}
+
+double OnlineEstimator::RelativeError(const Vector& features,
+                                      double actual) const {
+  const double pred = Predict(features);
+  return std::fabs(pred - actual) / std::max(std::fabs(actual), 1e-9);
+}
+
+double OnlineEstimator::Observe(const Vector& features, double actual) {
+  const double err = RelativeError(features, actual);
+  features_.push_back(features);
+  targets_.push_back(actual);
+  while (features_.size() > options_.window) {
+    features_.pop_front();
+    targets_.pop_front();
+  }
+  // Running mean over the window; the fallback predictor before any fit.
+  double sum = 0.0;
+  for (double t : targets_) sum += t;
+  running_mean_ = sum / static_cast<double>(targets_.size());
+
+  ++since_fit_;
+  const bool due = since_fit_ >= options_.refit_interval;
+  if (features_.size() >= options_.min_samples &&
+      (due || model_ == nullptr)) {
+    (void)Refit();  // a failed refit keeps the previous model
+  }
+  return err;
+}
+
+Status OnlineEstimator::Refit() {
+  if (features_.empty()) {
+    return Status::FailedPrecondition("no samples to fit");
+  }
+  Matrix x;
+  Vector y;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    x.AppendRow(features_[i]);
+    y.push_back(targets_[i]);
+  }
+  CrossValidationSelector selector(options_.cv_folds, options_.seed);
+  auto fitted = selector.SelectAndFit(x, y);
+  if (!fitted.ok()) return fitted.status();
+  model_ = std::move(fitted).value();
+  since_fit_ = 0;
+  return Status::OK();
+}
+
+std::vector<OnlineEstimator::Sample> OnlineEstimator::ExportSamples() const {
+  std::vector<Sample> out;
+  out.reserve(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    out.push_back({features_[i], targets_[i]});
+  }
+  return out;
+}
+
+Status OnlineEstimator::ImportSamples(const std::vector<Sample>& samples) {
+  for (const Sample& sample : samples) {
+    features_.push_back(sample.features);
+    targets_.push_back(sample.target);
+    while (features_.size() > options_.window) {
+      features_.pop_front();
+      targets_.pop_front();
+    }
+  }
+  if (!targets_.empty()) {
+    double sum = 0.0;
+    for (double t : targets_) sum += t;
+    running_mean_ = sum / static_cast<double>(targets_.size());
+  }
+  if (features_.size() >= options_.min_samples) return Refit();
+  return Status::OK();
+}
+
+void OnlineEstimator::Reset() {
+  features_.clear();
+  targets_.clear();
+  model_.reset();
+  running_mean_ = 0.0;
+  since_fit_ = 0;
+}
+
+}  // namespace ires

@@ -1,0 +1,86 @@
+#ifndef IRES_MODELING_REFINEMENT_H_
+#define IRES_MODELING_REFINEMENT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "modeling/model.h"
+#include "modeling/model_selection.h"
+
+namespace ires {
+
+/// Online estimator for one (operator, engine, metric) triple — the Model
+/// Refinement module of deliverable §2.2.2. It accumulates observations from
+/// real executions, refits (with cross-validated model re-selection) on a
+/// sliding window, and exposes the estimation-error trace that Figure 16
+/// plots. The sliding window is what lets the models track infrastructure
+/// changes instead of being poisoned by stale samples forever.
+class OnlineEstimator {
+ public:
+  struct Options {
+    /// Maximum number of most-recent samples retained for fitting.
+    size_t window = 256;
+    /// Refit after this many new samples since the last fit.
+    size_t refit_interval = 5;
+    /// Minimum samples before the first fit; predictions before that return
+    /// the running mean (high error by construction — "no knowledge").
+    size_t min_samples = 5;
+    int cv_folds = 3;
+    uint64_t seed = 43;
+  };
+
+  OnlineEstimator() : OnlineEstimator(Options{}) {}
+  explicit OnlineEstimator(Options options) : options_(options) {}
+
+  /// Predicted metric value for the given configuration.
+  double Predict(const Vector& features) const;
+
+  /// Relative error the current model would make on (features, actual):
+  /// |pred - actual| / max(|actual|, eps). This is computed *before* the
+  /// sample is absorbed, i.e. it is an honest out-of-sample error.
+  double RelativeError(const Vector& features, double actual) const;
+
+  /// Records an observed execution and refits when due. Returns the
+  /// pre-absorption relative error (the Figure 16 y-axis).
+  double Observe(const Vector& features, double actual);
+
+  /// Forces an immediate refit (used after bulk offline profiling).
+  Status Refit();
+
+  /// Drops every retained sample and the fitted model — the "discard models
+  /// and start from scratch" strategy the paper argues against.
+  void Reset();
+
+  size_t sample_count() const { return features_.size(); }
+  bool has_model() const { return model_ != nullptr; }
+  std::string model_name() const {
+    return model_ ? model_->name() : "(none)";
+  }
+
+  /// One retained observation (for persistence).
+  struct Sample {
+    Vector features;
+    double target = 0.0;
+  };
+
+  /// Snapshot of the retained window, oldest first.
+  std::vector<Sample> ExportSamples() const;
+
+  /// Bulk-loads samples (e.g. from a saved model library) and refits once.
+  /// Appends to whatever is already retained, window rules applying.
+  Status ImportSamples(const std::vector<Sample>& samples);
+
+ private:
+  Options options_;
+  std::deque<Vector> features_;
+  std::deque<double> targets_;
+  size_t since_fit_ = 0;
+  double running_mean_ = 0.0;
+  std::unique_ptr<Model> model_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_REFINEMENT_H_

@@ -1,0 +1,196 @@
+#include "modeling/tree_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ires {
+
+Status RegressionTree::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0) return Status::InvalidArgument("no training samples");
+  nodes_.clear();
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, y, &indices, 0, indices.size(), 0);
+  return Status::OK();
+}
+
+int RegressionTree::Build(const Matrix& x, const Vector& y,
+                          std::vector<size_t>* indices, size_t begin,
+                          size_t end, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const size_t n = end - begin;
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += y[(*indices)[i]];
+    sum_sq += y[(*indices)[i]] * y[(*indices)[i]];
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double sse = sum_sq - sum * mean;
+  nodes_[node_id].value = mean;
+
+  if (depth >= options_.max_depth ||
+      n < 2 * static_cast<size_t>(options_.min_samples_leaf) || sse < 1e-12) {
+    return node_id;
+  }
+
+  // Candidate features: all, or the configured subspace.
+  std::vector<size_t> features;
+  if (options_.feature_subset.empty()) {
+    features.resize(x.cols());
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    features = options_.feature_subset;
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = sse;  // must strictly improve on the parent SSE
+  for (size_t f : features) {
+    if (f >= x.cols()) continue;
+    std::sort(indices->begin() + begin, indices->begin() + end,
+              [&](size_t a, size_t b) { return x(a, f) < x(b, f); });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (size_t i = begin; i + 1 < end; ++i) {
+      const double yi = y[(*indices)[i]];
+      left_sum += yi;
+      left_sq += yi * yi;
+      const size_t left_n = i - begin + 1;
+      const size_t right_n = n - left_n;
+      if (left_n < static_cast<size_t>(options_.min_samples_leaf) ||
+          right_n < static_cast<size_t>(options_.min_samples_leaf)) {
+        continue;
+      }
+      const double xa = x((*indices)[i], f);
+      const double xb = x((*indices)[i + 1], f);
+      if (xa == xb) continue;  // cannot split between equal values
+      const double right_sum = sum - left_sum;
+      const double right_sq = sum_sq - left_sq;
+      const double left_sse = left_sq - left_sum * left_sum / left_n;
+      const double right_sse = right_sq - right_sum * right_sum / right_n;
+      const double score = left_sse + right_sse;
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (xa + xb);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition in place around the chosen threshold.
+  auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](size_t idx) {
+        return x(idx, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - indices->begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(x, y, indices, begin, mid, depth + 1);
+  const int right = Build(x, y, indices, mid, end, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const Vector& x) const {
+  if (nodes_.empty()) return 0.0;
+  int id = 0;
+  while (nodes_[id].feature >= 0) {
+    const size_t f = static_cast<size_t>(nodes_[id].feature);
+    const double v = f < x.size() ? x[f] : 0.0;
+    id = v <= nodes_[id].threshold ? nodes_[id].left : nodes_[id].right;
+  }
+  return nodes_[id].value;
+}
+
+Status Bagging::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  Rng rng(seed_);
+  ensemble_.clear();
+  for (int m = 0; m < members_; ++m) {
+    Matrix bx;
+    Vector by;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(0, n - 1));
+      bx.AppendRow(x.Row(pick));
+      by.push_back(y[pick]);
+    }
+    RegressionTree tree;
+    IRES_RETURN_IF_ERROR(tree.Fit(bx, by));
+    ensemble_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double Bagging::Predict(const Vector& x) const {
+  if (ensemble_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RegressionTree& t : ensemble_) sum += t.Predict(x);
+  return sum / static_cast<double>(ensemble_.size());
+}
+
+Status RandomSubspace::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  const size_t d = x.cols();
+  const size_t subspace =
+      std::max<size_t>(1, static_cast<size_t>(subspace_fraction_ * d + 0.5));
+  Rng rng(seed_);
+  ensemble_.clear();
+  std::vector<size_t> all(d);
+  std::iota(all.begin(), all.end(), 0);
+  for (int m = 0; m < members_; ++m) {
+    rng.Shuffle(&all);
+    RegressionTree::Options options;
+    options.feature_subset.assign(all.begin(), all.begin() + subspace);
+    RegressionTree tree(options);
+    IRES_RETURN_IF_ERROR(tree.Fit(x, y));
+    ensemble_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomSubspace::Predict(const Vector& x) const {
+  if (ensemble_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RegressionTree& t : ensemble_) sum += t.Predict(x);
+  return sum / static_cast<double>(ensemble_.size());
+}
+
+Status RegressionByDiscretization::Fit(const Matrix& x, const Vector& y) {
+  const size_t n = x.rows();
+  if (n == 0) return Status::InvalidArgument("no training samples");
+  // Equal-frequency binning of the target, then regress onto bin means: the
+  // tree's leaves end up predicting a bin representative, which is exactly
+  // the regression-by-discretization output.
+  Vector sorted = y;
+  std::sort(sorted.begin(), sorted.end());
+  const int bins = std::min<int>(bins_, static_cast<int>(n));
+  Vector binned(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t rank =
+        std::lower_bound(sorted.begin(), sorted.end(), y[i]) - sorted.begin();
+    int bin = static_cast<int>(rank * bins / n);
+    bin = std::min(bin, bins - 1);
+    // Bin representative: mean of the targets inside the bin.
+    const size_t lo = static_cast<size_t>(bin) * n / bins;
+    const size_t hi = static_cast<size_t>(bin + 1) * n / bins;
+    double sum = 0.0;
+    for (size_t j = lo; j < hi; ++j) sum += sorted[j];
+    binned[i] = sum / static_cast<double>(std::max<size_t>(1, hi - lo));
+  }
+  return tree_.Fit(x, binned);
+}
+
+double RegressionByDiscretization::Predict(const Vector& x) const {
+  return tree_.Predict(x);
+}
+
+}  // namespace ires

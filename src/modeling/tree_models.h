@@ -1,0 +1,119 @@
+#ifndef IRES_MODELING_TREE_MODELS_H_
+#define IRES_MODELING_TREE_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "modeling/model.h"
+
+namespace ires {
+
+/// CART-style regression tree (variance-reduction splits). Serves as the
+/// base learner for the Bagging and RandomSubspace ensembles, mirroring
+/// WEKA's REPTree role in the original platform.
+class RegressionTree : public Model {
+ public:
+  struct Options {
+    int max_depth = 8;
+    int min_samples_leaf = 3;
+    /// When non-empty, splits only consider these feature indices
+    /// (used by RandomSubspace).
+    std::vector<size_t> feature_subset;
+  };
+
+  RegressionTree() : RegressionTree(Options{}) {}
+  explicit RegressionTree(Options options) : options_(std::move(options)) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "RegressionTree"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<RegressionTree>(options_);
+  }
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct TreeNode {
+    int feature = -1;      // -1 = leaf
+    double threshold = 0.0;
+    double value = 0.0;    // leaf prediction
+    int left = -1, right = -1;
+  };
+
+  int Build(const Matrix& x, const Vector& y, std::vector<size_t>* indices,
+            size_t begin, size_t end, int depth);
+
+  Options options_;
+  std::vector<TreeNode> nodes_;
+};
+
+/// Bagging (Breiman 1996): an ensemble of base regressors trained on
+/// bootstrap resamples; predictions are averaged.
+class Bagging : public Model {
+ public:
+  Bagging(int members = 10, uint64_t seed = 31)
+      : members_(members), seed_(seed) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "Bagging"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<Bagging>(members_, seed_);
+  }
+
+ private:
+  int members_;
+  uint64_t seed_;
+  std::vector<RegressionTree> ensemble_;
+};
+
+/// Random Subspace method (Ho 1998): each ensemble member sees a random
+/// subset of the features; predictions are averaged.
+class RandomSubspace : public Model {
+ public:
+  RandomSubspace(int members = 10, double subspace_fraction = 0.5,
+                 uint64_t seed = 37)
+      : members_(members),
+        subspace_fraction_(subspace_fraction),
+        seed_(seed) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "RandomSubspace"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<RandomSubspace>(members_, subspace_fraction_,
+                                            seed_);
+  }
+
+ private:
+  int members_;
+  double subspace_fraction_;
+  uint64_t seed_;
+  std::vector<RegressionTree> ensemble_;
+};
+
+/// Regression by Discretization: the continuous target is binned into equal
+/// frequency intervals, a classifier tree predicts the bin, and the bin's
+/// mean target value is returned.
+class RegressionByDiscretization : public Model {
+ public:
+  explicit RegressionByDiscretization(int bins = 10) : bins_(bins) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  double Predict(const Vector& x) const override;
+  std::string name() const override { return "RegressionByDiscretization"; }
+  std::unique_ptr<Model> Clone() const override {
+    return std::make_unique<RegressionByDiscretization>(bins_);
+  }
+
+ private:
+  int bins_;
+  RegressionTree tree_;   // regresses onto bin means directly
+};
+
+}  // namespace ires
+
+#endif  // IRES_MODELING_TREE_MODELS_H_

@@ -1,0 +1,65 @@
+#ifndef IRES_OPERATORS_DATASET_H_
+#define IRES_OPERATORS_DATASET_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "metadata/metadata_tree.h"
+
+namespace ires {
+
+/// A dataset node of a workflow, described by a metadata tree (deliverable
+/// §2.1, Fig. 2a). A dataset is *materialized* when it exists somewhere
+/// concrete (it has an `Execution.path`); abstract datasets are placeholders
+/// produced and consumed inside a workflow definition.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, MetadataTree meta)
+      : name_(std::move(name)), meta_(std::move(meta)) {}
+
+  const std::string& name() const { return name_; }
+  const MetadataTree& meta() const { return meta_; }
+  MetadataTree& mutable_meta() { return meta_; }
+
+  /// Materialized datasets carry a concrete location.
+  bool IsMaterialized() const { return meta_.Has("Execution.path"); }
+
+  /// Storage path (empty for abstract datasets).
+  std::string path() const { return meta_.GetOr("Execution.path", ""); }
+
+  /// Filesystem / store the data lives in, e.g. "HDFS", "PostgreSQL".
+  std::string store() const {
+    return meta_.GetOr("Constraints.Engine.FS", "");
+  }
+
+  /// Serialization format ("text", "arff", "sequence", ...).
+  std::string format() const { return meta_.GetOr("Constraints.type", ""); }
+
+  /// Size in bytes from `Optimization.size` (0 when unknown).
+  double size_bytes() const {
+    std::string v = meta_.GetOr("Optimization.size", "0");
+    return std::strtod(v.c_str(), nullptr);
+  }
+
+  /// Record/document count from `Optimization.documents` (0 when unknown).
+  double record_count() const {
+    std::string v = meta_.GetOr("Optimization.documents", "0");
+    return std::strtod(v.c_str(), nullptr);
+  }
+
+  void set_size_bytes(double bytes) {
+    meta_.Set("Optimization.size", std::to_string(bytes));
+  }
+  void set_record_count(double n) {
+    meta_.Set("Optimization.documents", std::to_string(n));
+  }
+
+ private:
+  std::string name_;
+  MetadataTree meta_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_OPERATORS_DATASET_H_

@@ -1,0 +1,42 @@
+#include "operators/operator.h"
+
+#include <functional>
+
+namespace ires {
+
+bool MaterializedOperator::AcceptsInput(int i, const Dataset& dataset) const {
+  const MetadataTree::Node* spec = InputSpec(i);
+  if (spec == nullptr) return true;
+  const MetadataTree::Node* data_constraints =
+      dataset.meta().Find("Constraints");
+  static const MetadataTree::Node kEmpty;
+  if (data_constraints == nullptr) data_constraints = &kEmpty;
+  return MatchTreeNodes(*spec, *data_constraints).matched;
+}
+
+MetadataTree MaterializedOperator::MakeOutputMeta(int i) const {
+  MetadataTree out;
+  const MetadataTree::Node* spec = OutputSpec(i);
+  if (spec != nullptr) {
+    // Copy the Output<i> subtree as the dataset's Constraints subtree.
+    std::function<void(const MetadataTree::Node&, const std::string&)> copy =
+        [&](const MetadataTree::Node& node, const std::string& prefix) {
+          if (node.value.has_value()) out.Set(prefix, *node.value);
+          for (const auto& [label, child] : node.children) {
+            copy(child, prefix + "." + label);
+          }
+        };
+    copy(*spec, "Constraints");
+  }
+  std::string out_path =
+      meta_.GetOr("Execution.Output" + std::to_string(i) + ".path", "");
+  if (!out_path.empty()) out.Set("Execution.path", out_path);
+  return out;
+}
+
+MatchResult MatchesAbstract(const AbstractOperator& abstract,
+                            const MaterializedOperator& materialized) {
+  return MatchSubtrees(abstract.meta(), materialized.meta(), "Constraints");
+}
+
+}  // namespace ires

@@ -1,0 +1,108 @@
+#ifndef IRES_OPERATORS_OPERATOR_H_
+#define IRES_OPERATORS_OPERATOR_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "metadata/metadata_tree.h"
+#include "metadata/tree_match.h"
+#include "operators/dataset.h"
+
+namespace ires {
+
+/// An *abstract* operator: the engine-agnostic description used when
+/// composing workflows (deliverable §2.1, Fig. 2b). It pins down the
+/// algorithm and arity but leaves implementation/engine unspecified (or
+/// wildcarded).
+class AbstractOperator {
+ public:
+  AbstractOperator() = default;
+  AbstractOperator(std::string name, MetadataTree meta)
+      : name_(std::move(name)), meta_(std::move(meta)) {}
+
+  const std::string& name() const { return name_; }
+  const MetadataTree& meta() const { return meta_; }
+  MetadataTree& mutable_meta() { return meta_; }
+
+  /// Algorithm identifier (`Constraints.OpSpecification.Algorithm.name`);
+  /// this is the highly selective attribute the operator library indexes on.
+  std::string algorithm() const {
+    return meta_.GetOr("Constraints.OpSpecification.Algorithm.name", "");
+  }
+
+  int input_count() const {
+    return std::atoi(meta_.GetOr("Constraints.Input.number", "1").c_str());
+  }
+  int output_count() const {
+    return std::atoi(meta_.GetOr("Constraints.Output.number", "1").c_str());
+  }
+
+ private:
+  std::string name_;
+  MetadataTree meta_;
+};
+
+/// A *materialized* operator: a concrete implementation bound to an engine,
+/// with full input/output specifications and optimization hints (deliverable
+/// §2.1, Fig. 3). Instances live in the OperatorLibrary.
+class MaterializedOperator {
+ public:
+  MaterializedOperator() = default;
+  MaterializedOperator(std::string name, MetadataTree meta)
+      : name_(std::move(name)), meta_(std::move(meta)) {}
+
+  const std::string& name() const { return name_; }
+  const MetadataTree& meta() const { return meta_; }
+  MetadataTree& mutable_meta() { return meta_; }
+
+  std::string algorithm() const {
+    return meta_.GetOr("Constraints.OpSpecification.Algorithm.name", "");
+  }
+
+  /// Execution engine (`Constraints.Engine`), e.g. "Spark", "Java".
+  std::string engine() const { return meta_.GetOr("Constraints.Engine", ""); }
+
+  int input_count() const {
+    return std::atoi(meta_.GetOr("Constraints.Input.number", "1").c_str());
+  }
+  int output_count() const {
+    return std::atoi(meta_.GetOr("Constraints.Output.number", "1").c_str());
+  }
+
+  /// The constraint subtree for input `i` (`Constraints.Input<i>`), used as a
+  /// pattern against candidate input datasets. Returns nullptr when the
+  /// operator declares no constraints for that input (accepts anything).
+  const MetadataTree::Node* InputSpec(int i) const {
+    return meta_.Find("Constraints.Input" + std::to_string(i));
+  }
+
+  /// The constraint subtree for output `i` (`Constraints.Output<i>`); this
+  /// describes the dataset the operator produces (store, format, ...).
+  const MetadataTree::Node* OutputSpec(int i) const {
+    return meta_.Find("Constraints.Output" + std::to_string(i));
+  }
+
+  /// True when `dataset` can be fed to input `i` as-is (its metadata
+  /// satisfies the `Constraints.Input<i>` pattern). Missing spec = match.
+  bool AcceptsInput(int i, const Dataset& dataset) const;
+
+  /// Builds the metadata of the dataset produced at output `i`: the
+  /// operator's `Output<i>` constraints become the dataset's `Constraints`.
+  MetadataTree MakeOutputMeta(int i) const;
+
+ private:
+  std::string name_;
+  MetadataTree meta_;
+};
+
+/// Matches an abstract operator against a materialized implementation:
+/// the abstract `Constraints` subtree is a pattern that the materialized
+/// operator's `Constraints` must satisfy (wildcards allowed). Input/Output
+/// arity fields participate like any other constraint.
+MatchResult MatchesAbstract(const AbstractOperator& abstract,
+                            const MaterializedOperator& materialized);
+
+}  // namespace ires
+
+#endif  // IRES_OPERATORS_OPERATOR_H_

@@ -1,0 +1,212 @@
+#include "operators/operator_library.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ires {
+
+namespace {
+
+Result<std::string> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Status OperatorLibrary::AddMaterialized(MaterializedOperator op) {
+  if (op.name().empty()) {
+    return Status::InvalidArgument("materialized operator needs a name");
+  }
+  if (materialized_.count(op.name()) > 0) {
+    return Status::AlreadyExists("materialized operator: " + op.name());
+  }
+  algorithm_index_.emplace(op.algorithm(), op.name());
+  materialized_.emplace(op.name(), std::move(op));
+  return Status::OK();
+}
+
+Status OperatorLibrary::AddAbstract(AbstractOperator op) {
+  if (op.name().empty()) {
+    return Status::InvalidArgument("abstract operator needs a name");
+  }
+  if (abstract_.count(op.name()) > 0) {
+    return Status::AlreadyExists("abstract operator: " + op.name());
+  }
+  abstract_.emplace(op.name(), std::move(op));
+  return Status::OK();
+}
+
+Status OperatorLibrary::AddDataset(Dataset dataset) {
+  if (dataset.name().empty()) {
+    return Status::InvalidArgument("dataset needs a name");
+  }
+  if (datasets_.count(dataset.name()) > 0) {
+    return Status::AlreadyExists("dataset: " + dataset.name());
+  }
+  datasets_.emplace(dataset.name(), std::move(dataset));
+  return Status::OK();
+}
+
+std::vector<const MaterializedOperator*>
+OperatorLibrary::FindMaterializedOperators(
+    const AbstractOperator& abstract) const {
+  std::vector<const MaterializedOperator*> out;
+  const std::string algorithm = abstract.algorithm();
+  auto consider = [&](const MaterializedOperator& candidate) {
+    if (MatchesAbstract(abstract, candidate).matched) {
+      out.push_back(&candidate);
+    }
+  };
+  if (!algorithm.empty() && algorithm != MetadataTree::kWildcard) {
+    // Index fast path: only candidates with the right algorithm attribute.
+    auto [begin, end] = algorithm_index_.equal_range(algorithm);
+    for (auto it = begin; it != end; ++it) {
+      consider(materialized_.at(it->second));
+    }
+  } else {
+    for (const auto& [name, candidate] : materialized_) consider(candidate);
+  }
+  return out;
+}
+
+const MaterializedOperator* OperatorLibrary::FindMaterializedByName(
+    const std::string& name) const {
+  auto it = materialized_.find(name);
+  return it == materialized_.end() ? nullptr : &it->second;
+}
+
+const AbstractOperator* OperatorLibrary::FindAbstractByName(
+    const std::string& name) const {
+  auto it = abstract_.find(name);
+  return it == abstract_.end() ? nullptr : &it->second;
+}
+
+const Dataset* OperatorLibrary::FindDatasetByName(
+    const std::string& name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : &it->second;
+}
+
+int OperatorLibrary::RemoveByEngine(const std::string& engine) {
+  int removed = 0;
+  for (auto it = materialized_.begin(); it != materialized_.end();) {
+    if (it->second.engine() == engine) {
+      it = materialized_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) ReindexMaterialized();
+  return removed;
+}
+
+std::vector<std::string> OperatorLibrary::MaterializedNames() const {
+  std::vector<std::string> names;
+  names.reserve(materialized_.size());
+  for (const auto& [name, op] : materialized_) names.push_back(name);
+  return names;
+}
+
+Status OperatorLibrary::LoadFromDirectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path root(dir);
+  if (!fs::exists(root)) {
+    return Status::NotFound("library directory: " + dir);
+  }
+
+  const fs::path ops_dir = root / "operators";
+  if (fs::exists(ops_dir)) {
+    for (const auto& entry : fs::directory_iterator(ops_dir)) {
+      if (!entry.is_directory()) continue;
+      const fs::path desc = entry.path() / "description";
+      if (!fs::exists(desc)) continue;
+      IRES_ASSIGN_OR_RETURN(std::string text, ReadFile(desc));
+      IRES_ASSIGN_OR_RETURN(MetadataTree tree,
+                            MetadataTree::ParseDescription(text));
+      IRES_RETURN_IF_ERROR(AddMaterialized(MaterializedOperator(
+          entry.path().filename().string(), std::move(tree))));
+    }
+  }
+
+  const fs::path abs_dir = root / "abstractOperators";
+  if (fs::exists(abs_dir)) {
+    for (const auto& entry : fs::directory_iterator(abs_dir)) {
+      if (!entry.is_regular_file()) continue;
+      IRES_ASSIGN_OR_RETURN(std::string text, ReadFile(entry.path()));
+      IRES_ASSIGN_OR_RETURN(MetadataTree tree,
+                            MetadataTree::ParseDescription(text));
+      IRES_RETURN_IF_ERROR(AddAbstract(AbstractOperator(
+          entry.path().filename().string(), std::move(tree))));
+    }
+  }
+
+  const fs::path data_dir = root / "datasets";
+  if (fs::exists(data_dir)) {
+    for (const auto& entry : fs::directory_iterator(data_dir)) {
+      if (!entry.is_regular_file()) continue;
+      IRES_ASSIGN_OR_RETURN(std::string text, ReadFile(entry.path()));
+      IRES_ASSIGN_OR_RETURN(MetadataTree tree,
+                            MetadataTree::ParseDescription(text));
+      IRES_RETURN_IF_ERROR(AddDataset(
+          Dataset(entry.path().filename().string(), std::move(tree))));
+    }
+  }
+
+  return Status::OK();
+}
+
+Status OperatorLibrary::SaveToDirectory(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  auto write_file = [](const fs::path& path,
+                       const std::string& content) -> Status {
+    std::ofstream out(path);
+    if (!out) return Status::Internal("cannot write " + path.string());
+    out << content;
+    return Status::OK();
+  };
+
+  for (const auto& [name, op] : materialized_) {
+    const fs::path op_dir = fs::path(dir) / "operators" / name;
+    fs::create_directories(op_dir, ec);
+    if (ec) return Status::Internal("mkdir failed: " + op_dir.string());
+    IRES_RETURN_IF_ERROR(
+        write_file(op_dir / "description", op.meta().ToDescription()));
+  }
+  if (!abstract_.empty()) {
+    const fs::path abs_dir = fs::path(dir) / "abstractOperators";
+    fs::create_directories(abs_dir, ec);
+    if (ec) return Status::Internal("mkdir failed: " + abs_dir.string());
+    for (const auto& [name, op] : abstract_) {
+      IRES_RETURN_IF_ERROR(
+          write_file(abs_dir / name, op.meta().ToDescription()));
+    }
+  }
+  if (!datasets_.empty()) {
+    const fs::path data_dir = fs::path(dir) / "datasets";
+    fs::create_directories(data_dir, ec);
+    if (ec) return Status::Internal("mkdir failed: " + data_dir.string());
+    for (const auto& [name, dataset] : datasets_) {
+      IRES_RETURN_IF_ERROR(
+          write_file(data_dir / name, dataset.meta().ToDescription()));
+    }
+  }
+  return Status::OK();
+}
+
+void OperatorLibrary::ReindexMaterialized() {
+  algorithm_index_.clear();
+  for (const auto& [name, op] : materialized_) {
+    algorithm_index_.emplace(op.algorithm(), name);
+  }
+}
+
+}  // namespace ires

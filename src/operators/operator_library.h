@@ -1,0 +1,86 @@
+#ifndef IRES_OPERATORS_OPERATOR_LIBRARY_H_
+#define IRES_OPERATORS_OPERATOR_LIBRARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "operators/dataset.h"
+#include "operators/operator.h"
+
+namespace ires {
+
+/// The IReS operator library (deliverable Fig. 1): the registry of
+/// materialized operators, abstract operators and datasets known to the
+/// platform. Materialized operators are indexed by their highly selective
+/// algorithm attribute so that FindMaterializedOperators only runs the full
+/// O(t) tree match against plausible candidates.
+class OperatorLibrary {
+ public:
+  OperatorLibrary() = default;
+
+  /// Registers a materialized operator. Names must be unique.
+  Status AddMaterialized(MaterializedOperator op);
+
+  /// Registers an abstract operator (reusable across workflows).
+  Status AddAbstract(AbstractOperator op);
+
+  /// Registers a dataset description.
+  Status AddDataset(Dataset dataset);
+
+  /// All materialized operators matching `abstract`: algorithm-index lookup
+  /// followed by full metadata-tree matching.
+  std::vector<const MaterializedOperator*> FindMaterializedOperators(
+      const AbstractOperator& abstract) const;
+
+  const MaterializedOperator* FindMaterializedByName(
+      const std::string& name) const;
+  const AbstractOperator* FindAbstractByName(const std::string& name) const;
+  const Dataset* FindDatasetByName(const std::string& name) const;
+
+  /// Removes every materialized operator bound to `engine` (used when an
+  /// engine is reported unavailable). Returns the number removed.
+  int RemoveByEngine(const std::string& engine);
+
+  size_t materialized_count() const { return materialized_.size(); }
+  size_t abstract_count() const { return abstract_.size(); }
+  size_t dataset_count() const { return datasets_.size(); }
+
+  /// Names of all materialized operators, sorted.
+  std::vector<std::string> MaterializedNames() const;
+
+  /// Read-only views over the registered artefacts (for merging/export).
+  const std::map<std::string, MaterializedOperator>& materialized() const {
+    return materialized_;
+  }
+  const std::map<std::string, AbstractOperator>& abstract() const {
+    return abstract_;
+  }
+  const std::map<std::string, Dataset>& datasets() const { return datasets_; }
+
+  /// Loads a library from an on-disk layout mirroring the platform's
+  /// `asapLibrary/` directory:
+  ///   <dir>/operators/<Name>/description   (materialized operators)
+  ///   <dir>/abstractOperators/<Name>       (abstract operator files)
+  ///   <dir>/datasets/<Name>                (dataset description files)
+  /// Missing subdirectories are skipped silently.
+  Status LoadFromDirectory(const std::string& dir);
+
+  /// Writes the library back out in the same layout (description files are
+  /// regenerated from the metadata trees). Existing files are overwritten.
+  Status SaveToDirectory(const std::string& dir) const;
+
+ private:
+  void ReindexMaterialized();
+
+  std::map<std::string, MaterializedOperator> materialized_;
+  std::map<std::string, AbstractOperator> abstract_;
+  std::map<std::string, Dataset> datasets_;
+  // algorithm name -> materialized operator names.
+  std::multimap<std::string, std::string> algorithm_index_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_OPERATORS_OPERATOR_LIBRARY_H_

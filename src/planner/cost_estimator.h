@@ -1,0 +1,35 @@
+#ifndef IRES_PLANNER_COST_ESTIMATOR_H_
+#define IRES_PLANNER_COST_ESTIMATOR_H_
+
+#include "common/status.h"
+#include "engines/engine.h"
+
+namespace ires {
+
+/// The planner's view of the IReS model library: given an engine and a run
+/// request, predict performance and cost. Implementations range from the
+/// converged analytic models (AnalyticCostEstimator) to online-trained
+/// estimators fed by the profiler (see profiling/).
+class CostEstimator {
+ public:
+  virtual ~CostEstimator() = default;
+
+  virtual Result<OperatorRunEstimate> Estimate(
+      const SimulatedEngine& engine,
+      const OperatorRunRequest& request) const = 0;
+};
+
+/// Uses each engine's analytic performance model directly — equivalent to a
+/// fully trained, noise-free model library.
+class AnalyticCostEstimator : public CostEstimator {
+ public:
+  Result<OperatorRunEstimate> Estimate(
+      const SimulatedEngine& engine,
+      const OperatorRunRequest& request) const override {
+    return engine.Estimate(request);
+  }
+};
+
+}  // namespace ires
+
+#endif  // IRES_PLANNER_COST_ESTIMATOR_H_

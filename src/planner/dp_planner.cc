@@ -1,0 +1,366 @@
+#include "planner/dp_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "planner/planner_common.h"
+
+namespace ires {
+
+namespace {
+
+using planner_internal::InstanceSatisfies;
+using planner_internal::IoRequirement;
+using planner_internal::ReadParams;
+using planner_internal::RequirementFromSpec;
+
+// How one input port of one candidate operator is fed.
+struct InputChoice {
+  int dataset_node = -1;
+  int entry_index = -1;
+  bool move = false;
+  DatasetInstance moved_instance;  // instance after the move/transform
+  double move_seconds = 0.0;
+  double move_cost = 0.0;
+};
+
+// One dpTable record: the best known way to materialize a dataset node in a
+// particular (store, format).
+struct Entry {
+  DatasetInstance instance;
+  double metric = 0.0;   // cumulative optimal policy metric
+  double seconds = 0.0;  // cumulative work seconds (additive model)
+  double cost = 0.0;     // cumulative resource cost
+  // Producer; op_node < 0 means the data pre-exists (source/intermediate).
+  int producer_op_node = -1;
+  std::string producer_mo;
+  std::string engine;
+  std::string algorithm;
+  Resources resources;
+  OperatorRunEstimate op_estimate;
+  std::map<std::string, double> params;
+  std::vector<InputChoice> inputs;
+  double op_input_bytes = 0.0;
+  double op_input_records = 0.0;
+};
+
+}  // namespace
+
+Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
+                                      const Options& options) const {
+  IRES_RETURN_IF_ERROR(graph.Validate());
+  static const AnalyticCostEstimator kAnalytic;
+  const CostEstimator& estimator =
+      options.estimator != nullptr ? *options.estimator : kAnalytic;
+  const OptimizationPolicy& policy = options.policy;
+  const DataMovementModel& movement = engines_->movement();
+
+  std::vector<std::vector<Entry>> dp_table(graph.size());
+
+  // ---- dpTable initialization (Algorithm 1, lines 5-10). -----------------
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const WorkflowGraph::Node& node = graph.node(static_cast<int>(id));
+    if (node.kind != WorkflowGraph::NodeKind::kDataset) continue;
+
+    auto pre_it = options.materialized_intermediates.find(node.name);
+    if (pre_it != options.materialized_intermediates.end()) {
+      Entry entry;
+      entry.instance = pre_it->second;
+      entry.instance.dataset_node = node.name;
+      dp_table[id].push_back(std::move(entry));
+      continue;
+    }
+    if (!node.outputs.empty()) continue;  // produced by an operator
+
+    const Dataset* dataset = library_->FindDatasetByName(node.name);
+    if (dataset == nullptr) {
+      return Status::NotFound("source dataset not in library: " + node.name);
+    }
+    if (!dataset->IsMaterialized()) {
+      return Status::FailedPrecondition("source dataset is abstract: " +
+                                        node.name);
+    }
+    Entry entry;
+    entry.instance.dataset_node = node.name;
+    entry.instance.store = dataset->store();
+    entry.instance.format = dataset->format();
+    entry.instance.bytes = dataset->size_bytes();
+    entry.instance.records = dataset->record_count();
+    dp_table[id].push_back(std::move(entry));
+  }
+
+  // Target already materialized -> empty plan, cost 0 (lines 8-9).
+  if (!dp_table[graph.target()].empty()) {
+    ExecutionPlan plan;
+    return plan;
+  }
+
+  IRES_ASSIGN_OR_RETURN(std::vector<int> topo, graph.TopologicalOperators());
+
+  // ---- Main DP loop over abstract operators (lines 11-31). ---------------
+  for (int op_node : topo) {
+    const WorkflowGraph::Node& node = graph.node(op_node);
+
+    // Resolve the abstract operator; a workflow may reference operators that
+    // exist only inline, in which case the node name doubles as algorithm.
+    const AbstractOperator* abstract = library_->FindAbstractByName(node.name);
+    AbstractOperator synthesized;
+    if (abstract == nullptr) {
+      MetadataTree meta;
+      meta.Set("Constraints.OpSpecification.Algorithm.name", node.name);
+      synthesized = AbstractOperator(node.name, std::move(meta));
+      abstract = &synthesized;
+    }
+
+    // findMaterializedOperators (line 12), filtered by engine availability
+    // (unavailable engines are excluded at planning time, §2.3).
+    std::vector<const MaterializedOperator*> candidates =
+        library_->FindMaterializedOperators(*abstract);
+
+    for (const MaterializedOperator* mo : candidates) {
+      const SimulatedEngine* engine = engines_->Find(mo->engine());
+      if (engine == nullptr || !engine->available()) continue;
+
+      // ---- Resolve every input port (lines 14-26). ----------------------
+      bool feasible = true;
+      double input_metric = 0.0;
+      double input_seconds = 0.0;
+      double input_cost = 0.0;
+      double total_bytes = 0.0;
+      double total_records = 0.0;
+      std::vector<InputChoice> choices;
+      for (size_t port = 0; port < node.inputs.size() && feasible; ++port) {
+        const int in_node = node.inputs[port];
+        const IoRequirement req =
+            RequirementFromSpec(mo->InputSpec(static_cast<int>(port)));
+        double best = std::numeric_limits<double>::infinity();
+        InputChoice best_choice;
+        const std::vector<Entry>& entries = dp_table[in_node];
+        for (size_t e = 0; e < entries.size(); ++e) {
+          const Entry& tin = entries[e];
+          if (InstanceSatisfies(tin.instance, req)) {
+            if (tin.metric < best) {
+              best = tin.metric;
+              best_choice = InputChoice{static_cast<int>(in_node),
+                                        static_cast<int>(e), false,
+                                        tin.instance, 0.0, 0.0};
+            }
+          } else {
+            // checkMove / moveCost (lines 22-25): one move/transform hop.
+            DatasetInstance moved = tin.instance;
+            if (!req.store.empty()) moved.store = req.store;
+            const bool transform =
+                !req.format.empty() && req.format != tin.instance.format;
+            if (transform) moved.format = req.format;
+            const double move_seconds = movement.MoveSeconds(
+                tin.instance.bytes, tin.instance.store, moved.store,
+                transform);
+            // Moves run on a minimal 1x(1c,1g) container.
+            const double move_cost = Resources{1, 1, 1.0}.CostForDuration(
+                move_seconds);
+            const double metric =
+                tin.metric + policy.Metric(move_seconds, move_cost);
+            if (metric < best) {
+              best = metric;
+              best_choice =
+                  InputChoice{static_cast<int>(in_node), static_cast<int>(e),
+                              true, moved, move_seconds, move_cost};
+            }
+          }
+        }
+        if (!std::isfinite(best)) {
+          feasible = false;
+          break;
+        }
+        const Entry& chosen = entries[best_choice.entry_index];
+        input_metric += best;
+        input_seconds += chosen.seconds + best_choice.move_seconds;
+        input_cost += chosen.cost + best_choice.move_cost;
+        total_bytes += best_choice.moved_instance.bytes;
+        total_records += best_choice.moved_instance.records;
+        choices.push_back(std::move(best_choice));
+      }
+      if (!feasible) continue;
+
+      // ---- Estimate the operator itself (line 27). -----------------------
+      OperatorRunRequest request;
+      request.algorithm = mo->algorithm();
+      request.input_bytes = total_bytes;
+      request.input_records = total_records;
+      request.params = ReadParams(*mo);
+      request.resources = engine->default_resources();
+      if (options.advisor != nullptr) {
+        request.resources =
+            options.advisor->Advise(*engine, request, policy);
+      }
+      auto estimate = estimator.Estimate(*engine, request);
+      if (!estimate.ok()) continue;  // infeasible on this engine (e.g. OOM)
+      const OperatorRunEstimate& est = estimate.value();
+      const double op_metric = policy.Metric(est.exec_seconds, est.cost);
+      const double total_metric = input_metric + op_metric;
+
+      // ---- Insert every output dataset into the dpTable (lines 29-31). --
+      for (size_t port = 0; port < node.outputs.size(); ++port) {
+        const int out_node = node.outputs[port];
+        if (out_node < 0) continue;
+        const IoRequirement out_req =
+            RequirementFromSpec(mo->OutputSpec(static_cast<int>(port)));
+        Entry entry;
+        entry.instance.dataset_node = graph.node(out_node).name;
+        entry.instance.store =
+            !out_req.store.empty() ? out_req.store : engine->native_store();
+        entry.instance.format = !out_req.format.empty()
+                                    ? out_req.format
+                                    : (choices.empty()
+                                           ? ""
+                                           : choices[0].moved_instance.format);
+        entry.instance.bytes = est.output_bytes;
+        entry.instance.records = est.output_records;
+        entry.metric = total_metric;
+        entry.seconds = input_seconds + est.exec_seconds;
+        entry.cost = input_cost + est.cost;
+        entry.producer_op_node = op_node;
+        entry.producer_mo = mo->name();
+        entry.engine = engine->name();
+        entry.algorithm = mo->algorithm();
+        entry.resources = request.resources;
+        entry.op_estimate = est;
+        entry.params = request.params;
+        entry.inputs = choices;
+        entry.op_input_bytes = total_bytes;
+        entry.op_input_records = total_records;
+
+        // Keep one record per (store, format): the cheapest.
+        std::vector<Entry>& bucket = dp_table[out_node];
+        auto existing = std::find_if(
+            bucket.begin(), bucket.end(), [&](const Entry& other) {
+              return other.instance.store == entry.instance.store &&
+                     other.instance.format == entry.instance.format;
+            });
+        if (existing == bucket.end()) {
+          bucket.push_back(std::move(entry));
+        } else if (entry.metric < existing->metric) {
+          *existing = std::move(entry);
+        }
+      }
+    }
+  }
+
+  // ---- Pick the optimal target entry (line 32). ---------------------------
+  const std::vector<Entry>& target_entries = dp_table[graph.target()];
+  if (target_entries.empty()) {
+    return Status::FailedPrecondition(
+        "no feasible execution plan reaches the target dataset");
+  }
+  size_t best_idx = 0;
+  for (size_t i = 1; i < target_entries.size(); ++i) {
+    if (target_entries[i].metric < target_entries[best_idx].metric) {
+      best_idx = i;
+    }
+  }
+
+  // ---- Reconstruct the chosen plan from the back-pointers. ---------------
+  ExecutionPlan plan;
+  // Memo: one plan step per producing run, keyed by (op node, mo name).
+  std::map<std::pair<int, std::string>, int> produced;
+
+  std::function<int(int, int)> build = [&](int dataset_node,
+                                           int entry_index) -> int {
+    const Entry& entry = dp_table[dataset_node][entry_index];
+    if (entry.producer_op_node < 0) return -1;  // source data
+    const std::pair<int, std::string> key{entry.producer_op_node,
+                                          entry.producer_mo};
+    auto it = produced.find(key);
+    if (it != produced.end()) return it->second;
+
+    PlanStep step;
+    step.kind = PlanStep::Kind::kOperator;
+    step.name = entry.producer_mo;
+    step.engine = entry.engine;
+    step.algorithm = entry.algorithm;
+    step.resources = entry.resources;
+    step.estimated_seconds = entry.op_estimate.exec_seconds;
+    step.estimated_cost = entry.op_estimate.cost;
+    step.params = entry.params;
+    step.input_bytes = entry.op_input_bytes;
+    step.input_records = entry.op_input_records;
+    for (size_t port = 0;
+         port < graph.node(entry.producer_op_node).outputs.size(); ++port) {
+      const int out_node = graph.node(entry.producer_op_node).outputs[port];
+      if (out_node < 0) continue;
+      // All outputs of this run share the producer's estimate; find the
+      // entry for each output that this run created.
+      for (const Entry& out_entry : dp_table[out_node]) {
+        if (out_entry.producer_op_node == entry.producer_op_node &&
+            out_entry.producer_mo == entry.producer_mo) {
+          step.outputs.push_back(out_entry.instance);
+          break;
+        }
+      }
+    }
+
+    for (const InputChoice& choice : entry.inputs) {
+      const int producer_step = build(choice.dataset_node, choice.entry_index);
+      const Entry& in_entry =
+          dp_table[choice.dataset_node][choice.entry_index];
+      int upstream = producer_step;
+      if (choice.move) {
+        PlanStep move_step;
+        move_step.kind = PlanStep::Kind::kMove;
+        move_step.name = "move(" + in_entry.instance.dataset_node + ":" +
+                         in_entry.instance.store + "->" +
+                         choice.moved_instance.store + ")";
+        move_step.engine = entry.engine;
+        move_step.algorithm = "Move";
+        move_step.resources = Resources{1, 1, 1.0};
+        move_step.estimated_seconds = choice.move_seconds;
+        move_step.estimated_cost = choice.move_cost;
+        move_step.outputs.push_back(choice.moved_instance);
+        move_step.input_bytes = in_entry.instance.bytes;
+        move_step.input_records = in_entry.instance.records;
+        if (producer_step >= 0) {
+          move_step.deps.push_back(producer_step);
+        } else {
+          move_step.source_datasets.push_back(
+              in_entry.instance.dataset_node);
+        }
+        move_step.id = static_cast<int>(plan.steps.size());
+        plan.steps.push_back(move_step);
+        upstream = move_step.id;
+      }
+      if (upstream >= 0) {
+        step.deps.push_back(upstream);
+      } else {
+        step.source_datasets.push_back(in_entry.instance.dataset_node);
+      }
+    }
+
+    step.id = static_cast<int>(plan.steps.size());
+    produced.emplace(key, step.id);
+    plan.steps.push_back(std::move(step));
+    return plan.steps.back().id;
+  };
+  build(graph.target(), static_cast<int>(best_idx));
+
+  // ---- End-to-end estimates: critical path + summed cost. ----------------
+  std::vector<double> finish(plan.steps.size(), 0.0);
+  double makespan = 0.0;
+  double total_cost = 0.0;
+  for (const PlanStep& step : plan.steps) {  // steps are in dependency order
+    double start = 0.0;
+    for (int dep : step.deps) start = std::max(start, finish[dep]);
+    finish[step.id] = start + step.estimated_seconds;
+    makespan = std::max(makespan, finish[step.id]);
+    total_cost += step.estimated_cost;
+  }
+  plan.estimated_seconds = makespan;
+  plan.estimated_cost = total_cost;
+  plan.metric = target_entries[best_idx].metric;
+  return plan;
+}
+
+}  // namespace ires

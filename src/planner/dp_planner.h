@@ -1,0 +1,67 @@
+#ifndef IRES_PLANNER_DP_PLANNER_H_
+#define IRES_PLANNER_DP_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engines/engine_registry.h"
+#include "operators/operator_library.h"
+#include "planner/cost_estimator.h"
+#include "planner/execution_plan.h"
+#include "planner/optimization_policy.h"
+#include "workflow/workflow_graph.h"
+
+namespace ires {
+
+/// Chooses container resources for one operator run. The NSGA-II-based
+/// provisioner (src/provisioning/) implements this; when absent, the planner
+/// uses each engine's default grid.
+class ResourceAdvisor {
+ public:
+  virtual ~ResourceAdvisor() = default;
+
+  /// Returns the resources to provision for `request` on `engine` under
+  /// `policy`. `request.resources` carries the engine default on entry.
+  virtual Resources Advise(const SimulatedEngine& engine,
+                           const OperatorRunRequest& request,
+                           const OptimizationPolicy& policy) = 0;
+};
+
+/// The IReS multi-engine planner: the dynamic-programming optimizer of
+/// deliverable §2.2.3 (Algorithm 1). Processes abstract operators in DAG
+/// topological order; for every abstract dataset node it keeps one optimal
+/// sub-plan per distinct (store, format) the dataset can exist in; move/
+/// transform operators are injected when a chosen input lives in the wrong
+/// store or format. Worst-case complexity O(op · m² · k).
+class DpPlanner {
+ public:
+  struct Options {
+    OptimizationPolicy policy = OptimizationPolicy::MinimizeTime();
+    /// Cost model library; null = analytic models.
+    const CostEstimator* estimator = nullptr;
+    /// Elastic resource provisioning hook; null = engine defaults.
+    ResourceAdvisor* advisor = nullptr;
+    /// Replanning support: intermediate results that already exist
+    /// (dataset-node name -> location/size). These enter the dpTable at
+    /// cost 0, so completed work is never re-scheduled (§2.3).
+    std::map<std::string, DatasetInstance> materialized_intermediates;
+  };
+
+  DpPlanner(const OperatorLibrary* library, const EngineRegistry* engines)
+      : library_(library), engines_(engines) {}
+
+  /// Plans `graph` under `options`. Fails with FailedPrecondition when no
+  /// feasible materialized plan reaches the target.
+  Result<ExecutionPlan> Plan(const WorkflowGraph& graph,
+                             const Options& options) const;
+
+ private:
+  const OperatorLibrary* library_;
+  const EngineRegistry* engines_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_PLANNER_DP_PLANNER_H_

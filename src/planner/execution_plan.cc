@@ -1,0 +1,81 @@
+#include "planner/execution_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ires {
+
+std::string ExecutionPlan::ToString() const {
+  std::string out;
+  for (const PlanStep& step : steps) {
+    char line[256];
+    std::string deps;
+    for (size_t i = 0; i < step.deps.size(); ++i) {
+      if (i > 0) deps += ",";
+      deps += std::to_string(step.deps[i]);
+    }
+    std::snprintf(line, sizeof(line),
+                  "#%d %-6s %-28s @%-12s deps=[%s] est=%.2fs cost=%.1f\n",
+                  step.id, step.kind == PlanStep::Kind::kMove ? "move" : "op",
+                  step.name.c_str(), step.engine.c_str(), deps.c_str(),
+                  step.estimated_seconds, step.estimated_cost);
+    out += line;
+  }
+  char total[128];
+  std::snprintf(total, sizeof(total),
+                "total: est=%.2fs cost=%.1f metric=%.2f\n", estimated_seconds,
+                estimated_cost, metric);
+  out += total;
+  return out;
+}
+
+std::string ExecutionPlan::ToDot() const {
+  std::string out = "digraph plan {\n  rankdir=LR;\n";
+  std::vector<std::string> dataset_nodes;
+  for (const PlanStep& step : steps) {
+    char node[256];
+    std::snprintf(node, sizeof(node),
+                  "  s%d [shape=%s,label=\"%s\\n@%s (%.1fs)\"];\n", step.id,
+                  step.kind == PlanStep::Kind::kMove ? "ellipse" : "box",
+                  step.name.c_str(), step.engine.c_str(),
+                  step.estimated_seconds);
+    out += node;
+    for (int dep : step.deps) {
+      out += "  s" + std::to_string(dep) + " -> s" +
+             std::to_string(step.id) + ";\n";
+    }
+    for (const std::string& source : step.source_datasets) {
+      const std::string id = "d_" + source;
+      if (std::find(dataset_nodes.begin(), dataset_nodes.end(), id) ==
+          dataset_nodes.end()) {
+        dataset_nodes.push_back(id);
+        out += "  \"" + id + "\" [shape=folder,label=\"" + source + "\"];\n";
+      }
+      out += "  \"" + id + "\" -> s" + std::to_string(step.id) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<int> ExecutionPlan::Roots() const {
+  std::vector<int> roots;
+  for (const PlanStep& step : steps) {
+    if (step.deps.empty()) roots.push_back(step.id);
+  }
+  return roots;
+}
+
+std::vector<std::string> ExecutionPlan::EnginesUsed() const {
+  std::vector<std::string> engines;
+  for (const PlanStep& step : steps) {
+    if (step.kind == PlanStep::Kind::kOperator) {
+      engines.push_back(step.engine);
+    }
+  }
+  std::sort(engines.begin(), engines.end());
+  engines.erase(std::unique(engines.begin(), engines.end()), engines.end());
+  return engines;
+}
+
+}  // namespace ires

@@ -1,0 +1,81 @@
+#ifndef IRES_PLANNER_EXECUTION_PLAN_H_
+#define IRES_PLANNER_EXECUTION_PLAN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+
+namespace ires {
+
+/// A concrete piece of data at a specific location — what flows along the
+/// edges of a materialized plan.
+struct DatasetInstance {
+  std::string dataset_node;  // abstract dataset node it materializes
+  std::string store;         // "HDFS", "PostgreSQL", "Local", ...
+  std::string format;        // "text", "arff", "tsv", ...
+  double bytes = 0.0;
+  double records = 0.0;
+};
+
+/// One node of the materialized execution plan: either a materialized
+/// operator bound to an engine, or a move/transform operator the planner
+/// injected between engines.
+struct PlanStep {
+  enum class Kind { kOperator, kMove };
+
+  int id = -1;
+  Kind kind = Kind::kOperator;
+  /// Materialized operator name, or a synthesized "move(...)" label.
+  std::string name;
+  /// Engine the step runs on; moves carry the destination engine.
+  std::string engine;
+  std::string algorithm;
+  /// Ids of plan steps whose outputs this step consumes (empty for steps
+  /// reading only source datasets).
+  std::vector<int> deps;
+  /// Abstract dataset nodes consumed directly from storage.
+  std::vector<std::string> source_datasets;
+  /// What the step produces (one entry per output port).
+  std::vector<DatasetInstance> outputs;
+  /// Provisioned resources.
+  Resources resources;
+  /// Model estimates at planning time.
+  double estimated_seconds = 0.0;
+  double estimated_cost = 0.0;
+  /// Operator parameters forwarded to the engine.
+  std::map<std::string, double> params;
+  /// Aggregate input statistics (for the executor's run request).
+  double input_bytes = 0.0;
+  double input_records = 0.0;
+};
+
+/// The planner's output: a DAG of plan steps plus the end-to-end estimates
+/// under the chosen policy.
+struct ExecutionPlan {
+  std::vector<PlanStep> steps;
+  /// Critical-path execution-time estimate (seconds).
+  double estimated_seconds = 0.0;
+  /// Total resource cost estimate (sum over steps).
+  double estimated_cost = 0.0;
+  /// The scalar metric value the DP minimized.
+  double metric = 0.0;
+
+  /// Pretty-printed plan (one line per step) for logs and examples.
+  std::string ToString() const;
+
+  /// Graphviz rendering of the plan DAG (operators as boxes labelled with
+  /// their engine, moves as ellipses, source datasets as folders).
+  std::string ToDot() const;
+
+  /// Steps with no dependencies.
+  std::vector<int> Roots() const;
+
+  /// Engines used by at least one operator step, sorted unique.
+  std::vector<std::string> EnginesUsed() const;
+};
+
+}  // namespace ires
+
+#endif  // IRES_PLANNER_EXECUTION_PLAN_H_

@@ -1,0 +1,110 @@
+#include "planner/materialization_report.h"
+
+#include <cstdio>
+#include <map>
+
+#include "planner/planner_common.h"
+
+namespace ires {
+
+std::string MaterializationReport::ToString() const {
+  std::string out;
+  for (const OperatorEntry& entry : operators) {
+    out += entry.operator_node;
+    out += entry.scheduled ? ":\n" : ": (not scheduled - reused result)\n";
+    for (const OperatorAlternative& alt : entry.alternatives) {
+      char line[192];
+      if (alt.feasible) {
+        std::snprintf(line, sizeof(line), "  [%c] %-28s @%-12s est=%.2fs\n",
+                      alt.chosen ? '*' : ' ', alt.materialized.c_str(),
+                      alt.engine.c_str(), alt.estimated_seconds);
+      } else {
+        std::snprintf(line, sizeof(line), "  [x] %-28s @%-12s %s\n",
+                      alt.materialized.c_str(), alt.engine.c_str(),
+                      alt.infeasibility.c_str());
+      }
+      out += line;
+    }
+  }
+  return out;
+}
+
+Result<MaterializationReport> BuildMaterializationReport(
+    const WorkflowGraph& graph, const OperatorLibrary& library,
+    const EngineRegistry& engines, const ExecutionPlan& plan) {
+  // Map each produced dataset node to its producing plan step.
+  // Moves re-emit the dataset they ship, so only operator steps count as
+  // producers here.
+  std::map<std::string, const PlanStep*> producer_of;
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind != PlanStep::Kind::kOperator) continue;
+    for (const DatasetInstance& out : step.outputs) {
+      producer_of[out.dataset_node] = &step;
+    }
+  }
+
+  IRES_ASSIGN_OR_RETURN(std::vector<int> topo, graph.TopologicalOperators());
+  MaterializationReport report;
+  for (int op_node : topo) {
+    const WorkflowGraph::Node& node = graph.node(op_node);
+    MaterializationReport::OperatorEntry entry;
+    entry.operator_node = node.name;
+
+    // The chosen plan step (if any): the producer of the first output.
+    const PlanStep* chosen_step = nullptr;
+    for (int out_node : node.outputs) {
+      if (out_node < 0) continue;
+      auto it = producer_of.find(graph.node(out_node).name);
+      if (it != producer_of.end() &&
+          it->second->kind == PlanStep::Kind::kOperator) {
+        chosen_step = it->second;
+        break;
+      }
+    }
+    entry.scheduled = chosen_step != nullptr;
+
+    // Candidate implementations, estimated at the chosen step's input
+    // statistics (or zero inputs when the operator was not scheduled).
+    const AbstractOperator* abstract = library.FindAbstractByName(node.name);
+    AbstractOperator synthesized;
+    if (abstract == nullptr) {
+      MetadataTree meta;
+      meta.Set("Constraints.OpSpecification.Algorithm.name", node.name);
+      synthesized = AbstractOperator(node.name, std::move(meta));
+      abstract = &synthesized;
+    }
+    for (const MaterializedOperator* mo :
+         library.FindMaterializedOperators(*abstract)) {
+      OperatorAlternative alt;
+      alt.materialized = mo->name();
+      alt.engine = mo->engine();
+      alt.chosen = chosen_step != nullptr && chosen_step->name == mo->name();
+      const SimulatedEngine* engine = engines.Find(mo->engine());
+      if (engine == nullptr || !engine->available()) {
+        alt.infeasibility = "engine unavailable";
+        entry.alternatives.push_back(std::move(alt));
+        continue;
+      }
+      OperatorRunRequest request;
+      request.algorithm = mo->algorithm();
+      if (chosen_step != nullptr) {
+        request.input_bytes = chosen_step->input_bytes;
+        request.input_records = chosen_step->input_records;
+      }
+      request.params = planner_internal::ReadParams(*mo);
+      request.resources = engine->default_resources();
+      auto estimate = engine->Estimate(request);
+      if (estimate.ok()) {
+        alt.feasible = true;
+        alt.estimated_seconds = estimate.value().exec_seconds;
+      } else {
+        alt.infeasibility = estimate.status().ToString();
+      }
+      entry.alternatives.push_back(std::move(alt));
+    }
+    report.operators.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace ires

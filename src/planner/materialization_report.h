@@ -1,0 +1,49 @@
+#ifndef IRES_PLANNER_MATERIALIZATION_REPORT_H_
+#define IRES_PLANNER_MATERIALIZATION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "engines/engine_registry.h"
+#include "operators/operator_library.h"
+#include "planner/execution_plan.h"
+#include "workflow/workflow_graph.h"
+
+namespace ires {
+
+/// One candidate implementation of an abstract operator — a row of the
+/// "materialized workflow" view the platform's web UI renders (deliverable
+/// Fig. 19: the optimal plan in green, the alternatives in red).
+struct OperatorAlternative {
+  std::string materialized;  // materialized operator name
+  std::string engine;
+  bool feasible = false;
+  std::string infeasibility;      // why not (OOM, engine OFF, ...)
+  double estimated_seconds = 0.0;  // at the chosen plan's input stats
+  bool chosen = false;
+};
+
+/// The full alternatives view of one planned workflow.
+struct MaterializationReport {
+  struct OperatorEntry {
+    std::string operator_node;   // abstract operator node name
+    bool scheduled = false;      // false when replanning skipped it
+    std::vector<OperatorAlternative> alternatives;
+  };
+  std::vector<OperatorEntry> operators;
+
+  /// Text rendering: "[*]" marks the chosen implementation.
+  std::string ToString() const;
+};
+
+/// Builds the alternatives view for `graph` against the chosen `plan`:
+/// every matching materialized operator is re-estimated with the input
+/// statistics the chosen plan established, so the numbers are comparable
+/// with the selected implementation's.
+Result<MaterializationReport> BuildMaterializationReport(
+    const WorkflowGraph& graph, const OperatorLibrary& library,
+    const EngineRegistry& engines, const ExecutionPlan& plan);
+
+}  // namespace ires
+
+#endif  // IRES_PLANNER_MATERIALIZATION_REPORT_H_

@@ -1,0 +1,65 @@
+#ifndef IRES_PLANNER_OPTIMIZATION_POLICY_H_
+#define IRES_PLANNER_OPTIMIZATION_POLICY_H_
+
+#include <algorithm>
+#include <string>
+
+namespace ires {
+
+/// The user-defined optimization policy: the planner minimizes a scalar
+/// metric that is either execution time, monetary/resource cost, or a
+/// weighted combination of the two (deliverable §2.2.3: "one metric or a
+/// function of multiple performance metrics").
+struct OptimizationPolicy {
+  enum class Objective {
+    kMinimizeTime,
+    kMinimizeCost,
+    kWeighted,
+  };
+
+  Objective objective = Objective::kMinimizeTime;
+  /// Weights for the kWeighted objective; the metric is
+  /// time_weight * seconds + cost_weight * cost.
+  double time_weight = 1.0;
+  double cost_weight = 0.0;
+
+  static OptimizationPolicy MinimizeTime() { return {}; }
+  static OptimizationPolicy MinimizeCost() {
+    OptimizationPolicy p;
+    p.objective = Objective::kMinimizeCost;
+    return p;
+  }
+  static OptimizationPolicy Weighted(double time_weight, double cost_weight) {
+    OptimizationPolicy p;
+    p.objective = Objective::kWeighted;
+    p.time_weight = time_weight;
+    p.cost_weight = cost_weight;
+    return p;
+  }
+
+  /// Scalarizes (seconds, cost) under this policy.
+  double Metric(double seconds, double cost) const {
+    switch (objective) {
+      case Objective::kMinimizeTime: return seconds;
+      case Objective::kMinimizeCost: return cost;
+      case Objective::kWeighted:
+        return time_weight * seconds + cost_weight * cost;
+    }
+    return seconds;
+  }
+
+  std::string ToString() const {
+    switch (objective) {
+      case Objective::kMinimizeTime: return "min-time";
+      case Objective::kMinimizeCost: return "min-cost";
+      case Objective::kWeighted:
+        return "weighted(t=" + std::to_string(time_weight) +
+               ",c=" + std::to_string(cost_weight) + ")";
+    }
+    return "?";
+  }
+};
+
+}  // namespace ires
+
+#endif  // IRES_PLANNER_OPTIMIZATION_POLICY_H_

@@ -1,0 +1,405 @@
+#include "planner/pareto_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "planner/planner_common.h"
+
+namespace ires {
+
+namespace {
+
+using planner_internal::InstanceSatisfies;
+using planner_internal::IoRequirement;
+using planner_internal::ReadParams;
+using planner_internal::RequirementFromSpec;
+
+// How one input port of one candidate run is fed: a dpTable entry id plus
+// an optional move.
+struct InputChoice {
+  int entry_id = -1;
+  bool move = false;
+  DatasetInstance moved_instance;
+  double move_seconds = 0.0;
+  double move_cost = 0.0;
+};
+
+// One Pareto record: a way to materialize a dataset node with a particular
+// (seconds, cost) trade-off. Entries live in a global arena and are
+// referenced by id so that back-pointers stay stable.
+struct Entry {
+  DatasetInstance instance;
+  double seconds = 0.0;
+  double cost = 0.0;
+  int producer_op_node = -1;       // <0: source data
+  std::string producer_mo;
+  std::string engine;
+  std::string algorithm;
+  Resources resources;
+  OperatorRunEstimate op_estimate;
+  std::map<std::string, double> params;
+  std::vector<InputChoice> inputs;
+  double op_input_bytes = 0.0;
+  double op_input_records = 0.0;
+};
+
+bool Dominates(double s1, double c1, double s2, double c2) {
+  return (s1 <= s2 && c1 <= c2) && (s1 < s2 || c1 < c2);
+}
+
+// Partial accumulation while combining the Pareto sets of multiple inputs.
+struct Partial {
+  double seconds = 0.0;
+  double cost = 0.0;
+  double bytes = 0.0;
+  double records = 0.0;
+  std::vector<InputChoice> choices;
+};
+
+// Keeps only non-dominated partials, capped at `cap` by keeping the
+// extremes and evenly spread interior points (sorted by seconds).
+void PrunePartials(std::vector<Partial>* partials, int cap) {
+  std::sort(partials->begin(), partials->end(),
+            [](const Partial& a, const Partial& b) {
+              if (a.seconds != b.seconds) return a.seconds < b.seconds;
+              return a.cost < b.cost;
+            });
+  std::vector<Partial> frontier;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (Partial& p : *partials) {
+    if (p.cost < best_cost - 1e-12) {
+      best_cost = p.cost;
+      frontier.push_back(std::move(p));
+    }
+  }
+  if (static_cast<int>(frontier.size()) > cap) {
+    std::vector<Partial> kept;
+    kept.reserve(cap);
+    for (int i = 0; i < cap; ++i) {
+      const size_t idx = static_cast<size_t>(
+          std::llround(static_cast<double>(i) * (frontier.size() - 1) /
+                       (cap - 1)));
+      kept.push_back(std::move(frontier[idx]));
+    }
+    frontier = std::move(kept);
+  }
+  *partials = std::move(frontier);
+}
+
+}  // namespace
+
+Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
+    const WorkflowGraph& graph, const Options& options) const {
+  IRES_RETURN_IF_ERROR(graph.Validate());
+  static const AnalyticCostEstimator kAnalytic;
+  const CostEstimator& estimator =
+      options.estimator != nullptr ? *options.estimator : kAnalytic;
+  const DataMovementModel& movement = engines_->movement();
+  const int cap = std::max(2, options.max_frontier_size);
+
+  std::vector<Entry> arena;
+  // Per dataset node: ids of the current Pareto entries (across all
+  // store/format variants; dominance is checked within a variant only,
+  // since a "worse" location can still enable a cheaper downstream plan).
+  std::vector<std::vector<int>> dp(graph.size());
+
+  auto insert_entry = [&](int node, Entry entry) {
+    std::vector<int>& bucket = dp[node];
+    // Drop the new entry if a same-location entry dominates it; drop
+    // dominated same-location entries.
+    for (int id : bucket) {
+      const Entry& other = arena[id];
+      if (other.instance.store == entry.instance.store &&
+          other.instance.format == entry.instance.format &&
+          (Dominates(other.seconds, other.cost, entry.seconds, entry.cost) ||
+           (other.seconds == entry.seconds && other.cost == entry.cost))) {
+        return;
+      }
+    }
+    bucket.erase(
+        std::remove_if(bucket.begin(), bucket.end(),
+                       [&](int id) {
+                         const Entry& other = arena[id];
+                         return other.instance.store == entry.instance.store &&
+                                other.instance.format ==
+                                    entry.instance.format &&
+                                Dominates(entry.seconds, entry.cost,
+                                          other.seconds, other.cost);
+                       }),
+        bucket.end());
+    const int id = static_cast<int>(arena.size());
+    arena.push_back(std::move(entry));
+    bucket.push_back(id);
+    // Cap per (store, format): keep extremes + spread, by seconds order.
+    std::map<std::pair<std::string, std::string>, std::vector<int>> groups;
+    for (int e : bucket) {
+      groups[{arena[e].instance.store, arena[e].instance.format}].push_back(e);
+    }
+    std::vector<int> pruned;
+    for (auto& [key, ids] : groups) {
+      std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+        return arena[a].seconds < arena[b].seconds;
+      });
+      if (static_cast<int>(ids.size()) <= cap) {
+        pruned.insert(pruned.end(), ids.begin(), ids.end());
+      } else {
+        for (int i = 0; i < cap; ++i) {
+          const size_t idx = static_cast<size_t>(std::llround(
+              static_cast<double>(i) * (ids.size() - 1) / (cap - 1)));
+          pruned.push_back(ids[idx]);
+        }
+      }
+    }
+    bucket = std::move(pruned);
+  };
+
+  // ---- dpTable initialization. --------------------------------------------
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const WorkflowGraph::Node& node = graph.node(static_cast<int>(id));
+    if (node.kind != WorkflowGraph::NodeKind::kDataset) continue;
+    auto pre_it = options.materialized_intermediates.find(node.name);
+    if (pre_it != options.materialized_intermediates.end()) {
+      Entry entry;
+      entry.instance = pre_it->second;
+      entry.instance.dataset_node = node.name;
+      insert_entry(static_cast<int>(id), std::move(entry));
+      continue;
+    }
+    if (!node.outputs.empty()) continue;
+    const Dataset* dataset = library_->FindDatasetByName(node.name);
+    if (dataset == nullptr) {
+      return Status::NotFound("source dataset not in library: " + node.name);
+    }
+    if (!dataset->IsMaterialized()) {
+      return Status::FailedPrecondition("source dataset is abstract: " +
+                                        node.name);
+    }
+    Entry entry;
+    entry.instance.dataset_node = node.name;
+    entry.instance.store = dataset->store();
+    entry.instance.format = dataset->format();
+    entry.instance.bytes = dataset->size_bytes();
+    entry.instance.records = dataset->record_count();
+    insert_entry(static_cast<int>(id), std::move(entry));
+  }
+
+  IRES_ASSIGN_OR_RETURN(std::vector<int> topo, graph.TopologicalOperators());
+
+  // ---- DP over operators, combining input Pareto sets. ---------------------
+  for (int op_node : topo) {
+    const WorkflowGraph::Node& node = graph.node(op_node);
+    const AbstractOperator* abstract = library_->FindAbstractByName(node.name);
+    AbstractOperator synthesized;
+    if (abstract == nullptr) {
+      MetadataTree meta;
+      meta.Set("Constraints.OpSpecification.Algorithm.name", node.name);
+      synthesized = AbstractOperator(node.name, std::move(meta));
+      abstract = &synthesized;
+    }
+
+    for (const MaterializedOperator* mo :
+         library_->FindMaterializedOperators(*abstract)) {
+      const SimulatedEngine* engine = engines_->Find(mo->engine());
+      if (engine == nullptr || !engine->available()) continue;
+
+      // Combine the inputs' Pareto sets port by port.
+      std::vector<Partial> partials = {Partial{}};
+      bool feasible = true;
+      for (size_t port = 0; port < node.inputs.size() && feasible; ++port) {
+        const int in_node = node.inputs[port];
+        const IoRequirement req =
+            RequirementFromSpec(mo->InputSpec(static_cast<int>(port)));
+        std::vector<Partial> next;
+        for (const Partial& base : partials) {
+          for (int entry_id : dp[in_node]) {
+            const Entry& tin = arena[entry_id];
+            InputChoice choice;
+            choice.entry_id = entry_id;
+            choice.moved_instance = tin.instance;
+            if (!InstanceSatisfies(tin.instance, req)) {
+              if (!req.store.empty()) choice.moved_instance.store = req.store;
+              const bool transform =
+                  !req.format.empty() && req.format != tin.instance.format;
+              if (transform) choice.moved_instance.format = req.format;
+              choice.move = true;
+              choice.move_seconds = movement.MoveSeconds(
+                  tin.instance.bytes, tin.instance.store,
+                  choice.moved_instance.store, transform);
+              choice.move_cost =
+                  Resources{1, 1, 1.0}.CostForDuration(choice.move_seconds);
+            }
+            Partial combined = base;
+            combined.seconds += tin.seconds + choice.move_seconds;
+            combined.cost += tin.cost + choice.move_cost;
+            combined.bytes += choice.moved_instance.bytes;
+            combined.records += choice.moved_instance.records;
+            combined.choices.push_back(std::move(choice));
+            next.push_back(std::move(combined));
+          }
+        }
+        if (next.empty()) {
+          feasible = false;
+          break;
+        }
+        PrunePartials(&next, cap);
+        partials = std::move(next);
+      }
+      if (!feasible) continue;
+
+      for (const Partial& partial : partials) {
+        OperatorRunRequest request;
+        request.algorithm = mo->algorithm();
+        request.input_bytes = partial.bytes;
+        request.input_records = partial.records;
+        request.params = ReadParams(*mo);
+        request.resources = engine->default_resources();
+        auto estimate = estimator.Estimate(*engine, request);
+        if (!estimate.ok()) continue;
+        const OperatorRunEstimate& est = estimate.value();
+
+        for (size_t port = 0; port < node.outputs.size(); ++port) {
+          const int out_node = node.outputs[port];
+          if (out_node < 0) continue;
+          const IoRequirement out_req =
+              RequirementFromSpec(mo->OutputSpec(static_cast<int>(port)));
+          Entry entry;
+          entry.instance.dataset_node = graph.node(out_node).name;
+          entry.instance.store =
+              !out_req.store.empty() ? out_req.store : engine->native_store();
+          entry.instance.format =
+              !out_req.format.empty()
+                  ? out_req.format
+                  : (partial.choices.empty()
+                         ? ""
+                         : partial.choices[0].moved_instance.format);
+          entry.instance.bytes = est.output_bytes;
+          entry.instance.records = est.output_records;
+          entry.seconds = partial.seconds + est.exec_seconds;
+          entry.cost = partial.cost + est.cost;
+          entry.producer_op_node = op_node;
+          entry.producer_mo = mo->name();
+          entry.engine = engine->name();
+          entry.algorithm = mo->algorithm();
+          entry.resources = request.resources;
+          entry.op_estimate = est;
+          entry.params = request.params;
+          entry.inputs = partial.choices;
+          entry.op_input_bytes = partial.bytes;
+          entry.op_input_records = partial.records;
+          insert_entry(out_node, std::move(entry));
+        }
+      }
+    }
+  }
+
+  // ---- Collect the target frontier (across locations). ---------------------
+  std::vector<int> target_ids = dp[graph.target()];
+  if (target_ids.empty()) {
+    return Status::FailedPrecondition(
+        "no feasible execution plan reaches the target dataset");
+  }
+  // Global dominance across locations for the final answer.
+  std::sort(target_ids.begin(), target_ids.end(), [&](int a, int b) {
+    if (arena[a].seconds != arena[b].seconds) {
+      return arena[a].seconds < arena[b].seconds;
+    }
+    return arena[a].cost < arena[b].cost;
+  });
+  std::vector<int> frontier_ids;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int id : target_ids) {
+    if (arena[id].cost < best_cost - 1e-12) {
+      best_cost = arena[id].cost;
+      frontier_ids.push_back(id);
+    }
+  }
+
+  // ---- Reconstruct one plan per frontier point. ----------------------------
+  std::vector<FrontierPlan> frontier;
+  for (int target_id : frontier_ids) {
+    FrontierPlan out;
+    out.seconds = arena[target_id].seconds;
+    out.cost = arena[target_id].cost;
+    ExecutionPlan& plan = out.plan;
+    std::map<int, int> step_of_entry;  // entry id -> producing plan step
+
+    std::function<int(int)> build = [&](int entry_id) -> int {
+      const Entry& entry = arena[entry_id];
+      if (entry.producer_op_node < 0) return -1;
+      auto it = step_of_entry.find(entry_id);
+      if (it != step_of_entry.end()) return it->second;
+
+      PlanStep step;
+      step.kind = PlanStep::Kind::kOperator;
+      step.name = entry.producer_mo;
+      step.engine = entry.engine;
+      step.algorithm = entry.algorithm;
+      step.resources = entry.resources;
+      step.estimated_seconds = entry.op_estimate.exec_seconds;
+      step.estimated_cost = entry.op_estimate.cost;
+      step.params = entry.params;
+      step.input_bytes = entry.op_input_bytes;
+      step.input_records = entry.op_input_records;
+      step.outputs.push_back(entry.instance);
+
+      for (const InputChoice& choice : entry.inputs) {
+        const int producer_step = build(choice.entry_id);
+        const Entry& in_entry = arena[choice.entry_id];
+        int upstream = producer_step;
+        if (choice.move) {
+          PlanStep move_step;
+          move_step.kind = PlanStep::Kind::kMove;
+          move_step.name = "move(" + in_entry.instance.dataset_node + ":" +
+                           in_entry.instance.store + "->" +
+                           choice.moved_instance.store + ")";
+          move_step.engine = entry.engine;
+          move_step.algorithm = "Move";
+          move_step.resources = Resources{1, 1, 1.0};
+          move_step.estimated_seconds = choice.move_seconds;
+          move_step.estimated_cost = choice.move_cost;
+          move_step.outputs.push_back(choice.moved_instance);
+          move_step.input_bytes = in_entry.instance.bytes;
+          move_step.input_records = in_entry.instance.records;
+          if (producer_step >= 0) {
+            move_step.deps.push_back(producer_step);
+          } else {
+            move_step.source_datasets.push_back(
+                in_entry.instance.dataset_node);
+          }
+          move_step.id = static_cast<int>(plan.steps.size());
+          plan.steps.push_back(move_step);
+          upstream = move_step.id;
+        }
+        if (upstream >= 0) {
+          step.deps.push_back(upstream);
+        } else {
+          step.source_datasets.push_back(in_entry.instance.dataset_node);
+        }
+      }
+      step.id = static_cast<int>(plan.steps.size());
+      step_of_entry.emplace(entry_id, step.id);
+      plan.steps.push_back(std::move(step));
+      return plan.steps.back().id;
+    };
+    build(target_id);
+
+    std::vector<double> finish(plan.steps.size(), 0.0);
+    double makespan = 0.0, total_cost = 0.0;
+    for (const PlanStep& step : plan.steps) {
+      double start = 0.0;
+      for (int dep : step.deps) start = std::max(start, finish[dep]);
+      finish[step.id] = start + step.estimated_seconds;
+      makespan = std::max(makespan, finish[step.id]);
+      total_cost += step.estimated_cost;
+    }
+    plan.estimated_seconds = makespan;
+    plan.estimated_cost = total_cost;
+    plan.metric = out.seconds;
+    frontier.push_back(std::move(out));
+  }
+  return frontier;
+}
+
+}  // namespace ires

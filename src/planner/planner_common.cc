@@ -1,0 +1,46 @@
+#include "planner/planner_common.h"
+
+#include <cstdlib>
+
+namespace ires::planner_internal {
+
+IoRequirement RequirementFromSpec(const MetadataTree::Node* spec) {
+  IoRequirement req;
+  if (spec == nullptr) return req;
+  auto engine_it = spec->children.find("Engine");
+  if (engine_it != spec->children.end()) {
+    auto fs_it = engine_it->second.children.find("FS");
+    if (fs_it != engine_it->second.children.end() &&
+        fs_it->second.value.has_value() &&
+        *fs_it->second.value != MetadataTree::kWildcard) {
+      req.store = *fs_it->second.value;
+    }
+  }
+  auto type_it = spec->children.find("type");
+  if (type_it != spec->children.end() && type_it->second.value.has_value() &&
+      *type_it->second.value != MetadataTree::kWildcard) {
+    req.format = *type_it->second.value;
+  }
+  return req;
+}
+
+bool InstanceSatisfies(const DatasetInstance& instance,
+                       const IoRequirement& req) {
+  if (!req.store.empty() && req.store != instance.store) return false;
+  if (!req.format.empty() && req.format != instance.format) return false;
+  return true;
+}
+
+std::map<std::string, double> ReadParams(const MaterializedOperator& mo) {
+  std::map<std::string, double> params;
+  const MetadataTree::Node* node = mo.meta().Find("Optimization.params");
+  if (node == nullptr) return params;
+  for (const auto& [key, child] : node->children) {
+    if (child.value.has_value()) {
+      params[key] = std::strtod(child.value->c_str(), nullptr);
+    }
+  }
+  return params;
+}
+
+}  // namespace ires::planner_internal

@@ -1,0 +1,34 @@
+#ifndef IRES_PLANNER_PLANNER_COMMON_H_
+#define IRES_PLANNER_PLANNER_COMMON_H_
+
+#include <map>
+#include <string>
+
+#include "metadata/metadata_tree.h"
+#include "operators/operator.h"
+#include "planner/execution_plan.h"
+
+namespace ires::planner_internal {
+
+/// A store/format requirement extracted from a Constraints.Input<i> subtree;
+/// an empty string means unconstrained.
+struct IoRequirement {
+  std::string store;
+  std::string format;
+};
+
+/// Reads the Engine.FS / type leaves of an Input/Output spec subtree
+/// (nullptr and "*" mean unconstrained).
+IoRequirement RequirementFromSpec(const MetadataTree::Node* spec);
+
+/// True when the instance's location/format satisfies the requirement.
+bool InstanceSatisfies(const DatasetInstance& instance,
+                       const IoRequirement& req);
+
+/// Reads Optimization.params.* leaves of a materialized operator into a run
+/// request parameter map.
+std::map<std::string, double> ReadParams(const MaterializedOperator& mo);
+
+}  // namespace ires::planner_internal
+
+#endif  // IRES_PLANNER_PLANNER_COMMON_H_

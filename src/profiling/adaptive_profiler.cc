@@ -1,0 +1,119 @@
+#include "profiling/adaptive_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "modeling/tree_models.h"
+
+namespace ires {
+
+OperatorRunRequest AdaptiveProfiler::SampleConfig(
+    const std::string& algorithm, const Domain& domain, Rng* rng) const {
+  OperatorRunRequest request;
+  request.algorithm = algorithm;
+  // Log-uniform over the input range: performance cliffs live at scale
+  // boundaries, so small sizes deserve proportional representation.
+  const double log_lo = std::log(domain.min_input_bytes);
+  const double log_hi = std::log(domain.max_input_bytes);
+  request.input_bytes = std::exp(rng->Uniform(log_lo, log_hi));
+  request.resources.containers =
+      static_cast<int>(rng->UniformInt(1, domain.max_containers));
+  request.resources.cores =
+      static_cast<int>(rng->UniformInt(1, domain.max_cores));
+  request.resources.memory_gb =
+      rng->Uniform(domain.min_memory_gb, domain.max_memory_gb);
+  return request;
+}
+
+std::vector<ProfileRecord> AdaptiveProfiler::Profile(
+    const std::string& algorithm, const Domain& domain) {
+  Rng rng(options_.seed);
+  Profiler profiler(engine_, rng.Next());
+  std::vector<ProfileRecord> records;
+
+  auto observe = [&](const OperatorRunRequest& request) {
+    auto record = profiler.RunOnce(request);
+    if (record.ok()) records.push_back(std::move(record).value());
+  };
+
+  // Phase 1: random bootstrap.
+  for (int i = 0; i < options_.initial_samples; ++i) {
+    observe(SampleConfig(algorithm, domain, &rng));
+  }
+
+  // Phase 2: uncertainty-driven selection.
+  for (int run = options_.initial_samples; run < options_.total_budget;
+       ++run) {
+    if (records.size() < 4) {
+      // Not enough successful observations to fit anything useful yet.
+      observe(SampleConfig(algorithm, domain, &rng));
+      continue;
+    }
+    // Fit a bootstrap ensemble on the current observations.
+    Matrix x;
+    Vector y;
+    for (const ProfileRecord& record : records) {
+      x.AppendRow(record.features);
+      y.push_back(record.exec_seconds);
+    }
+    std::vector<std::unique_ptr<Model>> ensemble;
+    for (int m = 0; m < options_.ensemble_size; ++m) {
+      Matrix bx;
+      Vector by;
+      for (size_t i = 0; i < x.rows(); ++i) {
+        const size_t pick =
+            static_cast<size_t>(rng.UniformInt(0, x.rows() - 1));
+        bx.AppendRow(x.Row(pick));
+        by.push_back(y[pick]);
+      }
+      auto tree = std::make_unique<RegressionTree>();
+      if (tree->Fit(bx, by).ok()) ensemble.push_back(std::move(tree));
+    }
+    if (ensemble.empty()) {
+      observe(SampleConfig(algorithm, domain, &rng));
+      continue;
+    }
+    // Score a random candidate pool by ensemble disagreement.
+    OperatorRunRequest best_candidate;
+    double best_score = -1.0;
+    for (int c = 0; c < options_.candidate_pool; ++c) {
+      OperatorRunRequest candidate = SampleConfig(algorithm, domain, &rng);
+      const Vector features = Profiler::FeatureVector(candidate);
+      double mean = 0.0, sq = 0.0;
+      for (const auto& model : ensemble) {
+        const double p = model->Predict(features);
+        mean += p;
+        sq += p * p;
+      }
+      mean /= ensemble.size();
+      const double variance =
+          std::max(0.0, sq / ensemble.size() - mean * mean);
+      // Relative disagreement (coefficient of variation): absolute variance
+      // would chase only the large-runtime corner of the space and leave
+      // the small-size region unlearned.
+      const double score =
+          std::sqrt(variance) / std::max(1e-6, std::fabs(mean));
+      if (score > best_score) {
+        best_score = score;
+        best_candidate = std::move(candidate);
+      }
+    }
+    observe(best_candidate);
+  }
+  return records;
+}
+
+std::vector<ProfileRecord> AdaptiveProfiler::ProfileUniform(
+    const std::string& algorithm, const Domain& domain) {
+  Rng rng(options_.seed ^ 0xABCDEF);
+  Profiler profiler(engine_, rng.Next());
+  std::vector<ProfileRecord> records;
+  for (int i = 0; i < options_.total_budget; ++i) {
+    auto record = profiler.RunOnce(SampleConfig(algorithm, domain, &rng));
+    if (record.ok()) records.push_back(std::move(record).value());
+  }
+  return records;
+}
+
+}  // namespace ires

@@ -1,0 +1,69 @@
+#ifndef IRES_PROFILING_ADAPTIVE_PROFILER_H_
+#define IRES_PROFILING_ADAPTIVE_PROFILER_H_
+
+#include <memory>
+#include <vector>
+
+#include "modeling/model.h"
+#include "profiling/profiler.h"
+
+namespace ires {
+
+/// PANIC-style adaptive profiling (Giannakopoulos et al., IC2E'15 — the
+/// mechanism deliverable §2.2.1 builds its profiler on): instead of sweeping
+/// a uniform grid over the (data, resources, parameters) configuration
+/// space, each next profiling run is placed where the current model
+/// ensemble disagrees the most, concentrating the profiling budget on the
+/// least-understood regions of the performance surface (memory cliffs,
+/// parallelism knees).
+class AdaptiveProfiler {
+ public:
+  struct Options {
+    /// Random runs before uncertainty-driven selection kicks in.
+    int initial_samples = 8;
+    /// Total profiling runs (including the initial ones).
+    int total_budget = 40;
+    /// Size of the bootstrap ensemble used to score uncertainty.
+    int ensemble_size = 5;
+    /// Size of the random candidate pool scored per round.
+    int candidate_pool = 200;
+    uint64_t seed = 7777;
+  };
+
+  /// The configuration space to explore.
+  struct Domain {
+    double min_input_bytes = 1e8;
+    double max_input_bytes = 8e9;
+    int max_containers = 8;
+    int max_cores = 4;
+    double min_memory_gb = 1.0;
+    double max_memory_gb = 6.0;
+  };
+
+  explicit AdaptiveProfiler(SimulatedEngine* engine)
+      : AdaptiveProfiler(engine, Options()) {}
+  AdaptiveProfiler(SimulatedEngine* engine, Options options)
+      : engine_(engine), options_(options) {}
+
+  /// Profiles `algorithm` over `domain`, returning the collected records
+  /// (at most total_budget; infeasible configurations are observed as
+  /// failures and skipped but still consume budget, as on a real cluster).
+  std::vector<ProfileRecord> Profile(const std::string& algorithm,
+                                     const Domain& domain);
+
+  /// Convenience: the uniform-random baseline with the same budget (the
+  /// ablation compares the two).
+  std::vector<ProfileRecord> ProfileUniform(const std::string& algorithm,
+                                            const Domain& domain);
+
+ private:
+  OperatorRunRequest SampleConfig(const std::string& algorithm,
+                                  const Domain& domain, Rng* rng) const;
+
+  SimulatedEngine* engine_;
+  Options options_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_PROFILING_ADAPTIVE_PROFILER_H_

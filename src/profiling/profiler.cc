@@ -1,0 +1,117 @@
+#include "profiling/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ires {
+
+Vector Profiler::FeatureVector(const OperatorRunRequest& request) {
+  Vector features;
+  const double gb = request.input_bytes / 1e9;
+  const double total_cores =
+      std::max(1, request.resources.total_cores());
+  features.push_back(gb);
+  features.push_back(static_cast<double>(request.resources.containers));
+  features.push_back(static_cast<double>(request.resources.cores));
+  features.push_back(request.resources.memory_gb);
+  // Derived monitoring features: total parallelism and per-core data volume
+  // (these linearize the Amdahl-shaped runtime surface for the regressors).
+  features.push_back(total_cores);
+  features.push_back(gb / total_cores);
+  for (const auto& [name, value] : request.params) {  // sorted by name
+    features.push_back(value);
+  }
+  return features;
+}
+
+Result<ProfileRecord> Profiler::RunOnce(const OperatorRunRequest& request) {
+  IRES_ASSIGN_OR_RETURN(OperatorRunEstimate run, engine_->Run(request, &rng_));
+
+  ProfileRecord record;
+  record.features = FeatureVector(request);
+  record.exec_seconds = run.exec_seconds;
+  record.cost = run.cost;
+
+  record.metrics["execTime"] = run.exec_seconds;
+  record.metrics["cost"] = run.cost;
+  record.metrics["inputBytes"] = request.input_bytes;
+  record.metrics["inputCount"] = request.input_records;
+  record.metrics["outputBytes"] = run.output_bytes;
+  record.metrics["outputCount"] = run.output_records;
+  record.metrics["containers"] = request.resources.containers;
+  record.metrics["coresPerContainer"] = request.resources.cores;
+  record.metrics["memoryGbPerContainer"] = request.resources.memory_gb;
+  record.metrics["totalCores"] = request.resources.total_cores();
+  for (const auto& [name, value] : request.params) {
+    record.metrics["param." + name] = value;
+  }
+
+  // Synthetic monitoring timeline: utilization ramps up after startup, holds
+  // with jitter, then drains — the shape ganglia would report for a batch
+  // job. One sample per 5 simulated seconds, at least 3 samples.
+  const int samples =
+      std::max(3, static_cast<int>(std::ceil(run.exec_seconds / 5.0)));
+  for (int s = 0; s < samples; ++s) {
+    const double phase = (s + 0.5) / samples;
+    const double envelope =
+        phase < 0.15 ? phase / 0.15 : (phase > 0.9 ? (1.0 - phase) / 0.1 : 1.0);
+    const double jitter = 1.0 + 0.1 * rng_.Normal();
+    std::array<double, 4> sample;
+    sample[0] = std::clamp(85.0 * envelope * jitter, 0.0, 100.0);  // CPU %
+    sample[1] = std::clamp(20.0 + 60.0 * phase, 0.0, 100.0);       // RAM %
+    sample[2] = std::max(0.0, 40.0 * envelope * jitter);   // net MB/s
+    sample[3] = std::max(0.0, 800.0 * envelope * jitter);  // IOPS
+    record.timeline.push_back(sample);
+  }
+  record.metrics["timelineSamples"] = samples;
+  return record;
+}
+
+std::vector<ProfileRecord> Profiler::RunSweep(const std::string& algorithm,
+                                              const Sweep& sweep) {
+  std::vector<ProfileRecord> records;
+  std::vector<double> records_per_byte = sweep.records_per_byte;
+  if (records_per_byte.empty()) records_per_byte.push_back(0.0);
+
+  // Expand the parameter grid (cross product over sorted parameter names).
+  std::vector<std::map<std::string, double>> param_grid = {{}};
+  for (const auto& [name, values] : sweep.params) {
+    std::vector<std::map<std::string, double>> next;
+    for (const auto& base : param_grid) {
+      for (double v : values) {
+        auto combo = base;
+        combo[name] = v;
+        next.push_back(std::move(combo));
+      }
+    }
+    param_grid = std::move(next);
+  }
+
+  for (double bytes : sweep.input_bytes) {
+    for (double rpb : records_per_byte) {
+      for (const Resources& res : sweep.resources) {
+        for (const auto& params : param_grid) {
+          OperatorRunRequest request;
+          request.algorithm = algorithm;
+          request.input_bytes = bytes;
+          request.input_records = bytes * rpb;
+          request.resources = res;
+          request.params = params;
+          auto record = RunOnce(request);
+          if (record.ok()) records.push_back(std::move(record).value());
+        }
+      }
+    }
+  }
+  return records;
+}
+
+void Profiler::Train(const std::vector<ProfileRecord>& records,
+                     OnlineEstimator* estimator) {
+  for (const ProfileRecord& record : records) {
+    estimator->Observe(record.features, record.exec_seconds);
+  }
+  (void)estimator->Refit();
+}
+
+}  // namespace ires

@@ -1,0 +1,73 @@
+#ifndef IRES_PROFILING_PROFILER_H_
+#define IRES_PROFILING_PROFILER_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engines/engine.h"
+#include "modeling/refinement.h"
+
+namespace ires {
+
+/// One profiling observation: the named metrics the platform collects per
+/// run (execution time, input/output sizes and counts, operator parameters,
+/// resource configuration, plus a periodic system-metric timeline pulled
+/// from monitoring — CPU, RAM, network, IOPS). Together with the timestamp
+/// this mirrors the 45-metric schema of deliverable §2.2.1.
+struct ProfileRecord {
+  /// Canonical model features, in FeatureVector() order.
+  Vector features;
+  /// Every named scalar metric of the run.
+  std::map<std::string, double> metrics;
+  double exec_seconds = 0.0;
+  double cost = 0.0;
+  /// Synthetic monitoring timeline: one (cpu%, ram%, net MB/s, IOPS) sample
+  /// per simulated 5-second tick.
+  std::vector<std::array<double, 4>> timeline;
+};
+
+/// Offline profiler (deliverable §2.2.1): executes an operator on an engine
+/// across a grid of data-, operator- and resource-specific parameters and
+/// records performance/cost metrics used to train the estimation models.
+class Profiler {
+ public:
+  /// Parameter grid of a profiling campaign.
+  struct Sweep {
+    std::vector<double> input_bytes;
+    std::vector<double> records_per_byte;  // optional; default {0.0}
+    std::vector<Resources> resources;
+    std::map<std::string, std::vector<double>> params;
+  };
+
+  Profiler(const SimulatedEngine* engine, uint64_t seed = 4242)
+      : engine_(engine), rng_(seed) {}
+
+  /// The canonical feature layout shared by profiler and planner-side model
+  /// consumers: [input_gb, containers, cores/container, GB/container,
+  /// total_cores, input_gb/total_cores, param values in sorted-name order].
+  static Vector FeatureVector(const OperatorRunRequest& request);
+
+  /// Runs the full cross-product of the sweep. Infeasible combinations
+  /// (engine OOM) are skipped.
+  std::vector<ProfileRecord> RunSweep(const std::string& algorithm,
+                                      const Sweep& sweep);
+
+  /// Executes one profiling run; returns NotFound/ResourceExhausted errors
+  /// from the engine unchanged.
+  Result<ProfileRecord> RunOnce(const OperatorRunRequest& request);
+
+  /// Feeds `records` into `estimator` (bulk offline training).
+  static void Train(const std::vector<ProfileRecord>& records,
+                    OnlineEstimator* estimator);
+
+ private:
+  const SimulatedEngine* engine_;
+  Rng rng_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_PROFILING_PROFILER_H_

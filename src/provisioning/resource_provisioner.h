@@ -1,0 +1,53 @@
+#ifndef IRES_PROVISIONING_RESOURCE_PROVISIONER_H_
+#define IRES_PROVISIONING_RESOURCE_PROVISIONER_H_
+
+#include "planner/dp_planner.h"
+#include "provisioning/nsga2.h"
+
+namespace ires {
+
+/// Elastic resource provisioning (deliverable §2.2.4): searches the
+/// (#containers, cores/container, GB/container) space with NSGA-II over the
+/// engine's cost/performance model, producing the Pareto front of
+/// (execution time, execution cost) and picking the front point that best
+/// serves the user policy. Centralized engines are pinned to one container.
+class NsgaResourceProvisioner : public ResourceAdvisor {
+ public:
+  struct Limits {
+    int max_containers = 8;
+    int max_cores_per_container = 4;
+    double max_memory_gb_per_container = 6.75;
+  };
+
+  NsgaResourceProvisioner() = default;
+  NsgaResourceProvisioner(Limits limits, Nsga2::Options ga)
+      : limits_(limits), ga_(ga) {}
+
+  Resources Advise(const SimulatedEngine& engine,
+                   const OperatorRunRequest& request,
+                   const OptimizationPolicy& policy) override;
+
+  /// Exposes the full Pareto front for the last Advise call (time, cost)
+  /// pairs with their decoded resources; used by the Fig. 17 bench.
+  struct FrontPoint {
+    Resources resources;
+    double seconds = 0.0;
+    double cost = 0.0;
+  };
+  const std::vector<FrontPoint>& last_front() const { return last_front_; }
+
+  /// When minimizing time, accept up to this relative slowdown versus the
+  /// fastest front point in exchange for a cheaper allocation (the "right
+  /// amount of resources" knee of Fig. 17).
+  void set_time_tolerance(double tolerance) { time_tolerance_ = tolerance; }
+
+ private:
+  Limits limits_;
+  Nsga2::Options ga_;
+  double time_tolerance_ = 0.05;
+  std::vector<FrontPoint> last_front_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_PROVISIONING_RESOURCE_PROVISIONER_H_

@@ -1,0 +1,107 @@
+#include "sql/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ires::sql {
+
+void EstimateCalibrator::Record(const std::string& engine, double estimate,
+                                double actual) {
+  Series& s = series_[engine];
+  s.estimates.push_back(estimate);
+  s.actuals.push_back(actual);
+}
+
+namespace {
+
+struct LinearFit {
+  double slope = 1.0;
+  double intercept = 0.0;
+};
+
+// Ordinary least squares actual ~ slope * estimate + intercept.
+LinearFit FitSeries(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  const size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  // Relative degeneracy check: (near-)constant estimates leave the slope
+  // unidentifiable, so fall back to the identity mapping.
+  if (std::fabs(denom) < 1e-9 * std::max(1.0, n * sxx)) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  return fit;
+}
+
+}  // namespace
+
+double EstimateCalibrator::Calibrate(const std::string& engine,
+                                     double estimate) const {
+  auto it = series_.find(engine);
+  if (it == series_.end() || it->second.estimates.size() < min_samples()) {
+    return estimate;
+  }
+  const LinearFit fit =
+      FitSeries(it->second.estimates, it->second.actuals);
+  return std::max(0.0, fit.slope * estimate + fit.intercept);
+}
+
+double EstimateCalibrator::Correlation(const std::string& engine) const {
+  auto it = series_.find(engine);
+  if (it == series_.end() || it->second.estimates.size() < min_samples()) {
+    return 0.0;
+  }
+  const std::vector<double>& x = it->second.estimates;
+  const std::vector<double>& y = it->second.actuals;
+  const size_t n = x.size();
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx < 1e-12 || syy < 1e-12) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+bool EstimateCalibrator::TrustEngine(const std::string& engine,
+                                     Rng* rng) const {
+  auto it = series_.find(engine);
+  if (it == series_.end() || it->second.estimates.size() < min_samples()) {
+    return true;  // no evidence against it yet
+  }
+  const double correlation = std::max(0.0, Correlation(engine));
+  return rng->Uniform() < correlation;
+}
+
+size_t EstimateCalibrator::sample_count(const std::string& engine) const {
+  auto it = series_.find(engine);
+  return it == series_.end() ? 0 : it->second.estimates.size();
+}
+
+std::map<std::string, std::unique_ptr<SqlEngine>> CalibrateFleet(
+    const std::map<std::string, std::unique_ptr<SqlEngine>>& fleet,
+    const EstimateCalibrator* calibrator) {
+  std::map<std::string, std::unique_ptr<SqlEngine>> out;
+  for (const auto& [name, engine] : fleet) {
+    out[name] =
+        std::make_unique<CalibratedSqlEngine>(engine.get(), calibrator);
+  }
+  return out;
+}
+
+}  // namespace ires::sql

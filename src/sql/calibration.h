@@ -1,0 +1,96 @@
+#ifndef IRES_SQL_CALIBRATION_H_
+#define IRES_SQL_CALIBRATION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/sql_engine.h"
+
+namespace ires::sql {
+
+/// MuSQLE's estimation-accuracy machinery (paper §V-B): the metastore logs
+/// every (engine estimate, measured execution time) pair per engine; from
+/// those it
+///   1. fits a per-engine linear model mapping the engine's cost units to
+///      wall-clock seconds (PostgreSQL EXPLAIN reports page fetches, not
+///      seconds - a linear transform is assumed), and
+///   2. computes the correlation between estimated and actual times; an
+///      engine whose API consistently mispredicts gets a low confidence and
+///      is probabilistically discarded from optimization.
+class EstimateCalibrator {
+ public:
+  /// Records one measurement for `engine`.
+  void Record(const std::string& engine, double estimate, double actual);
+
+  /// Maps a raw engine estimate to calibrated wall-clock seconds using the
+  /// fitted linear model `actual ~ a * estimate + b` (identity until at
+  /// least `min_samples()` measurements exist). Never returns < 0.
+  double Calibrate(const std::string& engine, double estimate) const;
+
+  /// Pearson correlation between this engine's estimates and the measured
+  /// times; 0 when fewer than min_samples() measurements exist.
+  double Correlation(const std::string& engine) const;
+
+  /// Confidence-weighted trust decision (paper: "a probability
+  /// proportionate to the measured correlation to randomly discard the API
+  /// estimation results"). Engines without history are trusted.
+  bool TrustEngine(const std::string& engine, Rng* rng) const;
+
+  size_t sample_count(const std::string& engine) const;
+  static constexpr size_t min_samples() { return 3; }
+
+ private:
+  struct Series {
+    std::vector<double> estimates;
+    std::vector<double> actuals;
+  };
+  std::map<std::string, Series> series_;
+};
+
+/// Decorator that exposes a SqlEngine through its calibrated cost model:
+/// every estimate of the inner engine is passed through the calibrator.
+/// Lets the MuSQLE optimizer consume corrected estimates without the engine
+/// implementations knowing about calibration.
+class CalibratedSqlEngine : public SqlEngine {
+ public:
+  CalibratedSqlEngine(const SqlEngine* inner,
+                      const EstimateCalibrator* calibrator)
+      : SqlEngine(inner->name()), inner_(inner), calibrator_(calibrator) {}
+
+  double ScanSeconds(const RelationStats& input,
+                     double selectivity) const override {
+    return calibrator_->Calibrate(name(),
+                                  inner_->ScanSeconds(input, selectivity));
+  }
+  double JoinSeconds(const RelationStats& left, const RelationStats& right,
+                     const RelationStats& output) const override {
+    return calibrator_->Calibrate(name(),
+                                  inner_->JoinSeconds(left, right, output));
+  }
+  double LoadSeconds(const RelationStats& input) const override {
+    return calibrator_->Calibrate(name(), inner_->LoadSeconds(input));
+  }
+  bool Feasible(double working_set_bytes) const override {
+    return inner_->Feasible(working_set_bytes);
+  }
+  double TruthFactor(Rng* rng) const override {
+    return inner_->TruthFactor(rng);
+  }
+
+ private:
+  const SqlEngine* inner_;
+  const EstimateCalibrator* calibrator_;
+};
+
+/// Builds a calibrated view of a fleet (the engines remain owned by
+/// `fleet`; the returned map must not outlive it or the calibrator).
+std::map<std::string, std::unique_ptr<SqlEngine>> CalibrateFleet(
+    const std::map<std::string, std::unique_ptr<SqlEngine>>& fleet,
+    const EstimateCalibrator* calibrator);
+
+}  // namespace ires::sql
+
+#endif  // IRES_SQL_CALIBRATION_H_

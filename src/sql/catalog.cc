@@ -1,0 +1,95 @@
+#include "sql/catalog.h"
+
+namespace ires::sql {
+
+const ColumnStats* TableDef::FindColumn(const std::string& column) const {
+  for (const ColumnStats& c : columns) {
+    if (c.name == column) return &c;
+  }
+  return nullptr;
+}
+
+Status Catalog::AddTable(TableDef table) {
+  if (table.name.empty()) return Status::InvalidArgument("table needs a name");
+  if (tables_.count(table.name) > 0) {
+    return Status::AlreadyExists("table: " + table.name);
+  }
+  tables_.emplace(table.name, std::move(table));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::SetTableEngine(const std::string& table,
+                               const std::string& engine) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table: " + table);
+  it->second.engine = engine;
+  return Status::OK();
+}
+
+Catalog MakeTpchCatalog(double scale_gb, const std::string& small_engine,
+                        const std::string& medium_engine,
+                        const std::string& large_engine) {
+  Catalog catalog;
+  const double sf = scale_gb;  // TPC-H scale factor ~ dataset size in GB
+
+  auto add = [&](const std::string& name, const std::string& engine,
+                 double rows, double row_bytes,
+                 std::vector<ColumnStats> columns) {
+    TableDef t;
+    t.name = name;
+    t.engine = engine;
+    t.rows = rows;
+    t.row_bytes = row_bytes;
+    t.columns = std::move(columns);
+    (void)catalog.AddTable(std::move(t));
+  };
+
+  // Cardinalities from the TPC-H specification (per scale factor).
+  add("nation", small_engine, 25, 128,
+      {{"n_nationkey", 25}, {"n_regionkey", 5}, {"n_name", 25}});
+  add("region", small_engine, 5, 124,
+      {{"r_regionkey", 5}, {"r_name", 5}});
+  add("customer", small_engine, 150e3 * sf, 180,
+      {{"c_custkey", 150e3 * sf},
+       {"c_nationkey", 25},
+       {"c_name", 150e3 * sf},
+       {"c_acctbal", 100e3}});
+  add("supplier", medium_engine, 10e3 * sf, 160,
+      {{"s_suppkey", 10e3 * sf}, {"s_nationkey", 25}});
+  add("part", medium_engine, 200e3 * sf, 156,
+      {{"p_partkey", 200e3 * sf},
+       {"p_retailprice", 20e3},
+       {"p_name", 200e3 * sf},
+       {"p_size", 50}});
+  add("partsupp", medium_engine, 800e3 * sf, 144,
+      {{"ps_partkey", 200e3 * sf},
+       {"ps_suppkey", 10e3 * sf},
+       {"ps_supplycost", 100e3}});
+  add("orders", large_engine, 1.5e6 * sf, 120,
+      {{"o_orderkey", 1.5e6 * sf},
+       {"o_custkey", 150e3 * sf},
+       {"o_orderdate", 2406},
+       {"o_totalprice", 1e6}});
+  add("lineitem", large_engine, 6e6 * sf, 112,
+      {{"l_orderkey", 1.5e6 * sf},
+       {"l_partkey", 200e3 * sf},
+       {"l_suppkey", 10e3 * sf},
+       {"l_quantity", 50},
+       {"l_shipdate", 2526},
+       {"l_extendedprice", 1e6}});
+  return catalog;
+}
+
+}  // namespace ires::sql

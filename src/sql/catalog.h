@@ -1,0 +1,66 @@
+#ifndef IRES_SQL_CATALOG_H_
+#define IRES_SQL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ires::sql {
+
+/// Statistics of one column, as kept by the MuSQLE metastore.
+struct ColumnStats {
+  std::string name;
+  double distinct_values = 1.0;
+};
+
+/// Statistics and location of one table.
+struct TableDef {
+  std::string name;
+  std::string engine;      // SQL engine holding the table natively;
+                           // "*" = replicated in every federated engine
+  double rows = 0.0;
+  double row_bytes = 100.0;
+  std::vector<ColumnStats> columns;
+
+  double bytes() const { return rows * row_bytes; }
+  const ColumnStats* FindColumn(const std::string& column) const;
+};
+
+/// Row-count/width statistics of a (possibly intermediate) relation.
+struct RelationStats {
+  double rows = 0.0;
+  double row_bytes = 100.0;
+  double bytes() const { return rows * row_bytes; }
+};
+
+/// The MuSQLE metastore: schema, statistics and location of every table
+/// reachable from the federated engines.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddTable(TableDef table);
+  const TableDef* FindTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Moves a table's primary location (used by placement experiments).
+  Status SetTableEngine(const std::string& table, const std::string& engine);
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+/// Builds the TPC-H schema at `scale_gb` with the evaluation's placement:
+/// small legacy tables (customer, nation, region) in `small_engine`, medium
+/// tables (part, partsupp, supplier) in `medium_engine`, large tables
+/// (lineitem, orders) in `large_engine`. Cardinalities follow the TPC-H
+/// scaling rules (e.g. 6M lineitem rows per scale factor).
+Catalog MakeTpchCatalog(double scale_gb, const std::string& small_engine,
+                        const std::string& medium_engine,
+                        const std::string& large_engine);
+
+}  // namespace ires::sql
+
+#endif  // IRES_SQL_CATALOG_H_

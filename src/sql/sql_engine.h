@@ -1,0 +1,148 @@
+#ifndef IRES_SQL_SQL_ENGINE_H_
+#define IRES_SQL_SQL_ENGINE_H_
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sql/catalog.h"
+
+namespace ires::sql {
+
+/// MuSQLE's generic SQL engine API (paper §IV): every federated engine
+/// exposes cost-estimation endpoints (the EXPLAIN-style `ScanSeconds`/
+/// `JoinSeconds`), a load-cost endpoint for shipped intermediates, and
+/// statistics injection for temp tables. The optimizer works purely against
+/// this interface; engine internals stay black-box.
+class SqlEngine {
+ public:
+  explicit SqlEngine(std::string name) : name_(std::move(name)) {}
+  virtual ~SqlEngine() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Estimated seconds to scan `input` applying filters of the given
+  /// selectivity.
+  virtual double ScanSeconds(const RelationStats& input,
+                             double selectivity) const = 0;
+
+  /// Estimated seconds to join two relations resident in this engine,
+  /// producing `output`.
+  virtual double JoinSeconds(const RelationStats& left,
+                             const RelationStats& right,
+                             const RelationStats& output) const = 0;
+
+  /// Estimated seconds to load a shipped intermediate into this engine
+  /// (the getLoadCost endpoint).
+  virtual double LoadSeconds(const RelationStats& input) const = 0;
+
+  /// Statistics injection for a temp table (the injectStats endpoint). The
+  /// base implementation records the stats; engines may use them in later
+  /// estimates.
+  virtual void InjectStats(const std::string& temp_table,
+                           const RelationStats& stats) {
+    injected_[temp_table] = stats;
+  }
+
+  /// Whether this engine can hold a working set of the given size (MemSQL
+  /// says no past its aggregate memory; disk-backed engines always can).
+  virtual bool Feasible(double working_set_bytes) const {
+    (void)working_set_bytes;
+    return true;
+  }
+
+  /// Multiplicative factor turning an estimate into ground truth for one
+  /// operator run: systematic model bias x log-normal noise. The engines'
+  /// biases differ, which is what MuSQLE's estimation-error experiment
+  /// (Fig. 6) measures.
+  virtual double TruthFactor(Rng* rng) const {
+    return bias_ * std::exp(rng->Normal(0.0, noise_));
+  }
+
+ protected:
+  double bias_ = 1.0;
+  double noise_ = 0.10;
+
+ private:
+  std::string name_;
+  std::map<std::string, RelationStats> injected_;
+};
+
+/// PostgreSQL: centralized, disk-bound; cheap per-row CPU but scans pay the
+/// single node's disk bandwidth. Never OOMs.
+class PostgresSqlEngine : public SqlEngine {
+ public:
+  PostgresSqlEngine();
+  double ScanSeconds(const RelationStats& input,
+                     double selectivity) const override;
+  double JoinSeconds(const RelationStats& left, const RelationStats& right,
+                     const RelationStats& output) const override;
+  double LoadSeconds(const RelationStats& input) const override;
+};
+
+/// MemSQL: distributed, memory-resident; very fast while the working set
+/// fits the aggregate cluster memory, infeasible beyond it.
+class MemSqlSqlEngine : public SqlEngine {
+ public:
+  explicit MemSqlSqlEngine(double memory_budget_gb = 12.0);
+  double ScanSeconds(const RelationStats& input,
+                     double selectivity) const override;
+  double JoinSeconds(const RelationStats& left, const RelationStats& right,
+                     const RelationStats& output) const override;
+  double LoadSeconds(const RelationStats& input) const override;
+  bool Feasible(double working_set_bytes) const override;
+
+ private:
+  double memory_budget_bytes_;
+};
+
+/// SparkSQL: distributed, disk-backed; per-operation job overhead plus the
+/// exchange/sort-merge/broadcast cost model of MuSQLE §VI — the engine
+/// prices each join as min(sort-merge, broadcast-hash) given the cluster
+/// geometry.
+class SparkSqlEngine : public SqlEngine {
+ public:
+  struct CostParams {
+    int cores = 16;
+    int partitions = 32;           // spark.sql.shuffle.partitions analog
+    double row_read_seconds = 5e-8;    // Dr
+    double row_write_seconds = 8e-8;   // Dw
+    double row_hash_seconds = 3e-8;    // th
+    double row_broadcast_seconds = 4e-7;  // tbr
+    double cpu_compare_seconds = 2e-8;    // Ccpu
+    double job_overhead_seconds = 1.5;
+    double broadcast_threshold_rows = 5e5;
+  };
+
+  SparkSqlEngine() : SparkSqlEngine(CostParams()) {}
+  explicit SparkSqlEngine(CostParams params);
+  double ScanSeconds(const RelationStats& input,
+                     double selectivity) const override;
+  double JoinSeconds(const RelationStats& left, const RelationStats& right,
+                     const RelationStats& output) const override;
+  double LoadSeconds(const RelationStats& input) const override;
+
+  /// Exposed pieces of the cost model (unit-tested directly).
+  double ExchangeCost(const RelationStats& relation) const;
+  double SortCost(const RelationStats& relation) const;
+  double SortMergeJoinCost(const RelationStats& left,
+                           const RelationStats& right,
+                           const RelationStats& output) const;
+  double BroadcastHashJoinCost(const RelationStats& small,
+                               const RelationStats& large,
+                               const RelationStats& output) const;
+
+ private:
+  double Rounds(double partitions) const;
+  CostParams params_;
+};
+
+/// The engine fleet MuSQLE federates in the evaluation.
+std::map<std::string, std::unique_ptr<SqlEngine>> MakeStandardSqlEngines();
+
+}  // namespace ires::sql
+
+#endif  // IRES_SQL_SQL_ENGINE_H_

@@ -1,0 +1,302 @@
+#include "sql/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace ires::sql {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  if (select.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < select.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select[i].ToString();
+    }
+  }
+  out += " FROM " + Join(tables, ", ");
+  if (!joins.empty() || !filters.empty()) {
+    out += " WHERE ";
+    bool first = true;
+    for (const JoinPredicate& j : joins) {
+      if (!first) out += " AND ";
+      first = false;
+      out += j.left.ToString() + " " + CompareOpToString(j.op) + " " +
+             j.right.ToString();
+    }
+    for (const FilterPredicate& f : filters) {
+      if (!first) out += " AND ";
+      first = false;
+      out += f.column.ToString() + " " + CompareOpToString(f.op) + " " +
+             f.literal;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Token {
+  enum Kind { kWord, kSymbol, kNumber, kString, kEnd } kind = kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_')) {
+          ++i;
+        }
+        tokens.push_back({Token::kWord, text_.substr(start, i - start)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        size_t start = i;
+        ++i;
+        while (i < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '.')) {
+          ++i;
+        }
+        tokens.push_back({Token::kNumber, text_.substr(start, i - start)});
+        continue;
+      }
+      if (c == '\'') {
+        size_t end = text_.find('\'', i + 1);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        tokens.push_back({Token::kString, text_.substr(i, end - i + 1)});
+        i = end + 1;
+        continue;
+      }
+      // Multi-char comparison operators first.
+      if ((c == '<' || c == '>' || c == '!') && i + 1 < text_.size() &&
+          (text_[i + 1] == '=' || text_[i + 1] == '>')) {
+        tokens.push_back({Token::kSymbol, text_.substr(i, 2)});
+        i += 2;
+        continue;
+      }
+      if (c == ',' || c == '.' || c == '=' || c == '<' || c == '>' ||
+          c == '(' || c == ')' || c == '*' || c == ';') {
+        tokens.push_back({Token::kSymbol, std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in SQL");
+    }
+    tokens.push_back({Token::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    Query query;
+    IRES_RETURN_IF_ERROR(ExpectKeyword("select"));
+    IRES_RETURN_IF_ERROR(ParseSelectList(&query));
+    IRES_RETURN_IF_ERROR(ExpectKeyword("from"));
+    IRES_RETURN_IF_ERROR(ParseTableList(&query));
+    if (IsKeyword("where")) {
+      ++pos_;
+      IRES_RETURN_IF_ERROR(ParseConjuncts(&query));
+    }
+    if (Peek().kind == Token::kSymbol && Peek().text == ";") ++pos_;
+    if (Peek().kind != Token::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query: " +
+                                     Peek().text);
+    }
+    if (query.tables.empty()) {
+      return Status::InvalidArgument("query references no tables");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+
+  bool IsKeyword(const std::string& word) const {
+    return Peek().kind == Token::kWord && ToLower(Peek().text) == word;
+  }
+
+  Status ExpectKeyword(const std::string& word) {
+    if (!IsKeyword(word)) {
+      return Status::InvalidArgument("expected '" + word + "' got '" +
+                                     Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    if (Peek().kind != Token::kWord) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().text + "'");
+    }
+    ColumnRef ref;
+    ref.column = Peek().text;
+    ++pos_;
+    if (Peek().kind == Token::kSymbol && Peek().text == ".") {
+      ++pos_;
+      if (Peek().kind != Token::kWord) {
+        return Status::InvalidArgument("expected column after '.'");
+      }
+      ref.table = ref.column;
+      ref.column = Peek().text;
+      ++pos_;
+    }
+    return ref;
+  }
+
+  Status ParseSelectList(Query* query) {
+    if (Peek().kind == Token::kSymbol && Peek().text == "*") {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      IRES_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      query->select.push_back(std::move(ref));
+      if (Peek().kind == Token::kSymbol && Peek().text == ",") {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableList(Query* query) {
+    while (true) {
+      if (Peek().kind != Token::kWord) {
+        return Status::InvalidArgument("expected table name, got '" +
+                                       Peek().text + "'");
+      }
+      query->tables.push_back(ToLower(Peek().text));
+      ++pos_;
+      if (Peek().kind == Token::kSymbol && Peek().text == ",") {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    if (Peek().kind != Token::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator, got '" +
+                                     Peek().text + "'");
+    }
+    const std::string& s = Peek().text;
+    CompareOp op;
+    if (s == "=") {
+      op = CompareOp::kEq;
+    } else if (s == "<>" || s == "!=") {
+      op = CompareOp::kNe;
+    } else if (s == "<") {
+      op = CompareOp::kLt;
+    } else if (s == "<=") {
+      op = CompareOp::kLe;
+    } else if (s == ">") {
+      op = CompareOp::kGt;
+    } else if (s == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator: " + s);
+    }
+    ++pos_;
+    return op;
+  }
+
+  Status ParseConjuncts(Query* query) {
+    while (true) {
+      IRES_ASSIGN_OR_RETURN(ColumnRef left, ParseColumnRef());
+      IRES_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+      if (Peek().kind == Token::kWord) {
+        // column <op> column -> join predicate
+        IRES_ASSIGN_OR_RETURN(ColumnRef right, ParseColumnRef());
+        JoinPredicate join;
+        join.left = std::move(left);
+        join.right = std::move(right);
+        join.op = op;
+        query->joins.push_back(std::move(join));
+      } else if (Peek().kind == Token::kNumber ||
+                 Peek().kind == Token::kString) {
+        FilterPredicate filter;
+        filter.column = std::move(left);
+        filter.op = op;
+        filter.literal = Peek().text;
+        if (Peek().kind == Token::kNumber) {
+          filter.is_numeric = true;
+          filter.numeric_value = std::strtod(Peek().text.c_str(), nullptr);
+        }
+        ++pos_;
+        query->filters.push_back(std::move(filter));
+      } else {
+        return Status::InvalidArgument("expected literal or column after " +
+                                       std::string(CompareOpToString(op)));
+      }
+      if (IsKeyword("and")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> SqlParser::Parse(const std::string& text) {
+  Lexer lexer(text);
+  IRES_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace ires::sql

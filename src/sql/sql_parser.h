@@ -1,0 +1,63 @@
+#ifndef IRES_SQL_SQL_PARSER_H_
+#define IRES_SQL_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ires::sql {
+
+/// A column reference `table.column` (or bare `column`, resolved later).
+struct ColumnRef {
+  std::string table;
+  std::string column;
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// Comparison operators supported in WHERE conjuncts.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// `col <op> col` — an equi/theta join condition (only kEq joins are used
+/// for join-graph edges; others are treated as post-filters).
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+  CompareOp op = CompareOp::kEq;
+};
+
+/// `col <op> literal` — a selection on one table.
+struct FilterPredicate {
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  std::string literal;      // raw literal text
+  double numeric_value = 0; // parsed when numeric
+  bool is_numeric = false;
+};
+
+/// A parsed Select-Project-Join query.
+struct Query {
+  std::vector<ColumnRef> select;  // empty = SELECT *
+  std::vector<std::string> tables;
+  std::vector<JoinPredicate> joins;
+  std::vector<FilterPredicate> filters;
+  std::string ToString() const;
+};
+
+/// Recursive-descent parser for the SPJ SQL subset MuSQLE optimizes:
+///   SELECT <cols|*> FROM t1 [, t2 ...]
+///   [WHERE <conjunct> [AND <conjunct>]*]
+/// where each conjunct is `a.b = c.d` (join) or `a.b <op> literal` (filter).
+/// Keywords are case-insensitive; literals are numbers or 'quoted strings'.
+class SqlParser {
+ public:
+  static Result<Query> Parse(const std::string& text);
+};
+
+}  // namespace ires::sql
+
+#endif  // IRES_SQL_SQL_PARSER_H_

@@ -1,0 +1,74 @@
+#ifndef IRES_SQL_TPCH_QUERIES_H_
+#define IRES_SQL_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace ires::sql {
+
+/// The MuSQLE evaluation query set (paper §IX-B): 18 TPC-H-derived queries,
+/// Q0-Q8 join-only (large outputs) and Q9-Q17 join+filter (ranging
+/// selectivity), over 2-7 tables each.
+inline std::vector<std::string> MusqleQuerySet() {
+  return {
+      // ---- join-only (Q0 - Q8) ----
+      /*Q0*/ "SELECT * FROM nation, region WHERE n_regionkey = r_regionkey",
+      /*Q1*/ "SELECT * FROM customer, nation WHERE c_nationkey = n_nationkey",
+      /*Q2*/ "SELECT * FROM customer, orders WHERE c_custkey = o_custkey",
+      /*Q3*/ "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+      /*Q4*/ "SELECT * FROM part, partsupp WHERE p_partkey = ps_partkey",
+      /*Q5*/
+      "SELECT * FROM customer, orders, lineitem WHERE "
+      "c_custkey = o_custkey AND o_orderkey = l_orderkey",
+      /*Q6*/
+      "SELECT * FROM part, partsupp, supplier WHERE "
+      "p_partkey = ps_partkey AND ps_suppkey = s_suppkey",
+      /*Q7*/
+      "SELECT * FROM customer, nation, region, orders WHERE "
+      "c_nationkey = n_nationkey AND n_regionkey = r_regionkey AND "
+      "c_custkey = o_custkey",
+      /*Q8*/
+      "SELECT * FROM part, partsupp, lineitem, orders WHERE "
+      "p_partkey = ps_partkey AND l_partkey = p_partkey AND "
+      "o_orderkey = l_orderkey",
+      // ---- join + filter (Q9 - Q17) ----
+      /*Q9*/
+      "SELECT * FROM nation, region WHERE n_regionkey = r_regionkey AND "
+      "n_name = 'GERMANY'",
+      /*Q10*/
+      "SELECT * FROM customer, nation WHERE c_nationkey = n_nationkey AND "
+      "n_name = 'FRANCE'",
+      /*Q11*/
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey AND "
+      "c_acctbal > 9000",
+      /*Q12*/
+      "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey AND "
+      "l_shipdate = '1995-03-15'",
+      /*Q13*/
+      "SELECT * FROM part, partsupp WHERE p_partkey = ps_partkey AND "
+      "p_retailprice > 2090",
+      /*Q14*/
+      "SELECT * FROM customer, orders, lineitem WHERE "
+      "c_custkey = o_custkey AND o_orderkey = l_orderkey AND "
+      "l_quantity = 49",
+      /*Q15*/
+      "SELECT * FROM part, partsupp, supplier WHERE "
+      "p_partkey = ps_partkey AND ps_suppkey = s_suppkey AND p_size = 15",
+      /*Q16*/
+      "SELECT c_name, o_orderdate FROM part, partsupp, lineitem, orders, "
+      "customer, nation WHERE p_partkey = ps_partkey AND "
+      "c_nationkey = n_nationkey AND l_partkey = p_partkey AND "
+      "o_custkey = c_custkey AND o_orderkey = l_orderkey AND "
+      "p_retailprice > 2090 AND n_name = 'GERMANY'",
+      /*Q17*/
+      "SELECT * FROM customer, nation, region, orders, lineitem, part, "
+      "partsupp WHERE c_nationkey = n_nationkey AND "
+      "n_regionkey = r_regionkey AND o_custkey = c_custkey AND "
+      "o_orderkey = l_orderkey AND l_partkey = p_partkey AND "
+      "p_partkey = ps_partkey AND r_name = 'EUROPE' AND p_size = 15",
+  };
+}
+
+}  // namespace ires::sql
+
+#endif  // IRES_SQL_TPCH_QUERIES_H_

@@ -1,0 +1,213 @@
+#include "workflow/workflow_graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ires {
+
+int WorkflowGraph::AddDataset(const std::string& name) {
+  return AddNode(name, NodeKind::kDataset);
+}
+
+int WorkflowGraph::AddOperator(const std::string& name) {
+  return AddNode(name, NodeKind::kOperator);
+}
+
+int WorkflowGraph::AddNode(const std::string& name, NodeKind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{name, kind, {}, {}});
+  index_.emplace(name, id);
+  return id;
+}
+
+Status WorkflowGraph::Connect(const std::string& from, const std::string& to,
+                              int port) {
+  auto fit = index_.find(from);
+  auto tit = index_.find(to);
+  if (fit == index_.end()) return Status::NotFound("node: " + from);
+  if (tit == index_.end()) return Status::NotFound("node: " + to);
+  Node& src = nodes_[fit->second];
+  Node& dst = nodes_[tit->second];
+  if (src.kind == dst.kind) {
+    return Status::InvalidArgument("edge " + from + "->" + to +
+                                   " must connect a dataset and an operator");
+  }
+  auto place = [](std::vector<int>& ports, int slot, int id) {
+    if (slot < 0) {
+      ports.push_back(id);
+      return;
+    }
+    if (static_cast<int>(ports.size()) <= slot) ports.resize(slot + 1, -1);
+    ports[slot] = id;
+  };
+  if (src.kind == NodeKind::kDataset) {
+    // dataset -> operator: occupies an input port of the operator.
+    place(dst.inputs, port, fit->second);
+    src.inputs.push_back(tit->second);  // consumers of the dataset
+  } else {
+    // operator -> dataset: occupies an output port of the operator.
+    place(src.outputs, port, tit->second);
+    dst.outputs.push_back(fit->second);  // producer of the dataset
+  }
+  return Status::OK();
+}
+
+Status WorkflowGraph::SetTarget(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("target node: " + name);
+  if (nodes_[it->second].kind != NodeKind::kDataset) {
+    return Status::InvalidArgument("target must be a dataset: " + name);
+  }
+  target_ = it->second;
+  return Status::OK();
+}
+
+int WorkflowGraph::operator_count() const {
+  return static_cast<int>(std::count_if(
+      nodes_.begin(), nodes_.end(),
+      [](const Node& n) { return n.kind == NodeKind::kOperator; }));
+}
+
+int WorkflowGraph::dataset_count() const {
+  return static_cast<int>(nodes_.size()) - operator_count();
+}
+
+Result<std::vector<int>> WorkflowGraph::TopologicalOperators() const {
+  // Kahn's algorithm over operator nodes; an operator becomes ready when all
+  // producers of its input datasets have been emitted.
+  std::vector<int> pending(nodes_.size(), 0);
+  std::vector<int> ready;
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.kind != NodeKind::kOperator) continue;
+    int deps = 0;
+    for (int input : n.inputs) {
+      if (input >= 0 && !nodes_[input].outputs.empty()) ++deps;
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(static_cast<int>(id));
+  }
+  // Deterministic order: process lowest id first.
+  std::sort(ready.begin(), ready.end(), std::greater<int>());
+  std::vector<int> order;
+  while (!ready.empty()) {
+    int op = ready.back();
+    ready.pop_back();
+    order.push_back(op);
+    for (int out_ds : nodes_[op].outputs) {
+      if (out_ds < 0) continue;
+      for (int consumer : nodes_[out_ds].inputs) {
+        if (--pending[consumer] == 0) {
+          auto pos = std::lower_bound(ready.begin(), ready.end(), consumer,
+                                      std::greater<int>());
+          ready.insert(pos, consumer);
+        }
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != operator_count()) {
+    return Status::FailedPrecondition("workflow graph contains a cycle");
+  }
+  return order;
+}
+
+Status WorkflowGraph::Validate() const {
+  if (target_ < 0) return Status::FailedPrecondition("no $$target dataset");
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kOperator) {
+      if (n.inputs.empty()) {
+        return Status::FailedPrecondition("operator " + n.name +
+                                          " has no inputs");
+      }
+      if (n.outputs.empty()) {
+        return Status::FailedPrecondition("operator " + n.name +
+                                          " has no outputs");
+      }
+      for (int port = 0; port < static_cast<int>(n.inputs.size()); ++port) {
+        if (n.inputs[port] < 0) {
+          return Status::FailedPrecondition(
+              "operator " + n.name + " input port " + std::to_string(port) +
+              " is unconnected");
+        }
+      }
+    } else if (n.outputs.size() > 1) {
+      return Status::FailedPrecondition("dataset " + n.name +
+                                        " has multiple producers");
+    }
+  }
+  IRES_RETURN_IF_ERROR(TopologicalOperators().status());
+  return Status::OK();
+}
+
+std::string WorkflowGraph::ToDot() const {
+  std::string out = "digraph workflow {\n  rankdir=LR;\n";
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.kind == NodeKind::kOperator) {
+      out += "  n" + std::to_string(id) + " [shape=box,label=\"" +
+             node.name + "\"];\n";
+    } else {
+      const char* shape =
+          static_cast<int>(id) == target_ ? "doublecircle" : "folder";
+      out += "  n" + std::to_string(id) + " [shape=" + shape +
+             ",label=\"" + node.name + "\"];\n";
+    }
+  }
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    if (node.kind != NodeKind::kOperator) continue;
+    for (int input : node.inputs) {
+      if (input >= 0) {
+        out += "  n" + std::to_string(input) + " -> n" + std::to_string(id) +
+               ";\n";
+      }
+    }
+    for (int output : node.outputs) {
+      if (output >= 0) {
+        out += "  n" + std::to_string(id) + " -> n" +
+               std::to_string(output) + ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+Result<WorkflowGraph> WorkflowGraph::ParseGraphFile(
+    const std::string& text, const OperatorLibrary& library) {
+  WorkflowGraph graph;
+  auto resolve = [&](const std::string& name) {
+    if (graph.has_node(name)) return;
+    if (library.FindAbstractByName(name) != nullptr) {
+      graph.AddOperator(name);
+    } else {
+      graph.AddDataset(name);  // known dataset or abstract intermediate
+    }
+  };
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitAndTrim(line, ',');
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("graph line " + std::to_string(line_no) +
+                                     ": expected 'from,to[,port]'");
+    }
+    if (fields[1] == "$$target") {
+      resolve(fields[0]);
+      IRES_RETURN_IF_ERROR(graph.SetTarget(fields[0]));
+      continue;
+    }
+    resolve(fields[0]);
+    resolve(fields[1]);
+    int port = fields.size() > 2 ? std::atoi(fields[2].c_str()) : -1;
+    IRES_RETURN_IF_ERROR(graph.Connect(fields[0], fields[1], port));
+  }
+  return graph;
+}
+
+}  // namespace ires

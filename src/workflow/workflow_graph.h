@@ -1,0 +1,99 @@
+#ifndef IRES_WORKFLOW_WORKFLOW_GRAPH_H_
+#define IRES_WORKFLOW_WORKFLOW_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "operators/operator_library.h"
+
+namespace ires {
+
+/// The abstract workflow DAG G(Datasets, Operators): a bipartite graph of
+/// dataset nodes and (abstract) operator nodes. Operators consume dataset
+/// nodes on ordered input ports and produce dataset nodes on ordered output
+/// ports. One dataset node is designated the target (`$$target` in the
+/// platform's graph files).
+class WorkflowGraph {
+ public:
+  enum class NodeKind { kDataset, kOperator };
+
+  struct Node {
+    std::string name;
+    NodeKind kind = NodeKind::kDataset;
+    /// For operators: dataset node ids per input port (index = port).
+    /// For datasets: ids of operator nodes that consume this dataset.
+    std::vector<int> inputs;
+    /// For operators: dataset node ids per output port.
+    /// For datasets: id of the producing operator (at most one), else empty.
+    std::vector<int> outputs;
+  };
+
+  WorkflowGraph() = default;
+
+  /// Adds a dataset node; returns its id. Re-adding a name returns the
+  /// existing id (kinds must agree).
+  int AddDataset(const std::string& name);
+
+  /// Adds an abstract-operator node; returns its id.
+  int AddOperator(const std::string& name);
+
+  /// Connects `from` -> `to`. Exactly one endpoint must be an operator; the
+  /// port is the position on that operator's input (dataset->op) or output
+  /// (op->dataset) list. Ports fill in call order when `port` is -1.
+  Status Connect(const std::string& from, const std::string& to,
+                 int port = -1);
+
+  /// Marks the dataset `name` as the workflow target.
+  Status SetTarget(const std::string& name);
+
+  int target() const { return target_; }
+  bool has_node(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+  int node_id(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+  const Node& node(int id) const { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+
+  int operator_count() const;
+  int dataset_count() const;
+
+  /// Ids of operator nodes in a topological (dependency-respecting) order.
+  /// Fails with FailedPrecondition when the graph has a cycle.
+  Result<std::vector<int>> TopologicalOperators() const;
+
+  /// Structural validation: a target exists, every operator has at least one
+  /// input and one output, every non-source dataset has exactly one
+  /// producer, and the target is reachable.
+  Status Validate() const;
+
+  /// Graphviz rendering of the abstract workflow (datasets as folders,
+  /// operators as boxes, the target double-circled) — what the platform's
+  /// web UI draws in its Abstract Workflows tab.
+  std::string ToDot() const;
+
+  /// Parses the platform's `graph` file format:
+  ///   asapServerLog,LineCount,0
+  ///   LineCount,d1,0
+  ///   d1,$$target
+  /// Node kinds are resolved against `library`: names registered as datasets
+  /// or abstract operators take those kinds; unknown names become abstract
+  /// dataset nodes (intermediate results like `d1`).
+  static Result<WorkflowGraph> ParseGraphFile(const std::string& text,
+                                              const OperatorLibrary& library);
+
+ private:
+  int AddNode(const std::string& name, NodeKind kind);
+
+  std::vector<Node> nodes_;
+  std::map<std::string, int> index_;
+  int target_ = -1;
+};
+
+}  // namespace ires
+
+#endif  // IRES_WORKFLOW_WORKFLOW_GRAPH_H_

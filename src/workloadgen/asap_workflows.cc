@@ -1,0 +1,239 @@
+#include "workloadgen/asap_workflows.h"
+
+#include <vector>
+
+#include "engines/standard_engines.h"
+
+namespace ires {
+
+namespace {
+
+// Builds a dataset description living in `store` with the given size.
+Dataset MakeDataset(const std::string& name, const std::string& store,
+                    const std::string& format, double bytes, double records) {
+  MetadataTree meta;
+  meta.Set("Constraints.Engine.FS", store);
+  meta.Set("Constraints.type", format);
+  meta.Set("Execution.path", "sim://" + name);
+  meta.Set("Optimization.size", std::to_string(bytes));
+  meta.Set("Optimization.documents", std::to_string(records));
+  return Dataset(name, meta);
+}
+
+// Declares one materialized implementation: `algorithm` on `engine`, inputs
+// expected in `in_store`/`in_format`, output written to `out_store` as
+// `out_format`. Ports 0..3 share the input spec.
+MaterializedOperator MakeImpl(const std::string& name,
+                              const std::string& algorithm,
+                              const std::string& engine,
+                              const std::string& in_store,
+                              const std::string& in_format,
+                              const std::string& out_store,
+                              const std::string& out_format) {
+  MetadataTree meta;
+  meta.Set("Constraints.Engine", engine);
+  meta.Set("Constraints.OpSpecification.Algorithm.name", algorithm);
+  for (int port = 0; port < 4; ++port) {
+    const std::string prefix = "Constraints.Input" + std::to_string(port);
+    meta.Set(prefix + ".Engine.FS", in_store);
+    if (!in_format.empty()) meta.Set(prefix + ".type", in_format);
+  }
+  meta.Set("Constraints.Output0.Engine.FS", out_store);
+  meta.Set("Constraints.Output0.type", out_format);
+  return MaterializedOperator(name, std::move(meta));
+}
+
+void AddAbstract(GeneratedWorkload* w, const std::string& node_name,
+                 const std::string& algorithm) {
+  MetadataTree meta;
+  meta.Set("Constraints.OpSpecification.Algorithm.name", algorithm);
+  (void)w->library.AddAbstract(AbstractOperator(node_name, meta));
+}
+
+}  // namespace
+
+GeneratedWorkload MakeGraphAnalyticsWorkflow(double edges) {
+  GeneratedWorkload w;
+  const double bytes = edges * kBytesPerEdge;
+  (void)w.library.AddDataset(
+      MakeDataset("cdrGraph", "HDFS", "edges", bytes, edges));
+  AddAbstract(&w, "pagerank", "Pagerank");
+  // Pagerank implementations (deliverable §4: Spark, Hama, Java). All read
+  // and write HDFS directly.
+  (void)w.library.AddMaterialized(MakeImpl(
+      "Pagerank_Java", "Pagerank", "Java", "HDFS", "edges", "HDFS", "ranks"));
+  (void)w.library.AddMaterialized(MakeImpl(
+      "Pagerank_Hama", "Pagerank", "Hama", "HDFS", "edges", "HDFS", "ranks"));
+  (void)w.library.AddMaterialized(MakeImpl("Pagerank_Spark", "Pagerank",
+                                           "Spark", "HDFS", "edges", "HDFS",
+                                           "ranks"));
+
+  w.graph.AddDataset("cdrGraph");
+  w.graph.AddOperator("pagerank");
+  (void)w.graph.Connect("cdrGraph", "pagerank");
+  w.graph.AddDataset("ranks");
+  (void)w.graph.Connect("pagerank", "ranks");
+  (void)w.graph.SetTarget("ranks");
+  return w;
+}
+
+GeneratedWorkload MakeTextAnalyticsWorkflow(double documents) {
+  GeneratedWorkload w;
+  const double bytes = documents * kBytesPerDocument;
+  (void)w.library.AddDataset(
+      MakeDataset("webContent", "HDFS", "text", bytes, documents));
+  AddAbstract(&w, "tfidf", "TF_IDF");
+  AddAbstract(&w, "kmeans", "kmeans");
+
+  // scikit runs centrally: it can read HDFS but materializes its output
+  // locally; Spark/MLlib reads and writes HDFS. The planner inserts the
+  // move/transform operators between them (deliverable Fig. 5).
+  (void)w.library.AddMaterialized(MakeImpl("TF_IDF_scikit", "TF_IDF",
+                                           "scikit", "HDFS", "text", "Local",
+                                           "arff"));
+  (void)w.library.AddMaterialized(MakeImpl(
+      "TF_IDF_mllib", "TF_IDF", "Spark", "HDFS", "text", "HDFS", "arff"));
+  (void)w.library.AddMaterialized(MakeImpl("kmeans_scikit", "kmeans",
+                                           "scikit", "Local", "arff", "Local",
+                                           "clusters"));
+  (void)w.library.AddMaterialized(MakeImpl("kmeans_mllib", "kmeans", "Spark",
+                                           "HDFS", "arff", "HDFS",
+                                           "clusters"));
+
+  w.graph.AddDataset("webContent");
+  w.graph.AddOperator("tfidf");
+  (void)w.graph.Connect("webContent", "tfidf");
+  w.graph.AddDataset("vectors");
+  (void)w.graph.Connect("tfidf", "vectors");
+  w.graph.AddOperator("kmeans");
+  (void)w.graph.Connect("vectors", "kmeans");
+  w.graph.AddDataset("clusters");
+  (void)w.graph.Connect("kmeans", "clusters");
+  (void)w.graph.SetTarget("clusters");
+  return w;
+}
+
+GeneratedWorkload MakeRelationalWorkflow(double scale_gb) {
+  GeneratedWorkload w;
+  // TPC-H table-group placement of §4: small legacy tables in PostgreSQL,
+  // medium in MemSQL, large in HDFS (sizes as fractions of the scale).
+  const double gb = 1e9;
+  (void)w.library.AddDataset(MakeDataset("smallTables", "PostgreSQL", "rows",
+                                         0.03 * scale_gb * gb,
+                                         150e3 * scale_gb));
+  (void)w.library.AddDataset(MakeDataset("mediumTables", "MemSQL", "rows",
+                                         0.15 * scale_gb * gb,
+                                         1e6 * scale_gb));
+  (void)w.library.AddDataset(MakeDataset("largeTables", "HDFS", "rows",
+                                         0.82 * scale_gb * gb,
+                                         7.5e6 * scale_gb));
+  AddAbstract(&w, "q1", "SPJQuery");
+  AddAbstract(&w, "q2", "SPJQuery");
+  AddAbstract(&w, "q3", "SPJHeavyQuery");
+
+  struct EngineSpec {
+    const char* engine;
+    const char* store;
+  };
+  const std::vector<EngineSpec> fleet = {
+      {"PostgreSQL", "PostgreSQL"}, {"MemSQL", "MemSQL"}, {"Spark", "HDFS"}};
+  for (const char* algo : {"SPJQuery", "SPJHeavyQuery"}) {
+    for (const EngineSpec& spec : fleet) {
+      (void)w.library.AddMaterialized(
+          MakeImpl(std::string(algo) + "_" + spec.engine, algo, spec.engine,
+                   spec.store, "rows", spec.store, "rows"));
+    }
+  }
+
+  w.graph.AddDataset("smallTables");
+  w.graph.AddDataset("mediumTables");
+  w.graph.AddDataset("largeTables");
+  w.graph.AddOperator("q1");
+  (void)w.graph.Connect("smallTables", "q1");
+  w.graph.AddDataset("q1_out");
+  (void)w.graph.Connect("q1", "q1_out");
+  w.graph.AddOperator("q2");
+  (void)w.graph.Connect("mediumTables", "q2", 0);
+  (void)w.graph.Connect("q1_out", "q2", 1);
+  w.graph.AddDataset("q2_out");
+  (void)w.graph.Connect("q2", "q2_out");
+  w.graph.AddOperator("q3");
+  (void)w.graph.Connect("largeTables", "q3", 0);
+  (void)w.graph.Connect("q2_out", "q3", 1);
+  w.graph.AddDataset("result");
+  (void)w.graph.Connect("q3", "result");
+  (void)w.graph.SetTarget("result");
+  return w;
+}
+
+GeneratedWorkload MakeCilkTextClusteringWorkflow(double input_bytes) {
+  GeneratedWorkload w;
+  // The §3.4 dataset definition: raw text in HDFS, Optimization.size=932E06.
+  (void)w.library.AddDataset(MakeDataset("textData", "HDFS", "text",
+                                         input_bytes,
+                                         input_bytes / kBytesPerDocument));
+  AddAbstract(&w, "tfidf_cilk", "TF_IDF");
+  AddAbstract(&w, "kmeans", "kmeans");
+  // TF_IDF_cilk: reads the HDFS text (copyToLocal handled by the engine),
+  // writes arff back to HDFS; kmeans_cilk consumes the HDFS arff.
+  (void)w.library.AddMaterialized(MakeImpl("TF_IDF_cilk", "TF_IDF", "Cilk",
+                                           "HDFS", "text", "HDFS", "arff"));
+  (void)w.library.AddMaterialized(MakeImpl("kmeans_cilk", "kmeans", "Cilk",
+                                           "HDFS", "arff", "HDFS",
+                                           "clusters"));
+
+  w.graph.AddDataset("textData");
+  w.graph.AddOperator("tfidf_cilk");
+  (void)w.graph.Connect("textData", "tfidf_cilk");
+  w.graph.AddDataset("d1");
+  (void)w.graph.Connect("tfidf_cilk", "d1");
+  w.graph.AddOperator("kmeans");
+  (void)w.graph.Connect("d1", "kmeans");
+  w.graph.AddDataset("d2");
+  (void)w.graph.Connect("kmeans", "d2");
+  (void)w.graph.SetTarget("d2");
+  return w;
+}
+
+GeneratedWorkload MakeHelloWorldWorkflow(double input_gb) {
+  GeneratedWorkload w;
+  (void)w.library.AddDataset(MakeDataset("helloInput", "Local", "text",
+                                         input_gb * 1e9, input_gb * 1e6));
+  struct OpSpec {
+    const char* name;
+    std::vector<const char*> engines;
+  };
+  // Table 1 of the deliverable.
+  const std::vector<OpSpec> ops = {
+      {"HelloWorld", {"Python"}},
+      {"HelloWorld1", {"Spark", "Python"}},
+      {"HelloWorld2", {"Spark", "MLLib", "PostgreSQL", "Hive"}},
+      {"HelloWorld3", {"Spark", "Python"}},
+  };
+  auto store_of = [](const std::string& engine) -> std::string {
+    if (engine == "Python") return "Local";
+    if (engine == "PostgreSQL") return "PostgreSQL";
+    return "HDFS";
+  };
+  w.graph.AddDataset("helloInput");
+  std::string upstream = "helloInput";
+  for (const OpSpec& op : ops) {
+    AddAbstract(&w, op.name, op.name);
+    for (const char* engine : op.engines) {
+      const std::string store = store_of(engine);
+      (void)w.library.AddMaterialized(
+          MakeImpl(std::string(op.name) + "_" + engine, op.name, engine,
+                   store, "text", store, "text"));
+    }
+    w.graph.AddOperator(op.name);
+    (void)w.graph.Connect(upstream, op.name);
+    const std::string out = std::string(op.name) + "_out";
+    w.graph.AddDataset(out);
+    (void)w.graph.Connect(op.name, out);
+    upstream = out;
+  }
+  (void)w.graph.SetTarget(upstream);
+  return w;
+}
+
+}  // namespace ires

@@ -1,0 +1,44 @@
+#ifndef IRES_WORKLOADGEN_ASAP_WORKFLOWS_H_
+#define IRES_WORKLOADGEN_ASAP_WORKFLOWS_H_
+
+#include "workloadgen/pegasus.h"
+
+namespace ires {
+
+/// Factories for the three evaluation workflows of deliverable §4 and the
+/// HelloWorld fault-tolerance workflow of §4.5. Each returns the abstract
+/// workflow graph plus a library holding the datasets, abstract operators
+/// and all materialized implementations (Table 1 / §4 engine sets). They
+/// pair with the engines of MakeStandardEngineRegistry().
+
+/// Graph analytics: Pagerank over CDR data in HDFS; implementations in
+/// Java (centralized), Hama (BSP) and Spark.
+GeneratedWorkload MakeGraphAnalyticsWorkflow(double edges);
+
+/// Text analytics: TF_IDF -> k-means over web content in HDFS;
+/// implementations in scikit-learn (centralized) and Spark/MLlib.
+GeneratedWorkload MakeTextAnalyticsWorkflow(double documents);
+
+/// Relational analytics: the 3-query TPC-H-style workflow with small tables
+/// in PostgreSQL, medium in MemSQL, large in HDFS; every query has
+/// PostgreSQL / MemSQL / Spark implementations.
+GeneratedWorkload MakeRelationalWorkflow(double scale_gb);
+
+/// The Cilk text-clustering workflow of deliverable §3.4: the same
+/// tf-idf -> k-means pipeline but with the single hand-tuned Cilk
+/// implementation per operator (TF_IDF_cilk, kmeans_cilk) over the
+/// `textData` dataset (932 MB of raw text in HDFS).
+GeneratedWorkload MakeCilkTextClusteringWorkflow(
+    double input_bytes = 932e6);
+
+/// The 4-operator HelloWorld workflow of the fault-tolerance evaluation,
+/// with the engine alternatives of Table 1:
+///   HelloWorld  : Python
+///   HelloWorld1 : Spark, Python
+///   HelloWorld2 : Spark, MLLib, PostgreSQL, Hive
+///   HelloWorld3 : Spark, Python
+GeneratedWorkload MakeHelloWorldWorkflow(double input_gb = 1.0);
+
+}  // namespace ires
+
+#endif  // IRES_WORKLOADGEN_ASAP_WORKFLOWS_H_

@@ -1,0 +1,287 @@
+#include "workloadgen/pegasus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ires {
+
+const char* PegasusTypeName(PegasusType type) {
+  switch (type) {
+    case PegasusType::kMontage: return "Montage";
+    case PegasusType::kCyberShake: return "CyberShake";
+    case PegasusType::kEpigenomics: return "Epigenomics";
+    case PegasusType::kInspiral: return "Inspiral";
+    case PegasusType::kSipht: return "Sipht";
+  }
+  return "?";
+}
+
+namespace {
+
+// Helper that assembles a bipartite workflow graph plus its library. Every
+// operator gets one output dataset node named "<op>_out".
+class Builder {
+ public:
+  Builder(GeneratedWorkload* out, int engines_per_operator)
+      : out_(out), engines_(engines_per_operator) {}
+
+  // Adds a source dataset living on Store0.
+  std::string Source(const std::string& name, double gigabytes) {
+    MetadataTree meta;
+    meta.Set("Constraints.Engine.FS", "Store0");
+    meta.Set("Constraints.type", "bin");
+    meta.Set("Execution.path", "sim://" + name);
+    meta.Set("Optimization.size", std::to_string(gigabytes * 1e9));
+    meta.Set("Optimization.documents", std::to_string(gigabytes * 1e6));
+    (void)out_->library.AddDataset(Dataset(name, meta));
+    out_->graph.AddDataset(name);
+    return name;
+  }
+
+  // Adds one operator node of the given task type, consuming `inputs`
+  // (dataset node names); returns the name of its output dataset node.
+  std::string Task(const std::string& task_type, const std::string& name,
+                   const std::vector<std::string>& inputs) {
+    EnsureOperatorType(task_type);
+    // Per-node abstract operator entry so graph parsing stays by-name.
+    if (out_->library.FindAbstractByName(name) == nullptr) {
+      MetadataTree meta;
+      meta.Set("Constraints.OpSpecification.Algorithm.name", task_type);
+      (void)out_->library.AddAbstract(AbstractOperator(name, meta));
+    }
+    out_->graph.AddOperator(name);
+    for (const std::string& in : inputs) {
+      (void)out_->graph.Connect(in, name);
+    }
+    const std::string out_name = name + "_out";
+    out_->graph.AddDataset(out_name);
+    (void)out_->graph.Connect(name, out_name);
+    ++operators_;
+    last_output_ = out_name;
+    return out_name;
+  }
+
+  void Finish() { (void)out_->graph.SetTarget(last_output_); }
+
+  int operators() const { return operators_; }
+
+ private:
+  // Registers the materialized implementations of a task type, one per
+  // synthetic engine, each reading/writing its engine's native store (which
+  // forces move operators on cross-engine edges).
+  void EnsureOperatorType(const std::string& task_type) {
+    if (!known_types_.insert(task_type).second) return;
+    for (int e = 0; e < engines_; ++e) {
+      MetadataTree meta;
+      const std::string engine = "Eng" + std::to_string(e);
+      const std::string store = "Store" + std::to_string(e);
+      meta.Set("Constraints.Engine", engine);
+      meta.Set("Constraints.OpSpecification.Algorithm.name", task_type);
+      for (int port = 0; port < kMaxConstrainedPorts; ++port) {
+        meta.Set("Constraints.Input" + std::to_string(port) + ".Engine.FS",
+                 store);
+      }
+      meta.Set("Constraints.Output0.Engine.FS", store);
+      meta.Set("Constraints.Output0.type", "bin");
+      (void)out_->library.AddMaterialized(MaterializedOperator(
+          task_type + "_" + engine, std::move(meta)));
+    }
+  }
+
+  static constexpr int kMaxConstrainedPorts = 24;
+
+  GeneratedWorkload* out_;
+  int engines_;
+  int operators_ = 0;
+  std::string last_output_;
+  std::set<std::string> known_types_;
+};
+
+// ---- Montage: w projections, ~1.5w overlapping diff-fits (in-degree 2),
+// one concat over all, background model, w background corrections
+// (in-degree 2), then imgtbl/add/shrink/jpeg aggregation chain. ------------
+void BuildMontage(Builder* b, int target) {
+  const int w = std::max(2, (target - 6) * 2 / 7);
+  const int diffs = std::max(1, (3 * w) / 2);
+
+  std::vector<std::string> projections;
+  for (int i = 0; i < w; ++i) {
+    const std::string src = b->Source("region_" + std::to_string(i), 0.5);
+    projections.push_back(
+        b->Task("mProjectPP", "mProjectPP_" + std::to_string(i), {src}));
+  }
+  std::vector<std::string> diff_outs;
+  for (int i = 0; i < diffs; ++i) {
+    // Overlapping pairs give Montage its high connectivity.
+    const std::string& a = projections[i % w];
+    const std::string& c = projections[(i + 1 + i / w) % w];
+    diff_outs.push_back(
+        b->Task("mDiffFit", "mDiffFit_" + std::to_string(i), {a, c}));
+  }
+  const std::string concat = b->Task("mConcatFit", "mConcatFit_0", diff_outs);
+  const std::string bg_model = b->Task("mBgModel", "mBgModel_0", {concat});
+  std::vector<std::string> corrected;
+  for (int i = 0; i < w; ++i) {
+    corrected.push_back(b->Task("mBackground",
+                                "mBackground_" + std::to_string(i),
+                                {projections[i], bg_model}));
+  }
+  const std::string imgtbl = b->Task("mImgTbl", "mImgTbl_0", corrected);
+  const std::string add = b->Task("mAdd", "mAdd_0", {imgtbl});
+  const std::string shrink = b->Task("mShrink", "mShrink_0", {add});
+  b->Task("mJPEG", "mJPEG_0", {shrink});
+}
+
+// ---- CyberShake: w SGT extractions, each feeding s seismogram syntheses;
+// peak-value calc per synthesis; two zip aggregators. ----------------------
+void BuildCyberShake(Builder* b, int target) {
+  const int w = std::max(1, target / 8);
+  const int s = 3;
+  std::vector<std::string> seis_outs;
+  std::vector<std::string> peak_outs;
+  for (int i = 0; i < w; ++i) {
+    const std::string src = b->Source("sgt_" + std::to_string(i), 1.0);
+    const std::string extract =
+        b->Task("ExtractSGT", "ExtractSGT_" + std::to_string(i), {src});
+    for (int j = 0; j < s; ++j) {
+      const std::string syn = b->Task(
+          "SeismogramSynthesis",
+          "SeismogramSynthesis_" + std::to_string(i * s + j), {extract});
+      seis_outs.push_back(syn);
+      peak_outs.push_back(b->Task("PeakValCalcOkaya",
+                                  "PeakValCalc_" + std::to_string(i * s + j),
+                                  {syn}));
+    }
+  }
+  const std::string zip_seis = b->Task("ZipSeis", "ZipSeis_0", seis_outs);
+  const std::string zip_psa = b->Task("ZipPSA", "ZipPSA_0", peak_outs);
+  b->Task("CyberShakeReport", "CyberShakeReport_0", {zip_seis, zip_psa});
+}
+
+// ---- Epigenomics: p parallel pipelines of 7 stages over input chunks,
+// merged by a final chain. --------------------------------------------------
+void BuildEpigenomics(Builder* b, int target) {
+  static const char* kStages[] = {"fastQSplit", "filterContams", "sol2sanger",
+                                  "fastq2bfq",  "map",           "mapMerge",
+                                  "maqIndex"};
+  const int stages = 7;
+  const int p = std::max(1, (target - 2) / stages);
+  std::vector<std::string> pipeline_outs;
+  for (int i = 0; i < p; ++i) {
+    std::string cur = b->Source("lane_" + std::to_string(i), 2.0);
+    for (int s = 0; s < stages; ++s) {
+      cur = b->Task(kStages[s],
+                    std::string(kStages[s]) + "_" + std::to_string(i), {cur});
+    }
+    pipeline_outs.push_back(cur);
+  }
+  const std::string merge = b->Task("pileup", "pileup_0", pipeline_outs);
+  b->Task("mapIndex", "mapIndex_0", {merge});
+}
+
+// ---- Inspiral: g groups of (t template banks -> t inspirals -> thinca),
+// then a second matched-filter pass per group and a final thinca. -----------
+void BuildInspiral(Builder* b, int target) {
+  const int t = 4;
+  const int g = std::max(1, target / (2 * t + 2));
+  std::vector<std::string> group_outs;
+  for (int i = 0; i < g; ++i) {
+    const std::string src = b->Source("gwdata_" + std::to_string(i), 1.5);
+    std::vector<std::string> inspirals;
+    for (int j = 0; j < t; ++j) {
+      const std::string bank =
+          b->Task("TmpltBank",
+                  "TmpltBank_" + std::to_string(i * t + j), {src});
+      inspirals.push_back(b->Task(
+          "Inspiral", "Inspiral_" + std::to_string(i * t + j), {bank}));
+    }
+    const std::string thinca =
+        b->Task("Thinca", "Thinca_" + std::to_string(i), inspirals);
+    const std::string trigbank =
+        b->Task("TrigBank", "TrigBank_" + std::to_string(i), {thinca});
+    group_outs.push_back(trigbank);
+  }
+  b->Task("ThincaFinal", "ThincaFinal_0", group_outs);
+}
+
+// ---- Sipht: many independent Patser runs concatenated, plus a handful of
+// analysis tasks, all feeding one SRNA annotation. --------------------------
+void BuildSipht(Builder* b, int target) {
+  const int patsers = std::max(1, target - 8);
+  std::vector<std::string> patser_outs;
+  for (int i = 0; i < patsers; ++i) {
+    const std::string src = b->Source("tfbs_" + std::to_string(i), 0.2);
+    patser_outs.push_back(
+        b->Task("Patser", "Patser_" + std::to_string(i), {src}));
+  }
+  const std::string concat =
+      b->Task("PatserConcate", "PatserConcate_0", patser_outs);
+
+  const std::string genome = b->Source("genome", 1.0);
+  const std::string srna = b->Task("SRNA", "SRNA_0", {genome});
+  const std::string blast = b->Task("Blast", "Blast_0", {srna});
+  const std::string ffn = b->Task("FFN_Parse", "FFN_Parse_0", {genome});
+  const std::string blast_syn =
+      b->Task("BlastSynteny", "BlastSynteny_0", {ffn, srna});
+  const std::string paralogues =
+      b->Task("BlastParalogues", "BlastParalogues_0", {srna});
+  b->Task("SRNAAnnotate", "SRNAAnnotate_0",
+          {concat, blast, blast_syn, paralogues});
+}
+
+}  // namespace
+
+GeneratedWorkload PegasusGenerator::Generate(PegasusType type,
+                                             int target_operators,
+                                             int engines_per_operator) {
+  GeneratedWorkload out;
+  Builder builder(&out, engines_per_operator);
+  switch (type) {
+    case PegasusType::kMontage:
+      BuildMontage(&builder, target_operators);
+      break;
+    case PegasusType::kCyberShake:
+      BuildCyberShake(&builder, target_operators);
+      break;
+    case PegasusType::kEpigenomics:
+      BuildEpigenomics(&builder, target_operators);
+      break;
+    case PegasusType::kInspiral:
+      BuildInspiral(&builder, target_operators);
+      break;
+    case PegasusType::kSipht:
+      BuildSipht(&builder, target_operators);
+      break;
+  }
+  builder.Finish();
+  return out;
+}
+
+void PegasusGenerator::RegisterSyntheticEngines(EngineRegistry* registry,
+                                                int count) {
+  for (int e = 0; e < count; ++e) {
+    SimulatedEngine::Config cfg;
+    cfg.name = "Eng" + std::to_string(e);
+    cfg.kind = e % 3 == 0 ? EngineKind::kCentralized
+                          : EngineKind::kDistributedDisk;
+    cfg.memory_budget_gb = 1e6;  // planner scaling: keep everything feasible
+    cfg.default_resources = e % 3 == 0 ? Resources{1, 2, 4.0}
+                                       : Resources{4, 2, 2.0};
+    cfg.native_store = "Store" + std::to_string(e);
+    auto engine = std::make_unique<SimulatedEngine>(cfg);
+    AlgorithmProfile profile;
+    profile.startup_seconds = 1.0 + 0.7 * e;
+    profile.seconds_per_gb = 40.0 + 25.0 * ((e * 5) % 7);
+    profile.parallel_fraction = cfg.kind == EngineKind::kCentralized ? 0.0
+                                                                     : 0.9;
+    profile.memory_per_input = 1.5;
+    profile.output_bytes_ratio = 0.8;
+    profile.output_records_ratio = 0.8;
+    engine->SetProfile("*", profile);
+    (void)registry->Add(std::move(engine));
+  }
+}
+
+}  // namespace ires

@@ -1,0 +1,59 @@
+#ifndef IRES_WORKLOADGEN_PEGASUS_H_
+#define IRES_WORKLOADGEN_PEGASUS_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "engines/engine_registry.h"
+#include "operators/operator_library.h"
+#include "workflow/workflow_graph.h"
+
+namespace ires {
+
+/// The five scientific workflow families of the Pegasus workflow generator
+/// (Bharathi et al. 2008) used by the planner-scaling experiments
+/// (deliverable §4.2, Figures 14-15).
+enum class PegasusType {
+  kMontage,      // astronomy mosaics: highly connected, heavy fan-in/out
+  kCyberShake,   // earthquake science: two-level fan with aggregators
+  kEpigenomics,  // biology: parallel pipelines merging at the end
+  kInspiral,     // gravitational physics: grouped pipeline stages
+  kSipht,        // bioinformatics: wide independent fan-in
+};
+
+const char* PegasusTypeName(PegasusType type);
+
+/// A generated abstract workflow together with the operator library that
+/// materializes it (one abstract operator per task, `engines_per_operator`
+/// implementations each) and the source dataset descriptions.
+struct GeneratedWorkload {
+  WorkflowGraph graph;
+  OperatorLibrary library;
+};
+
+/// Generates Pegasus-family workflow DAGs at arbitrary sizes with the
+/// published topology signatures (Montage's high in/out-degrees, pipelined
+/// Epigenomics chains, etc.).
+class PegasusGenerator {
+ public:
+  explicit PegasusGenerator(uint64_t seed = 1234) : rng_(seed) {}
+
+  /// Builds a workflow with approximately `target_operators` operator nodes
+  /// and `engines_per_operator` materialized implementations per abstract
+  /// operator (the paper's m). Implementations are spread over the
+  /// synthetic engines Eng0..Eng<m-1>.
+  GeneratedWorkload Generate(PegasusType type, int target_operators,
+                             int engines_per_operator);
+
+  /// Registers `count` synthetic engines ("Eng0".."Eng<count-1>") with
+  /// distinct stores ("Store0"...) and mildly different rates into
+  /// `registry`, so that engine choice and data moves are non-trivial.
+  static void RegisterSyntheticEngines(EngineRegistry* registry, int count);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_WORKLOADGEN_PEGASUS_H_

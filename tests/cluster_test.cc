@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+
+#include <set>
+#include <vector>
+#include "cluster/cluster_simulator.h"
+
+namespace ires {
+namespace {
+
+TEST(ResourcesTest, Totals) {
+  Resources r{4, 2, 1.5};
+  EXPECT_EQ(r.total_cores(), 8);
+  EXPECT_DOUBLE_EQ(r.total_memory_gb(), 6.0);
+}
+
+TEST(ResourcesTest, CostMetricMatchesPaperFormula) {
+  // #VM * cores/VM * GB/VM * t
+  Resources r{4, 2, 3.0};
+  EXPECT_DOUBLE_EQ(r.CostForDuration(10.0), 4 * 2 * 3.0 * 10.0);
+}
+
+TEST(ClusterSimulatorTest, CapacityAccounting) {
+  ClusterSimulator cluster(4, 8, 16.0);
+  EXPECT_EQ(cluster.node_count(), 4);
+  EXPECT_EQ(cluster.total_cores(), 32);
+  EXPECT_DOUBLE_EQ(cluster.total_memory_gb(), 64.0);
+  EXPECT_EQ(cluster.free_cores(), 32);
+
+  auto alloc = cluster.Allocate({2, 4, 8.0});
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(cluster.free_cores(), 24);
+  EXPECT_DOUBLE_EQ(cluster.free_memory_gb(), 48.0);
+
+  ASSERT_TRUE(cluster.Release(alloc.value().id).ok());
+  EXPECT_EQ(cluster.free_cores(), 32);
+}
+
+TEST(ClusterSimulatorTest, AllocationSpreadsAcrossNodes) {
+  ClusterSimulator cluster(4, 4, 8.0);
+  auto alloc = cluster.Allocate({4, 4, 8.0});  // each container fills a node
+  ASSERT_TRUE(alloc.ok());
+  std::set<int> nodes(alloc.value().container_nodes.begin(),
+                      alloc.value().container_nodes.end());
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(ClusterSimulatorTest, OversizedRequestRejectedAtomically) {
+  ClusterSimulator cluster(2, 4, 8.0);
+  // 3 containers of 4 cores need 3 nodes; only 2 exist.
+  auto alloc = cluster.Allocate({3, 4, 8.0});
+  EXPECT_EQ(alloc.status().code(), StatusCode::kResourceExhausted);
+  // Nothing must have been leaked by the failed attempt.
+  EXPECT_EQ(cluster.free_cores(), 8);
+  EXPECT_EQ(cluster.active_allocations(), 0);
+}
+
+TEST(ClusterSimulatorTest, InvalidRequestsRejected) {
+  ClusterSimulator cluster(2, 4, 8.0);
+  EXPECT_FALSE(cluster.Allocate({0, 1, 1.0}).ok());
+  EXPECT_FALSE(cluster.Allocate({1, -1, 1.0}).ok());
+  EXPECT_FALSE(cluster.Allocate({1, 1, 0.0}).ok());
+}
+
+TEST(ClusterSimulatorTest, ReleaseUnknownAllocationFails) {
+  ClusterSimulator cluster(1, 1, 1.0);
+  EXPECT_EQ(cluster.Release(123).code(), StatusCode::kNotFound);
+}
+
+TEST(ClusterSimulatorTest, UnhealthyNodesExcludedFromPlacement) {
+  ClusterSimulator cluster(2, 4, 8.0);
+  cluster.SetNodeHealth(0, NodeHealth::kUnhealthy);
+  EXPECT_EQ(cluster.healthy_node_count(), 1);
+  // Two single-node containers no longer fit.
+  EXPECT_FALSE(cluster.Allocate({2, 4, 8.0}).ok());
+  EXPECT_TRUE(cluster.Allocate({1, 4, 8.0}).ok());
+}
+
+TEST(ClusterSimulatorTest, FailedAllocationsReported) {
+  ClusterSimulator cluster(2, 4, 8.0);
+  auto a = cluster.Allocate({2, 2, 2.0});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(cluster.FailedAllocations().empty());
+  cluster.SetNodeHealth(a.value().container_nodes[0],
+                        NodeHealth::kUnhealthy);
+  auto failed = cluster.FailedAllocations();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], a.value().id);
+}
+
+TEST(ClusterSimulatorTest, ServiceStatusDefaultsOn) {
+  ClusterSimulator cluster(1, 1, 1.0);
+  EXPECT_TRUE(cluster.IsServiceOn("Spark"));
+  cluster.SetServiceStatus("Spark", false);
+  EXPECT_FALSE(cluster.IsServiceOn("Spark"));
+  cluster.SetServiceStatus("Spark", true);
+  EXPECT_TRUE(cluster.IsServiceOn("Spark"));
+}
+
+TEST(ClusterSimulatorTest, ConcurrentAllocationsUntilFull) {
+  ClusterSimulator cluster(4, 2, 4.0);
+  std::vector<int> ids;
+  for (int i = 0; i < 8; ++i) {
+    auto alloc = cluster.Allocate({1, 1, 2.0});
+    ASSERT_TRUE(alloc.ok()) << i;
+    ids.push_back(alloc.value().id);
+  }
+  EXPECT_EQ(cluster.free_cores(), 0);
+  EXPECT_FALSE(cluster.Allocate({1, 1, 1.0}).ok());
+  for (int id : ids) ASSERT_TRUE(cluster.Release(id).ok());
+  EXPECT_EQ(cluster.free_cores(), 8);
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "engines/standard_engines.h"
+
+namespace ires {
+namespace {
+
+class StandardEnginesTest : public ::testing::Test {
+ protected:
+  StandardEnginesTest() : registry_(MakeStandardEngineRegistry()) {}
+
+  OperatorRunRequest PagerankRequest(double edges,
+                                     const SimulatedEngine& engine) {
+    OperatorRunRequest r;
+    r.algorithm = "Pagerank";
+    r.input_bytes = edges * kBytesPerEdge;
+    r.input_records = edges;
+    r.resources = engine.default_resources();
+    return r;
+  }
+
+  double PagerankSeconds(const std::string& engine_name, double edges) {
+    const SimulatedEngine* engine = registry_->Find(engine_name);
+    EXPECT_NE(engine, nullptr);
+    auto est = engine->Estimate(PagerankRequest(edges, *engine));
+    EXPECT_TRUE(est.ok()) << engine_name << ": " << est.status();
+    return est.value().exec_seconds;
+  }
+
+  std::unique_ptr<EngineRegistry> registry_;
+};
+
+TEST_F(StandardEnginesTest, FleetMatchesEvaluationSection) {
+  for (const char* name : {"Java", "Python", "scikit", "Spark", "MLLib",
+                           "Hama", "MapReduce", "PostgreSQL", "MemSQL",
+                           "Hive"}) {
+    EXPECT_NE(registry_->Find(name), nullptr) << name;
+  }
+}
+
+TEST_F(StandardEnginesTest, UnknownAlgorithmFallsBackToWildcard) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  OperatorRunRequest r;
+  r.algorithm = "SomethingNovel";
+  r.input_bytes = 1e9;
+  r.resources = spark->default_resources();
+  EXPECT_TRUE(spark->Estimate(r).ok());
+}
+
+// ---- Fig. 11 calibration: who wins at which graph scale. -----------------
+TEST_F(StandardEnginesTest, JavaWinsSmallGraphs) {
+  EXPECT_LT(PagerankSeconds("Java", 10e3), PagerankSeconds("Hama", 10e3));
+  EXPECT_LT(PagerankSeconds("Java", 10e3), PagerankSeconds("Spark", 10e3));
+  EXPECT_LT(PagerankSeconds("Java", 1e6), PagerankSeconds("Hama", 1e6));
+}
+
+TEST_F(StandardEnginesTest, HamaWinsMediumGraphs) {
+  EXPECT_LT(PagerankSeconds("Hama", 10e6), PagerankSeconds("Java", 10e6));
+  EXPECT_LT(PagerankSeconds("Hama", 10e6), PagerankSeconds("Spark", 10e6));
+}
+
+TEST_F(StandardEnginesTest, JavaOomsOnLargeGraphs) {
+  const SimulatedEngine* java = registry_->Find("Java");
+  auto est = java->Estimate(PagerankRequest(100e6, *java));
+  EXPECT_EQ(est.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(StandardEnginesTest, HamaOomsAt100MEdgesButSparkSurvives) {
+  const SimulatedEngine* hama = registry_->Find("Hama");
+  EXPECT_EQ(hama->Estimate(PagerankRequest(100e6, *hama)).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_GT(PagerankSeconds("Spark", 100e6), 0.0);
+}
+
+TEST_F(StandardEnginesTest, SparkScalesWithInput) {
+  EXPECT_LT(PagerankSeconds("Spark", 1e6), PagerankSeconds("Spark", 10e6));
+  EXPECT_LT(PagerankSeconds("Spark", 10e6), PagerankSeconds("Spark", 100e6));
+}
+
+// ---- Fig. 12 calibration: text analytics crossovers. ----------------------
+TEST_F(StandardEnginesTest, ScikitTfIdfBeatsSparkOnSmallCorpora) {
+  const SimulatedEngine* scikit = registry_->Find("scikit");
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  for (double docs : {1e3, 10e3, 40e3}) {
+    OperatorRunRequest r;
+    r.algorithm = "TF_IDF";
+    r.input_bytes = docs * kBytesPerDocument;
+    r.resources = scikit->default_resources();
+    const double scikit_s = scikit->Estimate(r).value().exec_seconds;
+    r.resources = spark->default_resources();
+    const double spark_s = spark->Estimate(r).value().exec_seconds;
+    EXPECT_LT(scikit_s, spark_s) << docs;
+  }
+}
+
+TEST_F(StandardEnginesTest, SparkKmeansBeatsScikitBeyond10kDocs) {
+  const SimulatedEngine* scikit = registry_->Find("scikit");
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  // k-means input = tf-idf vectors (~half the corpus bytes).
+  OperatorRunRequest r;
+  r.algorithm = "kmeans";
+  r.input_bytes = 10e3 * kBytesPerDocument * 0.5;
+  r.resources = scikit->default_resources();
+  const double scikit_s = scikit->Estimate(r).value().exec_seconds;
+  r.resources = spark->default_resources();
+  const double spark_s = spark->Estimate(r).value().exec_seconds;
+  EXPECT_LT(spark_s, scikit_s);
+}
+
+// ---- Engine mechanics. -----------------------------------------------------
+TEST_F(StandardEnginesTest, MoreCoresSpeedUpDistributedEngines) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  OperatorRunRequest small = PagerankRequest(50e6, *spark);
+  small.resources = {2, 1, 2.0};
+  OperatorRunRequest big = PagerankRequest(50e6, *spark);
+  big.resources = {8, 4, 2.0};
+  EXPECT_GT(spark->Estimate(small).value().exec_seconds,
+            spark->Estimate(big).value().exec_seconds);
+}
+
+TEST_F(StandardEnginesTest, CentralizedEnginesIgnoreExtraContainers) {
+  const SimulatedEngine* java = registry_->Find("Java");
+  OperatorRunRequest one = PagerankRequest(1e6, *java);
+  one.resources = {1, 1, 3.0};
+  OperatorRunRequest many = PagerankRequest(1e6, *java);
+  many.resources = {8, 1, 3.0};
+  EXPECT_DOUBLE_EQ(java->Estimate(one).value().exec_seconds,
+                   java->Estimate(many).value().exec_seconds);
+}
+
+TEST_F(StandardEnginesTest, DiskEnginesSpillInsteadOfFailing) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  // 40 GB input, 2x working set = 80 GB >> 24 GB budget: must still run,
+  // but slower per GB than an in-budget run.
+  OperatorRunRequest big = PagerankRequest(2e9, *spark);
+  auto est_big = spark->Estimate(big);
+  ASSERT_TRUE(est_big.ok());
+  OperatorRunRequest tiny = PagerankRequest(100e6, *spark);
+  auto est_tiny = spark->Estimate(tiny);
+  const double big_rate =
+      est_big.value().exec_seconds / big.input_bytes;
+  const double tiny_rate =
+      est_tiny.value().exec_seconds / tiny.input_bytes;
+  EXPECT_GT(big_rate, tiny_rate);
+}
+
+TEST_F(StandardEnginesTest, GroundTruthIsNoisyAroundEstimate) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  OperatorRunRequest r = PagerankRequest(10e6, *spark);
+  const double estimate = spark->Estimate(r).value().exec_seconds;
+  Rng rng(21);
+  double sum = 0.0;
+  bool any_different = false;
+  for (int i = 0; i < 200; ++i) {
+    const double truth = spark->Run(r, &rng).value().exec_seconds;
+    any_different |= truth != estimate;
+    sum += truth;
+  }
+  EXPECT_TRUE(any_different);
+  EXPECT_NEAR(sum / 200.0, estimate, estimate * 0.05);
+}
+
+TEST_F(StandardEnginesTest, UnavailableEngineRefusesToRun) {
+  SimulatedEngine* spark = registry_->Find("Spark");
+  spark->set_available(false);
+  Rng rng(22);
+  OperatorRunRequest r = PagerankRequest(1e6, *spark);
+  EXPECT_EQ(spark->Run(r, &rng).status().code(), StatusCode::kUnavailable);
+  // Estimation still works (the planner may ask before availability flips).
+  EXPECT_TRUE(spark->Estimate(r).ok());
+  spark->set_available(true);
+}
+
+TEST_F(StandardEnginesTest, InfrastructureFactorScalesRuntime) {
+  SimulatedEngine* mr = registry_->Find("MapReduce");
+  OperatorRunRequest r;
+  r.algorithm = "Wordcount";
+  r.input_bytes = 5e9;
+  r.resources = mr->default_resources();
+  const double before = mr->Estimate(r).value().exec_seconds;
+  mr->set_infrastructure_factor(0.5);  // HDD -> SSD upgrade
+  const double after = mr->Estimate(r).value().exec_seconds;
+  EXPECT_LT(after, before);
+  mr->set_infrastructure_factor(1.0);
+}
+
+TEST_F(StandardEnginesTest, WorkParamMultipliesWork) {
+  SimulatedEngine engine(SimulatedEngine::Config{
+      .name = "test",
+      .kind = EngineKind::kCentralized,
+      .memory_budget_gb = 100,
+      .native_store = "Local"});
+  AlgorithmProfile profile;
+  profile.startup_seconds = 0.0;
+  profile.seconds_per_gb = 10.0;
+  profile.parallel_fraction = 0.0;
+  profile.work_param = "iterations";
+  engine.SetProfile("iter", profile);
+  OperatorRunRequest r;
+  r.algorithm = "iter";
+  r.input_bytes = 1e9;
+  r.resources = {1, 1, 4.0};  // enough memory for the 2x working set
+  r.params["iterations"] = 1;
+  const double one = engine.Estimate(r).value().exec_seconds;
+  r.params["iterations"] = 5;
+  EXPECT_NEAR(engine.Estimate(r).value().exec_seconds, 5 * one, 1e-9);
+}
+
+// ---- Data movement. --------------------------------------------------------
+TEST(DataMovementTest, SameStoreNoTransformIsFree) {
+  DataMovementModel model;
+  EXPECT_DOUBLE_EQ(model.MoveSeconds(1e9, "HDFS", "HDFS", false), 0.0);
+}
+
+TEST(DataMovementTest, CrossStorePaysLatencyAndBandwidth) {
+  DataMovementModel model;
+  model.set_fixed_latency_seconds(1.0);
+  model.set_default_bandwidth(100e6);
+  EXPECT_NEAR(model.MoveSeconds(1e9, "A", "B", false), 1.0 + 10.0, 1e-9);
+}
+
+TEST(DataMovementTest, TransformAddsConversionPass) {
+  DataMovementModel model;
+  model.set_fixed_latency_seconds(1.0);
+  model.set_transform_seconds_per_gb(2.0);
+  const double plain = model.MoveSeconds(1e9, "A", "B", false);
+  const double with_transform = model.MoveSeconds(1e9, "A", "B", true);
+  EXPECT_NEAR(with_transform - plain, 2.0, 1e-9);
+  // Same-store transform still costs the conversion + latency.
+  EXPECT_NEAR(model.MoveSeconds(1e9, "A", "A", true), 3.0, 1e-9);
+}
+
+TEST(DataMovementTest, PerPairBandwidthOverrides) {
+  DataMovementModel model;
+  model.set_fixed_latency_seconds(0.0);
+  model.SetBandwidth("PostgreSQL", "HDFS", 40e6);
+  EXPECT_NEAR(model.MoveSeconds(4e8, "PostgreSQL", "HDFS", false), 10.0,
+              1e-9);
+  // The reverse direction keeps the default.
+  EXPECT_NEAR(model.MoveSeconds(4e8, "HDFS", "PostgreSQL", false), 4.0, 1e-9);
+}
+
+// ---- Registry. -------------------------------------------------------------
+TEST(EngineRegistryTest, AddFindAvailability) {
+  EngineRegistry registry;
+  SimulatedEngine::Config cfg;
+  cfg.name = "X";
+  ASSERT_TRUE(registry.Add(std::make_unique<SimulatedEngine>(cfg)).ok());
+  EXPECT_EQ(registry.Add(std::make_unique<SimulatedEngine>(cfg)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_NE(registry.Find("X"), nullptr);
+  EXPECT_EQ(registry.Find("Y"), nullptr);
+  EXPECT_TRUE(registry.IsAvailable("X"));
+  ASSERT_TRUE(registry.SetAvailable("X", false).ok());
+  EXPECT_FALSE(registry.IsAvailable("X"));
+  EXPECT_EQ(registry.SetAvailable("Y", false).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(registry.IsAvailable("Y"));
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,143 @@
+// End-to-end regression net for EXPERIMENTS.md: executes (not just plans)
+// the evaluation workflows and asserts the paper's headline shapes — who
+// wins at which scale, where the failures fall, and how large the hybrid
+// gains are. If an engine-calibration change breaks a published shape,
+// these tests catch it before the benches do.
+
+#include <gtest/gtest.h>
+
+#include "engines/standard_engines.h"
+#include "executor/enforcer.h"
+#include "planner/dp_planner.h"
+#include "workloadgen/asap_workflows.h"
+
+namespace ires {
+namespace {
+
+// Plans + executes `w`, optionally restricted to a single engine. Returns
+// simulated seconds or a negative value when infeasible.
+double Execute(const GeneratedWorkload& w, const std::string& only_engine,
+               uint64_t seed) {
+  auto registry = MakeStandardEngineRegistry();
+  if (!only_engine.empty()) {
+    for (const std::string& name : registry->Names()) {
+      if (name != only_engine) (void)registry->SetAvailable(name, false);
+    }
+  }
+  DpPlanner planner(&w.library, registry.get());
+  auto plan = planner.Plan(w.graph, {});
+  if (!plan.ok()) return -1.0;
+  ClusterSimulator cluster(16, 4, 8.0);
+  Enforcer enforcer(registry.get(), &cluster, seed);
+  ExecutionReport report = enforcer.Execute(plan.value());
+  return report.status.ok() ? report.makespan_seconds : -1.0;
+}
+
+// ---- Figure 11 shape. -------------------------------------------------------
+struct GraphScale {
+  double edges;
+  const char* winner;  // the engine IReS must pick
+};
+
+class Fig11ShapeTest : public ::testing::TestWithParam<GraphScale> {};
+
+TEST_P(Fig11ShapeTest, IresTracksTheFastestFeasibleEngine) {
+  const GeneratedWorkload w = MakeGraphAnalyticsWorkflow(GetParam().edges);
+  const double ires = Execute(w, "", 42);
+  ASSERT_GT(ires, 0.0);
+  double best_single = 1e18;
+  for (const char* engine : {"Java", "Hama", "Spark"}) {
+    const double t = Execute(w, engine, 42);
+    if (t > 0) best_single = std::min(best_single, t);
+  }
+  // IReS equals the best single engine (same seed -> same ground truth).
+  EXPECT_NEAR(ires, best_single, best_single * 0.05);
+
+  auto registry = MakeStandardEngineRegistry();
+  DpPlanner planner(&w.library, registry.get());
+  auto plan = planner.Plan(w.graph, {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().steps.back().engine, GetParam().winner)
+      << GetParam().edges;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphScales, Fig11ShapeTest,
+    ::testing::Values(GraphScale{10e3, "Java"}, GraphScale{100e3, "Java"},
+                      GraphScale{1e6, "Java"}, GraphScale{10e6, "Hama"},
+                      GraphScale{100e6, "Spark"}),
+    [](const ::testing::TestParamInfo<GraphScale>& info) {
+      return "edges_" + std::to_string(
+                            static_cast<long long>(info.param.edges));
+    });
+
+// ---- Figure 12 shape. -------------------------------------------------------
+TEST(Fig12ShapeTest, HybridWindowGainsMatchThePaper) {
+  // In the 10k-40k window the hybrid plan must beat the best single engine
+  // by a double-digit percentage, peaking near +30%. Ground-truth noise is
+  // averaged out over several seeds.
+  double peak_gain = 0.0;
+  for (double docs : {10e3, 20e3, 30e3, 40e3}) {
+    const GeneratedWorkload w = MakeTextAnalyticsWorkflow(docs);
+    double ires = 0, scikit = 0, spark = 0;
+    const int kSeeds = 5;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      ires += Execute(w, "", seed) / kSeeds;
+      scikit += Execute(w, "scikit", seed) / kSeeds;
+      spark += Execute(w, "Spark", seed) / kSeeds;
+    }
+    ASSERT_GT(ires, 0.0);
+    const double best_single = std::min(scikit, spark);
+    const double gain = (best_single - ires) / best_single;
+    EXPECT_GT(gain, 0.05) << docs;
+    peak_gain = std::max(peak_gain, gain);
+  }
+  // Executed (noisy) gains peak slightly below the estimate-based "up to
+  // 30%" of the bench (the bench reports +32% at 10k docs).
+  EXPECT_GT(peak_gain, 0.18);
+  EXPECT_LT(peak_gain, 0.45);
+}
+
+TEST(Fig12ShapeTest, OutsideTheWindowSingleEngineIsOptimal) {
+  for (double docs : {2e3, 200e3}) {
+    const GeneratedWorkload w = MakeTextAnalyticsWorkflow(docs);
+    const double ires = Execute(w, "", 42);
+    const double scikit = Execute(w, "scikit", 42);
+    const double spark = Execute(w, "Spark", 42);
+    const double best_single = std::min(scikit > 0 ? scikit : 1e18,
+                                        spark > 0 ? spark : 1e18);
+    EXPECT_NEAR(ires, best_single, best_single * 0.05) << docs;
+  }
+}
+
+// ---- Figure 13 shape. -------------------------------------------------------
+TEST(Fig13ShapeTest, MemSqlFailsPastAFewGigabytes) {
+  EXPECT_GT(Execute(MakeRelationalWorkflow(1.0), "MemSQL", 42), 0.0);
+  EXPECT_LT(Execute(MakeRelationalWorkflow(5.0), "MemSQL", 42), 0.0);
+  EXPECT_LT(Execute(MakeRelationalWorkflow(50.0), "MemSQL", 42), 0.0);
+}
+
+TEST(Fig13ShapeTest, IresAtLeastAsGoodAsEverySingleEngineEverywhere) {
+  for (double scale : {1.0, 10.0, 50.0}) {
+    const GeneratedWorkload w = MakeRelationalWorkflow(scale);
+    const double ires = Execute(w, "", 42);
+    ASSERT_GT(ires, 0.0) << scale;
+    for (const char* engine : {"PostgreSQL", "MemSQL", "Spark"}) {
+      const double t = Execute(w, engine, 42);
+      if (t > 0) {
+        EXPECT_LE(ires, t * 1.05) << engine << " @" << scale;
+      }
+    }
+  }
+}
+
+TEST(Fig13ShapeTest, PostgresDegradesSteeplyWithScale) {
+  const double small = Execute(MakeRelationalWorkflow(1.0), "PostgreSQL", 42);
+  const double large = Execute(MakeRelationalWorkflow(50.0), "PostgreSQL", 42);
+  ASSERT_GT(small, 0.0);
+  ASSERT_GT(large, 0.0);
+  EXPECT_GT(large / small, 20.0);  // roughly linear in the shipped bytes
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "metadata/metadata_tree.h"
+#include "metadata/tree_match.h"
+
+namespace ires {
+namespace {
+
+TEST(MetadataTreeTest, SetGetRoundTrip) {
+  MetadataTree tree;
+  tree.Set("Constraints.Engine", "Spark");
+  tree.Set("Constraints.Input.number", "1");
+  EXPECT_EQ(tree.Get("Constraints.Engine"), "Spark");
+  EXPECT_EQ(tree.Get("Constraints.Input.number"), "1");
+  EXPECT_FALSE(tree.Get("Constraints.Output").has_value());
+  EXPECT_EQ(tree.GetOr("Missing.path", "dflt"), "dflt");
+}
+
+TEST(MetadataTreeTest, InteriorNodesHaveNoValue) {
+  MetadataTree tree;
+  tree.Set("A.B.C", "x");
+  EXPECT_TRUE(tree.Has("A"));
+  EXPECT_TRUE(tree.Has("A.B"));
+  EXPECT_FALSE(tree.Get("A.B").has_value());
+  EXPECT_EQ(tree.Get("A.B.C"), "x");
+}
+
+TEST(MetadataTreeTest, OverwriteValue) {
+  MetadataTree tree;
+  tree.Set("k", "1");
+  tree.Set("k", "2");
+  EXPECT_EQ(tree.Get("k"), "2");
+}
+
+TEST(MetadataTreeTest, EraseSubtree) {
+  MetadataTree tree;
+  tree.Set("A.B.C", "x");
+  tree.Set("A.D", "y");
+  EXPECT_TRUE(tree.Erase("A.B"));
+  EXPECT_FALSE(tree.Has("A.B.C"));
+  EXPECT_TRUE(tree.Has("A.D"));
+  EXPECT_FALSE(tree.Erase("A.B"));  // already gone
+}
+
+TEST(MetadataTreeTest, ChildLabelsAreLexicographic) {
+  MetadataTree tree;
+  tree.Set("root.zeta", "1");
+  tree.Set("root.alpha", "2");
+  tree.Set("root.mid", "3");
+  EXPECT_EQ(tree.ChildLabels("root"),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(MetadataTreeTest, NodeCountCountsAllNodes) {
+  MetadataTree tree;
+  tree.Set("A.B", "1");   // A, B
+  tree.Set("A.C", "2");   // C
+  tree.Set("D", "3");     // D
+  EXPECT_EQ(tree.NodeCount(), 4u);
+}
+
+TEST(MetadataTreeTest, FlattenSortedPaths) {
+  MetadataTree tree;
+  tree.Set("b.y", "2");
+  tree.Set("a.x", "1");
+  auto flat = tree.Flatten();
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat[0].first, "a.x");
+  EXPECT_EQ(flat[1].first, "b.y");
+}
+
+TEST(MetadataTreeTest, ParseDescriptionFormat) {
+  const std::string text =
+      "# a comment\n"
+      "Constraints.Engine=Spark\n"
+      "\n"
+      "Execution.path=hdfs\\:///user/root/asap-server.log\n"
+      "Optimization.documents=1\n";
+  auto tree = MetadataTree::ParseDescription(text);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().Get("Constraints.Engine"), "Spark");
+  // "\:" unescapes to ":".
+  EXPECT_EQ(tree.value().Get("Execution.path"),
+            "hdfs:///user/root/asap-server.log");
+  EXPECT_EQ(tree.value().Get("Optimization.documents"), "1");
+}
+
+TEST(MetadataTreeTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(MetadataTree::ParseDescription("no equals sign").ok());
+  EXPECT_FALSE(MetadataTree::ParseDescription("=value-without-path").ok());
+}
+
+TEST(MetadataTreeTest, DescriptionRoundTrip) {
+  MetadataTree tree;
+  tree.Set("Constraints.Engine", "Hama");
+  tree.Set("Optimization.cost", "1.0");
+  auto reparsed = MetadataTree::ParseDescription(tree.ToDescription());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.value() == tree);
+}
+
+TEST(MetadataTreeTest, EqualityIsStructural) {
+  MetadataTree a, b;
+  a.Set("x.y", "1");
+  b.Set("x.y", "1");
+  EXPECT_TRUE(a == b);
+  b.Set("x.z", "2");
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------------------------------------ Tree match
+MetadataTree FromDescription(const std::string& text) {
+  auto tree = MetadataTree::ParseDescription(text);
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return tree.value();
+}
+
+TEST(TreeMatchTest, ExactLeafMatch) {
+  MetadataTree pattern = FromDescription("Constraints.Engine=Spark\n");
+  MetadataTree concrete = FromDescription(
+      "Constraints.Engine=Spark\nConstraints.Extra=ignored\n");
+  EXPECT_TRUE(MatchTrees(pattern, concrete).matched);
+}
+
+TEST(TreeMatchTest, ValueMismatchReportsPath) {
+  MetadataTree pattern = FromDescription("Constraints.Engine=Spark\n");
+  MetadataTree concrete = FromDescription("Constraints.Engine=Hama\n");
+  MatchResult r = MatchTrees(pattern, concrete);
+  EXPECT_FALSE(r.matched);
+  EXPECT_EQ(r.mismatch_path, "Constraints.Engine");
+}
+
+TEST(TreeMatchTest, MissingPathFails) {
+  MetadataTree pattern = FromDescription("Constraints.Input.number=1\n");
+  MetadataTree concrete = FromDescription("Constraints.Engine=Spark\n");
+  MatchResult r = MatchTrees(pattern, concrete);
+  EXPECT_FALSE(r.matched);
+  EXPECT_EQ(r.mismatch_path, "Constraints.Input");
+}
+
+TEST(TreeMatchTest, WildcardMatchesAnyValue) {
+  MetadataTree pattern = FromDescription("Constraints.Engine=*\n");
+  MetadataTree spark = FromDescription("Constraints.Engine=Spark\n");
+  MetadataTree hama = FromDescription("Constraints.Engine=Hama\n");
+  EXPECT_TRUE(MatchTrees(pattern, spark).matched);
+  EXPECT_TRUE(MatchTrees(pattern, hama).matched);
+}
+
+TEST(TreeMatchTest, WildcardStillRequiresPath) {
+  MetadataTree pattern = FromDescription("Constraints.Engine=*\n");
+  MetadataTree concrete = FromDescription("Constraints.type=text\n");
+  EXPECT_FALSE(MatchTrees(pattern, concrete).matched);
+}
+
+TEST(TreeMatchTest, StructuralConstraintWithoutValue) {
+  // A pattern node without a value only requires the path to exist.
+  MetadataTree pattern;
+  pattern.Set("Constraints.Engine.FS", "HDFS");
+  MetadataTree concrete;
+  concrete.Set("Constraints.Engine.FS", "HDFS");
+  concrete.Set("Constraints.Engine.location", "cluster");
+  EXPECT_TRUE(MatchTrees(pattern, concrete).matched);
+}
+
+TEST(TreeMatchTest, EmptyPatternMatchesEverything) {
+  MetadataTree pattern;
+  MetadataTree concrete = FromDescription("a.b=1\nc=2\n");
+  EXPECT_TRUE(MatchTrees(pattern, concrete).matched);
+}
+
+TEST(TreeMatchTest, MatchSubtreesMissingPatternSubtreeOk) {
+  MetadataTree pattern = FromDescription("Execution.path=/x\n");
+  MetadataTree concrete;
+  EXPECT_TRUE(MatchSubtrees(pattern, concrete, "Constraints").matched);
+  EXPECT_FALSE(MatchSubtrees(pattern, concrete, "Execution").matched);
+}
+
+TEST(TreeMatchTest, PaperTfIdfExample) {
+  // Deliverable §2.1: abstract TF_IDF matches TF_IDF_mahout.
+  MetadataTree abstract_op = FromDescription(
+      "Constraints.Input.number=1\n"
+      "Constraints.Output.number=1\n"
+      "Constraints.OpSpecification.Algorithm.name=TF_IDF\n");
+  MetadataTree mahout = FromDescription(
+      "Constraints.Input.number=1\n"
+      "Constraints.Output.number=1\n"
+      "Constraints.OpSpecification.Algorithm.name=TF_IDF\n"
+      "Constraints.Engine=Hadoop\n"
+      "Constraints.Input0.type=sequence\n"
+      "Constraints.Input0.Engine.FS=HDFS\n"
+      "Execution.LuaScript=tfidf.lua\n");
+  EXPECT_TRUE(MatchSubtrees(abstract_op, mahout, "Constraints").matched);
+
+  // A different algorithm must not match.
+  MetadataTree wordcount = FromDescription(
+      "Constraints.Input.number=1\n"
+      "Constraints.Output.number=1\n"
+      "Constraints.OpSpecification.Algorithm.name=Wordcount\n");
+  EXPECT_FALSE(MatchSubtrees(abstract_op, wordcount, "Constraints").matched);
+}
+
+TEST(TreeMatchTest, LinearMergeHandlesInterleavedLabels) {
+  // Pattern children interleave with extra concrete children; the single
+  // pass must still find all of them.
+  MetadataTree pattern = FromDescription("r.b=1\nr.d=2\nr.f=3\n");
+  MetadataTree concrete =
+      FromDescription("r.a=0\nr.b=1\nr.c=0\nr.d=2\nr.e=0\nr.f=3\nr.g=0\n");
+  EXPECT_TRUE(MatchTrees(pattern, concrete).matched);
+}
+
+}  // namespace
+}  // namespace ires

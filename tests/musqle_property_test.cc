@@ -1,0 +1,145 @@
+// Property suite over the full MuSQLE TPC-H query set: structural and
+// cost-consistency invariants that must hold for every query, placement
+// and scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "sql/musqle_optimizer.h"
+#include "sql/tpch_queries.h"
+
+namespace ires::sql {
+namespace {
+
+struct Scenario {
+  int query_index;
+  double scale_gb;
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  return "Q" + std::to_string(info.param.query_index) + "_scale" +
+         std::to_string(static_cast<int>(info.param.scale_gb));
+}
+
+class MusqlePropertyTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  MusqlePropertyTest()
+      : catalog_(MakeTpchCatalog(GetParam().scale_gb, "PostgreSQL", "MemSQL",
+                                 "SparkSQL")),
+        engines_(MakeStandardSqlEngines()),
+        optimizer_(&catalog_, &engines_) {}
+
+  Query ParseCurrent() {
+    auto q = SqlParser::Parse(MusqleQuerySet()[GetParam().query_index]);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return q.value();
+  }
+
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<SqlEngine>> engines_;
+  MusqleOptimizer optimizer_;
+};
+
+TEST_P(MusqlePropertyTest, PlanIsStructurallySound) {
+  const Query query = ParseCurrent();
+  auto plan = optimizer_.Optimize(query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const SqlPlan& p = plan.value();
+
+  // Exactly one scan per table, each either at the table's home engine or
+  // preceded by a bulk-replication move into the scanning engine.
+  std::set<std::string> scanned;
+  for (const SqlPlanNode& node : p.nodes) {
+    if (node.kind != SqlPlanNode::Kind::kScan) continue;
+    EXPECT_TRUE(scanned.insert(node.table).second) << node.table;
+    if (node.engine != catalog_.FindTable(node.table)->engine) {
+      ASSERT_EQ(node.children.size(), 1u);
+      EXPECT_EQ(p.nodes[node.children[0]].kind, SqlPlanNode::Kind::kMove);
+      EXPECT_EQ(p.nodes[node.children[0]].engine, node.engine);
+    }
+  }
+  EXPECT_EQ(scanned.size(), query.tables.size());
+  // n-1 joins for n tables.
+  EXPECT_EQ(p.CountKind(SqlPlanNode::Kind::kJoin),
+            static_cast<int>(query.tables.size()) - 1);
+
+  // Every join's children are already at the join's engine (moves were
+  // inserted where needed); every move lands at its parent's engine.
+  std::function<void(int)> check = [&](int id) {
+    const SqlPlanNode& node = p.nodes[id];
+    for (int child : node.children) {
+      if (node.kind == SqlPlanNode::Kind::kJoin) {
+        EXPECT_EQ(p.nodes[child].engine, node.engine);
+      }
+      check(child);
+    }
+  };
+  check(p.root);
+}
+
+TEST_P(MusqlePropertyTest, ReportedCostEqualsRepricedPlan) {
+  auto plan = optimizer_.Optimize(ParseCurrent());
+  ASSERT_TRUE(plan.ok());
+  double sum = 0.0;
+  for (const SqlPlanNode& node : plan.value().nodes) sum += node.seconds;
+  EXPECT_NEAR(sum, plan.value().total_seconds,
+              plan.value().total_seconds * 1e-9);
+}
+
+TEST_P(MusqlePropertyTest, MultiEngineNeverWorseThanSingleEngine) {
+  const Query query = ParseCurrent();
+  auto multi = optimizer_.Optimize(query);
+  ASSERT_TRUE(multi.ok());
+  for (const auto& [name, engine] : engines_) {
+    // Skip baselines that would need replicated tables they cannot hold.
+    auto single = optimizer_.PlanSingleEngine(query, name);
+    if (!single.ok()) continue;
+    EXPECT_LE(multi.value().total_seconds,
+              single.value().total_seconds * (1.0 + 1e-9))
+        << name;
+  }
+}
+
+TEST_P(MusqlePropertyTest, EnumerationStrategiesAgree) {
+  const Query query = ParseCurrent();
+  MusqleOptimizer::Options submask;
+  submask.enumeration = MusqleOptimizer::Enumeration::kSubmask;
+  MusqleOptimizer other(&catalog_, &engines_, submask);
+  auto a = optimizer_.Optimize(query);
+  auto b = other.Optimize(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a.value().total_seconds, b.value().total_seconds,
+              a.value().total_seconds * 1e-9);
+}
+
+TEST_P(MusqlePropertyTest, DeterministicAcrossRuns) {
+  const Query query = ParseCurrent();
+  auto a = optimizer_.Optimize(query);
+  auto b = optimizer_.Optimize(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().total_seconds, b.value().total_seconds);
+  EXPECT_EQ(a.value().result_engine, b.value().result_engine);
+  EXPECT_EQ(a.value().nodes.size(), b.value().nodes.size());
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> scenarios;
+  const int query_count = static_cast<int>(MusqleQuerySet().size());
+  for (int q = 0; q < query_count; ++q) {
+    for (double scale : {5.0, 20.0}) {
+      scenarios.push_back({q, scale});
+    }
+  }
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTpchQueries, MusqlePropertyTest,
+                         ::testing::ValuesIn(AllScenarios()), ScenarioName);
+
+}  // namespace
+}  // namespace ires::sql

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "operators/operator_library.h"
+
+namespace ires {
+namespace {
+
+MetadataTree Tree(const std::string& description) {
+  auto t = MetadataTree::ParseDescription(description);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+Dataset CrawlDocuments() {
+  return Dataset("crawlDocuments", Tree("Constraints.Engine.FS=HDFS\n"
+                                        "Constraints.type=sequence\n"
+                                        "Execution.path=hdfs:///docs\n"
+                                        "Optimization.documents=5000\n"
+                                        "Optimization.size=1e8\n"));
+}
+
+AbstractOperator AbstractTfIdf() {
+  return AbstractOperator("TF_IDF",
+                          Tree("Constraints.Input.number=1\n"
+                               "Constraints.Output.number=1\n"
+                               "Constraints.OpSpecification.Algorithm.name=TF_IDF\n"));
+}
+
+MaterializedOperator MahoutTfIdf() {
+  return MaterializedOperator(
+      "TF_IDF_mahout",
+      Tree("Constraints.Input.number=1\n"
+           "Constraints.Output.number=1\n"
+           "Constraints.OpSpecification.Algorithm.name=TF_IDF\n"
+           "Constraints.Engine=Hadoop\n"
+           "Constraints.Input0.type=sequence\n"
+           "Constraints.Input0.Engine.FS=HDFS\n"
+           "Constraints.Output0.type=sequence\n"
+           "Constraints.Output0.Engine.FS=HDFS\n"
+           "Execution.Output0.path=hdfs:///tfidf.out\n"));
+}
+
+TEST(DatasetTest, AccessorsReadMetadata) {
+  Dataset d = CrawlDocuments();
+  EXPECT_TRUE(d.IsMaterialized());
+  EXPECT_EQ(d.store(), "HDFS");
+  EXPECT_EQ(d.format(), "sequence");
+  EXPECT_EQ(d.path(), "hdfs:///docs");
+  EXPECT_DOUBLE_EQ(d.record_count(), 5000.0);
+  EXPECT_DOUBLE_EQ(d.size_bytes(), 1e8);
+}
+
+TEST(DatasetTest, AbstractDatasetHasNoPath) {
+  Dataset d("intermediate", MetadataTree());
+  EXPECT_FALSE(d.IsMaterialized());
+  EXPECT_EQ(d.size_bytes(), 0.0);
+}
+
+TEST(OperatorTest, AbstractAccessors) {
+  AbstractOperator op = AbstractTfIdf();
+  EXPECT_EQ(op.algorithm(), "TF_IDF");
+  EXPECT_EQ(op.input_count(), 1);
+  EXPECT_EQ(op.output_count(), 1);
+}
+
+TEST(OperatorTest, MaterializedAccessors) {
+  MaterializedOperator op = MahoutTfIdf();
+  EXPECT_EQ(op.engine(), "Hadoop");
+  EXPECT_EQ(op.algorithm(), "TF_IDF");
+  ASSERT_NE(op.InputSpec(0), nullptr);
+  EXPECT_EQ(op.InputSpec(1), nullptr);
+}
+
+TEST(OperatorTest, PaperMatchingExample) {
+  // Deliverable Fig. 2/3: TF_IDF_mahout matches TF_IDF, and
+  // crawlDocuments can be used as its input as-is.
+  EXPECT_TRUE(MatchesAbstract(AbstractTfIdf(), MahoutTfIdf()).matched);
+  EXPECT_TRUE(MahoutTfIdf().AcceptsInput(0, CrawlDocuments()));
+}
+
+TEST(OperatorTest, InputRejectedOnWrongFormat) {
+  Dataset text_data("textData", Tree("Constraints.Engine.FS=HDFS\n"
+                                     "Constraints.type=text\n"
+                                     "Execution.path=/x\n"));
+  EXPECT_FALSE(MahoutTfIdf().AcceptsInput(0, text_data));
+}
+
+TEST(OperatorTest, UnconstrainedInputAcceptsAnything) {
+  MaterializedOperator op(
+      "AnyOp", Tree("Constraints.OpSpecification.Algorithm.name=Any\n"
+                    "Constraints.Engine=Spark\n"));
+  EXPECT_TRUE(op.AcceptsInput(0, CrawlDocuments()));
+}
+
+TEST(OperatorTest, MakeOutputMetaCopiesSpec) {
+  MetadataTree out = MahoutTfIdf().MakeOutputMeta(0);
+  EXPECT_EQ(out.Get("Constraints.Engine.FS"), "HDFS");
+  EXPECT_EQ(out.Get("Constraints.type"), "sequence");
+  EXPECT_EQ(out.Get("Execution.path"), "hdfs:///tfidf.out");
+}
+
+TEST(OperatorTest, ArityMismatchFailsMatch) {
+  AbstractOperator two_inputs(
+      "TwoIn", Tree("Constraints.Input.number=2\n"
+                    "Constraints.OpSpecification.Algorithm.name=TF_IDF\n"));
+  EXPECT_FALSE(MatchesAbstract(two_inputs, MahoutTfIdf()).matched);
+}
+
+// ------------------------------------------------------------ the library
+TEST(OperatorLibraryTest, AddAndFind) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  ASSERT_TRUE(lib.AddAbstract(AbstractTfIdf()).ok());
+  ASSERT_TRUE(lib.AddDataset(CrawlDocuments()).ok());
+  EXPECT_NE(lib.FindMaterializedByName("TF_IDF_mahout"), nullptr);
+  EXPECT_NE(lib.FindAbstractByName("TF_IDF"), nullptr);
+  EXPECT_NE(lib.FindDatasetByName("crawlDocuments"), nullptr);
+  EXPECT_EQ(lib.FindMaterializedByName("nope"), nullptr);
+}
+
+TEST(OperatorLibraryTest, DuplicateNamesRejected) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  EXPECT_EQ(lib.AddMaterialized(MahoutTfIdf()).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(lib.AddDataset(CrawlDocuments()).ok());
+  EXPECT_EQ(lib.AddDataset(CrawlDocuments()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(OperatorLibraryTest, EmptyNamesRejected) {
+  OperatorLibrary lib;
+  EXPECT_EQ(lib.AddMaterialized(MaterializedOperator()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(lib.AddDataset(Dataset()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OperatorLibraryTest, FindMaterializedUsesAlgorithmIndex) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  MaterializedOperator spark_tfidf(
+      "TF_IDF_spark", Tree("Constraints.Input.number=1\n"
+                           "Constraints.Output.number=1\n"
+                           "Constraints.OpSpecification.Algorithm.name=TF_IDF\n"
+                           "Constraints.Engine=Spark\n"));
+  ASSERT_TRUE(lib.AddMaterialized(spark_tfidf).ok());
+  MaterializedOperator wordcount(
+      "WC_spark", Tree("Constraints.Input.number=1\n"
+                       "Constraints.Output.number=1\n"
+                       "Constraints.OpSpecification.Algorithm.name=Wordcount\n"
+                       "Constraints.Engine=Spark\n"));
+  ASSERT_TRUE(lib.AddMaterialized(wordcount).ok());
+
+  auto matches = lib.FindMaterializedOperators(AbstractTfIdf());
+  EXPECT_EQ(matches.size(), 2u);
+  for (const MaterializedOperator* mo : matches) {
+    EXPECT_EQ(mo->algorithm(), "TF_IDF");
+  }
+}
+
+TEST(OperatorLibraryTest, WildcardAlgorithmScansAll) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  AbstractOperator any("any", Tree("Constraints.Input.number=1\n"));
+  EXPECT_EQ(lib.FindMaterializedOperators(any).size(), 1u);
+}
+
+TEST(OperatorLibraryTest, EngineConstraintInAbstractFilters) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  AbstractOperator hadoop_only(
+      "TF_IDF_hadoop",
+      Tree("Constraints.OpSpecification.Algorithm.name=TF_IDF\n"
+           "Constraints.Engine=Hadoop\n"));
+  EXPECT_EQ(lib.FindMaterializedOperators(hadoop_only).size(), 1u);
+  AbstractOperator spark_only(
+      "TF_IDF_spark",
+      Tree("Constraints.OpSpecification.Algorithm.name=TF_IDF\n"
+           "Constraints.Engine=Spark\n"));
+  EXPECT_TRUE(lib.FindMaterializedOperators(spark_only).empty());
+}
+
+TEST(OperatorLibraryTest, RemoveByEngine) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  EXPECT_EQ(lib.RemoveByEngine("Hadoop"), 1);
+  EXPECT_EQ(lib.materialized_count(), 0u);
+  EXPECT_TRUE(lib.FindMaterializedOperators(AbstractTfIdf()).empty());
+}
+
+TEST(OperatorLibraryTest, LoadFromDirectoryMirrorsAsapLayout) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "ires_lib_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "operators" / "LineCount");
+  fs::create_directories(root / "abstractOperators");
+  fs::create_directories(root / "datasets");
+  {
+    std::ofstream f(root / "operators" / "LineCount" / "description");
+    f << "Constraints.Engine=Spark\n"
+         "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+         "Constraints.Input.number=1\n"
+         "Constraints.Output.number=1\n";
+  }
+  {
+    std::ofstream f(root / "abstractOperators" / "LineCount");
+    f << "Constraints.OpSpecification.Algorithm.name=LineCount\n"
+         "Constraints.Input.number=1\n"
+         "Constraints.Output.number=1\n";
+  }
+  {
+    std::ofstream f(root / "datasets" / "asapServerLog");
+    f << "Optimization.documents=1\n"
+         "Execution.path=hdfs\\:///user/root/asap-server.log\n"
+         "Constraints.Engine.FS=HDFS\n";
+  }
+
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.LoadFromDirectory(root.string()).ok());
+  EXPECT_EQ(lib.materialized_count(), 1u);
+  EXPECT_EQ(lib.abstract_count(), 1u);
+  EXPECT_EQ(lib.dataset_count(), 1u);
+  const Dataset* log = lib.FindDatasetByName("asapServerLog");
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->path(), "hdfs:///user/root/asap-server.log");
+  fs::remove_all(root);
+}
+
+TEST(OperatorLibraryTest, SaveLoadRoundTrip) {
+  namespace fs = std::filesystem;
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddMaterialized(MahoutTfIdf()).ok());
+  ASSERT_TRUE(lib.AddAbstract(AbstractTfIdf()).ok());
+  ASSERT_TRUE(lib.AddDataset(CrawlDocuments()).ok());
+
+  const fs::path root = fs::temp_directory_path() / "ires_lib_roundtrip";
+  fs::remove_all(root);
+  ASSERT_TRUE(lib.SaveToDirectory(root.string()).ok());
+
+  OperatorLibrary reloaded;
+  ASSERT_TRUE(reloaded.LoadFromDirectory(root.string()).ok());
+  EXPECT_EQ(reloaded.materialized_count(), 1u);
+  EXPECT_EQ(reloaded.abstract_count(), 1u);
+  EXPECT_EQ(reloaded.dataset_count(), 1u);
+  const MaterializedOperator* op =
+      reloaded.FindMaterializedByName("TF_IDF_mahout");
+  ASSERT_NE(op, nullptr);
+  EXPECT_TRUE(op->meta() == MahoutTfIdf().meta());
+  const Dataset* data = reloaded.FindDatasetByName("crawlDocuments");
+  ASSERT_NE(data, nullptr);
+  EXPECT_TRUE(data->meta() == CrawlDocuments().meta());
+  fs::remove_all(root);
+}
+
+TEST(OperatorLibraryTest, LoadFromMissingDirectoryFails) {
+  OperatorLibrary lib;
+  EXPECT_EQ(lib.LoadFromDirectory("/no/such/dir").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "engines/standard_engines.h"
+#include "planner/dp_planner.h"
+#include "planner/pareto_planner.h"
+#include "workloadgen/asap_workflows.h"
+
+namespace ires {
+namespace {
+
+class ParetoPlannerTest : public ::testing::Test {
+ protected:
+  ParetoPlannerTest() : registry_(MakeStandardEngineRegistry()) {}
+
+  Result<std::vector<ParetoPlanner::FrontierPlan>> Frontier(
+      const GeneratedWorkload& w, ParetoPlanner::Options options = {}) {
+    ParetoPlanner planner(&w.library, registry_.get());
+    return planner.PlanFrontier(w.graph, options);
+  }
+
+  std::unique_ptr<EngineRegistry> registry_;
+};
+
+TEST_F(ParetoPlannerTest, FrontierIsSortedAndNonDominated) {
+  auto frontier = Frontier(MakeTextAnalyticsWorkflow(20e3));
+  ASSERT_TRUE(frontier.ok()) << frontier.status();
+  const auto& plans = frontier.value();
+  ASSERT_FALSE(plans.empty());
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_GT(plans[i].seconds, plans[i - 1].seconds);
+    EXPECT_LT(plans[i].cost, plans[i - 1].cost);  // strict trade-off
+  }
+}
+
+TEST_F(ParetoPlannerTest, FastestPointMatchesScalarMinTimePlanner) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  auto frontier = Frontier(w);
+  ASSERT_TRUE(frontier.ok());
+  DpPlanner scalar(&w.library, registry_.get());
+  auto min_time = scalar.Plan(w.graph, {});
+  ASSERT_TRUE(min_time.ok());
+  EXPECT_NEAR(frontier.value().front().seconds, min_time.value().metric,
+              1e-6);
+}
+
+TEST_F(ParetoPlannerTest, CheapestPointMatchesScalarMinCostPlanner) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  auto frontier = Frontier(w);
+  ASSERT_TRUE(frontier.ok());
+  DpPlanner scalar(&w.library, registry_.get());
+  DpPlanner::Options options;
+  options.policy = OptimizationPolicy::MinimizeCost();
+  auto min_cost = scalar.Plan(w.graph, options);
+  ASSERT_TRUE(min_cost.ok());
+  EXPECT_NEAR(frontier.value().back().cost, min_cost.value().metric, 1e-6);
+}
+
+TEST_F(ParetoPlannerTest, TextWorkflowExposesTimeCostTradeOff) {
+  // At mid corpus sizes the hybrid plan is fastest but burns 16 Spark
+  // cores; the all-scikit plan is slower but much cheaper. The frontier
+  // must expose both.
+  auto frontier = Frontier(MakeTextAnalyticsWorkflow(20e3));
+  ASSERT_TRUE(frontier.ok());
+  const auto& plans = frontier.value();
+  ASSERT_GE(plans.size(), 2u);
+  EXPECT_LT(plans.front().seconds * 1.2, plans.back().seconds);
+  EXPECT_LT(plans.back().cost * 1.2, plans.front().cost);
+  // Fastest plan uses Spark somewhere; cheapest stays centralized.
+  EXPECT_FALSE(plans.front().plan.EnginesUsed().empty());
+  const auto cheap_engines = plans.back().plan.EnginesUsed();
+  EXPECT_EQ(cheap_engines, (std::vector<std::string>{"scikit"}));
+}
+
+TEST_F(ParetoPlannerTest, SingleImplementationYieldsSinglePoint) {
+  // Pagerank at 100M edges: only Spark survives -> exactly one plan.
+  auto frontier = Frontier(MakeGraphAnalyticsWorkflow(100e6));
+  ASSERT_TRUE(frontier.ok());
+  EXPECT_EQ(frontier.value().size(), 1u);
+  EXPECT_EQ(frontier.value()[0].plan.EnginesUsed(),
+            (std::vector<std::string>{"Spark"}));
+}
+
+TEST_F(ParetoPlannerTest, FrontierCapRespected) {
+  ParetoPlanner::Options options;
+  options.max_frontier_size = 2;
+  auto frontier = Frontier(MakeRelationalWorkflow(10.0), options);
+  ASSERT_TRUE(frontier.ok());
+  EXPECT_LE(frontier.value().size(), 8u);  // small, pruned frontier
+}
+
+TEST_F(ParetoPlannerTest, PlansAreStructurallyValid) {
+  auto frontier = Frontier(MakeRelationalWorkflow(10.0));
+  ASSERT_TRUE(frontier.ok());
+  for (const auto& fp : frontier.value()) {
+    ASSERT_FALSE(fp.plan.steps.empty());
+    for (const PlanStep& step : fp.plan.steps) {
+      for (int dep : step.deps) EXPECT_LT(dep, step.id);
+      EXPECT_GT(step.estimated_seconds, 0.0);
+    }
+    double sum = 0.0;
+    for (const PlanStep& step : fp.plan.steps) {
+      sum += step.estimated_seconds;
+    }
+    EXPECT_NEAR(sum, fp.seconds, 1e-6);
+  }
+}
+
+TEST_F(ParetoPlannerTest, MaterializedIntermediatesRespected) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  ParetoPlanner::Options options;
+  options.materialized_intermediates["vectors"] =
+      DatasetInstance{"vectors", "HDFS", "arff", 1e8, 20e3};
+  auto frontier = Frontier(w, options);
+  ASSERT_TRUE(frontier.ok());
+  for (const auto& fp : frontier.value()) {
+    for (const PlanStep& step : fp.plan.steps) {
+      EXPECT_NE(step.algorithm, "TF_IDF");
+    }
+  }
+}
+
+TEST_F(ParetoPlannerTest, NoFeasiblePlanReported) {
+  for (const char* name : {"Java", "Hama", "Spark"}) {
+    (void)registry_->SetAvailable(name, false);
+  }
+  auto frontier = Frontier(MakeGraphAnalyticsWorkflow(1e6));
+  EXPECT_EQ(frontier.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ires

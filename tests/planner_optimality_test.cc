@@ -1,0 +1,143 @@
+// Property test: on workflows where exhaustive enumeration is feasible
+// (chains, where the DP's additive cost model is exact), the DP planner's
+// metric must equal the optimum found by brute force over every assignment
+// of materialized implementations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "planner/dp_planner.h"
+#include "workloadgen/pegasus.h"
+
+namespace ires {
+namespace {
+
+// Builds a linear workflow of `ops` operators, each with `m` alternative
+// implementations over the synthetic engines, with per-engine native-store
+// input/output constraints (so moves are required between different
+// engines). `seed` perturbs source size.
+GeneratedWorkload MakeChain(int ops, int m, uint64_t seed) {
+  Rng rng(seed);
+  GeneratedWorkload w;
+  MetadataTree source_meta;
+  source_meta.Set("Constraints.Engine.FS", "Store0");
+  source_meta.Set("Constraints.type", "bin");
+  source_meta.Set("Execution.path", "sim://chain_src");
+  source_meta.Set("Optimization.size",
+                  std::to_string(rng.Uniform(0.5e9, 4e9)));
+  source_meta.Set("Optimization.documents", "1000");
+  (void)w.library.AddDataset(Dataset("src", source_meta));
+  w.graph.AddDataset("src");
+
+  std::string upstream = "src";
+  for (int k = 0; k < ops; ++k) {
+    const std::string op_name = "Op" + std::to_string(k);
+    MetadataTree abstract_meta;
+    abstract_meta.Set("Constraints.OpSpecification.Algorithm.name", op_name);
+    (void)w.library.AddAbstract(AbstractOperator(op_name, abstract_meta));
+    for (int e = 0; e < m; ++e) {
+      MetadataTree meta;
+      meta.Set("Constraints.Engine", "Eng" + std::to_string(e));
+      meta.Set("Constraints.OpSpecification.Algorithm.name", op_name);
+      meta.Set("Constraints.Input0.Engine.FS", "Store" + std::to_string(e));
+      meta.Set("Constraints.Output0.Engine.FS", "Store" + std::to_string(e));
+      meta.Set("Constraints.Output0.type", "bin");
+      (void)w.library.AddMaterialized(MaterializedOperator(
+          op_name + "_Eng" + std::to_string(e), std::move(meta)));
+    }
+    w.graph.AddOperator(op_name);
+    (void)w.graph.Connect(upstream, op_name);
+    upstream = op_name + "_out";
+    w.graph.AddDataset(upstream);
+    (void)w.graph.Connect(op_name, upstream);
+  }
+  (void)w.graph.SetTarget(upstream);
+  return w;
+}
+
+// Exhaustively evaluates every implementation assignment of the chain and
+// returns the minimum total seconds (operator estimates + forced moves).
+double BruteForceOptimum(const GeneratedWorkload& w,
+                         const EngineRegistry& registry, int ops, int m) {
+  const Dataset* src = w.library.FindDatasetByName("src");
+  double best = std::numeric_limits<double>::infinity();
+
+  std::vector<int> assignment(ops, 0);
+  while (true) {
+    // Evaluate this assignment.
+    double total = 0.0;
+    bool feasible = true;
+    DatasetInstance current{"src", src->store(), src->format(),
+                            src->size_bytes(), src->record_count()};
+    for (int k = 0; k < ops && feasible; ++k) {
+      const std::string mo_name =
+          "Op" + std::to_string(k) + "_Eng" + std::to_string(assignment[k]);
+      const MaterializedOperator* mo =
+          w.library.FindMaterializedByName(mo_name);
+      const SimulatedEngine* engine = registry.Find(mo->engine());
+      const std::string required_store =
+          "Store" + std::to_string(assignment[k]);
+      DatasetInstance input = current;
+      if (input.store != required_store) {
+        total += registry.movement().MoveSeconds(input.bytes, input.store,
+                                                 required_store, false);
+        input.store = required_store;
+      }
+      OperatorRunRequest request;
+      request.algorithm = mo->algorithm();
+      request.input_bytes = input.bytes;
+      request.input_records = input.records;
+      request.resources = engine->default_resources();
+      auto est = engine->Estimate(request);
+      if (!est.ok()) {
+        feasible = false;
+        break;
+      }
+      total += est.value().exec_seconds;
+      current.store = required_store;
+      current.format = "bin";
+      current.bytes = est.value().output_bytes;
+      current.records = est.value().output_records;
+    }
+    if (feasible) best = std::min(best, total);
+
+    // Next assignment (odometer).
+    int pos = 0;
+    while (pos < ops && ++assignment[pos] == m) {
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == ops) break;
+  }
+  return best;
+}
+
+class OptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityTest, DpMatchesBruteForceOnChains) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng shape_rng(seed * 7919 + 13);
+  const int ops = static_cast<int>(shape_rng.UniformInt(1, 5));
+  const int m = static_cast<int>(shape_rng.UniformInt(2, 4));
+
+  EngineRegistry registry;
+  PegasusGenerator::RegisterSyntheticEngines(&registry, m);
+  const GeneratedWorkload w = MakeChain(ops, m, seed);
+
+  DpPlanner planner(&w.library, &registry);
+  auto plan = planner.Plan(w.graph, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const double brute = BruteForceOptimum(w, registry, ops, m);
+  ASSERT_TRUE(std::isfinite(brute));
+  EXPECT_NEAR(plan.value().metric, brute, brute * 1e-9)
+      << "ops=" << ops << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, OptimalityTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include "engines/standard_engines.h"
+#include "planner/dp_planner.h"
+#include "planner/materialization_report.h"
+#include "workloadgen/asap_workflows.h"
+
+namespace ires {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : registry_(MakeStandardEngineRegistry()) {}
+
+  Result<ExecutionPlan> PlanWorkload(const GeneratedWorkload& w,
+                                     DpPlanner::Options options = {}) {
+    DpPlanner planner(&w.library, registry_.get());
+    return planner.Plan(w.graph, options);
+  }
+
+  // The engine chosen for the (unique) operator with the given algorithm.
+  std::string EngineFor(const ExecutionPlan& plan,
+                        const std::string& algorithm) {
+    for (const PlanStep& step : plan.steps) {
+      if (step.kind == PlanStep::Kind::kOperator &&
+          step.algorithm == algorithm) {
+        return step.engine;
+      }
+    }
+    return "";
+  }
+
+  std::unique_ptr<EngineRegistry> registry_;
+};
+
+// ---- Engine selection across graph scales (Fig. 11). ----------------------
+TEST_F(PlannerTest, PicksJavaForSmallGraphs) {
+  auto plan = PlanWorkload(MakeGraphAnalyticsWorkflow(100e3));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "Pagerank"), "Java");
+}
+
+TEST_F(PlannerTest, PicksHamaForMediumGraphs) {
+  auto plan = PlanWorkload(MakeGraphAnalyticsWorkflow(10e6));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "Pagerank"), "Hama");
+}
+
+TEST_F(PlannerTest, PicksSparkForLargeGraphs) {
+  auto plan = PlanWorkload(MakeGraphAnalyticsWorkflow(100e6));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "Pagerank"), "Spark");
+}
+
+// ---- Hybrid text-analytics plan (Fig. 12). ---------------------------------
+TEST_F(PlannerTest, SmallCorpusStaysFullyCentralized) {
+  auto plan = PlanWorkload(MakeTextAnalyticsWorkflow(2e3));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "TF_IDF"), "scikit");
+  EXPECT_EQ(EngineFor(plan.value(), "kmeans"), "scikit");
+}
+
+TEST_F(PlannerTest, MidCorpusGetsHybridPlanWithMove) {
+  auto plan = PlanWorkload(MakeTextAnalyticsWorkflow(20e3));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "TF_IDF"), "scikit");
+  EXPECT_EQ(EngineFor(plan.value(), "kmeans"), "Spark");
+  // The planner must have inserted the Local->HDFS move/transform operator.
+  int moves = 0;
+  for (const PlanStep& step : plan.value().steps) {
+    moves += step.kind == PlanStep::Kind::kMove;
+  }
+  EXPECT_EQ(moves, 1);
+}
+
+TEST_F(PlannerTest, LargeCorpusGoesFullSpark) {
+  auto plan = PlanWorkload(MakeTextAnalyticsWorkflow(200e3));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "TF_IDF"), "Spark");
+  EXPECT_EQ(EngineFor(plan.value(), "kmeans"), "Spark");
+}
+
+TEST_F(PlannerTest, HybridBeatsBothSingleEnginePlans) {
+  // Deliverable §4.1: for mid-size corpora the mixed plan beats the best
+  // single-engine plan (by up to ~30%).
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(15e3);
+  auto multi = PlanWorkload(w);
+  ASSERT_TRUE(multi.ok());
+
+  double best_single = 1e18;
+  for (const std::string& only : {std::string("scikit"), std::string("Spark")}) {
+    auto solo_registry = MakeStandardEngineRegistry();
+    for (const std::string& name : solo_registry->Names()) {
+      if (name != only) (void)solo_registry->SetAvailable(name, false);
+    }
+    DpPlanner planner(&w.library, solo_registry.get());
+    auto plan = planner.Plan(w.graph, {});
+    ASSERT_TRUE(plan.ok()) << only << ": " << plan.status();
+    best_single = std::min(best_single, plan.value().metric);
+  }
+  EXPECT_LT(multi.value().metric, best_single);
+  EXPECT_GT(multi.value().metric, best_single * 0.6);  // ~10-35% gain
+}
+
+// ---- Relational workflow placement (Fig. 13). ------------------------------
+TEST_F(PlannerTest, RelationalQueriesRunWhereTheirTablesLive) {
+  auto plan = PlanWorkload(MakeRelationalWorkflow(10.0));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "SPJQuery"), "PostgreSQL");
+  // q2 and q3 share the SPJQuery/SPJHeavyQuery algorithms; inspect names.
+  std::map<std::string, std::string> by_name;
+  for (const PlanStep& step : plan.value().steps) {
+    if (step.kind == PlanStep::Kind::kOperator) {
+      by_name[step.name] = step.engine;
+    }
+  }
+  EXPECT_EQ(by_name["SPJQuery_PostgreSQL"], "PostgreSQL");
+  EXPECT_EQ(by_name["SPJQuery_MemSQL"], "MemSQL");
+  EXPECT_EQ(by_name["SPJHeavyQuery_Spark"], "Spark");
+}
+
+TEST_F(PlannerTest, MemSqlExcludedWhenWorkingSetTooLarge) {
+  // At 50 GB the q3 inputs cannot fit MemSQL; the plan must not place the
+  // heavy query there.
+  auto plan = PlanWorkload(MakeRelationalWorkflow(50.0));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  for (const PlanStep& step : plan.value().steps) {
+    if (step.algorithm == "SPJHeavyQuery") {
+      EXPECT_NE(step.engine, "MemSQL");
+    }
+  }
+}
+
+// ---- Mechanics. -------------------------------------------------------------
+TEST_F(PlannerTest, PlanIsDependencyOrderedAndAcyclic) {
+  auto plan = PlanWorkload(MakeRelationalWorkflow(5.0));
+  ASSERT_TRUE(plan.ok());
+  for (const PlanStep& step : plan.value().steps) {
+    for (int dep : step.deps) {
+      EXPECT_LT(dep, step.id);  // topological emission order
+    }
+  }
+}
+
+TEST_F(PlannerTest, EstimatesArePositiveAndConsistent) {
+  auto plan = PlanWorkload(MakeTextAnalyticsWorkflow(30e3));
+  ASSERT_TRUE(plan.ok());
+  double sum = 0.0;
+  for (const PlanStep& step : plan.value().steps) {
+    EXPECT_GT(step.estimated_seconds, 0.0);
+    sum += step.estimated_seconds;
+  }
+  // Critical path <= serialized sum; both positive.
+  EXPECT_LE(plan.value().estimated_seconds, sum + 1e-9);
+  EXPECT_GT(plan.value().estimated_seconds, 0.0);
+  // For min-time policy, the DP metric is the serialized seconds.
+  EXPECT_NEAR(plan.value().metric, sum, 1e-6);
+}
+
+TEST_F(PlannerTest, UnavailableEngineExcludedAtPlanning) {
+  (void)registry_->SetAvailable("Java", false);
+  auto plan = PlanWorkload(MakeGraphAnalyticsWorkflow(100e3));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(EngineFor(plan.value(), "Pagerank"), "Java");
+}
+
+TEST_F(PlannerTest, NoFeasiblePlanReported) {
+  // Kill every engine that implements Pagerank.
+  for (const char* name : {"Java", "Hama", "Spark"}) {
+    (void)registry_->SetAvailable(name, false);
+  }
+  auto plan = PlanWorkload(MakeGraphAnalyticsWorkflow(1e6));
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlannerTest, MissingSourceDatasetReported) {
+  GeneratedWorkload w = MakeGraphAnalyticsWorkflow(1e6);
+  GeneratedWorkload empty;
+  empty.graph = w.graph;
+  // Library without the dataset: copy operators only.
+  for (const auto& [name, op] : w.library.abstract()) {
+    (void)empty.library.AddAbstract(op);
+  }
+  for (const auto& [name, op] : w.library.materialized()) {
+    (void)empty.library.AddMaterialized(op);
+  }
+  auto plan = PlanWorkload(empty);
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, MaterializedIntermediateShortCircuitsUpstream) {
+  // Replanning: when "vectors" already exists, the tf-idf operator must not
+  // appear in the plan.
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  DpPlanner::Options options;
+  DatasetInstance vectors;
+  vectors.store = "HDFS";
+  vectors.format = "arff";
+  vectors.bytes = 20e3 * kBytesPerDocument * 0.5;
+  vectors.records = 20e3;
+  options.materialized_intermediates["vectors"] = vectors;
+  auto plan = PlanWorkload(w, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(EngineFor(plan.value(), "TF_IDF"), "");  // not scheduled
+  EXPECT_NE(EngineFor(plan.value(), "kmeans"), "");
+}
+
+TEST_F(PlannerTest, MaterializedTargetYieldsEmptyPlan) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  DpPlanner::Options options;
+  options.materialized_intermediates["clusters"] =
+      DatasetInstance{"clusters", "HDFS", "clusters", 1e6, 1e3};
+  auto plan = PlanWorkload(w, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().steps.empty());
+  EXPECT_EQ(plan.value().metric, 0.0);
+}
+
+TEST_F(PlannerTest, MinimizeCostPolicyCanDifferFromMinTime) {
+  const GeneratedWorkload w = MakeGraphAnalyticsWorkflow(5e6);
+  DpPlanner::Options time_options;
+  time_options.policy = OptimizationPolicy::MinimizeTime();
+  auto time_plan = PlanWorkload(w, time_options);
+  DpPlanner::Options cost_options;
+  cost_options.policy = OptimizationPolicy::MinimizeCost();
+  auto cost_plan = PlanWorkload(w, cost_options);
+  ASSERT_TRUE(time_plan.ok());
+  ASSERT_TRUE(cost_plan.ok());
+  // Cost policy counts resources: the 16-core engines look much worse.
+  EXPECT_LE(cost_plan.value().estimated_cost,
+            time_plan.value().estimated_cost + 1e-9);
+}
+
+TEST_F(PlannerTest, WeightedPolicyInterpolates) {
+  const GeneratedWorkload w = MakeGraphAnalyticsWorkflow(5e6);
+  DpPlanner::Options options;
+  options.policy = OptimizationPolicy::Weighted(1.0, 0.001);
+  auto plan = PlanWorkload(w, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value().metric, 0.0);
+}
+
+TEST_F(PlannerTest, MultiOutputOperatorRunsOnce) {
+  // A split operator with two output ports feeding two branches that merge
+  // again: the producing run must appear exactly once in the plan, with
+  // both branches depending on it.
+  GeneratedWorkload w;
+  MetadataTree src_meta;
+  src_meta.Set("Constraints.Engine.FS", "HDFS");
+  src_meta.Set("Constraints.type", "text");
+  src_meta.Set("Execution.path", "sim://corpus");
+  src_meta.Set("Optimization.size", "1e9");
+  (void)w.library.AddDataset(Dataset("corpus", src_meta));
+
+  auto add_op = [&](const std::string& algo, int outputs) {
+    MetadataTree abstract_meta;
+    abstract_meta.Set("Constraints.OpSpecification.Algorithm.name", algo);
+    (void)w.library.AddAbstract(AbstractOperator(algo, abstract_meta));
+    MetadataTree meta;
+    meta.Set("Constraints.Engine", "Spark");
+    meta.Set("Constraints.OpSpecification.Algorithm.name", algo);
+    for (int port = 0; port < 2; ++port) {
+      meta.Set("Constraints.Input" + std::to_string(port) + ".Engine.FS",
+               "HDFS");
+    }
+    for (int port = 0; port < outputs; ++port) {
+      meta.Set("Constraints.Output" + std::to_string(port) + ".Engine.FS",
+               "HDFS");
+      meta.Set("Constraints.Output" + std::to_string(port) + ".type",
+               "text");
+    }
+    (void)w.library.AddMaterialized(
+        MaterializedOperator(algo + "_Spark", meta));
+  };
+  add_op("Split", 2);
+  add_op("TrainModel", 1);
+  add_op("Evaluate", 1);
+  add_op("Merge", 1);
+
+  w.graph.AddDataset("corpus");
+  w.graph.AddOperator("Split");
+  (void)w.graph.Connect("corpus", "Split");
+  w.graph.AddDataset("train");
+  w.graph.AddDataset("test");
+  (void)w.graph.Connect("Split", "train", 0);
+  (void)w.graph.Connect("Split", "test", 1);
+  w.graph.AddOperator("TrainModel");
+  (void)w.graph.Connect("train", "TrainModel");
+  w.graph.AddDataset("model");
+  (void)w.graph.Connect("TrainModel", "model");
+  w.graph.AddOperator("Evaluate");
+  (void)w.graph.Connect("test", "Evaluate");
+  w.graph.AddDataset("metrics");
+  (void)w.graph.Connect("Evaluate", "metrics");
+  w.graph.AddOperator("Merge");
+  (void)w.graph.Connect("model", "Merge", 0);
+  (void)w.graph.Connect("metrics", "Merge", 1);
+  w.graph.AddDataset("report");
+  (void)w.graph.Connect("Merge", "report");
+  (void)w.graph.SetTarget("report");
+
+  auto plan = PlanWorkload(w);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  int split_runs = 0, split_id = -1;
+  for (const PlanStep& step : plan.value().steps) {
+    if (step.algorithm == "Split") {
+      ++split_runs;
+      split_id = step.id;
+      EXPECT_EQ(step.outputs.size(), 2u);
+    }
+  }
+  EXPECT_EQ(split_runs, 1);
+  // Both mid-stage operators depend on the single split run.
+  for (const PlanStep& step : plan.value().steps) {
+    if (step.algorithm == "TrainModel" || step.algorithm == "Evaluate") {
+      ASSERT_EQ(step.deps.size(), 1u);
+      EXPECT_EQ(step.deps[0], split_id);
+    }
+  }
+}
+
+TEST_F(PlannerTest, MaterializationReportListsAlternatives) {
+  // The Fig. 19 view: every implementation of every operator with the
+  // chosen one flagged and infeasible ones explained.
+  const GeneratedWorkload w = MakeGraphAnalyticsWorkflow(100e6);
+  auto plan = PlanWorkload(w);
+  ASSERT_TRUE(plan.ok());
+  auto report = BuildMaterializationReport(w.graph, w.library, *registry_,
+                                           plan.value());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report.value().operators.size(), 1u);
+  const auto& entry = report.value().operators[0];
+  EXPECT_TRUE(entry.scheduled);
+  ASSERT_EQ(entry.alternatives.size(), 3u);  // Java, Hama, Spark
+  int chosen = 0, infeasible = 0;
+  for (const OperatorAlternative& alt : entry.alternatives) {
+    chosen += alt.chosen;
+    infeasible += !alt.feasible;
+    if (alt.chosen) {
+      EXPECT_EQ(alt.engine, "Spark");
+    }
+  }
+  EXPECT_EQ(chosen, 1);
+  EXPECT_EQ(infeasible, 2);  // Java + Hama OOM at 100M edges
+  const std::string text = report.value().ToString();
+  EXPECT_NE(text.find("[*] Pagerank_Spark"), std::string::npos);
+  EXPECT_NE(text.find("[x] Pagerank_Java"), std::string::npos);
+}
+
+TEST_F(PlannerTest, MaterializationReportMarksReplannedAwayOperators) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  DpPlanner::Options options;
+  options.materialized_intermediates["vectors"] =
+      DatasetInstance{"vectors", "HDFS", "arff", 1e8, 20e3};
+  auto plan = PlanWorkload(w, options);
+  ASSERT_TRUE(plan.ok());
+  auto report = BuildMaterializationReport(w.graph, w.library, *registry_,
+                                           plan.value());
+  ASSERT_TRUE(report.ok());
+  for (const auto& entry : report.value().operators) {
+    if (entry.operator_node == "tfidf") {
+      EXPECT_FALSE(entry.scheduled);
+    }
+    if (entry.operator_node == "kmeans") {
+      EXPECT_TRUE(entry.scheduled);
+    }
+  }
+}
+
+TEST_F(PlannerTest, WorkflowToDotRendersAbstractGraph) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  const std::string dot = w.graph.ToDot();
+  EXPECT_NE(dot.find("digraph workflow"), std::string::npos);
+  EXPECT_NE(dot.find("tfidf"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the target
+}
+
+TEST_F(PlannerTest, ToDotRendersStepsAndEdges) {
+  auto plan = PlanWorkload(MakeTextAnalyticsWorkflow(20e3));
+  ASSERT_TRUE(plan.ok());
+  const std::string dot = plan.value().ToDot();
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("TF_IDF_scikit"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("shape=folder"), std::string::npos);  // source dataset
+}
+
+TEST_F(PlannerTest, HelloWorldChainPlansAllFourOperators) {
+  auto plan = PlanWorkload(MakeHelloWorldWorkflow());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  int operators = 0;
+  for (const PlanStep& step : plan.value().steps) {
+    operators += step.kind == PlanStep::Kind::kOperator;
+  }
+  EXPECT_EQ(operators, 4);
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/standard_engines.h"
+#include "modeling/model_selection.h"
+#include "profiling/adaptive_profiler.h"
+#include "profiling/profiler.h"
+
+namespace ires {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() : registry_(MakeStandardEngineRegistry()) {}
+  std::unique_ptr<EngineRegistry> registry_;
+};
+
+TEST_F(ProfilerTest, FeatureVectorLayout) {
+  OperatorRunRequest r;
+  r.input_bytes = 2e9;
+  r.resources = {4, 2, 3.0};
+  r.params["iterations"] = 10;
+  r.params["clusters"] = 5;
+  const Vector f = Profiler::FeatureVector(r);
+  // [gb, containers, cores, mem, total_cores, gb/total_cores, params...]
+  ASSERT_EQ(f.size(), 8u);
+  EXPECT_DOUBLE_EQ(f[0], 2.0);
+  EXPECT_DOUBLE_EQ(f[1], 4.0);
+  EXPECT_DOUBLE_EQ(f[2], 2.0);
+  EXPECT_DOUBLE_EQ(f[3], 3.0);
+  EXPECT_DOUBLE_EQ(f[4], 8.0);
+  EXPECT_DOUBLE_EQ(f[5], 0.25);
+  // Params in sorted-name order: clusters before iterations.
+  EXPECT_DOUBLE_EQ(f[6], 5.0);
+  EXPECT_DOUBLE_EQ(f[7], 10.0);
+}
+
+TEST_F(ProfilerTest, RunOnceRecordsMetricsAndTimeline) {
+  Profiler profiler(registry_->Find("MapReduce"), 11);
+  OperatorRunRequest r;
+  r.algorithm = "Wordcount";
+  r.input_bytes = 4e9;
+  r.input_records = 1e6;
+  r.resources = {4, 2, 2.0};
+  auto record = profiler.RunOnce(r);
+  ASSERT_TRUE(record.ok()) << record.status();
+  const ProfileRecord& p = record.value();
+  EXPECT_GT(p.exec_seconds, 0.0);
+  EXPECT_GT(p.metrics.at("execTime"), 0.0);
+  EXPECT_DOUBLE_EQ(p.metrics.at("inputBytes"), 4e9);
+  EXPECT_DOUBLE_EQ(p.metrics.at("totalCores"), 8);
+  EXPECT_GE(p.timeline.size(), 3u);
+  for (const auto& sample : p.timeline) {
+    EXPECT_GE(sample[0], 0.0);   // CPU %
+    EXPECT_LE(sample[0], 100.0);
+    EXPECT_GE(sample[3], 0.0);   // IOPS
+  }
+}
+
+TEST_F(ProfilerTest, RunOnceRejectsInfeasibleConfigs) {
+  Profiler profiler(registry_->Find("Java"), 12);
+  OperatorRunRequest r;
+  r.algorithm = "Pagerank";
+  r.input_bytes = 10e9;  // far beyond the 3 GB heap
+  r.resources = {1, 1, 3.0};
+  EXPECT_EQ(profiler.RunOnce(r).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ProfilerTest, SweepCoversTheGridAndSkipsInfeasible) {
+  Profiler profiler(registry_->Find("Spark"), 13);
+  Profiler::Sweep sweep;
+  sweep.input_bytes = {1e9, 2e9};
+  sweep.resources = {{2, 2, 2.0}, {4, 2, 2.0}};
+  sweep.params["iterations"] = {1, 5, 10};
+  auto records = profiler.RunSweep("Pagerank", sweep);
+  EXPECT_EQ(records.size(), 2u * 2u * 3u);
+}
+
+TEST_F(ProfilerTest, TrainProducesUsableEstimator) {
+  Profiler profiler(registry_->Find("MapReduce"), 14);
+  Profiler::Sweep sweep;
+  for (int i = 1; i <= 10; ++i) sweep.input_bytes.push_back(i * 0.8e9);
+  sweep.resources = {{2, 2, 2.0}, {4, 2, 2.0}, {8, 2, 2.0}};
+  auto records = profiler.RunSweep("Wordcount", sweep);
+  OnlineEstimator estimator;
+  Profiler::Train(records, &estimator);
+  ASSERT_TRUE(estimator.has_model());
+  // The trained model predicts an unseen configuration within ~20%.
+  OperatorRunRequest probe;
+  probe.algorithm = "Wordcount";
+  probe.input_bytes = 5.1e9;
+  probe.resources = {4, 2, 2.0};
+  const double truth = registry_->Find("MapReduce")
+                           ->Estimate(probe)
+                           .value()
+                           .exec_seconds;
+  EXPECT_NEAR(estimator.Predict(Profiler::FeatureVector(probe)), truth,
+              truth * 0.2);
+}
+
+// --------------------------------------------------------------- adaptive
+TEST_F(ProfilerTest, AdaptiveProfilerStaysWithinBudget) {
+  AdaptiveProfiler::Options options;
+  options.total_budget = 25;
+  options.initial_samples = 6;
+  AdaptiveProfiler adaptive(registry_->Find("Spark"), options);
+  auto records = adaptive.Profile("Pagerank", AdaptiveProfiler::Domain{});
+  EXPECT_LE(records.size(), 25u);
+  EXPECT_GE(records.size(), 10u);
+}
+
+TEST_F(ProfilerTest, AdaptiveBeatsUniformOnCliffySurface) {
+  // Hama's Pagerank has a hard memory cliff; with a small budget the
+  // adaptive sampler should model the surface at least as well as the
+  // uniform one (measured on a dense feasible test grid).
+  AdaptiveProfiler::Options options;
+  options.total_budget = 32;
+  options.initial_samples = 8;
+  options.seed = 99;
+  AdaptiveProfiler adaptive(registry_->Find("Spark"), options);
+  AdaptiveProfiler::Domain domain;
+  domain.max_input_bytes = 40e9;  // deep into Spark's spill region
+
+  auto fit = [&](const std::vector<ProfileRecord>& records) {
+    Matrix x;
+    Vector y;
+    for (const ProfileRecord& r : records) {
+      x.AppendRow(r.features);
+      y.push_back(r.exec_seconds);
+    }
+    CrossValidationSelector selector(3);
+    return selector.SelectAndFit(x, y);
+  };
+  auto adaptive_model = fit(adaptive.Profile("Pagerank", domain));
+  auto uniform_model = fit(adaptive.ProfileUniform("Pagerank", domain));
+  ASSERT_TRUE(adaptive_model.ok());
+  ASSERT_TRUE(uniform_model.ok());
+
+  // Dense test grid (noise-free analytic truth).
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  double adaptive_err = 0.0, uniform_err = 0.0;
+  int n = 0;
+  Rng rng(101);
+  for (int i = 0; i < 200; ++i) {
+    OperatorRunRequest probe;
+    probe.algorithm = "Pagerank";
+    probe.input_bytes = rng.Uniform(0.2e9, 40e9);
+    probe.resources = {static_cast<int>(rng.UniformInt(1, 8)),
+                       static_cast<int>(rng.UniformInt(1, 4)),
+                       rng.Uniform(1.0, 6.0)};
+    auto truth = spark->Estimate(probe);
+    if (!truth.ok()) continue;
+    const Vector f = Profiler::FeatureVector(probe);
+    const double t = truth.value().exec_seconds;
+    adaptive_err += std::fabs(adaptive_model.value()->Predict(f) - t) / t;
+    uniform_err += std::fabs(uniform_model.value()->Predict(f) - t) / t;
+    ++n;
+  }
+  ASSERT_GT(n, 100);
+  // Allow slack: adaptive must not be meaningfully worse, and both sane.
+  EXPECT_LT(adaptive_err / n, uniform_err / n * 1.25);
+  EXPECT_LT(adaptive_err / n, 0.5);
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/standard_engines.h"
+#include "provisioning/resource_provisioner.h"
+
+namespace ires {
+namespace {
+
+// ------------------------------------------------------------- NSGA-II core
+TEST(Nsga2Test, DominationRules) {
+  EXPECT_TRUE(Nsga2::Dominates({1, 1}, {2, 2}));
+  EXPECT_TRUE(Nsga2::Dominates({1, 2}, {2, 2}));
+  EXPECT_FALSE(Nsga2::Dominates({1, 3}, {2, 2}));  // trade-off
+  EXPECT_FALSE(Nsga2::Dominates({2, 2}, {2, 2}));  // equal
+}
+
+TEST(Nsga2Test, NonDominatedSortRanks) {
+  std::vector<Nsga2::Individual> pop(4);
+  pop[0].objectives = {1, 1};  // front 0
+  pop[1].objectives = {2, 2};  // dominated by 0
+  pop[2].objectives = {0, 3};  // front 0 (trade-off with 0)
+  pop[3].objectives = {3, 3};  // dominated by all
+  auto fronts = Nsga2::NonDominatedSort(&pop);
+  ASSERT_GE(fronts.size(), 2u);
+  EXPECT_EQ(pop[0].rank, 0);
+  EXPECT_EQ(pop[2].rank, 0);
+  EXPECT_EQ(pop[1].rank, 1);
+  EXPECT_GT(pop[3].rank, pop[1].rank - 1);
+}
+
+TEST(Nsga2Test, CrowdingBoundariesInfinite) {
+  std::vector<Nsga2::Individual> pop(3);
+  pop[0].objectives = {0, 2};
+  pop[1].objectives = {1, 1};
+  pop[2].objectives = {2, 0};
+  std::vector<int> front = {0, 1, 2};
+  Nsga2::AssignCrowding(&pop, front);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[2].crowding));
+  EXPECT_FALSE(std::isinf(pop[1].crowding));
+}
+
+TEST(Nsga2Test, FindsParetoFrontOfConvexProblem) {
+  // Schaffer's problem: f1 = x^2, f2 = (x-2)^2; Pareto set is x in [0, 2].
+  Nsga2::Options options;
+  options.population = 40;
+  options.generations = 60;
+  Nsga2 ga(options);
+  auto front = ga.Optimize({{-5.0, 5.0}}, [](const Vector& genes) -> Vector {
+    const double x = genes[0];
+    return {x * x, (x - 2) * (x - 2)};
+  });
+  ASSERT_GE(front.size(), 10u);
+  for (const auto& ind : front) {
+    EXPECT_GT(ind.genes[0], -0.25);
+    EXPECT_LT(ind.genes[0], 2.25);
+  }
+  // Front spans the trade-off: some solutions near each extreme.
+  EXPECT_LT(front.front().objectives[0], 0.2);
+  EXPECT_LT(front.back().objectives[1], 0.2);
+}
+
+TEST(Nsga2Test, DeterministicForFixedSeed) {
+  Nsga2::Options options;
+  options.seed = 42;
+  options.population = 20;
+  options.generations = 20;
+  auto evaluate = [](const Vector& g) -> Vector {
+    return {g[0] * g[0], (g[0] - 1) * (g[0] - 1)};
+  };
+  Nsga2 ga1(options), ga2(options);
+  auto f1 = ga1.Optimize({{-2, 2}}, evaluate);
+  auto f2 = ga2.Optimize({{-2, 2}}, evaluate);
+  ASSERT_EQ(f1.size(), f2.size());
+  for (size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(f1[i].genes[0], f2[i].genes[0]);
+  }
+}
+
+// ------------------------------------------------------ resource provisioner
+class ProvisionerTest : public ::testing::Test {
+ protected:
+  ProvisionerTest() : registry_(MakeStandardEngineRegistry()) {
+    NsgaResourceProvisioner::Limits limits;
+    limits.max_containers = 8;
+    limits.max_cores_per_container = 4;
+    limits.max_memory_gb_per_container = 6.75;
+    Nsga2::Options ga;
+    ga.population = 30;
+    ga.generations = 40;
+    provisioner_ = std::make_unique<NsgaResourceProvisioner>(limits, ga);
+  }
+
+  OperatorRunRequest TfIdfRequest(double docs) {
+    OperatorRunRequest r;
+    r.algorithm = "TF_IDF";
+    r.input_bytes = docs * kBytesPerDocument;
+    r.input_records = docs;
+    r.resources = registry_->Find("Spark")->default_resources();
+    return r;
+  }
+
+  std::unique_ptr<EngineRegistry> registry_;
+  std::unique_ptr<NsgaResourceProvisioner> provisioner_;
+};
+
+TEST_F(ProvisionerTest, MinTimePolicyMatchesMaxResourceSpeed) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  OperatorRunRequest request = TfIdfRequest(1e6);
+  Resources chosen = provisioner_->Advise(*spark, request,
+                                          OptimizationPolicy::MinimizeTime());
+  // The advised allocation must be within 5% of the max-resources runtime.
+  OperatorRunRequest max_request = request;
+  max_request.resources = {8, 4, 6.75};
+  OperatorRunRequest advised = request;
+  advised.resources = chosen;
+  const double max_time = spark->Estimate(max_request).value().exec_seconds;
+  const double advised_time = spark->Estimate(advised).value().exec_seconds;
+  EXPECT_LE(advised_time, max_time * 1.06);
+}
+
+TEST_F(ProvisionerTest, MinTimeCostsLessThanMaxResources) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  OperatorRunRequest request = TfIdfRequest(100e3);
+  Resources chosen = provisioner_->Advise(*spark, request,
+                                          OptimizationPolicy::MinimizeTime());
+  OperatorRunRequest max_request = request;
+  max_request.resources = {8, 4, 6.75};
+  OperatorRunRequest advised = request;
+  advised.resources = chosen;
+  EXPECT_LT(spark->Estimate(advised).value().cost,
+            spark->Estimate(max_request).value().cost);
+}
+
+TEST_F(ProvisionerTest, MinCostPolicyPicksSmallAllocations) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  OperatorRunRequest request = TfIdfRequest(100e3);
+  Resources cheap = provisioner_->Advise(*spark, request,
+                                         OptimizationPolicy::MinimizeCost());
+  Resources fast = provisioner_->Advise(*spark, request,
+                                        OptimizationPolicy::MinimizeTime());
+  EXPECT_LE(cheap.total_cores(), fast.total_cores());
+  OperatorRunRequest cheap_req = request;
+  cheap_req.resources = cheap;
+  OperatorRunRequest fast_req = request;
+  fast_req.resources = fast;
+  EXPECT_LE(spark->Estimate(cheap_req).value().cost,
+            spark->Estimate(fast_req).value().cost + 1e-9);
+}
+
+TEST_F(ProvisionerTest, CentralizedEnginesGetOneContainer) {
+  const SimulatedEngine* java = registry_->Find("Java");
+  OperatorRunRequest request;
+  request.algorithm = "Pagerank";
+  request.input_bytes = 1e6 * kBytesPerEdge;
+  request.resources = java->default_resources();
+  Resources chosen = provisioner_->Advise(*java, request,
+                                          OptimizationPolicy::MinimizeTime());
+  EXPECT_EQ(chosen.containers, 1);
+}
+
+TEST_F(ProvisionerTest, GrowingInputGetsMoreResources) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  Resources small = provisioner_->Advise(*spark, TfIdfRequest(1e3),
+                                         OptimizationPolicy::MinimizeTime());
+  Resources large = provisioner_->Advise(*spark, TfIdfRequest(10e6),
+                                         OptimizationPolicy::MinimizeTime());
+  EXPECT_LE(small.total_cores(), large.total_cores());
+  EXPECT_LT(small.CostForDuration(1.0), large.CostForDuration(1.0) + 1e-9);
+}
+
+TEST_F(ProvisionerTest, ParetoFrontExposedAndSorted) {
+  const SimulatedEngine* spark = registry_->Find("Spark");
+  (void)provisioner_->Advise(*spark, TfIdfRequest(1e6),
+                             OptimizationPolicy::MinimizeTime());
+  const auto& front = provisioner_->last_front();
+  ASSERT_FALSE(front.empty());
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].seconds, front[i - 1].seconds);
+  }
+}
+
+}  // namespace
+}  // namespace ires

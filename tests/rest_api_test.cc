@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/rest_api.h"
+
+namespace ires {
+namespace {
+
+class RestApiTest : public ::testing::Test {
+ protected:
+  RestApiTest() : api_(&server_) {}
+
+  // Registers the LineCount artefacts of the §3.3 walkthrough via the API.
+  void RegisterLineCount() {
+    ASSERT_EQ(api_.Handle("POST", "/apiv1/datasets/asapServerLog",
+                          "Constraints.Engine.FS=HDFS\n"
+                          "Execution.path=hdfs:///log\n"
+                          "Optimization.size=5e8\n"
+                          "Optimization.documents=1000\n")
+                  .code,
+              201);
+    ASSERT_EQ(api_.Handle("POST", "/apiv1/abstractOperators/LineCount",
+                          "Constraints.OpSpecification.Algorithm.name="
+                          "LineCount\n")
+                  .code,
+              201);
+    ASSERT_EQ(api_.Handle("POST", "/apiv1/operators/LineCount_Spark",
+                          "Constraints.Engine=Spark\n"
+                          "Constraints.OpSpecification.Algorithm.name="
+                          "LineCount\n"
+                          "Constraints.Input0.Engine.FS=HDFS\n"
+                          "Constraints.Output0.Engine.FS=HDFS\n")
+                  .code,
+              201);
+  }
+
+  IresServer server_;
+  RestApi api_;
+};
+
+TEST_F(RestApiTest, UnknownRoutesReturn404) {
+  EXPECT_EQ(api_.Handle("GET", "/nope").code, 404);
+  EXPECT_EQ(api_.Handle("GET", "/apiv1/unicorns").code, 404);
+  EXPECT_EQ(api_.Handle("DELETE", "/apiv1/operators/x").code, 404);
+}
+
+TEST_F(RestApiTest, EnginesListAndToggle) {
+  ApiResponse list = api_.Handle("GET", "/apiv1/engines");
+  ASSERT_EQ(list.code, 200);
+  EXPECT_NE(list.body.find("\"Spark\":\"ON\""), std::string::npos);
+
+  EXPECT_EQ(api_.Handle("PUT", "/apiv1/engines/Spark/availability", "off")
+                .code,
+            200);
+  list = api_.Handle("GET", "/apiv1/engines");
+  EXPECT_NE(list.body.find("\"Spark\":\"OFF\""), std::string::npos);
+
+  EXPECT_EQ(api_.Handle("PUT", "/apiv1/engines/Spark/availability", "maybe")
+                .code,
+            400);
+  EXPECT_EQ(api_.Handle("PUT", "/apiv1/engines/NoSuch/availability", "on")
+                .code,
+            404);
+}
+
+TEST_F(RestApiTest, DescriptionCrud) {
+  RegisterLineCount();
+  // Listing.
+  ApiResponse list = api_.Handle("GET", "/apiv1/operators");
+  EXPECT_NE(list.body.find("LineCount_Spark"), std::string::npos);
+  // Fetch round-trips the description.
+  ApiResponse get = api_.Handle("GET", "/apiv1/operators/LineCount_Spark");
+  ASSERT_EQ(get.code, 200);
+  EXPECT_NE(get.body.find("Constraints.Engine=Spark"), std::string::npos);
+  // Missing + duplicate.
+  EXPECT_EQ(api_.Handle("GET", "/apiv1/operators/none").code, 404);
+  EXPECT_EQ(api_.Handle("POST", "/apiv1/operators/LineCount_Spark",
+                        "Constraints.Engine=Spark\n")
+                .code,
+            409);
+  // Malformed description.
+  EXPECT_EQ(api_.Handle("POST", "/apiv1/datasets/bad", "no equals").code,
+            400);
+}
+
+TEST_F(RestApiTest, WorkflowLifecycle) {
+  RegisterLineCount();
+  const std::string graph =
+      "asapServerLog,LineCount,0\n"
+      "LineCount,d1,0\n"
+      "d1,$$target\n";
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/workflows/LineCountWorkflow", graph)
+                .code,
+            201);
+  EXPECT_EQ(api_.Handle("POST", "/apiv1/workflows/LineCountWorkflow", graph)
+                .code,
+            409);
+  ApiResponse list = api_.Handle("GET", "/apiv1/workflows");
+  EXPECT_NE(list.body.find("LineCountWorkflow"), std::string::npos);
+
+  ApiResponse plan =
+      api_.Handle("POST", "/apiv1/workflows/LineCountWorkflow/materialize");
+  ASSERT_EQ(plan.code, 200) << plan.body;
+  EXPECT_NE(plan.body.find("\"estimatedSeconds\":"), std::string::npos);
+  EXPECT_NE(plan.body.find("LineCount_Spark"), std::string::npos);
+
+  ApiResponse run =
+      api_.Handle("POST", "/apiv1/workflows/LineCountWorkflow/execute");
+  ASSERT_EQ(run.code, 200) << run.body;
+  EXPECT_NE(run.body.find("\"executionSeconds\":"), std::string::npos);
+  EXPECT_NE(run.body.find("\"replans\":0"), std::string::npos);
+}
+
+TEST_F(RestApiTest, MaterializeFailsCleanlyWithoutEngines) {
+  RegisterLineCount();
+  (void)api_.Handle("POST", "/apiv1/workflows/wf",
+                    "asapServerLog,LineCount,0\nLineCount,d1,0\n"
+                    "d1,$$target\n");
+  (void)api_.Handle("PUT", "/apiv1/engines/Spark/availability", "off");
+  ApiResponse plan = api_.Handle("POST", "/apiv1/workflows/wf/materialize");
+  EXPECT_EQ(plan.code, 422);
+}
+
+TEST_F(RestApiTest, InvalidWorkflowRejected) {
+  RegisterLineCount();
+  // No $$target line.
+  EXPECT_EQ(api_.Handle("POST", "/apiv1/workflows/broken",
+                        "asapServerLog,LineCount,0\nLineCount,d1,0\n")
+                .code,
+            422);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace ires

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sql/calibration.h"
+#include "sql/musqle_optimizer.h"
+
+namespace ires::sql {
+namespace {
+
+TEST(EstimateCalibratorTest, IdentityUntilEnoughSamples) {
+  EstimateCalibrator calibrator;
+  EXPECT_DOUBLE_EQ(calibrator.Calibrate("PG", 10.0), 10.0);
+  calibrator.Record("PG", 1.0, 2.0);
+  calibrator.Record("PG", 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(calibrator.Calibrate("PG", 10.0), 10.0);  // 2 < min
+}
+
+TEST(EstimateCalibratorTest, LearnsLinearBias) {
+  // Engine reports cost units; wall time = 2.5 * units + 1.
+  EstimateCalibrator calibrator;
+  for (double u : {1.0, 2.0, 5.0, 8.0, 10.0}) {
+    calibrator.Record("PG", u, 2.5 * u + 1.0);
+  }
+  EXPECT_NEAR(calibrator.Calibrate("PG", 4.0), 11.0, 1e-9);
+  EXPECT_NEAR(calibrator.Calibrate("PG", 20.0), 51.0, 1e-9);
+  EXPECT_NEAR(calibrator.Correlation("PG"), 1.0, 1e-9);
+}
+
+TEST(EstimateCalibratorTest, CalibrationNeverNegative) {
+  EstimateCalibrator calibrator;
+  for (double u : {1.0, 2.0, 3.0}) calibrator.Record("X", u, 10.0 - 3.0 * u);
+  EXPECT_GE(calibrator.Calibrate("X", 100.0), 0.0);
+}
+
+TEST(EstimateCalibratorTest, CorrelationDetectsUselessEstimates) {
+  EstimateCalibrator calibrator;
+  Rng rng(51);
+  // Estimates uncorrelated with actuals.
+  for (int i = 0; i < 50; ++i) {
+    calibrator.Record("Bad", rng.Uniform(1, 10), rng.Uniform(1, 10));
+  }
+  // Estimates strongly predictive.
+  for (int i = 0; i < 50; ++i) {
+    const double e = rng.Uniform(1, 10);
+    calibrator.Record("Good", e, 3 * e + rng.Normal(0, 0.1));
+  }
+  EXPECT_LT(std::fabs(calibrator.Correlation("Bad")), 0.4);
+  EXPECT_GT(calibrator.Correlation("Good"), 0.95);
+
+  // Trust frequency tracks correlation.
+  int trust_bad = 0, trust_good = 0;
+  Rng coin(52);
+  for (int i = 0; i < 1000; ++i) {
+    trust_bad += calibrator.TrustEngine("Bad", &coin);
+    trust_good += calibrator.TrustEngine("Good", &coin);
+  }
+  EXPECT_LT(trust_bad, 450);
+  EXPECT_GT(trust_good, 900);
+}
+
+TEST(EstimateCalibratorTest, UnknownEngineIsTrusted) {
+  EstimateCalibrator calibrator;
+  Rng rng(53);
+  EXPECT_TRUE(calibrator.TrustEngine("fresh", &rng));
+}
+
+TEST(CalibratedSqlEngineTest, WrapsAndCorrectsEstimates) {
+  PostgresSqlEngine pg;
+  EstimateCalibrator calibrator;
+  // Measured: PG wall time is consistently 2x its estimate.
+  RelationStats rel{1e6, 100};
+  const double raw = pg.ScanSeconds(rel, 1.0);
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    RelationStats r{1e6 * scale, 100};
+    const double est = pg.ScanSeconds(r, 1.0);
+    calibrator.Record("PostgreSQL", est, 2.0 * est);
+  }
+  CalibratedSqlEngine calibrated(&pg, &calibrator);
+  EXPECT_NEAR(calibrated.ScanSeconds(rel, 1.0), 2.0 * raw, raw * 0.01);
+  // Feasibility passes through unchanged.
+  EXPECT_EQ(calibrated.Feasible(1e15), pg.Feasible(1e15));
+}
+
+TEST(CalibratedSqlEngineTest, ClosedLoopReducesEstimationError) {
+  // End-to-end: run queries, record (estimate, actual), re-optimize with
+  // the calibrated fleet, and check the estimates moved toward the truth.
+  Catalog catalog = MakeTpchCatalog(5.0, "PostgreSQL", "MemSQL", "SparkSQL");
+  auto fleet = MakeStandardSqlEngines();
+  MusqleOptimizer optimizer(&catalog, &fleet);
+  auto query = SqlParser::Parse(
+      "SELECT * FROM customer, orders, lineitem WHERE "
+      "c_custkey = o_custkey AND o_orderkey = l_orderkey");
+  ASSERT_TRUE(query.ok());
+
+  EstimateCalibrator calibrator;
+  Rng rng(54);
+  // Training loop: per-operation measurements from single-engine runs (the
+  // metastore logs subquery-level estimates and actuals).
+  for (int i = 0; i < 20; ++i) {
+    auto plan = optimizer.PlanSingleEngine(query.value(), "SparkSQL");
+    ASSERT_TRUE(plan.ok());
+    for (const SqlPlanNode& node : plan.value().nodes) {
+      const double actual =
+          node.seconds * fleet.at("SparkSQL")->TruthFactor(&rng);
+      calibrator.Record("SparkSQL", node.seconds, actual);
+    }
+  }
+
+  auto calibrated = CalibrateFleet(fleet, &calibrator);
+  MusqleOptimizer calibrated_optimizer(&catalog, &calibrated);
+  auto raw_plan = optimizer.PlanSingleEngine(query.value(), "SparkSQL");
+  auto cal_plan =
+      calibrated_optimizer.PlanSingleEngine(query.value(), "SparkSQL");
+  ASSERT_TRUE(raw_plan.ok());
+  ASSERT_TRUE(cal_plan.ok());
+
+  // Measure fresh actuals and compare estimation errors.
+  double raw_err = 0, cal_err = 0;
+  for (int i = 0; i < 30; ++i) {
+    const double actual =
+        ExecutePlanGroundTruth(raw_plan.value(), fleet, &rng);
+    raw_err += std::fabs(actual - raw_plan.value().total_seconds);
+    cal_err += std::fabs(actual - cal_plan.value().total_seconds);
+  }
+  EXPECT_LT(cal_err, raw_err);
+}
+
+}  // namespace
+}  // namespace ires::sql

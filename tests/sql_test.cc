@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sql/musqle_optimizer.h"
+
+namespace ires::sql {
+namespace {
+
+// ------------------------------------------------------------------ parser
+TEST(SqlParserTest, ParsesSelectStar) {
+  auto q = SqlParser::Parse("SELECT * FROM lineitem");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q.value().select.empty());
+  EXPECT_EQ(q.value().tables, (std::vector<std::string>{"lineitem"}));
+}
+
+TEST(SqlParserTest, ParsesPaperExampleQuery) {
+  // Query Qe from the MuSQLE paper (§V).
+  auto q = SqlParser::Parse(
+      "SELECT c_name, o_orderdate "
+      "FROM part, partsupp, lineitem, orders, customer, nation WHERE "
+      "p_partkey = ps_partkey AND "
+      "c_nationkey = n_nationkey AND "
+      "l_partkey = p_partkey AND "
+      "o_custkey = c_custkey AND "
+      "o_orderkey = l_orderkey AND "
+      "p_retailprice > 2090 AND "
+      "n_name = 'GERMANY'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q.value().tables.size(), 6u);
+  EXPECT_EQ(q.value().joins.size(), 5u);
+  EXPECT_EQ(q.value().filters.size(), 2u);
+  EXPECT_EQ(q.value().select.size(), 2u);
+  EXPECT_TRUE(q.value().filters[0].is_numeric);
+  EXPECT_DOUBLE_EQ(q.value().filters[0].numeric_value, 2090);
+  EXPECT_FALSE(q.value().filters[1].is_numeric);
+}
+
+TEST(SqlParserTest, QualifiedColumnRefs) {
+  auto q = SqlParser::Parse(
+      "SELECT a.x FROM a, b WHERE a.x = b.y AND a.z >= 5;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q.value().joins[0].left.table, "a");
+  EXPECT_EQ(q.value().joins[0].right.column, "y");
+  EXPECT_EQ(q.value().filters[0].op, CompareOp::kGe);
+}
+
+TEST(SqlParserTest, AllComparisonOperators) {
+  for (const char* op : {"=", "<>", "!=", "<", "<=", ">", ">="}) {
+    auto q = SqlParser::Parse(std::string("SELECT * FROM t WHERE t.c ") + op +
+                              " 3");
+    EXPECT_TRUE(q.ok()) << op << ": " << q.status();
+  }
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(SqlParser::Parse("select * from t where t.a = 1").ok());
+  EXPECT_TRUE(SqlParser::Parse("SeLeCt * FrOm t").ok());
+}
+
+TEST(SqlParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(SqlParser::Parse("FROM t").ok());
+  EXPECT_FALSE(SqlParser::Parse("SELECT * WHERE x = 1").ok());
+  EXPECT_FALSE(SqlParser::Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(SqlParser::Parse("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(SqlParser::Parse("SELECT * FROM t WHERE a = ").ok());
+  EXPECT_FALSE(SqlParser::Parse("SELECT * FROM t WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(SqlParser::Parse("SELECT * FROM t extra garbage").ok());
+}
+
+TEST(SqlParserTest, ToStringRoundTripsStructure) {
+  auto q = SqlParser::Parse(
+      "SELECT a.x FROM a, b WHERE a.x = b.y AND a.z > 1");
+  ASSERT_TRUE(q.ok());
+  auto q2 = SqlParser::Parse(q.value().ToString());
+  ASSERT_TRUE(q2.ok()) << q.value().ToString();
+  EXPECT_EQ(q2.value().tables, q.value().tables);
+  EXPECT_EQ(q2.value().joins.size(), q.value().joins.size());
+  EXPECT_EQ(q2.value().filters.size(), q.value().filters.size());
+}
+
+// ----------------------------------------------------------------- catalog
+TEST(CatalogTest, TpchCardinalitiesScale) {
+  Catalog c = MakeTpchCatalog(10.0, "PostgreSQL", "MemSQL", "SparkSQL");
+  const TableDef* lineitem = c.FindTable("lineitem");
+  ASSERT_NE(lineitem, nullptr);
+  EXPECT_DOUBLE_EQ(lineitem->rows, 60e6);
+  EXPECT_EQ(lineitem->engine, "SparkSQL");
+  EXPECT_EQ(c.FindTable("nation")->engine, "PostgreSQL");
+  EXPECT_EQ(c.FindTable("partsupp")->engine, "MemSQL");
+  EXPECT_NE(lineitem->FindColumn("l_orderkey"), nullptr);
+  EXPECT_EQ(lineitem->FindColumn("nope"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateAndMissingTables) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable({"t", "E", 10, 100, {}}).ok());
+  EXPECT_EQ(c.AddTable({"t", "E", 10, 100, {}}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.FindTable("x"), nullptr);
+  EXPECT_TRUE(c.SetTableEngine("t", "F").ok());
+  EXPECT_EQ(c.FindTable("t")->engine, "F");
+  EXPECT_FALSE(c.SetTableEngine("x", "F").ok());
+}
+
+// ----------------------------------------------------------------- engines
+TEST(SqlEngineTest, SparkJoinPrefersBroadcastForSmallSide) {
+  SparkSqlEngine spark;
+  RelationStats small{1e4, 100};
+  RelationStats large{50e6, 100};
+  RelationStats out{50e6, 200};
+  EXPECT_LT(spark.BroadcastHashJoinCost(small, large, out),
+            spark.SortMergeJoinCost(small, large, out));
+}
+
+TEST(SqlEngineTest, SparkExchangeGrowsWithRows) {
+  SparkSqlEngine spark;
+  EXPECT_LT(spark.ExchangeCost({1e5, 100}), spark.ExchangeCost({1e7, 100}));
+}
+
+TEST(SqlEngineTest, MemSqlFeasibilityBound) {
+  MemSqlSqlEngine memsql(1.0);  // 1 GB budget
+  EXPECT_TRUE(memsql.Feasible(0.5e9));
+  EXPECT_FALSE(memsql.Feasible(2e9));
+  PostgresSqlEngine pg;
+  EXPECT_TRUE(pg.Feasible(1e15));  // disk-backed
+}
+
+TEST(SqlEngineTest, PostgresDiskBoundOnLargeScans) {
+  PostgresSqlEngine pg;
+  MemSqlSqlEngine memsql;
+  RelationStats big{50e6, 112};
+  EXPECT_GT(pg.ScanSeconds(big, 1.0), memsql.ScanSeconds(big, 1.0));
+}
+
+TEST(SqlEngineTest, TruthFactorCentersNearBias) {
+  PostgresSqlEngine pg;
+  Rng rng(31);
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) sum += pg.TruthFactor(&rng);
+  EXPECT_NEAR(sum / 500.0, 1.25, 0.08);
+}
+
+// --------------------------------------------------------------- optimizer
+class MusqleTest : public ::testing::Test {
+ protected:
+  MusqleTest()
+      : catalog_(MakeTpchCatalog(5.0, "PostgreSQL", "MemSQL", "SparkSQL")),
+        engines_(MakeStandardSqlEngines()),
+        optimizer_(&catalog_, &engines_) {}
+
+  Query Parse(const std::string& text) {
+    auto q = SqlParser::Parse(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    return q.value();
+  }
+
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<SqlEngine>> engines_;
+  MusqleOptimizer optimizer_;
+};
+
+TEST_F(MusqleTest, SingleTableScanRunsAtHomeEngine) {
+  auto plan = optimizer_.Optimize(Parse("SELECT * FROM nation"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().nodes.size(), 1u);
+  EXPECT_EQ(plan.value().result_engine, "PostgreSQL");
+}
+
+TEST_F(MusqleTest, TwoTableJoinSameEngineStaysLocal) {
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT * FROM nation, region WHERE n_regionkey = r_regionkey"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().result_engine, "PostgreSQL");
+  EXPECT_EQ(plan.value().CountKind(SqlPlanNode::Kind::kMove), 0);
+}
+
+TEST_F(MusqleTest, CrossEngineJoinInsertsMove) {
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_GE(plan.value().CountKind(SqlPlanNode::Kind::kMove), 1);
+}
+
+TEST_F(MusqleTest, BigJoinsLandOnSpark) {
+  // lineitem x orders is huge: shipping it into PostgreSQL or MemSQL would
+  // be far worse than executing on the engine that holds it.
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan.value().result_engine, "SparkSQL");
+}
+
+TEST_F(MusqleTest, PaperExampleQueryProducesMultiEnginePlan) {
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT c_name, o_orderdate "
+      "FROM part, partsupp, lineitem, orders, customer, nation WHERE "
+      "p_partkey = ps_partkey AND c_nationkey = n_nationkey AND "
+      "l_partkey = p_partkey AND o_custkey = c_custkey AND "
+      "o_orderkey = l_orderkey AND p_retailprice > 2090 AND "
+      "n_name = 'GERMANY'"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // 6 scans, 5 joins, and at least one shipped intermediate.
+  EXPECT_EQ(plan.value().CountKind(SqlPlanNode::Kind::kScan), 6);
+  EXPECT_EQ(plan.value().CountKind(SqlPlanNode::Kind::kJoin), 5);
+  EXPECT_GE(plan.value().CountKind(SqlPlanNode::Kind::kMove), 1);
+  // More than one engine participates.
+  std::set<std::string> engines;
+  for (const SqlPlanNode& node : plan.value().nodes) {
+    if (node.kind != SqlPlanNode::Kind::kMove) engines.insert(node.engine);
+  }
+  EXPECT_GE(engines.size(), 2u);
+}
+
+TEST_F(MusqleTest, OptimizerStatsAccountApiCalls) {
+  OptimizerStats stats;
+  auto plan = optimizer_.Optimize(
+      Parse("SELECT * FROM customer, orders, lineitem WHERE "
+            "c_custkey = o_custkey AND o_orderkey = l_orderkey"),
+      &stats);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(stats.explain_calls, 3);  // 3 scans + join candidates
+  EXPECT_GT(stats.inject_calls, 0);
+  EXPECT_GT(stats.modeled_explain_seconds, 0.0);
+  EXPECT_GT(stats.enumeration_wall_seconds, 0.0);
+}
+
+TEST_F(MusqleTest, CardinalityModelUsesFiltersAndKeys) {
+  const Query q = Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey");
+  // Full join: |orders| rows (every order has one customer).
+  auto both = optimizer_.EstimateSubset(q, 0b11);
+  ASSERT_TRUE(both.ok());
+  const TableDef* orders = catalog_.FindTable("orders");
+  EXPECT_NEAR(both.value().rows, orders->rows, orders->rows * 0.01);
+
+  const Query filtered = Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey AND "
+      "c_name = 'x'");
+  auto few = optimizer_.EstimateSubset(filtered, 0b11);
+  ASSERT_TRUE(few.ok());
+  EXPECT_LT(few.value().rows, 100.0);  // one customer's orders
+}
+
+TEST_F(MusqleTest, ThetaJoinPredicatesReduceCardinality) {
+  // `o_totalprice > c_acctbal` is a theta join: no graph edge, but any
+  // subset containing both tables shrinks by the range selectivity (1/3).
+  const Query plain = Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey");
+  const Query theta = Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey AND "
+      "o_totalprice > c_acctbal");
+  auto plain_stats = optimizer_.EstimateSubset(plain, 0b11);
+  auto theta_stats = optimizer_.EstimateSubset(theta, 0b11);
+  ASSERT_TRUE(plain_stats.ok());
+  ASSERT_TRUE(theta_stats.ok());
+  EXPECT_NEAR(theta_stats.value().rows, plain_stats.value().rows / 3.0,
+              plain_stats.value().rows * 0.01);
+  // The theta predicate alone must not make the graph "connected".
+  EXPECT_FALSE(
+      optimizer_
+          .Optimize(Parse("SELECT * FROM customer, orders WHERE "
+                          "o_totalprice > c_acctbal"))
+          .ok());
+}
+
+TEST_F(MusqleTest, DisconnectedJoinGraphRejected) {
+  EXPECT_FALSE(optimizer_.Optimize(Parse("SELECT * FROM nation, part")).ok());
+}
+
+TEST_F(MusqleTest, UnknownTableOrColumnRejected) {
+  EXPECT_FALSE(optimizer_.Optimize(Parse("SELECT * FROM nosuch")).ok());
+  EXPECT_FALSE(
+      optimizer_
+          .Optimize(Parse("SELECT * FROM nation WHERE nation.bogus = 1"))
+          .ok());
+}
+
+TEST_F(MusqleTest, SingleEngineBaselineChargesShipping) {
+  const Query q = Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey");
+  auto multi = optimizer_.Optimize(q);
+  auto spark_only = optimizer_.PlanSingleEngine(q, "SparkSQL");
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(spark_only.ok());
+  EXPECT_LE(multi.value().total_seconds,
+            spark_only.value().total_seconds + 1e-9);
+}
+
+TEST_F(MusqleTest, MemSqlBaselineOomsOnLargeWorkingSets) {
+  Catalog big = MakeTpchCatalog(20.0, "PostgreSQL", "MemSQL", "SparkSQL");
+  MusqleOptimizer optimizer(&big, &engines_);
+  auto plan = optimizer.PlanSingleEngine(
+      Parse("SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey"),
+      "MemSQL");
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(MusqleTest, LeftDeepIsValidButNeverBeatsBushy) {
+  MusqleOptimizer::Options ld_options;
+  ld_options.enumeration = MusqleOptimizer::Enumeration::kLeftDeep;
+  MusqleOptimizer left_deep(&catalog_, &engines_, ld_options);
+  for (const char* sql :
+       {"SELECT * FROM nation, region WHERE n_regionkey = r_regionkey",
+        "SELECT * FROM customer, orders, lineitem WHERE "
+        "c_custkey = o_custkey AND o_orderkey = l_orderkey",
+        "SELECT c_name, o_orderdate FROM part, partsupp, lineitem, orders, "
+        "customer, nation WHERE p_partkey = ps_partkey AND "
+        "c_nationkey = n_nationkey AND l_partkey = p_partkey AND "
+        "o_custkey = c_custkey AND o_orderkey = l_orderkey AND "
+        "p_retailprice > 2090 AND n_name = 'GERMANY'"}) {
+    const Query q = Parse(sql);
+    auto bushy = optimizer_.Optimize(q);
+    auto ld = left_deep.Optimize(q);
+    ASSERT_TRUE(bushy.ok()) << sql;
+    ASSERT_TRUE(ld.ok()) << sql;
+    EXPECT_LE(bushy.value().total_seconds,
+              ld.value().total_seconds * (1 + 1e-9))
+        << sql;
+    // Left-deep structure: every join has at least one scan/move child.
+    for (const SqlPlanNode& node : ld.value().nodes) {
+      if (node.kind != SqlPlanNode::Kind::kJoin) continue;
+      bool has_base_side = false;
+      for (int child : ld.value().nodes[node.id].children) {
+        const SqlPlanNode* c = &ld.value().nodes[child];
+        if (c->kind == SqlPlanNode::Kind::kMove && !c->children.empty()) {
+          c = &ld.value().nodes[c->children[0]];
+        }
+        has_base_side |= c->kind == SqlPlanNode::Kind::kScan;
+      }
+      EXPECT_TRUE(has_base_side) << sql;
+    }
+  }
+}
+
+TEST_F(MusqleTest, SimulatedMakespanOverlapsIndependentSubtrees) {
+  // part x partsupp and customer x nation can run concurrently; the
+  // makespan must be below the engine-busy total but at least the sum of
+  // the critical path's nodes.
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT * FROM part, partsupp, customer, nation WHERE "
+      "p_partkey = ps_partkey AND c_nationkey = n_nationkey AND "
+      "p_partkey = c_custkey"));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Rng rng(88);
+  const SqlExecutionOutcome outcome =
+      SimulateSqlPlan(plan.value(), engines_, &rng);
+  EXPECT_LT(outcome.makespan_seconds, outcome.busy_seconds);
+  double max_node = 0.0;
+  for (const SqlPlanNode& node : plan.value().nodes) {
+    max_node = std::max(max_node, node.seconds);
+  }
+  EXPECT_GE(outcome.makespan_seconds, max_node * 0.5);
+}
+
+TEST_F(MusqleTest, GroundTruthExecutionIsNoisyButProportional) {
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT * FROM lineitem, orders WHERE l_orderkey = o_orderkey"));
+  ASSERT_TRUE(plan.ok());
+  Rng rng(33);
+  double total = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    total += ExecutePlanGroundTruth(plan.value(), engines_, &rng);
+  }
+  const double mean = total / 50;
+  // Ground truth includes each engine's systematic bias (>1).
+  EXPECT_GT(mean, plan.value().total_seconds);
+  EXPECT_LT(mean, plan.value().total_seconds * 1.6);
+}
+
+TEST_F(MusqleTest, DpccpAndSubmaskEnumerationsAgree) {
+  // Both enumeration strategies must find plans of identical cost for every
+  // query in the evaluation set shape.
+  MusqleOptimizer::Options submask_options;
+  submask_options.enumeration = MusqleOptimizer::Enumeration::kSubmask;
+  MusqleOptimizer submask(&catalog_, &engines_, submask_options);
+  MusqleOptimizer::Options dpccp_options;
+  dpccp_options.enumeration = MusqleOptimizer::Enumeration::kDpccp;
+  MusqleOptimizer dpccp(&catalog_, &engines_, dpccp_options);
+  for (const char* sql :
+       {"SELECT * FROM nation, region WHERE n_regionkey = r_regionkey",
+        "SELECT * FROM customer, orders, lineitem WHERE "
+        "c_custkey = o_custkey AND o_orderkey = l_orderkey",
+        "SELECT c_name, o_orderdate FROM part, partsupp, lineitem, orders, "
+        "customer, nation WHERE p_partkey = ps_partkey AND "
+        "c_nationkey = n_nationkey AND l_partkey = p_partkey AND "
+        "o_custkey = c_custkey AND o_orderkey = l_orderkey AND "
+        "p_retailprice > 2090 AND n_name = 'GERMANY'"}) {
+    const Query q = Parse(sql);
+    auto a = submask.Optimize(q);
+    auto b = dpccp.Optimize(q);
+    ASSERT_TRUE(a.ok()) << sql;
+    ASSERT_TRUE(b.ok()) << sql;
+    EXPECT_NEAR(a.value().total_seconds, b.value().total_seconds,
+                a.value().total_seconds * 1e-9)
+        << sql;
+  }
+}
+
+TEST_F(MusqleTest, PlanToStringMentionsAllNodeKinds) {
+  auto plan = optimizer_.Optimize(Parse(
+      "SELECT * FROM customer, orders WHERE c_custkey = o_custkey"));
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan.value().ToString();
+  EXPECT_NE(text.find("scan"), std::string::npos);
+  EXPECT_NE(text.find("join"), std::string::npos);
+  EXPECT_NE(text.find("total est="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ires::sql

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "workflow/workflow_graph.h"
+
+namespace ires {
+namespace {
+
+MetadataTree Tree(const std::string& description) {
+  auto t = MetadataTree::ParseDescription(description);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+OperatorLibrary LineCountLibrary() {
+  OperatorLibrary lib;
+  EXPECT_TRUE(
+      lib.AddDataset(Dataset("asapServerLog",
+                             Tree("Constraints.Engine.FS=HDFS\n"
+                                  "Execution.path=hdfs:///log\n"
+                                  "Optimization.documents=1\n")))
+          .ok());
+  EXPECT_TRUE(
+      lib.AddAbstract(AbstractOperator(
+                          "LineCount",
+                          Tree("Constraints.OpSpecification.Algorithm.name="
+                               "LineCount\n")))
+          .ok());
+  return lib;
+}
+
+TEST(WorkflowGraphTest, BuildSimpleChain) {
+  WorkflowGraph g;
+  g.AddDataset("in");
+  g.AddOperator("op");
+  g.AddDataset("out");
+  ASSERT_TRUE(g.Connect("in", "op").ok());
+  ASSERT_TRUE(g.Connect("op", "out").ok());
+  ASSERT_TRUE(g.SetTarget("out").ok());
+  EXPECT_EQ(g.operator_count(), 1);
+  EXPECT_EQ(g.dataset_count(), 2);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(WorkflowGraphTest, AddingSameNameReturnsSameId) {
+  WorkflowGraph g;
+  EXPECT_EQ(g.AddDataset("d"), g.AddDataset("d"));
+}
+
+TEST(WorkflowGraphTest, EdgeBetweenSameKindRejected) {
+  WorkflowGraph g;
+  g.AddDataset("a");
+  g.AddDataset("b");
+  EXPECT_EQ(g.Connect("a", "b").code(), StatusCode::kInvalidArgument);
+  g.AddOperator("x");
+  g.AddOperator("y");
+  EXPECT_EQ(g.Connect("x", "y").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkflowGraphTest, ConnectUnknownNodeFails) {
+  WorkflowGraph g;
+  g.AddDataset("a");
+  EXPECT_EQ(g.Connect("a", "nope").code(), StatusCode::kNotFound);
+}
+
+TEST(WorkflowGraphTest, TargetMustBeDataset) {
+  WorkflowGraph g;
+  g.AddOperator("op");
+  EXPECT_EQ(g.SetTarget("op").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkflowGraphTest, ValidateRequiresTarget) {
+  WorkflowGraph g;
+  g.AddDataset("a");
+  EXPECT_EQ(g.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WorkflowGraphTest, ValidateCatchesDanglingOperator) {
+  WorkflowGraph g;
+  g.AddDataset("in");
+  g.AddOperator("op");  // no inputs, no outputs
+  g.AddDataset("out");
+  ASSERT_TRUE(g.Connect("op", "out").ok());
+  ASSERT_TRUE(g.SetTarget("out").ok());
+  EXPECT_FALSE(g.Validate().ok());  // op has no inputs
+}
+
+TEST(WorkflowGraphTest, ValidateCatchesMultipleProducers) {
+  WorkflowGraph g;
+  g.AddDataset("in");
+  g.AddOperator("op1");
+  g.AddOperator("op2");
+  g.AddDataset("out");
+  ASSERT_TRUE(g.Connect("in", "op1").ok());
+  ASSERT_TRUE(g.Connect("in", "op2").ok());
+  ASSERT_TRUE(g.Connect("op1", "out").ok());
+  ASSERT_TRUE(g.Connect("op2", "out").ok());
+  ASSERT_TRUE(g.SetTarget("out").ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(WorkflowGraphTest, ValidateCatchesUnconnectedPort) {
+  WorkflowGraph g;
+  g.AddDataset("in");
+  g.AddOperator("join");
+  g.AddDataset("out");
+  // Port 1 is wired but port 0 never is.
+  ASSERT_TRUE(g.Connect("in", "join", 1).ok());
+  ASSERT_TRUE(g.Connect("join", "out").ok());
+  ASSERT_TRUE(g.SetTarget("out").ok());
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(WorkflowGraphTest, TopologicalOrderRespectsDependencies) {
+  // diamond: in -> a -> (d1, d2) ; d1 -> b -> d3 ; d2 -> c -> d4 ;
+  // (d3, d4) -> d -> out
+  WorkflowGraph g;
+  g.AddDataset("in");
+  for (const char* op : {"a", "b", "c", "d"}) g.AddOperator(op);
+  for (const char* ds : {"d1", "d2", "d3", "d4", "out"}) g.AddDataset(ds);
+  ASSERT_TRUE(g.Connect("in", "a").ok());
+  ASSERT_TRUE(g.Connect("a", "d1").ok());
+  ASSERT_TRUE(g.Connect("a", "d2").ok());
+  ASSERT_TRUE(g.Connect("d1", "b").ok());
+  ASSERT_TRUE(g.Connect("b", "d3").ok());
+  ASSERT_TRUE(g.Connect("d2", "c").ok());
+  ASSERT_TRUE(g.Connect("c", "d4").ok());
+  ASSERT_TRUE(g.Connect("d3", "d", 0).ok());
+  ASSERT_TRUE(g.Connect("d4", "d", 1).ok());
+  ASSERT_TRUE(g.Connect("d", "out").ok());
+  ASSERT_TRUE(g.SetTarget("out").ok());
+
+  auto topo = g.TopologicalOperators();
+  ASSERT_TRUE(topo.ok());
+  const std::vector<int>& order = topo.value();
+  ASSERT_EQ(order.size(), 4u);
+  auto position = [&](const std::string& name) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (g.node(order[i]).name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(position("a"), position("b"));
+  EXPECT_LT(position("a"), position("c"));
+  EXPECT_LT(position("b"), position("d"));
+  EXPECT_LT(position("c"), position("d"));
+}
+
+TEST(WorkflowGraphTest, CycleDetected) {
+  WorkflowGraph g;
+  g.AddOperator("op1");
+  g.AddOperator("op2");
+  g.AddDataset("d1");
+  g.AddDataset("d2");
+  ASSERT_TRUE(g.Connect("op1", "d1").ok());
+  ASSERT_TRUE(g.Connect("d1", "op2").ok());
+  ASSERT_TRUE(g.Connect("op2", "d2").ok());
+  ASSERT_TRUE(g.Connect("d2", "op1").ok());
+  EXPECT_FALSE(g.TopologicalOperators().ok());
+}
+
+TEST(WorkflowGraphTest, ParseGraphFileLineCountExample) {
+  // The exact file from deliverable §3.3.
+  const std::string text =
+      "asapServerLog,LineCount,0\n"
+      "LineCount,d1,0\n"
+      "d1,$$target\n";
+  OperatorLibrary lib = LineCountLibrary();
+  auto graph = WorkflowGraph::ParseGraphFile(text, lib);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const WorkflowGraph& g = graph.value();
+  EXPECT_EQ(g.operator_count(), 1);
+  EXPECT_EQ(g.dataset_count(), 2);
+  EXPECT_EQ(g.node(g.target()).name, "d1");
+  EXPECT_TRUE(g.Validate().ok());
+  // asapServerLog is known from the library -> dataset; LineCount is a
+  // registered abstract operator; d1 is an unknown name -> dataset.
+  EXPECT_EQ(g.node(g.node_id("LineCount")).kind,
+            WorkflowGraph::NodeKind::kOperator);
+  EXPECT_EQ(g.node(g.node_id("asapServerLog")).kind,
+            WorkflowGraph::NodeKind::kDataset);
+}
+
+TEST(WorkflowGraphTest, ParseGraphFileTextClustering) {
+  OperatorLibrary lib;
+  ASSERT_TRUE(lib.AddAbstract(AbstractOperator(
+                                  "tfidf_cilk",
+                                  Tree("Constraints.OpSpecification."
+                                       "Algorithm.name=TF_IDF\n")))
+                  .ok());
+  ASSERT_TRUE(lib.AddAbstract(AbstractOperator(
+                                  "kmeans",
+                                  Tree("Constraints.OpSpecification."
+                                       "Algorithm.name=kmeans\n")))
+                  .ok());
+  ASSERT_TRUE(
+      lib.AddDataset(Dataset("testdir", Tree("Constraints.Engine.FS=HDFS\n"
+                                             "Execution.path=/in\n")))
+          .ok());
+  const std::string text =
+      "testdir,tfidf_cilk,0\n"
+      "tfidf_cilk,d1,0\n"
+      "d1,kmeans,0\n"
+      "kmeans,d2,0\n"
+      "d2,$$target\n";
+  auto graph = WorkflowGraph::ParseGraphFile(text, lib);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph.value().operator_count(), 2);
+  EXPECT_TRUE(graph.value().Validate().ok());
+}
+
+TEST(WorkflowGraphTest, ParseRejectsMalformedLine) {
+  OperatorLibrary lib;
+  EXPECT_FALSE(WorkflowGraph::ParseGraphFile("justonename\n", lib).ok());
+}
+
+TEST(WorkflowGraphTest, ParseSkipsCommentsAndBlanks) {
+  OperatorLibrary lib = LineCountLibrary();
+  const std::string text =
+      "# the LineCount workflow\n"
+      "\n"
+      "asapServerLog,LineCount,0\n"
+      "LineCount,d1,0\n"
+      "d1,$$target\n";
+  EXPECT_TRUE(WorkflowGraph::ParseGraphFile(text, lib).ok());
+}
+
+}  // namespace
+}  // namespace ires

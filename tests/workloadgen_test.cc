@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "planner/dp_planner.h"
+#include "engines/standard_engines.h"
+#include "workloadgen/asap_workflows.h"
+#include "workloadgen/pegasus.h"
+
+namespace ires {
+namespace {
+
+class PegasusTest : public ::testing::TestWithParam<PegasusType> {};
+
+TEST_P(PegasusTest, GeneratesValidWorkflowsAtManySizes) {
+  PegasusGenerator generator;
+  for (int target : {30, 100, 300}) {
+    GeneratedWorkload w = generator.Generate(GetParam(), target, 4);
+    ASSERT_TRUE(w.graph.Validate().ok())
+        << PegasusTypeName(GetParam()) << " @" << target << ": "
+        << w.graph.Validate();
+    // Size lands within a reasonable band of the request.
+    EXPECT_GT(w.graph.operator_count(), target / 3);
+    EXPECT_LT(w.graph.operator_count(), target * 3);
+  }
+}
+
+TEST_P(PegasusTest, EveryAbstractOperatorHasMImplementations) {
+  PegasusGenerator generator;
+  const int m = 5;
+  GeneratedWorkload w = generator.Generate(GetParam(), 60, m);
+  auto topo = w.graph.TopologicalOperators();
+  ASSERT_TRUE(topo.ok());
+  for (int op_node : topo.value()) {
+    const AbstractOperator* abstract =
+        w.library.FindAbstractByName(w.graph.node(op_node).name);
+    ASSERT_NE(abstract, nullptr);
+    EXPECT_EQ(w.library.FindMaterializedOperators(*abstract).size(),
+              static_cast<size_t>(m));
+  }
+}
+
+TEST_P(PegasusTest, PlannerHandlesGeneratedWorkflows) {
+  PegasusGenerator generator;
+  GeneratedWorkload w = generator.Generate(GetParam(), 60, 4);
+  auto registry = std::make_unique<EngineRegistry>();
+  PegasusGenerator::RegisterSyntheticEngines(registry.get(), 4);
+  DpPlanner planner(&w.library, registry.get());
+  auto plan = planner.Plan(w.graph, {});
+  ASSERT_TRUE(plan.ok()) << PegasusTypeName(GetParam()) << ": "
+                         << plan.status();
+  EXPECT_GT(plan.value().steps.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, PegasusTest,
+    ::testing::Values(PegasusType::kMontage, PegasusType::kCyberShake,
+                      PegasusType::kEpigenomics, PegasusType::kInspiral,
+                      PegasusType::kSipht),
+    [](const ::testing::TestParamInfo<PegasusType>& info) {
+      return PegasusTypeName(info.param);
+    });
+
+TEST(PegasusShapeTest, MontageIsMoreConnectedThanEpigenomics) {
+  PegasusGenerator generator;
+  auto density = [&](PegasusType type) {
+    GeneratedWorkload w = generator.Generate(type, 200, 2);
+    // Average operator in-degree.
+    double edges = 0;
+    int operators = 0;
+    for (size_t i = 0; i < w.graph.size(); ++i) {
+      const auto& node = w.graph.node(static_cast<int>(i));
+      if (node.kind == WorkflowGraph::NodeKind::kOperator) {
+        edges += node.inputs.size();
+        ++operators;
+      }
+    }
+    return edges / operators;
+  };
+  EXPECT_GT(density(PegasusType::kMontage),
+            density(PegasusType::kEpigenomics));
+}
+
+TEST(PegasusShapeTest, EpigenomicsIsPipelined) {
+  PegasusGenerator generator;
+  GeneratedWorkload w = generator.Generate(PegasusType::kEpigenomics, 72, 2);
+  // Nearly all operators have in-degree 1 (chains), except the mergers.
+  int single_input = 0, operators = 0;
+  for (size_t i = 0; i < w.graph.size(); ++i) {
+    const auto& node = w.graph.node(static_cast<int>(i));
+    if (node.kind != WorkflowGraph::NodeKind::kOperator) continue;
+    ++operators;
+    single_input += node.inputs.size() == 1;
+  }
+  EXPECT_GE(single_input, operators - 2);
+}
+
+TEST(PegasusShapeTest, SiphtHasWideFanIn) {
+  PegasusGenerator generator;
+  GeneratedWorkload w = generator.Generate(PegasusType::kSipht, 100, 2);
+  size_t max_in = 0;
+  for (size_t i = 0; i < w.graph.size(); ++i) {
+    const auto& node = w.graph.node(static_cast<int>(i));
+    if (node.kind == WorkflowGraph::NodeKind::kOperator) {
+      max_in = std::max(max_in, node.inputs.size());
+    }
+  }
+  EXPECT_GE(max_in, 50u);  // PatserConcate aggregates most of the workflow
+}
+
+TEST(PegasusScalingTest, ThousandNodePlanningUnderTenSeconds) {
+  // The headline claim of Fig. 14: even 1000-node workflows plan in <10 s.
+  PegasusGenerator generator;
+  GeneratedWorkload w = generator.Generate(PegasusType::kMontage, 1000, 8);
+  auto registry = std::make_unique<EngineRegistry>();
+  PegasusGenerator::RegisterSyntheticEngines(registry.get(), 8);
+  DpPlanner planner(&w.library, registry.get());
+  const auto start = std::chrono::steady_clock::now();
+  auto plan = planner.Plan(w.graph, {});
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_LT(seconds, 10.0);
+}
+
+TEST(AsapWorkflowTest, CilkTextClusteringPlansOnCilk) {
+  const GeneratedWorkload w = MakeCilkTextClusteringWorkflow();
+  ASSERT_TRUE(w.graph.Validate().ok());
+  auto registry = MakeStandardEngineRegistry();
+  DpPlanner planner(&w.library, registry.get());
+  auto plan = planner.Plan(w.graph, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Single implementation per operator: both run on Cilk, no moves (all
+  // I/O stays in HDFS).
+  ASSERT_EQ(plan.value().steps.size(), 2u);
+  for (const PlanStep& step : plan.value().steps) {
+    EXPECT_EQ(step.engine, "Cilk");
+    EXPECT_EQ(step.kind, PlanStep::Kind::kOperator);
+  }
+}
+
+TEST(AsapWorkflowTest, CilkKillSwitchLeavesNoAlternative) {
+  const GeneratedWorkload w = MakeCilkTextClusteringWorkflow();
+  auto registry = MakeStandardEngineRegistry();
+  (void)registry->SetAvailable("Cilk", false);
+  DpPlanner planner(&w.library, registry.get());
+  EXPECT_EQ(planner.Plan(w.graph, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SyntheticEnginesTest, RegisterDistinctEnginesAndStores) {
+  EngineRegistry registry;
+  PegasusGenerator::RegisterSyntheticEngines(&registry, 8);
+  EXPECT_EQ(registry.size(), 8u);
+  for (int e = 0; e < 8; ++e) {
+    const SimulatedEngine* engine =
+        registry.Find("Eng" + std::to_string(e));
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->native_store(), "Store" + std::to_string(e));
+  }
+}
+
+}  // namespace
+}  // namespace ires
