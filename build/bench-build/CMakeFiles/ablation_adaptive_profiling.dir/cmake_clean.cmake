@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_profiling"
+  "../bench/ablation_adaptive_profiling.pdb"
+  "CMakeFiles/ablation_adaptive_profiling.dir/ablation_adaptive_profiling.cc.o"
+  "CMakeFiles/ablation_adaptive_profiling.dir/ablation_adaptive_profiling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

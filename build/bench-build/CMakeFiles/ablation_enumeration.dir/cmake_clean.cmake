@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_enumeration"
+  "../bench/ablation_enumeration.pdb"
+  "CMakeFiles/ablation_enumeration.dir/ablation_enumeration.cc.o"
+  "CMakeFiles/ablation_enumeration.dir/ablation_enumeration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pareto_frontier"
+  "../bench/ablation_pareto_frontier.pdb"
+  "CMakeFiles/ablation_pareto_frontier.dir/ablation_pareto_frontier.cc.o"
+  "CMakeFiles/ablation_pareto_frontier.dir/ablation_pareto_frontier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

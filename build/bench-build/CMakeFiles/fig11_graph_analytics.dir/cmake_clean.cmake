@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_graph_analytics"
+  "../bench/fig11_graph_analytics.pdb"
+  "CMakeFiles/fig11_graph_analytics.dir/fig11_graph_analytics.cc.o"
+  "CMakeFiles/fig11_graph_analytics.dir/fig11_graph_analytics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_graph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

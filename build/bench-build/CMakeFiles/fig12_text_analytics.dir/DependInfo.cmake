@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_text_analytics.cc" "bench-build/CMakeFiles/fig12_text_analytics.dir/fig12_text_analytics.cc.o" "gcc" "bench-build/CMakeFiles/fig12_text_analytics.dir/fig12_text_analytics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_provisioning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_workloadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

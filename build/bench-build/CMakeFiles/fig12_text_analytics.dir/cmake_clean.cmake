@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_text_analytics"
+  "../bench/fig12_text_analytics.pdb"
+  "CMakeFiles/fig12_text_analytics.dir/fig12_text_analytics.cc.o"
+  "CMakeFiles/fig12_text_analytics.dir/fig12_text_analytics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_text_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_relational_analytics"
+  "../bench/fig13_relational_analytics.pdb"
+  "CMakeFiles/fig13_relational_analytics.dir/fig13_relational_analytics.cc.o"
+  "CMakeFiles/fig13_relational_analytics.dir/fig13_relational_analytics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_relational_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_planner_workflow_types"
+  "../bench/fig14_planner_workflow_types.pdb"
+  "CMakeFiles/fig14_planner_workflow_types.dir/fig14_planner_workflow_types.cc.o"
+  "CMakeFiles/fig14_planner_workflow_types.dir/fig14_planner_workflow_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_planner_workflow_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

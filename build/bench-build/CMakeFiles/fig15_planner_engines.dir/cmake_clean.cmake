@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_planner_engines"
+  "../bench/fig15_planner_engines.pdb"
+  "CMakeFiles/fig15_planner_engines.dir/fig15_planner_engines.cc.o"
+  "CMakeFiles/fig15_planner_engines.dir/fig15_planner_engines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_planner_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_model_refinement"
+  "../bench/fig16_model_refinement.pdb"
+  "CMakeFiles/fig16_model_refinement.dir/fig16_model_refinement.cc.o"
+  "CMakeFiles/fig16_model_refinement.dir/fig16_model_refinement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_model_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

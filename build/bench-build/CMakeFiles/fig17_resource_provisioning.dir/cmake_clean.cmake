@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_resource_provisioning"
+  "../bench/fig17_resource_provisioning.pdb"
+  "CMakeFiles/fig17_resource_provisioning.dir/fig17_resource_provisioning.cc.o"
+  "CMakeFiles/fig17_resource_provisioning.dir/fig17_resource_provisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_resource_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

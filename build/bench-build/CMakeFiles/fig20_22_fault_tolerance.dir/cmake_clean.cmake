@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_22_fault_tolerance"
+  "../bench/fig20_22_fault_tolerance.pdb"
+  "CMakeFiles/fig20_22_fault_tolerance.dir/fig20_22_fault_tolerance.cc.o"
+  "CMakeFiles/fig20_22_fault_tolerance.dir/fig20_22_fault_tolerance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_22_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/musqle_fig4_5_opt_time"
+  "../bench/musqle_fig4_5_opt_time.pdb"
+  "CMakeFiles/musqle_fig4_5_opt_time.dir/musqle_fig4_5_opt_time.cc.o"
+  "CMakeFiles/musqle_fig4_5_opt_time.dir/musqle_fig4_5_opt_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musqle_fig4_5_opt_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for musqle_fig4_5_opt_time.
+# This may be replaced when dependencies are built.

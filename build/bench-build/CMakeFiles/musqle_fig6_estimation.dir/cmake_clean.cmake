@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/musqle_fig6_estimation"
+  "../bench/musqle_fig6_estimation.pdb"
+  "CMakeFiles/musqle_fig6_estimation.dir/musqle_fig6_estimation.cc.o"
+  "CMakeFiles/musqle_fig6_estimation.dir/musqle_fig6_estimation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musqle_fig6_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for musqle_fig6_estimation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/musqle_fig7_10_tpch"
+  "../bench/musqle_fig7_10_tpch.pdb"
+  "CMakeFiles/musqle_fig7_10_tpch.dir/musqle_fig7_10_tpch.cc.o"
+  "CMakeFiles/musqle_fig7_10_tpch.dir/musqle_fig7_10_tpch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musqle_fig7_10_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for musqle_fig7_10_tpch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_engine_sql.dir/multi_engine_sql.cpp.o"
+  "CMakeFiles/multi_engine_sql.dir/multi_engine_sql.cpp.o.d"
+  "multi_engine_sql"
+  "multi_engine_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_engine_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

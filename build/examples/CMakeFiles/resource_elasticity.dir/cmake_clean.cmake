@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_elasticity.dir/resource_elasticity.cpp.o"
+  "CMakeFiles/resource_elasticity.dir/resource_elasticity.cpp.o.d"
+  "resource_elasticity"
+  "resource_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

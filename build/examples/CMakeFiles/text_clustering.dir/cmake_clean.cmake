@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_clustering.dir/text_clustering.cpp.o"
+  "CMakeFiles/text_clustering.dir/text_clustering.cpp.o.d"
+  "text_clustering"
+  "text_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

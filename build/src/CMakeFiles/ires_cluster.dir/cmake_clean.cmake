@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_cluster.dir/cluster/cluster_simulator.cc.o"
+  "CMakeFiles/ires_cluster.dir/cluster/cluster_simulator.cc.o.d"
+  "libires_cluster.a"
+  "libires_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_common.dir/common/logging.cc.o"
+  "CMakeFiles/ires_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ires_common.dir/common/rng.cc.o"
+  "CMakeFiles/ires_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ires_common.dir/common/status.cc.o"
+  "CMakeFiles/ires_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ires_common.dir/common/strings.cc.o"
+  "CMakeFiles/ires_common.dir/common/strings.cc.o.d"
+  "libires_common.a"
+  "libires_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

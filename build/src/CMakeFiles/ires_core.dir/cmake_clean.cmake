@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_core.dir/core/ires_server.cc.o"
+  "CMakeFiles/ires_core.dir/core/ires_server.cc.o.d"
+  "CMakeFiles/ires_core.dir/core/model_library.cc.o"
+  "CMakeFiles/ires_core.dir/core/model_library.cc.o.d"
+  "CMakeFiles/ires_core.dir/core/rest_api.cc.o"
+  "CMakeFiles/ires_core.dir/core/rest_api.cc.o.d"
+  "libires_core.a"
+  "libires_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_engines.dir/engines/data_movement.cc.o"
+  "CMakeFiles/ires_engines.dir/engines/data_movement.cc.o.d"
+  "CMakeFiles/ires_engines.dir/engines/engine.cc.o"
+  "CMakeFiles/ires_engines.dir/engines/engine.cc.o.d"
+  "CMakeFiles/ires_engines.dir/engines/engine_registry.cc.o"
+  "CMakeFiles/ires_engines.dir/engines/engine_registry.cc.o.d"
+  "CMakeFiles/ires_engines.dir/engines/standard_engines.cc.o"
+  "CMakeFiles/ires_engines.dir/engines/standard_engines.cc.o.d"
+  "libires_engines.a"
+  "libires_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

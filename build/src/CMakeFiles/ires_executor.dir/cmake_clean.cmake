@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_executor.dir/executor/enforcer.cc.o"
+  "CMakeFiles/ires_executor.dir/executor/enforcer.cc.o.d"
+  "CMakeFiles/ires_executor.dir/executor/execution_monitor.cc.o"
+  "CMakeFiles/ires_executor.dir/executor/execution_monitor.cc.o.d"
+  "CMakeFiles/ires_executor.dir/executor/recovering_executor.cc.o"
+  "CMakeFiles/ires_executor.dir/executor/recovering_executor.cc.o.d"
+  "CMakeFiles/ires_executor.dir/executor/trace.cc.o"
+  "CMakeFiles/ires_executor.dir/executor/trace.cc.o.d"
+  "libires_executor.a"
+  "libires_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/metadata_tree.cc" "src/CMakeFiles/ires_metadata.dir/metadata/metadata_tree.cc.o" "gcc" "src/CMakeFiles/ires_metadata.dir/metadata/metadata_tree.cc.o.d"
+  "/root/repo/src/metadata/tree_match.cc" "src/CMakeFiles/ires_metadata.dir/metadata/tree_match.cc.o" "gcc" "src/CMakeFiles/ires_metadata.dir/metadata/tree_match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

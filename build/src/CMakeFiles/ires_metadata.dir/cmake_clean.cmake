@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_metadata.dir/metadata/metadata_tree.cc.o"
+  "CMakeFiles/ires_metadata.dir/metadata/metadata_tree.cc.o.d"
+  "CMakeFiles/ires_metadata.dir/metadata/tree_match.cc.o"
+  "CMakeFiles/ires_metadata.dir/metadata/tree_match.cc.o.d"
+  "libires_metadata.a"
+  "libires_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

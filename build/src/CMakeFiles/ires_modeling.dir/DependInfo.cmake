@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modeling/kernel_models.cc" "src/CMakeFiles/ires_modeling.dir/modeling/kernel_models.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/kernel_models.cc.o.d"
+  "/root/repo/src/modeling/linalg.cc" "src/CMakeFiles/ires_modeling.dir/modeling/linalg.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/linalg.cc.o.d"
+  "/root/repo/src/modeling/linear_models.cc" "src/CMakeFiles/ires_modeling.dir/modeling/linear_models.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/linear_models.cc.o.d"
+  "/root/repo/src/modeling/model.cc" "src/CMakeFiles/ires_modeling.dir/modeling/model.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/model.cc.o.d"
+  "/root/repo/src/modeling/model_selection.cc" "src/CMakeFiles/ires_modeling.dir/modeling/model_selection.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/model_selection.cc.o.d"
+  "/root/repo/src/modeling/neural.cc" "src/CMakeFiles/ires_modeling.dir/modeling/neural.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/neural.cc.o.d"
+  "/root/repo/src/modeling/refinement.cc" "src/CMakeFiles/ires_modeling.dir/modeling/refinement.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/refinement.cc.o.d"
+  "/root/repo/src/modeling/tree_models.cc" "src/CMakeFiles/ires_modeling.dir/modeling/tree_models.cc.o" "gcc" "src/CMakeFiles/ires_modeling.dir/modeling/tree_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

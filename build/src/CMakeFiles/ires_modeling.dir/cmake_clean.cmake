@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_modeling.dir/modeling/kernel_models.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/kernel_models.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/linalg.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/linalg.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/linear_models.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/linear_models.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/model.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/model.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/model_selection.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/model_selection.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/neural.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/neural.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/refinement.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/refinement.cc.o.d"
+  "CMakeFiles/ires_modeling.dir/modeling/tree_models.cc.o"
+  "CMakeFiles/ires_modeling.dir/modeling/tree_models.cc.o.d"
+  "libires_modeling.a"
+  "libires_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/operators/operator.cc" "src/CMakeFiles/ires_operators.dir/operators/operator.cc.o" "gcc" "src/CMakeFiles/ires_operators.dir/operators/operator.cc.o.d"
+  "/root/repo/src/operators/operator_library.cc" "src/CMakeFiles/ires_operators.dir/operators/operator_library.cc.o" "gcc" "src/CMakeFiles/ires_operators.dir/operators/operator_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

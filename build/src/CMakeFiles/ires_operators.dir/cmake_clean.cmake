@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_operators.dir/operators/operator.cc.o"
+  "CMakeFiles/ires_operators.dir/operators/operator.cc.o.d"
+  "CMakeFiles/ires_operators.dir/operators/operator_library.cc.o"
+  "CMakeFiles/ires_operators.dir/operators/operator_library.cc.o.d"
+  "libires_operators.a"
+  "libires_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

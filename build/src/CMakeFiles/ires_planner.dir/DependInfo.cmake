@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/dp_planner.cc" "src/CMakeFiles/ires_planner.dir/planner/dp_planner.cc.o" "gcc" "src/CMakeFiles/ires_planner.dir/planner/dp_planner.cc.o.d"
+  "/root/repo/src/planner/execution_plan.cc" "src/CMakeFiles/ires_planner.dir/planner/execution_plan.cc.o" "gcc" "src/CMakeFiles/ires_planner.dir/planner/execution_plan.cc.o.d"
+  "/root/repo/src/planner/materialization_report.cc" "src/CMakeFiles/ires_planner.dir/planner/materialization_report.cc.o" "gcc" "src/CMakeFiles/ires_planner.dir/planner/materialization_report.cc.o.d"
+  "/root/repo/src/planner/pareto_planner.cc" "src/CMakeFiles/ires_planner.dir/planner/pareto_planner.cc.o" "gcc" "src/CMakeFiles/ires_planner.dir/planner/pareto_planner.cc.o.d"
+  "/root/repo/src/planner/planner_common.cc" "src/CMakeFiles/ires_planner.dir/planner/planner_common.cc.o" "gcc" "src/CMakeFiles/ires_planner.dir/planner/planner_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

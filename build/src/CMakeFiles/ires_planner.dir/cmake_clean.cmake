@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_planner.dir/planner/dp_planner.cc.o"
+  "CMakeFiles/ires_planner.dir/planner/dp_planner.cc.o.d"
+  "CMakeFiles/ires_planner.dir/planner/execution_plan.cc.o"
+  "CMakeFiles/ires_planner.dir/planner/execution_plan.cc.o.d"
+  "CMakeFiles/ires_planner.dir/planner/materialization_report.cc.o"
+  "CMakeFiles/ires_planner.dir/planner/materialization_report.cc.o.d"
+  "CMakeFiles/ires_planner.dir/planner/pareto_planner.cc.o"
+  "CMakeFiles/ires_planner.dir/planner/pareto_planner.cc.o.d"
+  "CMakeFiles/ires_planner.dir/planner/planner_common.cc.o"
+  "CMakeFiles/ires_planner.dir/planner/planner_common.cc.o.d"
+  "libires_planner.a"
+  "libires_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

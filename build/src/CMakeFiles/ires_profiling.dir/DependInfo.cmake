@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/adaptive_profiler.cc" "src/CMakeFiles/ires_profiling.dir/profiling/adaptive_profiler.cc.o" "gcc" "src/CMakeFiles/ires_profiling.dir/profiling/adaptive_profiler.cc.o.d"
+  "/root/repo/src/profiling/profiler.cc" "src/CMakeFiles/ires_profiling.dir/profiling/profiler.cc.o" "gcc" "src/CMakeFiles/ires_profiling.dir/profiling/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_profiling.dir/profiling/adaptive_profiler.cc.o"
+  "CMakeFiles/ires_profiling.dir/profiling/adaptive_profiler.cc.o.d"
+  "CMakeFiles/ires_profiling.dir/profiling/profiler.cc.o"
+  "CMakeFiles/ires_profiling.dir/profiling/profiler.cc.o.d"
+  "libires_profiling.a"
+  "libires_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provisioning/nsga2.cc" "src/CMakeFiles/ires_provisioning.dir/provisioning/nsga2.cc.o" "gcc" "src/CMakeFiles/ires_provisioning.dir/provisioning/nsga2.cc.o.d"
+  "/root/repo/src/provisioning/resource_provisioner.cc" "src/CMakeFiles/ires_provisioning.dir/provisioning/resource_provisioner.cc.o" "gcc" "src/CMakeFiles/ires_provisioning.dir/provisioning/resource_provisioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

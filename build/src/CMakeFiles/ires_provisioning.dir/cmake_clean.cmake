@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_provisioning.dir/provisioning/nsga2.cc.o"
+  "CMakeFiles/ires_provisioning.dir/provisioning/nsga2.cc.o.d"
+  "CMakeFiles/ires_provisioning.dir/provisioning/resource_provisioner.cc.o"
+  "CMakeFiles/ires_provisioning.dir/provisioning/resource_provisioner.cc.o.d"
+  "libires_provisioning.a"
+  "libires_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

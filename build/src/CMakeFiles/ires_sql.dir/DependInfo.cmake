@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/calibration.cc" "src/CMakeFiles/ires_sql.dir/sql/calibration.cc.o" "gcc" "src/CMakeFiles/ires_sql.dir/sql/calibration.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/CMakeFiles/ires_sql.dir/sql/catalog.cc.o" "gcc" "src/CMakeFiles/ires_sql.dir/sql/catalog.cc.o.d"
+  "/root/repo/src/sql/dpccp.cc" "src/CMakeFiles/ires_sql.dir/sql/dpccp.cc.o" "gcc" "src/CMakeFiles/ires_sql.dir/sql/dpccp.cc.o.d"
+  "/root/repo/src/sql/musqle_optimizer.cc" "src/CMakeFiles/ires_sql.dir/sql/musqle_optimizer.cc.o" "gcc" "src/CMakeFiles/ires_sql.dir/sql/musqle_optimizer.cc.o.d"
+  "/root/repo/src/sql/sql_engine.cc" "src/CMakeFiles/ires_sql.dir/sql/sql_engine.cc.o" "gcc" "src/CMakeFiles/ires_sql.dir/sql/sql_engine.cc.o.d"
+  "/root/repo/src/sql/sql_parser.cc" "src/CMakeFiles/ires_sql.dir/sql/sql_parser.cc.o" "gcc" "src/CMakeFiles/ires_sql.dir/sql/sql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ires_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_operators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ires_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

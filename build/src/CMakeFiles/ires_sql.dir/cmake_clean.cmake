@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_sql.dir/sql/calibration.cc.o"
+  "CMakeFiles/ires_sql.dir/sql/calibration.cc.o.d"
+  "CMakeFiles/ires_sql.dir/sql/catalog.cc.o"
+  "CMakeFiles/ires_sql.dir/sql/catalog.cc.o.d"
+  "CMakeFiles/ires_sql.dir/sql/dpccp.cc.o"
+  "CMakeFiles/ires_sql.dir/sql/dpccp.cc.o.d"
+  "CMakeFiles/ires_sql.dir/sql/musqle_optimizer.cc.o"
+  "CMakeFiles/ires_sql.dir/sql/musqle_optimizer.cc.o.d"
+  "CMakeFiles/ires_sql.dir/sql/sql_engine.cc.o"
+  "CMakeFiles/ires_sql.dir/sql/sql_engine.cc.o.d"
+  "CMakeFiles/ires_sql.dir/sql/sql_parser.cc.o"
+  "CMakeFiles/ires_sql.dir/sql/sql_parser.cc.o.d"
+  "libires_sql.a"
+  "libires_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libires_sql.a"
+)

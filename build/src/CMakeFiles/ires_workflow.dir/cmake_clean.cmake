@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_workflow.dir/workflow/workflow_graph.cc.o"
+  "CMakeFiles/ires_workflow.dir/workflow/workflow_graph.cc.o.d"
+  "libires_workflow.a"
+  "libires_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

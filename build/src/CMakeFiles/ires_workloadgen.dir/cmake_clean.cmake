@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_workloadgen.dir/workloadgen/asap_workflows.cc.o"
+  "CMakeFiles/ires_workloadgen.dir/workloadgen/asap_workflows.cc.o.d"
+  "CMakeFiles/ires_workloadgen.dir/workloadgen/pegasus.cc.o"
+  "CMakeFiles/ires_workloadgen.dir/workloadgen/pegasus.cc.o.d"
+  "libires_workloadgen.a"
+  "libires_workloadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_workloadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modeling_test.dir/modeling_test.cc.o"
+  "CMakeFiles/modeling_test.dir/modeling_test.cc.o.d"
+  "modeling_test"
+  "modeling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musqle_property_test.dir/musqle_property_test.cc.o"
+  "CMakeFiles/musqle_property_test.dir/musqle_property_test.cc.o.d"
+  "musqle_property_test"
+  "musqle_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musqle_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_planner_test.dir/pareto_planner_test.cc.o"
+  "CMakeFiles/pareto_planner_test.dir/pareto_planner_test.cc.o.d"
+  "pareto_planner_test"
+  "pareto_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_test.dir/provisioning_test.cc.o"
+  "CMakeFiles/provisioning_test.dir/provisioning_test.cc.o.d"
+  "provisioning_test"
+  "provisioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

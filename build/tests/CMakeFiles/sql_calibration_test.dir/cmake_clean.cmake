@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_calibration_test.dir/sql_calibration_test.cc.o"
+  "CMakeFiles/sql_calibration_test.dir/sql_calibration_test.cc.o.d"
+  "sql_calibration_test"
+  "sql_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
