@@ -18,13 +18,14 @@ int main() {
   IresServer server;
 
   // 1. Dataset definition (asapLibrary/datasets/asapServerLog).
-  Status st = server.RegisterDataset("asapServerLog",
-                                     "Optimization.documents=200000\n"
-                                     "Execution.path=hdfs:///user/root/"
-                                     "asap-server.log\n"
-                                     "Optimization.size=2.5e9\n"
-                                     "Constraints.Engine.FS=HDFS\n"
-                                     "Constraints.type=text\n");
+  Status st = server.RegisterArtifact(ArtifactKind::kDataset,
+                                      "asapServerLog",
+                                      "Optimization.documents=200000\n"
+                                      "Execution.path=hdfs:///user/root/"
+                                      "asap-server.log\n"
+                                      "Optimization.size=2.5e9\n"
+                                      "Constraints.Engine.FS=HDFS\n"
+                                      "Constraints.type=text\n");
   if (!st.ok()) {
     std::fprintf(stderr, "dataset registration failed: %s\n",
                  st.ToString().c_str());
@@ -32,16 +33,16 @@ int main() {
   }
 
   // 2. Abstract operator definition (asapLibrary/abstractOperators/...).
-  (void)server.RegisterAbstractOperator(
-      "LineCount",
+  (void)server.RegisterArtifact(
+      ArtifactKind::kAbstractOperator, "LineCount",
       "Constraints.OpSpecification.Algorithm.name=LineCount\n"
       "Constraints.Input.number=1\n"
       "Constraints.Output.number=1\n");
 
   // 3. Two materialized implementations: Spark and a centralized Python
   //    script (the wc -l of the walkthrough).
-  (void)server.RegisterMaterializedOperator(
-      "LineCount_Spark",
+  (void)server.RegisterArtifact(
+      ArtifactKind::kMaterializedOperator, "LineCount_Spark",
       "Constraints.Engine=Spark\n"
       "Constraints.OpSpecification.Algorithm.name=LineCount\n"
       "Constraints.Input.number=1\n"
@@ -50,8 +51,8 @@ int main() {
       "Constraints.Input0.type=text\n"
       "Constraints.Output0.Engine.FS=HDFS\n"
       "Constraints.Output0.type=text\n");
-  (void)server.RegisterMaterializedOperator(
-      "LineCount_Python",
+  (void)server.RegisterArtifact(
+      ArtifactKind::kMaterializedOperator, "LineCount_Python",
       "Constraints.Engine=Python\n"
       "Constraints.OpSpecification.Algorithm.name=LineCount\n"
       "Constraints.Input.number=1\n"

@@ -1,11 +1,15 @@
 // External API demo (deliverable §3.5): drives the IReS server through its
 // RESTful routes exactly as the other ASAP components would — registering
 // the LineCount artefacts, storing the workflow, materializing and
-// executing it — and prints every request/response exchange.
+// executing it (synchronously and as an async job) — and prints every
+// request/response exchange.
 //
 //   $ ./rest_api_demo
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "core/rest_api.h"
 
@@ -53,6 +57,28 @@ int main() {
   Call(&api, "GET", "/apiv1/workflows");
   Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow/materialize");
   Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow/execute");
+
+  std::printf("\n--- async execution through the job service ---\n");
+  const ires::ApiResponse submit = api.Handle(
+      "POST", "/apiv1/workflows/LineCountWorkflow/execute?mode=async");
+  std::printf("POST %-45s -> %d %s\n",
+              "/apiv1/workflows/LineCountWorkflow/execute?mode=async",
+              submit.code, submit.body.c_str());
+  const size_t at = submit.body.find("job-");
+  const std::string job_id =
+      submit.body.substr(at, submit.body.find('"', at) - at);
+  const std::string job_path = "/apiv1/jobs/" + job_id;
+  for (int i = 0; i < 500; ++i) {
+    const ires::ApiResponse poll = api.Handle("GET", job_path);
+    if (poll.body.find("\"state\":\"SUCCEEDED\"") != std::string::npos ||
+        poll.body.find("\"state\":\"FAILED\"") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Call(&api, "GET", job_path.c_str());
+  Call(&api, "GET", "/apiv1/jobs");
+  Call(&api, "GET", "/apiv1/stats");
 
   std::printf("\n--- failure handling: kill Spark and re-materialize ---\n");
   Call(&api, "PUT", "/apiv1/engines/Spark/availability", "off");

@@ -1,6 +1,7 @@
 #include "core/ires_server.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "engines/standard_engines.h"
 #include "profiling/profiler.h"
@@ -19,6 +20,7 @@ Result<OperatorRunEstimate> ModelBasedCostEstimator::Estimate(
       models_->Find(request.algorithm, engine.name());
   if (models == nullptr) return estimate;
   const Vector features = Profiler::FeatureVector(request);
+  std::lock_guard<std::mutex> lock(models->mu);
   if (models->exec_time.has_model()) {
     const double predicted = models->exec_time.Predict(features);
     if (predicted > 0.0) {
@@ -35,6 +37,15 @@ Result<OperatorRunEstimate> ModelBasedCostEstimator::Estimate(
         std::max(0.0, models->output_records.Predict(features));
   }
   return estimate;
+}
+
+const char* ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kDataset: return "dataset";
+    case ArtifactKind::kAbstractOperator: return "abstractOperator";
+    case ArtifactKind::kMaterializedOperator: return "materializedOperator";
+  }
+  return "?";
 }
 
 IresServer::IresServer(Config config) : config_(config) {
@@ -55,27 +66,24 @@ IresServer::IresServer(Config config) : config_(config) {
   ga.generations = 30;
   provisioner_ = std::make_unique<NsgaResourceProvisioner>(limits, ga);
   model_estimator_ = std::make_unique<ModelBasedCostEstimator>(&models_);
+  plan_cache_ = std::make_unique<PlanCache>(config.plan_cache_capacity);
 }
 
-Status IresServer::RegisterDataset(const std::string& name,
-                                   const std::string& description) {
+Status IresServer::RegisterArtifact(ArtifactKind kind,
+                                    const std::string& name,
+                                    const std::string& description) {
   IRES_ASSIGN_OR_RETURN(MetadataTree meta,
                         MetadataTree::ParseDescription(description));
-  return library_.AddDataset(Dataset(name, std::move(meta)));
-}
-
-Status IresServer::RegisterAbstractOperator(const std::string& name,
-                                            const std::string& description) {
-  IRES_ASSIGN_OR_RETURN(MetadataTree meta,
-                        MetadataTree::ParseDescription(description));
-  return library_.AddAbstract(AbstractOperator(name, std::move(meta)));
-}
-
-Status IresServer::RegisterMaterializedOperator(
-    const std::string& name, const std::string& description) {
-  IRES_ASSIGN_OR_RETURN(MetadataTree meta,
-                        MetadataTree::ParseDescription(description));
-  return library_.AddMaterialized(MaterializedOperator(name, std::move(meta)));
+  switch (kind) {
+    case ArtifactKind::kDataset:
+      return library_.AddDataset(Dataset(name, std::move(meta)));
+    case ArtifactKind::kAbstractOperator:
+      return library_.AddAbstract(AbstractOperator(name, std::move(meta)));
+    case ArtifactKind::kMaterializedOperator:
+      return library_.AddMaterialized(
+          MaterializedOperator(name, std::move(meta)));
+  }
+  return Status::InvalidArgument("unknown artifact kind");
 }
 
 Status IresServer::ImportLibrary(const OperatorLibrary& library) {
@@ -96,30 +104,111 @@ Result<WorkflowGraph> IresServer::ParseWorkflow(
   return WorkflowGraph::ParseGraphFile(graph_text, library_);
 }
 
-Result<ExecutionPlan> IresServer::MaterializeWorkflow(
-    const WorkflowGraph& graph, OptimizationPolicy policy) {
+DpPlanner::Options IresServer::MakePlannerOptions(
+    const OptimizationPolicy& policy) {
   DpPlanner::Options options;
   options.policy = policy;
   if (config_.use_refined_models) options.estimator = model_estimator_.get();
   if (config_.provision_resources) options.advisor = provisioner_.get();
-  return planner_->Plan(graph, options);
+  return options;
+}
+
+Result<ExecutionPlan> IresServer::MaterializeWorkflow(
+    const WorkflowGraph& graph, OptimizationPolicy policy) {
+  auto planned = PlanWorkflowCached(graph, policy);
+  if (!planned.ok()) return planned.status();
+  return std::move(planned).value().plan;
+}
+
+Result<IresServer::PlannedWorkflow> IresServer::PlanWorkflowCached(
+    const WorkflowGraph& graph, OptimizationPolicy policy) {
+  PlanCache::Key key;
+  key.graph_fingerprint = graph.Fingerprint();
+  key.policy = policy.ToString();
+  key.library_version = library_.version();
+  key.model_version =
+      config_.use_refined_models ? models_.version() : 0;
+  key.engine_epoch = engines_->availability_epoch();
+
+  if (auto cached = plan_cache_->Lookup(key)) {
+    PlannedWorkflow out;
+    out.plan = std::move(*cached);
+    out.cache_hit = true;
+    return out;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto plan = planner_->Plan(graph, MakePlannerOptions(policy));
+  if (!plan.ok()) return plan.status();
+  PlannedWorkflow out;
+  out.plan = std::move(plan).value();
+  out.planning_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  // The key was captured before planning, so a library/model mutation that
+  // lands mid-DP leaves this plan filed under the old versions — future
+  // lookups (which read the new versions) can never be served the stale
+  // plan.
+  plan_cache_->Insert(key, out.plan);
+  return out;
 }
 
 Result<RecoveryOutcome> IresServer::ExecuteWorkflow(
     const WorkflowGraph& graph, OptimizationPolicy policy) {
-  DpPlanner::Options options;
-  options.policy = policy;
-  if (config_.use_refined_models) options.estimator = model_estimator_.get();
-  if (config_.provision_resources) options.advisor = provisioner_.get();
+  auto planned = PlanWorkflowCached(graph, policy);
+  if (!planned.ok()) return planned.status();
 
   RecoveringExecutor recovering(planner_.get(), enforcer_.get(),
                                 engines_.get());
-  auto outcome = recovering.Run(graph, options, ReplanStrategy::kIresReplan);
-  if (outcome.ok()) {
-    RefineFromReport(outcome.value().final_plan,
-                     outcome.value().final_report);
+  RecoveryOutcome outcome =
+      recovering.RunFrom(graph, MakePlannerOptions(policy),
+                         ReplanStrategy::kIresReplan, &planned.value().plan,
+                         planned.value().planning_ms);
+  if (outcome.status.ok()) {
+    RefineFromReport(outcome.final_plan, outcome.final_report);
   }
+  if (!outcome.status.ok()) return outcome.status;
   return outcome;
+}
+
+IresServer::WorkflowRunResult IresServer::RunWorkflow(
+    const WorkflowGraph& graph, OptimizationPolicy policy) {
+  auto planned = PlanWorkflowCached(graph, policy);
+  if (!planned.ok()) {
+    WorkflowRunResult result;
+    result.recovery.status = planned.status();
+    return result;
+  }
+  return ExecutePlanned(graph, policy, planned.value());
+}
+
+IresServer::WorkflowRunResult IresServer::ExecutePlanned(
+    const WorkflowGraph& graph, OptimizationPolicy policy,
+    const PlannedWorkflow& planned) {
+  WorkflowRunResult result;
+  result.plan = planned.plan;
+  result.plan_cache_hit = planned.cache_hit;
+
+  // Each run simulates on its own cluster view (every sequential
+  // ExecuteWorkflow run also starts from an idle cluster, so semantics
+  // match) with a distinct noise stream; the engine registry — and with it
+  // availability flips from failure recovery — stays shared.
+  ClusterSimulator cluster(config_.cluster_nodes, config_.cores_per_node,
+                           config_.memory_gb_per_node);
+  const uint64_t run_id =
+      run_counter_.fetch_add(1, std::memory_order_acq_rel);
+  Enforcer enforcer(engines_.get(), &cluster,
+                    config_.seed + 0x9e3779b97f4a7c15ull * (run_id + 1));
+  RecoveringExecutor recovering(planner_.get(), &enforcer, engines_.get());
+  result.recovery =
+      recovering.RunFrom(graph, MakePlannerOptions(policy),
+                         ReplanStrategy::kIresReplan, &planned.plan,
+                         planned.planning_ms);
+  if (result.recovery.status.ok()) {
+    RefineFromReport(result.recovery.final_plan,
+                     result.recovery.final_report);
+  }
+  return result;
 }
 
 OnlineEstimator* IresServer::estimator(const std::string& algorithm,

@@ -1,8 +1,11 @@
 #ifndef IRES_CORE_IRES_SERVER_H_
 #define IRES_CORE_IRES_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cluster/cluster_simulator.h"
@@ -12,6 +15,7 @@
 #include "executor/recovering_executor.h"
 #include "modeling/refinement.h"
 #include "planner/dp_planner.h"
+#include "planner/plan_cache.h"
 #include "profiling/profiler.h"
 #include "provisioning/resource_provisioner.h"
 #include "workflow/workflow_graph.h"
@@ -22,7 +26,8 @@ namespace ires {
 /// execution time, output size and output cardinality with each
 /// (algorithm, engine) pair's trained estimators when they exist, and falls
 /// back to the engine's analytic model otherwise. Feasibility always comes
-/// from the engine.
+/// from the engine. Thread-safe: predictions take the per-pair model mutex,
+/// so they never race with concurrent refinement.
 class ModelBasedCostEstimator : public CostEstimator {
  public:
   explicit ModelBasedCostEstimator(const ModelLibrary* models)
@@ -36,10 +41,25 @@ class ModelBasedCostEstimator : public CostEstimator {
   const ModelLibrary* models_;
 };
 
+/// The kind of artefact registered with the platform's interface layer.
+enum class ArtifactKind {
+  kDataset,
+  kAbstractOperator,
+  kMaterializedOperator,
+};
+
+const char* ArtifactKindName(ArtifactKind kind);
+
 /// The IReS server facade: wires the interface, optimizer and executor
 /// layers (deliverable Fig. 1) into the API the examples and experiments
 /// drive — register artefacts, materialize (plan) workflows, execute them
 /// with monitoring/recovery, and refine the models with every run.
+///
+/// Concurrency: RegisterArtifact, PlanWorkflowCached, MaterializeWorkflow
+/// and RunWorkflow are safe to call from many threads at once (the job
+/// service's worker pool does exactly that). ExecuteWorkflow keeps the
+/// legacy single-caller semantics — it drives the shared enforcer/cluster,
+/// whose discrete-event state is not meant for interleaved runs.
 class IresServer {
  public:
   struct Config {
@@ -52,36 +72,95 @@ class IresServer {
     bool use_refined_models = false;
     /// When set, NSGA-II provisions container resources per operator.
     bool provision_resources = false;
+    /// Capacity of the planner-level plan cache (0 disables caching).
+    size_t plan_cache_capacity = 128;
   };
 
   IresServer() : IresServer(Config()) {}
   explicit IresServer(Config config);
 
   // ---- Interface layer ----------------------------------------------------
-  /// Registers artefacts from their key=value description text.
+  /// Registers one artefact from its key=value description text — the
+  /// unified entry point behind the REST description routes.
+  Status RegisterArtifact(ArtifactKind kind, const std::string& name,
+                          const std::string& description);
+
+  /// Deprecated per-kind wrappers; prefer RegisterArtifact.
   Status RegisterDataset(const std::string& name,
-                         const std::string& description);
+                         const std::string& description) {
+    return RegisterArtifact(ArtifactKind::kDataset, name, description);
+  }
   Status RegisterAbstractOperator(const std::string& name,
-                                  const std::string& description);
+                                  const std::string& description) {
+    return RegisterArtifact(ArtifactKind::kAbstractOperator, name,
+                            description);
+  }
   Status RegisterMaterializedOperator(const std::string& name,
-                                      const std::string& description);
+                                      const std::string& description) {
+    return RegisterArtifact(ArtifactKind::kMaterializedOperator, name,
+                            description);
+  }
+
   /// Imports an externally assembled library (merges, name clashes fail).
   Status ImportLibrary(const OperatorLibrary& library);
   /// Parses a workflow `graph` file against the current library.
   Result<WorkflowGraph> ParseWorkflow(const std::string& graph_text) const;
 
   // ---- Optimizer layer ----------------------------------------------------
-  /// Materializes (plans) a workflow under `policy`.
+  /// Materializes (plans) a workflow under `policy`, consulting the plan
+  /// cache first.
   Result<ExecutionPlan> MaterializeWorkflow(
       const WorkflowGraph& graph,
       OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
 
+  /// A cached or freshly planned workflow plus planning accounting.
+  struct PlannedWorkflow {
+    ExecutionPlan plan;
+    bool cache_hit = false;
+    /// Wall-clock spent planning (0 on a cache hit).
+    double planning_ms = 0.0;
+  };
+
+  /// Plans under `policy` through the plan cache, keyed on the graph
+  /// fingerprint, the policy, and the operator-library / model-library /
+  /// engine-availability versions. Thread-safe.
+  Result<PlannedWorkflow> PlanWorkflowCached(const WorkflowGraph& graph,
+                                             OptimizationPolicy policy);
+
   // ---- Executor layer -----------------------------------------------------
   /// Plans + executes with monitoring and IResReplan recovery; feeds every
-  /// observed operator run back into the model-refinement library.
+  /// observed operator run back into the model-refinement library. Legacy
+  /// synchronous entry point over the shared enforcer; single caller at a
+  /// time.
   Result<RecoveryOutcome> ExecuteWorkflow(
       const WorkflowGraph& graph,
       OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+
+  /// Everything one workflow run produced: the recovery outcome plus the
+  /// initially chosen plan (so callers — notably async job records — get
+  /// the plan summary without re-planning) and whether it came from the
+  /// plan cache.
+  struct WorkflowRunResult {
+    RecoveryOutcome recovery;
+    ExecutionPlan plan;
+    bool plan_cache_hit = false;
+  };
+
+  /// Thread-safe plan→execute→refine pipeline used by the job service:
+  /// plans through the cache, executes on a private per-run enforcer over a
+  /// private cluster view (the shared registry still tracks engine
+  /// availability), and refines the models on success. Errors are carried
+  /// in `recovery.status` so planning/execution accounting survives
+  /// failures.
+  WorkflowRunResult RunWorkflow(
+      const WorkflowGraph& graph,
+      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+
+  /// Executes `planned` (obtained from PlanWorkflowCached) without
+  /// re-planning the first attempt. Thread-safe; see RunWorkflow.
+  WorkflowRunResult ExecutePlanned(const WorkflowGraph& graph,
+                                   OptimizationPolicy policy,
+                                   const PlannedWorkflow& planned);
 
   // ---- Access to the wired components (experiments drive them directly). --
   OperatorLibrary& library() { return library_; }
@@ -91,7 +170,8 @@ class IresServer {
   Enforcer& enforcer() { return *enforcer_; }
   ExecutionMonitor& monitor() { return *monitor_; }
   NsgaResourceProvisioner& provisioner() { return *provisioner_; }
-
+  PlanCache& plan_cache() { return *plan_cache_; }
+  const Config& config() const { return config_; }
 
   /// The refined execution-time estimator for one (algorithm, engine)
   /// pair, created on first use.
@@ -111,6 +191,7 @@ class IresServer {
   }
 
  private:
+  DpPlanner::Options MakePlannerOptions(const OptimizationPolicy& policy);
   void RefineFromReport(const ExecutionPlan& plan,
                         const ExecutionReport& report);
 
@@ -124,6 +205,9 @@ class IresServer {
   std::unique_ptr<NsgaResourceProvisioner> provisioner_;
   ModelLibrary models_;
   std::unique_ptr<ModelBasedCostEstimator> model_estimator_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  /// Distinguishes per-run enforcer noise streams across concurrent jobs.
+  std::atomic<uint64_t> run_counter_{0};
 };
 
 }  // namespace ires

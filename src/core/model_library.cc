@@ -28,16 +28,19 @@ OnlineEstimator* MetricEstimator(ModelLibrary::OperatorModels* models,
 
 ModelLibrary::OperatorModels* ModelLibrary::Get(const std::string& algorithm,
                                                 const std::string& engine) {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto key = std::make_pair(algorithm, engine);
   auto it = models_.find(key);
   if (it == models_.end()) {
     it = models_.emplace(key, std::make_unique<OperatorModels>()).first;
   }
+  // unique_ptr storage keeps the pointer stable across later insertions.
   return it->second.get();
 }
 
 const ModelLibrary::OperatorModels* ModelLibrary::Find(
     const std::string& algorithm, const std::string& engine) const {
+  std::lock_guard<std::mutex> lock(map_mu_);
   auto it = models_.find({algorithm, engine});
   return it == models_.end() ? nullptr : it->second.get();
 }
@@ -49,17 +52,28 @@ void ModelLibrary::ObserveRun(const std::string& algorithm,
                               double output_records) {
   OperatorModels* models = Get(algorithm, engine);
   const Vector features = Profiler::FeatureVector(request);
-  models->exec_time.Observe(features, actual_seconds);
-  models->output_bytes.Observe(features, output_bytes);
-  models->output_records.Observe(features, output_records);
+  {
+    std::lock_guard<std::mutex> lock(models->mu);
+    models->exec_time.Observe(features, actual_seconds);
+    models->output_bytes.Observe(features, output_bytes);
+    models->output_records.Observe(features, output_records);
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t ModelLibrary::size() const {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  return models_.size();
 }
 
 Status ModelLibrary::SaveToDirectory(const std::string& dir) const {
   namespace fs = std::filesystem;
+  std::lock_guard<std::mutex> map_lock(map_mu_);
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return Status::Internal("mkdir failed: " + dir);
   for (const auto& [key, models] : models_) {
+    std::lock_guard<std::mutex> lock(models->mu);
     for (int metric = 0; metric < 3; ++metric) {
       const OnlineEstimator* estimator = MetricEstimator(
           const_cast<OperatorModels*>(models.get()), metric);
@@ -116,10 +130,14 @@ Status ModelLibrary::LoadFromDirectory(const std::string& dir) {
       }
       samples.push_back(std::move(sample));
     }
-    OnlineEstimator* estimator =
-        MetricEstimator(Get(algorithm, engine), metric);
+    OperatorModels* models = Get(algorithm, engine);
+    OnlineEstimator* estimator = MetricEstimator(models, metric);
     // A failed refit (e.g. too few samples) still keeps the samples.
-    (void)estimator->ImportSamples(samples);
+    {
+      std::lock_guard<std::mutex> lock(models->mu);
+      (void)estimator->ImportSamples(samples);
+    }
+    version_.fetch_add(1, std::memory_order_acq_rel);
   }
   return Status::OK();
 }

@@ -1,8 +1,11 @@
 #ifndef IRES_CORE_MODEL_LIBRARY_H_
 #define IRES_CORE_MODEL_LIBRARY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "engines/engine.h"
@@ -15,10 +18,19 @@ namespace ires {
 /// pair it keeps one online-refined estimator per profiled metric —
 /// execution time, output size and output cardinality — and persists the
 /// underlying profiling samples across server restarts.
+///
+/// Thread safety: the pair map is guarded by a library-level mutex, and
+/// every OperatorModels carries its own mutex so that refinement from N
+/// concurrent jobs serializes per (algorithm, engine) while distinct pairs
+/// refine in parallel. Callers touching the estimators directly must hold
+/// that per-pair mutex (ObserveRun and the model-based cost estimator do);
+/// single-threaded tools (tests, offline profiling) may skip it.
 class ModelLibrary {
  public:
   /// The per-(operator, engine) metric estimators.
   struct OperatorModels {
+    /// Serializes refits/predictions on this pair across jobs.
+    mutable std::mutex mu;
     OnlineEstimator exec_time;
     OnlineEstimator output_bytes;
     OnlineEstimator output_records;
@@ -34,12 +46,19 @@ class ModelLibrary {
   const OperatorModels* Find(const std::string& algorithm,
                              const std::string& engine) const;
 
-  /// Feeds one observed run into all metric estimators.
+  /// Feeds one observed run into all metric estimators (serialized per
+  /// pair) and bumps version().
   void ObserveRun(const std::string& algorithm, const std::string& engine,
                   const OperatorRunRequest& request, double actual_seconds,
                   double output_bytes, double output_records);
 
-  size_t size() const { return models_.size(); }
+  size_t size() const;
+
+  /// Monotonic counter bumped by every observation/import; part of the
+  /// plan-cache key so refined models invalidate cached plans.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Persists every estimator's sample window as CSV files
   /// (`<dir>/<algorithm>__<engine>.<metric>.csv`, one `target,f0,f1,...`
@@ -50,6 +69,8 @@ class ModelLibrary {
   Status LoadFromDirectory(const std::string& dir);
 
  private:
+  mutable std::mutex map_mu_;  // guards models_ (not the estimators)
+  std::atomic<uint64_t> version_{0};
   std::map<std::pair<std::string, std::string>,
            std::unique_ptr<OperatorModels>>
       models_;

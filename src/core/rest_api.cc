@@ -31,22 +31,35 @@ std::string JsonEscape(const std::string& text) {
 
 namespace {
 
-ApiResponse Error(int code, const std::string& message) {
-  return {code, "{\"error\":\"" + JsonEscape(message) + "\"}"};
+/// The single StatusCode -> HTTP mapping behind every error response (see
+/// the envelope table in the header).
+int HttpCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kFailedPrecondition: return 422;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kUnavailable: return 503;
+    default: return 500;
+  }
+}
+
+/// Uniform error envelope: {"error":{"code":...,"message":...}}.
+ApiResponse ErrorEnvelope(StatusCode code, const std::string& message) {
+  return {HttpCodeFor(code),
+          std::string("{\"error\":{\"code\":\"") + StatusCodeToString(code) +
+              "\",\"message\":\"" + JsonEscape(message) + "\"}}"};
+}
+
+ApiResponse NotFoundError(const std::string& message) {
+  return ErrorEnvelope(StatusCode::kNotFound, message);
 }
 
 ApiResponse FromStatus(const Status& status, int ok_code = 200,
                        const std::string& ok_body = "{\"ok\":true}") {
   if (status.ok()) return {ok_code, ok_body};
-  switch (status.code()) {
-    case StatusCode::kNotFound: return Error(404, status.message());
-    case StatusCode::kAlreadyExists: return Error(409, status.message());
-    case StatusCode::kInvalidArgument: return Error(400, status.message());
-    case StatusCode::kFailedPrecondition:
-    case StatusCode::kResourceExhausted:
-      return Error(422, status.message());
-    default: return Error(500, status.ToString());
-  }
+  return ErrorEnvelope(status.code(), status.message());
 }
 
 std::string JsonStringArray(const std::vector<std::string>& items) {
@@ -59,14 +72,58 @@ std::string JsonStringArray(const std::vector<std::string>& items) {
   return out;
 }
 
+std::string JobRecordJson(const JobRecord& record, bool include_plan) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"state\":\"%s\",\"planSteps\":%d,\"estimatedSeconds\":%.3f,"
+      "\"estimatedCost\":%.1f,\"planCacheHit\":%s,"
+      "\"executionSeconds\":%.3f,\"planningMs\":%.3f,\"replans\":%d,"
+      "\"submittedAt\":%.3f,\"startedAt\":%.3f,\"finishedAt\":%.3f",
+      JobStateName(record.state), record.plan_steps,
+      record.estimated_seconds, record.estimated_cost,
+      record.plan_cache_hit ? "true" : "false",
+      record.outcome.total_execution_seconds,
+      record.outcome.total_planning_ms, record.outcome.replans,
+      record.submitted_at, record.started_at, record.finished_at);
+  std::string out = "{\"id\":\"" + JsonEscape(record.id) +
+                    "\",\"workflow\":\"" + JsonEscape(record.workflow) +
+                    "\",\"policy\":\"" + JsonEscape(record.policy.ToString()) +
+                    "\"," + buf;
+  if (!record.error.empty()) {
+    out += ",\"error\":\"" + JsonEscape(record.error) + "\"";
+  }
+  if (include_plan && !record.plan_summary.empty()) {
+    out += ",\"plan\":\"" + JsonEscape(record.plan_summary) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
+
+RestApi::RestApi(IresServer* server)
+    : server_(server),
+      owned_jobs_(std::make_unique<JobService>(server)),
+      jobs_(owned_jobs_.get()) {}
+
+RestApi::RestApi(IresServer* server, JobService* jobs)
+    : server_(server), jobs_(jobs) {}
+
+RestApi::~RestApi() = default;
 
 ApiResponse RestApi::Handle(const std::string& method,
                             const std::string& path,
                             const std::string& body) {
-  std::vector<std::string> parts = SplitAndTrim(path, '/');
+  // Split off the query string before routing on path segments.
+  std::string route = path, query;
+  if (const size_t q = path.find('?'); q != std::string::npos) {
+    route = path.substr(0, q);
+    query = path.substr(q + 1);
+  }
+  std::vector<std::string> parts = SplitAndTrim(route, '/');
   if (parts.size() < 2 || parts[0] != "apiv1") {
-    return Error(404, "unknown route: " + path);
+    return NotFoundError("unknown route: " + path);
   }
   const std::string& resource = parts[1];
   if (resource == "engines") return HandleEngines(method, parts, body);
@@ -74,8 +131,14 @@ ApiResponse RestApi::Handle(const std::string& method,
       resource == "operators") {
     return HandleDescriptions(method, parts, body);
   }
-  if (resource == "workflows") return HandleWorkflows(method, parts, body);
-  return Error(404, "unknown resource: " + resource);
+  if (resource == "workflows") {
+    return HandleWorkflows(method, parts, query, body);
+  }
+  if (resource == "jobs") return HandleJobs(method, parts);
+  if (resource == "stats" && method == "GET" && parts.size() == 2) {
+    return HandleStats();
+  }
+  return NotFoundError("unknown resource: " + resource);
 }
 
 ApiResponse RestApi::HandleEngines(const std::string& method,
@@ -96,12 +159,13 @@ ApiResponse RestApi::HandleEngines(const std::string& method,
   if (method == "PUT" && parts.size() == 4 && parts[3] == "availability") {
     const std::string value = ToLower(Trim(body));
     if (value != "on" && value != "off") {
-      return Error(400, "availability body must be 'on' or 'off'");
+      return ErrorEnvelope(StatusCode::kInvalidArgument,
+                           "availability body must be 'on' or 'off'");
     }
     return FromStatus(
         server_->engines().SetAvailable(parts[2], value == "on"));
   }
-  return Error(404, "unknown engines route");
+  return NotFoundError("unknown engines route");
 }
 
 ApiResponse RestApi::HandleDescriptions(const std::string& method,
@@ -109,57 +173,73 @@ ApiResponse RestApi::HandleDescriptions(const std::string& method,
                                         const std::string& body) {
   const std::string& resource = parts[1];
   OperatorLibrary& library = server_->library();
+  const ArtifactKind kind = resource == "datasets"
+                                ? ArtifactKind::kDataset
+                                : resource == "abstractOperators"
+                                      ? ArtifactKind::kAbstractOperator
+                                      : ArtifactKind::kMaterializedOperator;
 
   if (method == "GET" && parts.size() == 2) {
     std::vector<std::string> names;
-    if (resource == "datasets") {
-      for (const auto& [name, d] : library.datasets()) names.push_back(name);
-    } else if (resource == "abstractOperators") {
-      for (const auto& [name, o] : library.abstract()) names.push_back(name);
-    } else {
-      names = library.MaterializedNames();
+    switch (kind) {
+      case ArtifactKind::kDataset:
+        for (const auto& [name, d] : library.datasets()) {
+          names.push_back(name);
+        }
+        break;
+      case ArtifactKind::kAbstractOperator:
+        for (const auto& [name, o] : library.abstract()) {
+          names.push_back(name);
+        }
+        break;
+      case ArtifactKind::kMaterializedOperator:
+        names = library.MaterializedNames();
+        break;
     }
     return {200, JsonStringArray(names)};
   }
 
-  if (parts.size() != 3) return Error(404, "expected /" + resource + "/{name}");
+  if (parts.size() != 3) {
+    return NotFoundError("expected /" + resource + "/{name}");
+  }
   const std::string& name = parts[2];
 
   if (method == "GET") {
     const MetadataTree* meta = nullptr;
-    if (resource == "datasets") {
-      const Dataset* d = library.FindDatasetByName(name);
-      if (d != nullptr) meta = &d->meta();
-    } else if (resource == "abstractOperators") {
-      const AbstractOperator* o = library.FindAbstractByName(name);
-      if (o != nullptr) meta = &o->meta();
-    } else {
-      const MaterializedOperator* o = library.FindMaterializedByName(name);
-      if (o != nullptr) meta = &o->meta();
+    switch (kind) {
+      case ArtifactKind::kDataset: {
+        const Dataset* d = library.FindDatasetByName(name);
+        if (d != nullptr) meta = &d->meta();
+        break;
+      }
+      case ArtifactKind::kAbstractOperator: {
+        const AbstractOperator* o = library.FindAbstractByName(name);
+        if (o != nullptr) meta = &o->meta();
+        break;
+      }
+      case ArtifactKind::kMaterializedOperator: {
+        const MaterializedOperator* o = library.FindMaterializedByName(name);
+        if (o != nullptr) meta = &o->meta();
+        break;
+      }
     }
-    if (meta == nullptr) return Error(404, resource + ": " + name);
+    if (meta == nullptr) return NotFoundError(resource + ": " + name);
     return {200, "{\"name\":\"" + JsonEscape(name) + "\",\"description\":\"" +
                      JsonEscape(meta->ToDescription()) + "\"}"};
   }
 
   if (method == "POST") {
-    Status added;
-    if (resource == "datasets") {
-      added = server_->RegisterDataset(name, body);
-    } else if (resource == "abstractOperators") {
-      added = server_->RegisterAbstractOperator(name, body);
-    } else {
-      added = server_->RegisterMaterializedOperator(name, body);
-    }
-    return FromStatus(added, 201);
+    return FromStatus(server_->RegisterArtifact(kind, name, body), 201);
   }
-  return Error(404, "unsupported method " + method);
+  return NotFoundError("unsupported method " + method);
 }
 
 ApiResponse RestApi::HandleWorkflows(const std::string& method,
                                      const std::vector<std::string>& parts,
+                                     const std::string& query,
                                      const std::string& body) {
   if (method == "GET" && parts.size() == 2) {
+    std::lock_guard<std::mutex> lock(workflows_mu_);
     std::vector<std::string> names;
     for (const auto& [name, graph] : workflows_) names.push_back(name);
     return {200, JsonStringArray(names)};
@@ -169,17 +249,27 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
     if (!graph.ok()) return FromStatus(graph.status());
     const Status valid = graph.value().Validate();
     if (!valid.ok()) return FromStatus(valid);
+    std::lock_guard<std::mutex> lock(workflows_mu_);
     if (workflows_.count(parts[2]) > 0) {
-      return Error(409, "workflow exists: " + parts[2]);
+      return ErrorEnvelope(StatusCode::kAlreadyExists,
+                           "workflow exists: " + parts[2]);
     }
     workflows_.emplace(parts[2], std::move(graph).value());
     return {201, "{\"ok\":true}"};
   }
   if (method == "POST" && parts.size() == 4) {
-    auto it = workflows_.find(parts[2]);
-    if (it == workflows_.end()) return Error(404, "workflow: " + parts[2]);
+    // Snapshot the graph under the lock; planning/execution run without it.
+    WorkflowGraph graph;
+    {
+      std::lock_guard<std::mutex> lock(workflows_mu_);
+      auto it = workflows_.find(parts[2]);
+      if (it == workflows_.end()) {
+        return NotFoundError("workflow: " + parts[2]);
+      }
+      graph = it->second;
+    }
     if (parts[3] == "materialize") {
-      auto plan = server_->MaterializeWorkflow(it->second);
+      auto plan = server_->MaterializeWorkflow(graph);
       if (!plan.ok()) return FromStatus(plan.status());
       char head[160];
       std::snprintf(head, sizeof(head),
@@ -191,19 +281,79 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
               std::string(head) + JsonEscape(plan.value().ToString()) + "\"}"};
     }
     if (parts[3] == "execute") {
-      auto outcome = server_->ExecuteWorkflow(it->second);
-      if (!outcome.ok()) return FromStatus(outcome.status());
+      if (query == "mode=async") {
+        auto job_id = jobs_->Submit(graph, parts[2]);
+        if (!job_id.ok()) return FromStatus(job_id.status());
+        return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"}"};
+      }
+      if (!query.empty() && query != "mode=sync") {
+        return ErrorEnvelope(StatusCode::kInvalidArgument,
+                             "unsupported execute query: " + query);
+      }
+      IresServer::WorkflowRunResult result = server_->RunWorkflow(graph);
+      if (!result.recovery.status.ok()) {
+        return FromStatus(result.recovery.status);
+      }
       char buf[200];
       std::snprintf(buf, sizeof(buf),
                     "{\"executionSeconds\":%.3f,\"planningMs\":%.3f,"
-                    "\"replans\":%d}",
-                    outcome.value().total_execution_seconds,
-                    outcome.value().total_planning_ms,
-                    outcome.value().replans);
+                    "\"replans\":%d,\"planCacheHit\":%s}",
+                    result.recovery.total_execution_seconds,
+                    result.recovery.total_planning_ms,
+                    result.recovery.replans,
+                    result.plan_cache_hit ? "true" : "false");
       return {200, buf};
     }
   }
-  return Error(404, "unknown workflows route");
+  return NotFoundError("unknown workflows route");
+}
+
+ApiResponse RestApi::HandleJobs(const std::string& method,
+                                const std::vector<std::string>& parts) {
+  if (method == "GET" && parts.size() == 2) {
+    std::string out = "[";
+    bool first = true;
+    for (const JobRecord& record : jobs_->List()) {
+      if (!first) out += ",";
+      first = false;
+      out += JobRecordJson(record, /*include_plan=*/false);
+    }
+    out += "]";
+    return {200, out};
+  }
+  if (method == "GET" && parts.size() == 3) {
+    auto record = jobs_->Get(parts[2]);
+    if (!record.ok()) return FromStatus(record.status());
+    return {200, JobRecordJson(record.value(), /*include_plan=*/true)};
+  }
+  if (method == "POST" && parts.size() == 4 && parts[3] == "cancel") {
+    return FromStatus(jobs_->Cancel(parts[2]));
+  }
+  return NotFoundError("unknown jobs route");
+}
+
+ApiResponse RestApi::HandleStats() {
+  const JobService::Stats jobs = jobs_->stats();
+  const PlanCache::Stats cache = server_->plan_cache().stats();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"jobs\":{\"submitted\":%llu,\"rejected\":%llu,\"succeeded\":%llu,"
+      "\"failed\":%llu,\"cancelled\":%llu,\"queueDepth\":%zu,"
+      "\"running\":%zu,\"workers\":%d},"
+      "\"planCache\":{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+      "\"evictions\":%llu,\"entries\":%zu}}",
+      static_cast<unsigned long long>(jobs.submitted),
+      static_cast<unsigned long long>(jobs.rejected),
+      static_cast<unsigned long long>(jobs.succeeded),
+      static_cast<unsigned long long>(jobs.failed),
+      static_cast<unsigned long long>(jobs.cancelled), jobs.queue_depth,
+      jobs.running, jobs.workers,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.insertions),
+      static_cast<unsigned long long>(cache.evictions), cache.entries);
+  return {200, buf};
 }
 
 }  // namespace ires

@@ -2,9 +2,12 @@
 #define IRES_CORE_REST_API_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/ires_server.h"
+#include "service/job_service.h"
 
 namespace ires {
 
@@ -20,7 +23,9 @@ struct ApiResponse {
 /// its functionality to the rest of the ASAP components through a RESTful
 /// interface. This class implements the resource routing and JSON
 /// serialization; a transport (HTTP server, CLI, tests) feeds it
-/// (method, path, body) triples. Supported routes:
+/// (method, path, body) triples. Handle is thread-safe: concurrent callers
+/// may register artefacts, store workflows and submit jobs at once.
+/// Supported routes:
 ///
 ///   GET  /apiv1/engines                         list engines + status
 ///   PUT  /apiv1/engines/{name}/availability     body: "on" | "off"
@@ -35,12 +40,33 @@ struct ApiResponse {
 ///   POST /apiv1/workflows/{name}                body: `graph` file text
 ///   POST /apiv1/workflows/{name}/materialize    plan; returns the plan
 ///   POST /apiv1/workflows/{name}/execute        plan + run + refine models
+///   POST /apiv1/workflows/{name}/execute?mode=async
+///                                               submit; 202 + {"jobId":...}
+///   GET  /apiv1/jobs                            list job summaries
+///   GET  /apiv1/jobs/{id}                       one job record
+///   POST /apiv1/jobs/{id}/cancel                cancel a queued/running job
+///   GET  /apiv1/stats                           serving + plan-cache counters
+///
+/// Error envelope: every non-2xx response body is
+///   {"error":{"code":"<StatusCode name>","message":"<detail>"}}
+/// with StatusCode mapped to HTTP in one place:
+///   kNotFound            -> 404     kAlreadyExists       -> 409
+///   kInvalidArgument     -> 400     kFailedPrecondition  -> 422
+///   kResourceExhausted   -> 429     kUnavailable         -> 503
+///   anything else        -> 500
 class RestApi {
  public:
-  explicit RestApi(IresServer* server) : server_(server) {}
+  /// Owns a default-configured JobService for the async routes.
+  explicit RestApi(IresServer* server);
 
-  /// Dispatches one request. Unknown routes return 404, bad payloads 400,
-  /// conflicts 409, planner/executor failures 422/500.
+  /// Uses an externally configured JobService (not owned) — lets tests and
+  /// deployments bound the worker pool / admission queue themselves.
+  RestApi(IresServer* server, JobService* jobs);
+
+  ~RestApi();
+
+  /// Dispatches one request. Unknown routes return 404; other failures
+  /// follow the error-envelope table above.
   ApiResponse Handle(const std::string& method, const std::string& path,
                      const std::string& body = "");
 
@@ -53,9 +79,16 @@ class RestApi {
                                  const std::string& body);
   ApiResponse HandleWorkflows(const std::string& method,
                               const std::vector<std::string>& parts,
+                              const std::string& query,
                               const std::string& body);
+  ApiResponse HandleJobs(const std::string& method,
+                         const std::vector<std::string>& parts);
+  ApiResponse HandleStats();
 
   IresServer* server_;
+  std::unique_ptr<JobService> owned_jobs_;
+  JobService* jobs_;
+  std::mutex workflows_mu_;
   std::map<std::string, WorkflowGraph> workflows_;
 };
 

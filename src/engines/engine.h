@@ -1,6 +1,7 @@
 #ifndef IRES_ENGINES_ENGINE_H_
 #define IRES_ENGINES_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -103,8 +104,15 @@ class SimulatedEngine {
     return config_.default_resources;
   }
 
-  bool available() const { return available_; }
-  void set_available(bool on) { available_ = on; }
+  // Availability is the one engine attribute flipped at serving time (by
+  // the REST API and by failure recovery), so it is atomic: planner reads
+  // never race with ON/OFF flips.
+  bool available() const {
+    return available_.load(std::memory_order_acquire);
+  }
+  void set_available(bool on) {
+    available_.store(on, std::memory_order_release);
+  }
 
   void set_infrastructure_factor(double f) {
     config_.infrastructure_factor = f;
@@ -128,7 +136,7 @@ class SimulatedEngine {
 
  private:
   Config config_;
-  bool available_ = true;
+  std::atomic<bool> available_{true};
   std::map<std::string, AlgorithmProfile> profiles_;
 };
 

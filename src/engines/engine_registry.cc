@@ -34,6 +34,7 @@ Status EngineRegistry::SetAvailable(const std::string& name, bool on) {
   SimulatedEngine* engine = Find(name);
   if (engine == nullptr) return Status::NotFound("engine: " + name);
   engine->set_available(on);
+  availability_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef IRES_ENGINES_ENGINE_REGISTRY_H_
 #define IRES_ENGINES_ENGINE_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,8 +30,17 @@ class EngineRegistry {
   std::vector<std::string> Names() const;
 
   /// Marks an engine ON/OFF (the service-availability check of §2.3).
+  /// Safe to call while planners read availability concurrently; each flip
+  /// bumps availability_epoch() so cached plans from before the flip are
+  /// never reused.
   Status SetAvailable(const std::string& name, bool on);
   bool IsAvailable(const std::string& name) const;
+
+  /// Monotonic counter bumped by every SetAvailable; part of the
+  /// plan-cache key.
+  uint64_t availability_epoch() const {
+    return availability_epoch_.load(std::memory_order_acquire);
+  }
 
   DataMovementModel& movement() { return movement_; }
   const DataMovementModel& movement() const { return movement_; }
@@ -39,6 +50,7 @@ class EngineRegistry {
  private:
   std::map<std::string, std::unique_ptr<SimulatedEngine>> engines_;
   DataMovementModel movement_;
+  std::atomic<uint64_t> availability_epoch_{0};
 };
 
 }  // namespace ires

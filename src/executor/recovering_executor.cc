@@ -19,17 +19,35 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
 Result<RecoveryOutcome> RecoveringExecutor::Run(const WorkflowGraph& graph,
                                                 DpPlanner::Options options,
                                                 ReplanStrategy strategy) {
+  RecoveryOutcome outcome =
+      RunFrom(graph, std::move(options), strategy, nullptr);
+  if (!outcome.status.ok()) return outcome.status;
+  return outcome;
+}
+
+RecoveryOutcome RecoveringExecutor::RunFrom(const WorkflowGraph& graph,
+                                            DpPlanner::Options options,
+                                            ReplanStrategy strategy,
+                                            const ExecutionPlan* initial_plan,
+                                            double initial_plan_ms) {
   RecoveryOutcome outcome;
 
   for (int attempt = 0;; ++attempt) {
-    const auto plan_start = std::chrono::steady_clock::now();
-    auto plan = planner_->Plan(graph, options);
-    const double plan_ms = ElapsedMs(plan_start);
-    outcome.total_planning_ms += plan_ms;
-    if (attempt > 0) outcome.replanning_ms += plan_ms;
+    Result<ExecutionPlan> plan = [&]() -> Result<ExecutionPlan> {
+      if (attempt == 0 && initial_plan != nullptr) {
+        outcome.total_planning_ms += initial_plan_ms;
+        return *initial_plan;
+      }
+      const auto plan_start = std::chrono::steady_clock::now();
+      auto planned = planner_->Plan(graph, options);
+      const double plan_ms = ElapsedMs(plan_start);
+      outcome.total_planning_ms += plan_ms;
+      if (attempt > 0) outcome.replanning_ms += plan_ms;
+      return planned;
+    }();
     if (!plan.ok()) {
       outcome.status = plan.status();
-      return outcome.status;
+      return outcome;
     }
 
     ExecutionReport report = enforcer_->Execute(plan.value());
@@ -54,7 +72,9 @@ Result<RecoveryOutcome> RecoveringExecutor::Run(const WorkflowGraph& graph,
     ++outcome.replans;
     if (outcome.replans > max_replans_) {
       outcome.status = report.status;
-      return outcome.status;
+      outcome.final_report = std::move(report);
+      outcome.final_plan = std::move(plan).value();
+      return outcome;
     }
 
     switch (strategy) {

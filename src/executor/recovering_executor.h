@@ -48,6 +48,18 @@ class RecoveringExecutor {
                               DpPlanner::Options options,
                               ReplanStrategy strategy);
 
+  /// Like Run, but the first attempt executes `initial_plan` (when non-null)
+  /// instead of invoking the planner — the plan-cache fast path of the job
+  /// service; `initial_plan_ms` credits the planning time already spent
+  /// producing it. Replans after a failure always go through the planner.
+  /// Unlike Run, the outcome is returned even when the workflow ultimately
+  /// fails: `outcome.status` carries the error and the accumulated
+  /// planning/execution accounting survives.
+  RecoveryOutcome RunFrom(const WorkflowGraph& graph,
+                          DpPlanner::Options options, ReplanStrategy strategy,
+                          const ExecutionPlan* initial_plan,
+                          double initial_plan_ms = 0.0);
+
  private:
   const DpPlanner* planner_;
   Enforcer* enforcer_;

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 namespace ires {
@@ -20,15 +21,56 @@ Result<std::string> ReadFile(const std::filesystem::path& path) {
 
 }  // namespace
 
+OperatorLibrary::OperatorLibrary(const OperatorLibrary& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  materialized_ = other.materialized_;
+  abstract_ = other.abstract_;
+  datasets_ = other.datasets_;
+  algorithm_index_ = other.algorithm_index_;
+  version_.store(other.version_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+}
+
+OperatorLibrary& OperatorLibrary::operator=(const OperatorLibrary& other) {
+  if (this == &other) return *this;
+  OperatorLibrary copy(other);
+  return *this = std::move(copy);
+}
+
+OperatorLibrary::OperatorLibrary(OperatorLibrary&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  materialized_ = std::move(other.materialized_);
+  abstract_ = std::move(other.abstract_);
+  datasets_ = std::move(other.datasets_);
+  algorithm_index_ = std::move(other.algorithm_index_);
+  version_.store(other.version_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+}
+
+OperatorLibrary& OperatorLibrary::operator=(
+    OperatorLibrary&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  materialized_ = std::move(other.materialized_);
+  abstract_ = std::move(other.abstract_);
+  datasets_ = std::move(other.datasets_);
+  algorithm_index_ = std::move(other.algorithm_index_);
+  version_.store(other.version_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  return *this;
+}
+
 Status OperatorLibrary::AddMaterialized(MaterializedOperator op) {
   if (op.name().empty()) {
     return Status::InvalidArgument("materialized operator needs a name");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (materialized_.count(op.name()) > 0) {
     return Status::AlreadyExists("materialized operator: " + op.name());
   }
   algorithm_index_.emplace(op.algorithm(), op.name());
   materialized_.emplace(op.name(), std::move(op));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -36,10 +78,12 @@ Status OperatorLibrary::AddAbstract(AbstractOperator op) {
   if (op.name().empty()) {
     return Status::InvalidArgument("abstract operator needs a name");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (abstract_.count(op.name()) > 0) {
     return Status::AlreadyExists("abstract operator: " + op.name());
   }
   abstract_.emplace(op.name(), std::move(op));
+  BumpVersion();
   return Status::OK();
 }
 
@@ -47,16 +91,19 @@ Status OperatorLibrary::AddDataset(Dataset dataset) {
   if (dataset.name().empty()) {
     return Status::InvalidArgument("dataset needs a name");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (datasets_.count(dataset.name()) > 0) {
     return Status::AlreadyExists("dataset: " + dataset.name());
   }
   datasets_.emplace(dataset.name(), std::move(dataset));
+  BumpVersion();
   return Status::OK();
 }
 
 std::vector<const MaterializedOperator*>
 OperatorLibrary::FindMaterializedOperators(
     const AbstractOperator& abstract) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<const MaterializedOperator*> out;
   const std::string algorithm = abstract.algorithm();
   auto consider = [&](const MaterializedOperator& candidate) {
@@ -78,23 +125,27 @@ OperatorLibrary::FindMaterializedOperators(
 
 const MaterializedOperator* OperatorLibrary::FindMaterializedByName(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = materialized_.find(name);
   return it == materialized_.end() ? nullptr : &it->second;
 }
 
 const AbstractOperator* OperatorLibrary::FindAbstractByName(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = abstract_.find(name);
   return it == abstract_.end() ? nullptr : &it->second;
 }
 
 const Dataset* OperatorLibrary::FindDatasetByName(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : &it->second;
 }
 
 int OperatorLibrary::RemoveByEngine(const std::string& engine) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   int removed = 0;
   for (auto it = materialized_.begin(); it != materialized_.end();) {
     if (it->second.engine() == engine) {
@@ -104,11 +155,30 @@ int OperatorLibrary::RemoveByEngine(const std::string& engine) {
       ++it;
     }
   }
-  if (removed > 0) ReindexMaterialized();
+  if (removed > 0) {
+    ReindexMaterialized();
+    BumpVersion();
+  }
   return removed;
 }
 
+size_t OperatorLibrary::materialized_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return materialized_.size();
+}
+
+size_t OperatorLibrary::abstract_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return abstract_.size();
+}
+
+size_t OperatorLibrary::dataset_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return datasets_.size();
+}
+
 std::vector<std::string> OperatorLibrary::MaterializedNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(materialized_.size());
   for (const auto& [name, op] : materialized_) names.push_back(name);
@@ -165,6 +235,7 @@ Status OperatorLibrary::LoadFromDirectory(const std::string& dir) {
 
 Status OperatorLibrary::SaveToDirectory(const std::string& dir) const {
   namespace fs = std::filesystem;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::error_code ec;
   auto write_file = [](const fs::path& path,
                        const std::string& content) -> Status {

@@ -1,7 +1,10 @@
 #ifndef IRES_OPERATORS_OPERATOR_LIBRARY_H_
 #define IRES_OPERATORS_OPERATOR_LIBRARY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -16,9 +19,23 @@ namespace ires {
 /// platform. Materialized operators are indexed by their highly selective
 /// algorithm attribute so that FindMaterializedOperators only runs the full
 /// O(t) tree match against plausible candidates.
+///
+/// Thread safety: all methods are internally synchronized with a
+/// reader/writer lock, so concurrent job submissions can register artefacts
+/// while the planner reads. Returned pointers stay valid as long as the
+/// named entry is not erased (std::map node stability); RemoveByEngine is
+/// the only eraser and must not race with a planner holding candidate
+/// pointers — the serving layer serializes it behind job draining.
 class OperatorLibrary {
  public:
   OperatorLibrary() = default;
+
+  // Copy/move transfer the registered artefacts but not the lock state;
+  // the source must be quiescent (no concurrent mutation) during the copy.
+  OperatorLibrary(const OperatorLibrary& other);
+  OperatorLibrary& operator=(const OperatorLibrary& other);
+  OperatorLibrary(OperatorLibrary&& other) noexcept;
+  OperatorLibrary& operator=(OperatorLibrary&& other) noexcept;
 
   /// Registers a materialized operator. Names must be unique.
   Status AddMaterialized(MaterializedOperator op);
@@ -43,14 +60,23 @@ class OperatorLibrary {
   /// engine is reported unavailable). Returns the number removed.
   int RemoveByEngine(const std::string& engine);
 
-  size_t materialized_count() const { return materialized_.size(); }
-  size_t abstract_count() const { return abstract_.size(); }
-  size_t dataset_count() const { return datasets_.size(); }
+  size_t materialized_count() const;
+  size_t abstract_count() const;
+  size_t dataset_count() const;
 
   /// Names of all materialized operators, sorted.
   std::vector<std::string> MaterializedNames() const;
 
+  /// Monotonic counter bumped by every successful mutation; part of the
+  /// plan-cache key, so plans computed against an older library version are
+  /// never served after a registration or removal.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
   /// Read-only views over the registered artefacts (for merging/export).
+  /// Not synchronized: only safe while no concurrent mutation can run
+  /// (setup, tests, single-threaded tools).
   const std::map<std::string, MaterializedOperator>& materialized() const {
     return materialized_;
   }
@@ -73,7 +99,10 @@ class OperatorLibrary {
 
  private:
   void ReindexMaterialized();
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> version_{0};
   std::map<std::string, MaterializedOperator> materialized_;
   std::map<std::string, AbstractOperator> abstract_;
   std::map<std::string, Dataset> datasets_;

@@ -1,0 +1,43 @@
+#include "planner/plan_cache.h"
+
+namespace ires {
+
+std::optional<ExecutionPlan> PlanCache::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void PlanCache::Insert(const Key& key, const ExecutionPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  if (entries_.count(key) > 0) return;
+  while (entries_.size() >= capacity_ && !insertion_order_.empty()) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++stats_.evictions;
+  }
+  entries_.emplace(key, plan);
+  insertion_order_.push_back(key);
+  ++stats_.insertions;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace ires

@@ -1,0 +1,71 @@
+#ifndef IRES_PLANNER_PLAN_CACHE_H_
+#define IRES_PLANNER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "planner/execution_plan.h"
+
+namespace ires {
+
+/// Thread-safe cache of DP-planner outputs. Concurrent submissions of the
+/// same workflow under the same policy hit the cache instead of re-running
+/// the O(op·m²·k) dynamic program. Entries are keyed on everything the
+/// planner's answer depends on — the workflow-graph fingerprint, the policy,
+/// and version counters of the operator library, model library and engine
+/// availability — so any registration, model refit or engine ON/OFF flip
+/// naturally invalidates stale plans (their keys stop being produced).
+class PlanCache {
+ public:
+  struct Key {
+    uint64_t graph_fingerprint = 0;
+    std::string policy;          // OptimizationPolicy::ToString()
+    uint64_t library_version = 0;
+    uint64_t model_version = 0;
+    uint64_t engine_epoch = 0;
+
+    bool operator<(const Key& other) const {
+      return std::tie(graph_fingerprint, policy, library_version,
+                      model_version, engine_epoch) <
+             std::tie(other.graph_fingerprint, other.policy,
+                      other.library_version, other.model_version,
+                      other.engine_epoch);
+    }
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Returns a copy of the cached plan for `key`, counting a hit/miss.
+  std::optional<ExecutionPlan> Lookup(const Key& key);
+
+  /// Stores `plan` under `key` (no-op if already present), evicting the
+  /// oldest entry when full.
+  void Insert(const Key& key, const ExecutionPlan& plan);
+
+  void Clear();
+  Stats stats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, ExecutionPlan> entries_;
+  std::deque<Key> insertion_order_;  // FIFO eviction
+  Stats stats_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_PLANNER_PLAN_CACHE_H_

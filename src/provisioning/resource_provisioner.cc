@@ -26,6 +26,7 @@ Resources Decode(const Vector& genes, bool centralized,
 Resources NsgaResourceProvisioner::Advise(const SimulatedEngine& engine,
                                           const OperatorRunRequest& request,
                                           const OptimizationPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
   const bool centralized = engine.kind() == EngineKind::kCentralized;
   const std::vector<std::pair<double, double>> bounds = {
       {1.0, static_cast<double>(limits_.max_containers)},

@@ -1,6 +1,8 @@
 #ifndef IRES_PROVISIONING_RESOURCE_PROVISIONER_H_
 #define IRES_PROVISIONING_RESOURCE_PROVISIONER_H_
 
+#include <mutex>
+
 #include "planner/dp_planner.h"
 #include "provisioning/nsga2.h"
 
@@ -23,6 +25,8 @@ class NsgaResourceProvisioner : public ResourceAdvisor {
   NsgaResourceProvisioner(Limits limits, Nsga2::Options ga)
       : limits_(limits), ga_(ga) {}
 
+  /// Thread-safe: concurrent planners serialize on an internal mutex (the
+  /// GA mutates per-call search state and last_front()).
   Resources Advise(const SimulatedEngine& engine,
                    const OperatorRunRequest& request,
                    const OptimizationPolicy& policy) override;
@@ -42,6 +46,7 @@ class NsgaResourceProvisioner : public ResourceAdvisor {
   void set_time_tolerance(double tolerance) { time_tolerance_ = tolerance; }
 
  private:
+  std::mutex mu_;
   Limits limits_;
   Nsga2::Options ga_;
   double time_tolerance_ = 0.05;

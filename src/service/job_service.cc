@@ -1,0 +1,232 @@
+#include "service/job_service.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace ires {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kPlanning: return "PLANNING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kSucceeded: return "SUCCEEDED";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kSucceeded || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+JobService::JobService(IresServer* server) : JobService(server, Options()) {}
+
+JobService::JobService(IresServer* server, Options options)
+    : server_(server), options_(options) {
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+}
+
+JobService::~JobService() { Shutdown(); }
+
+Result<std::string> JobService::Submit(const WorkflowGraph& graph,
+                                       const std::string& workflow_name,
+                                       OptimizationPolicy policy) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("job service is shutting down");
+    }
+    if (queued_ >= options_.queue_capacity) {
+      ++rejected_;
+      return Status::ResourceExhausted(
+          "admission queue full (" +
+          std::to_string(options_.queue_capacity) + " queued jobs)");
+    }
+    char id[32];
+    std::snprintf(id, sizeof(id), "job-%06llu",
+                  static_cast<unsigned long long>(next_job_number_++));
+    job = std::make_shared<Job>();
+    job->graph = graph;
+    job->record.id = id;
+    job->record.workflow = workflow_name;
+    job->record.policy = policy;
+    job->record.state = JobState::kQueued;
+    job->record.submitted_at = NowSeconds();
+    jobs_.emplace(job->record.id, job);
+    submission_order_.push_back(job->record.id);
+    ++queued_;
+    ++submitted_;
+  }
+  pool_->Submit([this, job] { RunJob(job); });
+  return job->record.id;
+}
+
+void JobService::RunJob(const std::shared_ptr<Job>& job) {
+  OptimizationPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->record.state != JobState::kQueued) return;  // cancelled earlier
+    if (job->cancel_requested || shutting_down_) {
+      job->record.state = JobState::kCancelled;
+      job->record.finished_at = NowSeconds();
+      --queued_;
+      ++cancelled_;
+      idle_.notify_all();
+      return;
+    }
+    job->record.state = JobState::kPlanning;
+    job->record.started_at = NowSeconds();
+    --queued_;
+    ++active_;
+    policy = job->record.policy;
+  }
+
+  auto planned = server_->PlanWorkflowCached(job->graph, policy);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!planned.ok()) {
+      job->record.state = JobState::kFailed;
+      job->record.error = planned.status().ToString();
+      job->record.finished_at = NowSeconds();
+      --active_;
+      ++failed_;
+      idle_.notify_all();
+      return;
+    }
+    const ExecutionPlan& plan = planned.value().plan;
+    job->record.plan_summary = plan.ToString();
+    job->record.plan_steps = static_cast<int>(plan.steps.size());
+    job->record.estimated_seconds = plan.estimated_seconds;
+    job->record.estimated_cost = plan.estimated_cost;
+    job->record.plan_cache_hit = planned.value().cache_hit;
+    // Cancellation window between planning and execution: once the
+    // enforcer starts, the run is not preemptible.
+    if (job->cancel_requested) {
+      job->record.state = JobState::kCancelled;
+      job->record.finished_at = NowSeconds();
+      --active_;
+      ++cancelled_;
+      idle_.notify_all();
+      return;
+    }
+    job->record.state = JobState::kRunning;
+  }
+
+  IresServer::WorkflowRunResult result =
+      server_->ExecutePlanned(job->graph, policy, planned.value());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->record.outcome = std::move(result.recovery);
+    job->record.finished_at = NowSeconds();
+    --active_;
+    if (job->record.outcome.status.ok()) {
+      job->record.state = JobState::kSucceeded;
+      ++succeeded_;
+    } else {
+      job->record.state = JobState::kFailed;
+      job->record.error = job->record.outcome.status.ToString();
+      ++failed_;
+    }
+    idle_.notify_all();
+  }
+}
+
+Result<JobRecord> JobService::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("job: " + id);
+  return it->second->record;
+}
+
+std::vector<JobRecord> JobService::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(submission_order_.size());
+  for (const std::string& id : submission_order_) {
+    out.push_back(jobs_.at(id)->record);
+  }
+  return out;
+}
+
+Status JobService::Cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::NotFound("job: " + id);
+  Job& job = *it->second;
+  if (IsTerminal(job.record.state)) {
+    return Status::FailedPrecondition(
+        "job " + id + " already " + JobStateName(job.record.state));
+  }
+  if (job.record.state == JobState::kQueued) {
+    job.record.state = JobState::kCancelled;
+    job.record.finished_at = NowSeconds();
+    --queued_;
+    ++cancelled_;
+    idle_.notify_all();
+    return Status::OK();
+  }
+  // PLANNING / RUNNING: honoured at the next preemption point.
+  job.cancel_requested = true;
+  return Status::OK();
+}
+
+JobService::Stats JobService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.submitted = submitted_;
+  s.rejected = rejected_;
+  s.succeeded = succeeded_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.queue_depth = queued_;
+  s.running = active_;
+  s.workers = pool_ ? pool_->worker_count() : 0;
+  return s;
+}
+
+bool JobService::WaitForIdle(double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return queued_ == 0 && active_ == 0; });
+}
+
+void JobService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  // Drain the pool: queued tasks observe shutting_down_ and cancel their
+  // jobs; running jobs finish.
+  pool_->Shutdown();
+  // Tasks the pool dropped without running leave their jobs QUEUED — sweep
+  // them to CANCELLED so every record still reaches a terminal state.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, job] : jobs_) {
+    if (job->record.state == JobState::kQueued) {
+      job->record.state = JobState::kCancelled;
+      job->record.finished_at = NowSeconds();
+      --queued_;
+      ++cancelled_;
+    }
+  }
+  idle_.notify_all();
+}
+
+}  // namespace ires

@@ -1,0 +1,162 @@
+#ifndef IRES_SERVICE_JOB_SERVICE_H_
+#define IRES_SERVICE_JOB_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ires_server.h"
+#include "service/thread_pool.h"
+
+namespace ires {
+
+/// Lifecycle of one submitted workflow job:
+///
+///   QUEUED ──► PLANNING ──► RUNNING ──► SUCCEEDED
+///     │            │            │
+///     │(cancel)    │(cancel     └──────► FAILED
+///     ▼            ▼  before execute)
+///  CANCELLED ◄─────┘
+///
+/// Execution itself is not preemptible (the discrete-event enforcer runs a
+/// plan to completion), so a cancel that arrives during RUNNING is
+/// recorded but the job still reaches SUCCEEDED/FAILED.
+enum class JobState {
+  kQueued,
+  kPlanning,
+  kRunning,
+  kSucceeded,
+  kFailed,
+  kCancelled,
+};
+
+const char* JobStateName(JobState state);
+bool IsTerminal(JobState state);
+
+/// Everything the serving layer records about one submission.
+struct JobRecord {
+  std::string id;
+  std::string workflow;          // caller-supplied workflow name
+  OptimizationPolicy policy;
+  JobState state = JobState::kQueued;
+  std::string error;             // terminal failure message, if any
+
+  // Chosen-plan summary (available once PLANNING completes; no re-planning
+  // needed thanks to IresServer::WorkflowRunResult).
+  std::string plan_summary;
+  int plan_steps = 0;
+  double estimated_seconds = 0.0;
+  double estimated_cost = 0.0;
+  bool plan_cache_hit = false;
+
+  // Execution outcome (valid once RUNNING finishes).
+  RecoveryOutcome outcome;
+
+  // Wall-clock timestamps, seconds since the Unix epoch (0 = not yet).
+  double submitted_at = 0.0;
+  double started_at = 0.0;
+  double finished_at = 0.0;
+};
+
+/// The concurrent serving layer: accepts workflow submissions into a
+/// bounded admission queue and drives the plan→execute→refine pipeline on a
+/// fixed-size worker pool. Submissions beyond the queue bound are rejected
+/// with ResourceExhausted (HTTP 429 through the REST mapping) — the
+/// admission-control primitive that lets a long-lived multi-user IReS
+/// deployment shed load instead of collapsing under it.
+class JobService {
+ public:
+  struct Options {
+    int workers = 4;
+    /// Jobs admitted but not yet picked up by a worker. Submissions are
+    /// rejected once this many are waiting.
+    size_t queue_capacity = 64;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;   // accepted submissions
+    uint64_t rejected = 0;    // bounced on a full queue
+    uint64_t succeeded = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    size_t queue_depth = 0;   // currently QUEUED
+    size_t running = 0;       // currently PLANNING or RUNNING
+    int workers = 0;
+  };
+
+  explicit JobService(IresServer* server);
+  JobService(IresServer* server, Options options);
+
+  /// Drains in-flight jobs (queued jobs are cancelled) and joins workers.
+  ~JobService();
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Admits one workflow for asynchronous execution. Returns the job id,
+  /// or ResourceExhausted when the admission queue is full.
+  Result<std::string> Submit(
+      const WorkflowGraph& graph, const std::string& workflow_name,
+      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+
+  /// Snapshot of one job (NotFound for unknown ids).
+  Result<JobRecord> Get(const std::string& id) const;
+
+  /// Snapshots of all jobs, oldest submission first.
+  std::vector<JobRecord> List() const;
+
+  /// Requests cancellation. A QUEUED job transitions to CANCELLED
+  /// immediately; a PLANNING job is cancelled before execution starts; a
+  /// RUNNING job records the request but completes (see the state machine
+  /// above). Terminal jobs return FailedPrecondition.
+  Status Cancel(const std::string& id);
+
+  Stats stats() const;
+
+  /// Blocks until no job is QUEUED/PLANNING/RUNNING or `timeout_seconds`
+  /// elapses; returns true when idle was reached. Test/benchmark helper.
+  bool WaitForIdle(double timeout_seconds) const;
+
+  /// Stops admitting work, cancels queued jobs and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Job {
+    JobRecord record;
+    WorkflowGraph graph;
+    bool cancel_requested = false;
+  };
+
+  void RunJob(const std::shared_ptr<Job>& job);
+
+  IresServer* server_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable idle_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;  // id -> job
+  std::vector<std::string> submission_order_;
+  uint64_t next_job_number_ = 1;
+  size_t queued_ = 0;
+  size_t active_ = 0;  // PLANNING or RUNNING
+  bool shutting_down_ = false;
+
+  // Terminal-state counters (guarded by mu_).
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t succeeded_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t cancelled_ = 0;
+
+  // Last: destroyed first, so workers join before state they use dies.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_SERVICE_JOB_SERVICE_H_

@@ -1,0 +1,61 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+
+namespace ires {
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(1, workers);
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      // A second Shutdown (e.g. explicit call followed by the destructor)
+      // only needs to join whatever is still running.
+    }
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ires

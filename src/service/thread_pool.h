@@ -1,0 +1,53 @@
+#ifndef IRES_SERVICE_THREAD_POOL_H_
+#define IRES_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ires {
+
+/// Fixed-size worker pool backing the job service. Tasks are plain
+/// callables drained FIFO by `workers` threads; admission control (bounded
+/// queues, rejection) is the caller's responsibility — the pool itself
+/// never blocks a submitter.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers);
+
+  /// Joins all workers. Tasks already queued are still drained; Submit
+  /// after (or during) destruction is a caller bug.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Returns false when the
+  /// pool is shutting down (the task is dropped).
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue and joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Tasks queued but not yet picked up by a worker.
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ires
+
+#endif  // IRES_SERVICE_THREAD_POOL_H_

@@ -210,4 +210,31 @@ Result<WorkflowGraph> WorkflowGraph::ParseGraphFile(
   return graph;
 }
 
+uint64_t WorkflowGraph::Fingerprint() const {
+  // FNV-1a over a canonical serialization of the graph structure.
+  uint64_t h = 14695981039346656037ull;
+  auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  auto mix_int = [&](uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte((v >> (8 * i)) & 0xff);
+  };
+  auto mix_string = [&](const std::string& s) {
+    for (char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0);  // terminator so "ab","c" != "a","bc"
+  };
+  mix_int(nodes_.size());
+  for (const Node& node : nodes_) {
+    mix_string(node.name);
+    mix_int(node.kind == NodeKind::kOperator ? 1 : 0);
+    mix_int(node.inputs.size());
+    for (int id : node.inputs) mix_int(static_cast<uint64_t>(id));
+    mix_int(node.outputs.size());
+    for (int id : node.outputs) mix_int(static_cast<uint64_t>(id));
+  }
+  mix_int(static_cast<uint64_t>(target_));
+  return h;
+}
+
 }  // namespace ires

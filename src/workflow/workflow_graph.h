@@ -1,6 +1,7 @@
 #ifndef IRES_WORKFLOW_WORKFLOW_GRAPH_H_
 #define IRES_WORKFLOW_WORKFLOW_GRAPH_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -70,6 +71,14 @@ class WorkflowGraph {
   /// input and one output, every non-source dataset has exactly one
   /// producer, and the target is reachable.
   Status Validate() const;
+
+  /// Stable structural hash over nodes, edges and target — the plan-cache
+  /// key component that identifies "the same workflow submitted again".
+  /// Graphs built by the same sequence of node/edge additions (e.g. parsed
+  /// from the same `graph` file) hash identically; a differing assembly
+  /// order of an equivalent graph may hash differently (a harmless cache
+  /// miss, never a false hit).
+  uint64_t Fingerprint() const;
 
   /// Graphviz rendering of the abstract workflow (datasets as folders,
   /// operators as boxes, the target double-circled) — what the platform's
