@@ -80,6 +80,30 @@ int main() {
   Call(&api, "GET", "/apiv1/jobs");
   Call(&api, "GET", "/apiv1/stats");
 
+  std::printf("\n--- observability surface ---\n");
+  Call(&api, "GET", "/apiv1/healthz");
+  const std::string trace_path = job_path + "/trace";
+  const ires::ApiResponse trace = api.Handle("GET", trace_path);
+  std::printf("GET  %-45s -> %d (%zu bytes of Chrome trace JSON; load in "
+              "chrome://tracing)\n",
+              trace_path.c_str(), trace.code, trace.body.size());
+  const ires::ApiResponse metrics = api.Handle("GET", "/apiv1/metrics");
+  std::printf("GET  %-45s -> %d, Prometheus exposition:\n", "/apiv1/metrics",
+              metrics.code);
+  // Print the job/cache/engine lines; the full text is the scrape payload.
+  size_t pos = 0;
+  while (pos < metrics.body.size()) {
+    size_t end = metrics.body.find('\n', pos);
+    if (end == std::string::npos) end = metrics.body.size();
+    const std::string line = metrics.body.substr(pos, end - pos);
+    if (line.compare(0, 10, "ires_jobs_") == 0 ||
+        line.compare(0, 16, "ires_plan_cache_") == 0 ||
+        line.compare(0, 12, "ires_engine_") == 0) {
+      std::printf("  %s\n", line.c_str());
+    }
+    pos = end + 1;
+  }
+
   std::printf("\n--- failure handling: kill Spark and re-materialize ---\n");
   Call(&api, "PUT", "/apiv1/engines/Spark/availability", "off");
   Call(&api, "POST", "/apiv1/workflows/LineCountWorkflow/materialize");

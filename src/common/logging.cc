@@ -1,12 +1,29 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <thread>
 
 namespace ires {
 
 namespace {
+
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+/// Guards both the sink pointer and the actual emission, so concurrent
+/// Log calls serialize whole lines.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+Logger::Sink& SinkSlot() {
+  static Logger::Sink sink;  // null = default stderr sink
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,6 +34,25 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// `2026-08-07T12:34:56.789Z` — UTC with millisecond precision.
+std::string Iso8601Now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, millis);
+  return buf;
+}
+
 }  // namespace
 
 LogLevel Logger::threshold() {
@@ -27,11 +63,29 @@ void Logger::set_threshold(LogLevel level) {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+std::string Logger::Format(LogLevel level, const std::string& message) {
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  return Iso8601Now() + " [" + LevelName(level) + "] [tid " + tid.str() +
+         "] " + message;
+}
+
 void Logger::Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  const std::string line = Format(level, message);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (SinkSlot()) {
+    SinkSlot()(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace ires

@@ -1,6 +1,7 @@
 #ifndef IRES_COMMON_LOGGING_H_
 #define IRES_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -8,14 +9,31 @@ namespace ires {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Minimal leveled logger. Messages below the global threshold are dropped.
-/// The threshold defaults to kWarning so that library internals stay quiet in
+/// Leveled logger. Messages below the global threshold are dropped. The
+/// threshold defaults to kWarning so that library internals stay quiet in
 /// tests and benches; examples raise it to kInfo for narration.
+///
+/// Each emitted line is fully formatted as
+///   `<ISO-8601 UTC timestamp> [<LEVEL>] [tid <thread id>] <message>`
+/// and handed to the active sink under a mutex, so concurrent worker-pool
+/// logs never interleave mid-line. The default sink writes to stderr;
+/// SetSink lets tests capture output and deployments redirect it.
 class Logger {
  public:
+  /// Receives one fully formatted line (no trailing newline).
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
   static LogLevel threshold();
   static void set_threshold(LogLevel level);
+
+  /// Installs `sink` as the output target; a null sink restores stderr.
+  static void SetSink(Sink sink);
+
   static void Log(LogLevel level, const std::string& message);
+
+  /// The formatted line Log would emit for `message` — exposed so tests
+  /// can assert the format without scraping stderr.
+  static std::string Format(LogLevel level, const std::string& message);
 };
 
 /// Stream-style helper: `IRES_LOG(kInfo) << "planned in " << ms << "ms";`

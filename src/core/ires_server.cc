@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "engines/standard_engines.h"
+#include "executor/trace.h"
 #include "profiling/profiler.h"
 
 namespace ires {
+
+namespace {
+
+/// Bounded-cardinality label for "planner time per DAG size": workflows are
+/// bucketed by node count instead of labelling with the raw size.
+const char* DagSizeBucket(size_t nodes) {
+  if (nodes <= 2) return "1-2";
+  if (nodes <= 4) return "3-4";
+  if (nodes <= 8) return "5-8";
+  if (nodes <= 16) return "9-16";
+  return "17+";
+}
+
+}  // namespace
 
 Result<OperatorRunEstimate> ModelBasedCostEstimator::Estimate(
     const SimulatedEngine& engine, const OperatorRunRequest& request) const {
@@ -66,7 +82,8 @@ IresServer::IresServer(Config config) : config_(config) {
   ga.generations = 30;
   provisioner_ = std::make_unique<NsgaResourceProvisioner>(limits, ga);
   model_estimator_ = std::make_unique<ModelBasedCostEstimator>(&models_);
-  plan_cache_ = std::make_unique<PlanCache>(config.plan_cache_capacity);
+  plan_cache_ =
+      std::make_unique<PlanCache>(config.plan_cache_capacity, &metrics_);
 }
 
 Status IresServer::RegisterArtifact(ArtifactKind kind,
@@ -121,7 +138,8 @@ Result<ExecutionPlan> IresServer::MaterializeWorkflow(
 }
 
 Result<IresServer::PlannedWorkflow> IresServer::PlanWorkflowCached(
-    const WorkflowGraph& graph, OptimizationPolicy policy) {
+    const WorkflowGraph& graph, OptimizationPolicy policy,
+    TraceContext* trace) {
   PlanCache::Key key;
   key.graph_fingerprint = graph.Fingerprint();
   key.policy = policy.ToString();
@@ -130,21 +148,39 @@ Result<IresServer::PlannedWorkflow> IresServer::PlanWorkflowCached(
       config_.use_refined_models ? models_.version() : 0;
   key.engine_epoch = engines_->availability_epoch();
 
-  if (auto cached = plan_cache_->Lookup(key)) {
+  const uint64_t lookup_span =
+      trace ? trace->BeginSpan("plan.cache_lookup", "plan") : 0;
+  auto cached = plan_cache_->Lookup(key);
+  if (trace) {
+    trace->EndSpan(lookup_span,
+                   {{"outcome", cached.has_value() ? "hit" : "miss"}});
+  }
+  if (cached) {
     PlannedWorkflow out;
     out.plan = std::move(*cached);
     out.cache_hit = true;
     return out;
   }
 
+  const uint64_t dp_span = trace ? trace->BeginSpan("plan.dp", "plan") : 0;
   const auto start = std::chrono::steady_clock::now();
   auto plan = planner_->Plan(graph, MakePlannerOptions(policy));
+  const double planning_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+  metrics_
+      .GetHistogram("ires_planner_plan_seconds",
+                    "DP planning latency, labelled by workflow size bucket.",
+                    {{"dag_nodes", DagSizeBucket(graph.size())}})
+      ->Observe(planning_ms / 1000.0);
+  if (trace) {
+    trace->EndSpan(dp_span, {{"dag_nodes", std::to_string(graph.size())},
+                             {"ok", plan.ok() ? "true" : "false"}});
+  }
   if (!plan.ok()) return plan.status();
   PlannedWorkflow out;
   out.plan = std::move(plan).value();
-  out.planning_ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+  out.planning_ms = planning_ms;
   // The key was captured before planning, so a library/model mutation that
   // lands mid-DP leaves this plan filed under the old versions — future
   // lookups (which read the new versions) can never be served the stale
@@ -172,19 +208,20 @@ Result<RecoveryOutcome> IresServer::ExecuteWorkflow(
 }
 
 IresServer::WorkflowRunResult IresServer::RunWorkflow(
-    const WorkflowGraph& graph, OptimizationPolicy policy) {
-  auto planned = PlanWorkflowCached(graph, policy);
+    const WorkflowGraph& graph, OptimizationPolicy policy,
+    TraceContext* trace) {
+  auto planned = PlanWorkflowCached(graph, policy, trace);
   if (!planned.ok()) {
     WorkflowRunResult result;
     result.recovery.status = planned.status();
     return result;
   }
-  return ExecutePlanned(graph, policy, planned.value());
+  return ExecutePlanned(graph, policy, planned.value(), trace);
 }
 
 IresServer::WorkflowRunResult IresServer::ExecutePlanned(
     const WorkflowGraph& graph, OptimizationPolicy policy,
-    const PlannedWorkflow& planned) {
+    const PlannedWorkflow& planned, TraceContext* trace) {
   WorkflowRunResult result;
   result.plan = planned.plan;
   result.plan_cache_hit = planned.cache_hit;
@@ -200,15 +237,59 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
   Enforcer enforcer(engines_.get(), &cluster,
                     config_.seed + 0x9e3779b97f4a7c15ull * (run_id + 1));
   RecoveringExecutor recovering(planner_.get(), &enforcer, engines_.get());
+  const uint64_t exec_span =
+      trace ? trace->BeginSpan("job.execute", "job") : 0;
   result.recovery =
       recovering.RunFrom(graph, MakePlannerOptions(policy),
                          ReplanStrategy::kIresReplan, &planned.plan,
                          planned.planning_ms);
+  if (trace) {
+    char sim[32];
+    std::snprintf(sim, sizeof(sim), "%.3f",
+                  result.recovery.total_execution_seconds);
+    trace->EndSpan(exec_span,
+                   {{"simulatedSeconds", sim},
+                    {"replans", std::to_string(result.recovery.replans)},
+                    {"ok", result.recovery.status.ok() ? "true" : "false"}});
+    AddExecutionSpans(result.recovery.final_plan,
+                      result.recovery.final_report, trace);
+  }
+  RecordExecutionMetrics(result.recovery.final_plan,
+                         result.recovery.final_report);
   if (result.recovery.status.ok()) {
+    const uint64_t refine_span =
+        trace ? trace->BeginSpan("model.refine", "model") : 0;
     RefineFromReport(result.recovery.final_plan,
                      result.recovery.final_report);
+    if (trace) trace->EndSpan(refine_span);
   }
   return result;
+}
+
+void IresServer::RecordExecutionMetrics(const ExecutionPlan& plan,
+                                        const ExecutionReport& report) {
+  // Per-engine accounting over every step that actually ran, successful or
+  // not — failed steps still consumed simulated time on their engine.
+  for (const PlanStep& step : plan.steps) {
+    if (step.id < 0 || step.id >= static_cast<int>(report.steps.size())) {
+      continue;
+    }
+    const StepResult& result = report.steps[step.id];
+    if (result.step_id < 0) continue;
+    const char* kind =
+        step.kind == PlanStep::Kind::kMove ? "move" : "operator";
+    metrics_
+        .GetCounter("ires_engine_steps_total",
+                    "Executed plan steps by engine and step kind.",
+                    {{"engine", step.engine}, {"kind", kind}})
+        ->Increment();
+    metrics_
+        .GetCounter("ires_engine_sim_milliseconds_total",
+                    "Simulated execution time by engine, in milliseconds.",
+                    {{"engine", step.engine}})
+        ->Increment(static_cast<uint64_t>(
+            (result.finish_seconds - result.start_seconds) * 1000.0));
+  }
 }
 
 OnlineEstimator* IresServer::estimator(const std::string& algorithm,
@@ -235,9 +316,22 @@ void IresServer::RefineFromReport(const ExecutionPlan& plan,
       output_bytes += out.bytes;
       output_records += out.records;
     }
-    models_.ObserveRun(step.algorithm, step.engine, request,
-                       result.finish_seconds - result.start_seconds,
-                       output_bytes, output_records);
+    const double error =
+        models_.ObserveRun(step.algorithm, step.engine, request,
+                           result.finish_seconds - result.start_seconds,
+                           output_bytes, output_records);
+    metrics_
+        .GetCounter("ires_model_refinements_total",
+                    "Model-refinement updates by engine.",
+                    {{"engine", step.engine}})
+        ->Increment();
+    metrics_
+        .GetHistogram(
+            "ires_model_refine_relative_error",
+            "Pre-absorption relative error of the exec-time estimator.",
+            {},
+            {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0})
+        ->Observe(error);
   }
 }
 

@@ -18,6 +18,8 @@
 #include "planner/plan_cache.h"
 #include "profiling/profiler.h"
 #include "provisioning/resource_provisioner.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_context.h"
 #include "workflow/workflow_graph.h"
 
 namespace ires {
@@ -123,9 +125,12 @@ class IresServer {
 
   /// Plans under `policy` through the plan cache, keyed on the graph
   /// fingerprint, the policy, and the operator-library / model-library /
-  /// engine-availability versions. Thread-safe.
+  /// engine-availability versions. Thread-safe. When `trace` is non-null,
+  /// records "plan.cache_lookup" and "plan.dp" spans and feeds the planner
+  /// latency histogram.
   Result<PlannedWorkflow> PlanWorkflowCached(const WorkflowGraph& graph,
-                                             OptimizationPolicy policy);
+                                             OptimizationPolicy policy,
+                                             TraceContext* trace = nullptr);
 
   // ---- Executor layer -----------------------------------------------------
   /// Plans + executes with monitoring and IResReplan recovery; feeds every
@@ -154,13 +159,17 @@ class IresServer {
   /// failures.
   WorkflowRunResult RunWorkflow(
       const WorkflowGraph& graph,
-      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime(),
+      TraceContext* trace = nullptr);
 
   /// Executes `planned` (obtained from PlanWorkflowCached) without
-  /// re-planning the first attempt. Thread-safe; see RunWorkflow.
+  /// re-planning the first attempt. Thread-safe; see RunWorkflow. When
+  /// `trace` is non-null, records the "job.execute" wall span, per-step
+  /// simulated-time spans and the "model.refine" span.
   WorkflowRunResult ExecutePlanned(const WorkflowGraph& graph,
                                    OptimizationPolicy policy,
-                                   const PlannedWorkflow& planned);
+                                   const PlannedWorkflow& planned,
+                                   TraceContext* trace = nullptr);
 
   // ---- Access to the wired components (experiments drive them directly). --
   OperatorLibrary& library() { return library_; }
@@ -172,6 +181,11 @@ class IresServer {
   NsgaResourceProvisioner& provisioner() { return *provisioner_; }
   PlanCache& plan_cache() { return *plan_cache_; }
   const Config& config() const { return config_; }
+
+  /// The server-wide metric catalogue: every layer (plan cache, planner,
+  /// job service, REST surface, model refinement) registers its
+  /// instruments here, and GET /apiv1/metrics renders it.
+  MetricsRegistry& metrics() { return metrics_; }
 
   /// The refined execution-time estimator for one (algorithm, engine)
   /// pair, created on first use.
@@ -194,8 +208,12 @@ class IresServer {
   DpPlanner::Options MakePlannerOptions(const OptimizationPolicy& policy);
   void RefineFromReport(const ExecutionPlan& plan,
                         const ExecutionReport& report);
+  void RecordExecutionMetrics(const ExecutionPlan& plan,
+                              const ExecutionReport& report);
 
   Config config_;
+  /// Declared before every component that registers instruments in it.
+  MetricsRegistry metrics_;
   OperatorLibrary library_;
   std::unique_ptr<EngineRegistry> engines_;
   std::unique_ptr<ClusterSimulator> cluster_;

@@ -45,20 +45,22 @@ const ModelLibrary::OperatorModels* ModelLibrary::Find(
   return it == models_.end() ? nullptr : it->second.get();
 }
 
-void ModelLibrary::ObserveRun(const std::string& algorithm,
-                              const std::string& engine,
-                              const OperatorRunRequest& request,
-                              double actual_seconds, double output_bytes,
-                              double output_records) {
+double ModelLibrary::ObserveRun(const std::string& algorithm,
+                                const std::string& engine,
+                                const OperatorRunRequest& request,
+                                double actual_seconds, double output_bytes,
+                                double output_records) {
   OperatorModels* models = Get(algorithm, engine);
   const Vector features = Profiler::FeatureVector(request);
+  double exec_time_error = 0.0;
   {
     std::lock_guard<std::mutex> lock(models->mu);
-    models->exec_time.Observe(features, actual_seconds);
+    exec_time_error = models->exec_time.Observe(features, actual_seconds);
     models->output_bytes.Observe(features, output_bytes);
     models->output_records.Observe(features, output_records);
   }
   version_.fetch_add(1, std::memory_order_acq_rel);
+  return exec_time_error;
 }
 
 size_t ModelLibrary::size() const {

@@ -47,10 +47,12 @@ class ModelLibrary {
                              const std::string& engine) const;
 
   /// Feeds one observed run into all metric estimators (serialized per
-  /// pair) and bumps version().
-  void ObserveRun(const std::string& algorithm, const std::string& engine,
-                  const OperatorRunRequest& request, double actual_seconds,
-                  double output_bytes, double output_records);
+  /// pair) and bumps version(). Returns the exec-time estimator's
+  /// pre-absorption relative error — the refinement-error signal the
+  /// telemetry layer tracks per (algorithm, engine).
+  double ObserveRun(const std::string& algorithm, const std::string& engine,
+                    const OperatorRunRequest& request, double actual_seconds,
+                    double output_bytes, double output_records);
 
   size_t size() const;
 

@@ -1,5 +1,6 @@
 #include "core/rest_api.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/strings.h"
@@ -73,19 +74,21 @@ std::string JsonStringArray(const std::vector<std::string>& items) {
 }
 
 std::string JobRecordJson(const JobRecord& record, bool include_plan) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "\"state\":\"%s\",\"planSteps\":%d,\"estimatedSeconds\":%.3f,"
       "\"estimatedCost\":%.1f,\"planCacheHit\":%s,"
       "\"executionSeconds\":%.3f,\"planningMs\":%.3f,\"replans\":%d,"
-      "\"submittedAt\":%.3f,\"startedAt\":%.3f,\"finishedAt\":%.3f",
+      "\"submittedAt\":%.3f,\"startedAt\":%.3f,\"finishedAt\":%.3f,"
+      "\"queueSeconds\":%.6f,\"planSeconds\":%.6f,\"execWallSeconds\":%.6f",
       JobStateName(record.state), record.plan_steps,
       record.estimated_seconds, record.estimated_cost,
       record.plan_cache_hit ? "true" : "false",
       record.outcome.total_execution_seconds,
       record.outcome.total_planning_ms, record.outcome.replans,
-      record.submitted_at, record.started_at, record.finished_at);
+      record.submitted_at, record.started_at, record.finished_at,
+      record.queue_seconds, record.plan_seconds, record.exec_wall_seconds);
   std::string out = "{\"id\":\"" + JsonEscape(record.id) +
                     "\",\"workflow\":\"" + JsonEscape(record.workflow) +
                     "\",\"policy\":\"" + JsonEscape(record.policy.ToString()) +
@@ -98,6 +101,19 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
   }
   out += "}";
   return out;
+}
+
+/// Metric-label form of a request path: resource names stay, per-entity
+/// segments become {name}/{id} so route cardinality is bounded by the API
+/// surface, not by traffic.
+std::string NormalizeRoute(const std::vector<std::string>& parts) {
+  if (parts.size() < 2 || parts[0] != "apiv1") return "unknown";
+  std::string route = "/apiv1/" + parts[1];
+  if (parts.size() >= 3) {
+    route += parts[1] == "jobs" ? "/{id}" : "/{name}";
+  }
+  if (parts.size() >= 4) route += "/" + parts[3];
+  return route;
 }
 
 }  // namespace
@@ -122,6 +138,34 @@ ApiResponse RestApi::Handle(const std::string& method,
     query = path.substr(q + 1);
   }
   std::vector<std::string> parts = SplitAndTrim(route, '/');
+
+  const auto start = std::chrono::steady_clock::now();
+  ApiResponse response = Dispatch(method, parts, query, body, path);
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  MetricsRegistry& metrics = server_->metrics();
+  const std::string normalized = NormalizeRoute(parts);
+  metrics
+      .GetHistogram("ires_http_request_seconds",
+                    "REST request latency by method and normalized route.",
+                    {{"method", method}, {"route", normalized}})
+      ->Observe(seconds);
+  metrics
+      .GetCounter("ires_http_requests_total",
+                  "REST requests by method, normalized route and status.",
+                  {{"method", method},
+                   {"route", normalized},
+                   {"code", std::to_string(response.code)}})
+      ->Increment();
+  return response;
+}
+
+ApiResponse RestApi::Dispatch(const std::string& method,
+                              const std::vector<std::string>& parts,
+                              const std::string& query,
+                              const std::string& body,
+                              const std::string& path) {
   if (parts.size() < 2 || parts[0] != "apiv1") {
     return NotFoundError("unknown route: " + path);
   }
@@ -138,7 +182,33 @@ ApiResponse RestApi::Handle(const std::string& method,
   if (resource == "stats" && method == "GET" && parts.size() == 2) {
     return HandleStats();
   }
+  if (resource == "metrics" && method == "GET" && parts.size() == 2) {
+    return {200, server_->metrics().RenderPrometheus()};
+  }
+  if (resource == "healthz" && method == "GET" && parts.size() == 2) {
+    return HandleHealthz();
+  }
   return NotFoundError("unknown resource: " + resource);
+}
+
+ApiResponse RestApi::HandleHealthz() {
+  const JobService::Stats stats = jobs_->stats();
+  const size_t capacity = jobs_->options().queue_capacity;
+  const double saturation =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(stats.queue_depth) /
+                          static_cast<double>(capacity);
+  const bool saturated = capacity > 0 && stats.queue_depth >= capacity;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"status\":\"%s\",\"queueDepth\":%zu,"
+                "\"queueCapacity\":%zu,\"running\":%zu,\"workers\":%d,"
+                "\"saturation\":%.3f}",
+                saturated ? "saturated" : "ok", stats.queue_depth, capacity,
+                stats.running, stats.workers, saturation);
+  // A saturated admission queue is the load-shedding signal: health probes
+  // get 503 so load balancers drain this replica before submissions bounce.
+  return {saturated ? 503 : 200, buf};
 }
 
 ApiResponse RestApi::HandleEngines(const std::string& method,
@@ -325,6 +395,15 @@ ApiResponse RestApi::HandleJobs(const std::string& method,
     auto record = jobs_->Get(parts[2]);
     if (!record.ok()) return FromStatus(record.status());
     return {200, JobRecordJson(record.value(), /*include_plan=*/true)};
+  }
+  if (method == "GET" && parts.size() == 4 && parts[3] == "trace") {
+    auto record = jobs_->Get(parts[2]);
+    if (!record.ok()) return FromStatus(record.status());
+    if (!record.value().trace) {
+      return ErrorEnvelope(StatusCode::kFailedPrecondition,
+                           "job has no trace: " + parts[2]);
+    }
+    return {200, record.value().trace->ToChromeTraceJson()};
   }
   if (method == "POST" && parts.size() == 4 && parts[3] == "cancel") {
     return FromStatus(jobs_->Cancel(parts[2]));

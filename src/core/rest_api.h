@@ -44,8 +44,16 @@ struct ApiResponse {
 ///                                               submit; 202 + {"jobId":...}
 ///   GET  /apiv1/jobs                            list job summaries
 ///   GET  /apiv1/jobs/{id}                       one job record
+///   GET  /apiv1/jobs/{id}/trace                 Chrome trace-event JSON
 ///   POST /apiv1/jobs/{id}/cancel                cancel a queued/running job
 ///   GET  /apiv1/stats                           serving + plan-cache counters
+///   GET  /apiv1/metrics                         Prometheus text exposition
+///   GET  /apiv1/healthz                         liveness + queue saturation
+///
+/// Every request is timed into `ires_http_request_seconds{method,route}`
+/// and counted in `ires_http_requests_total{method,route,code}`, with
+/// `route` normalized ({name}/{id} placeholders) to keep label cardinality
+/// bounded.
 ///
 /// Error envelope: every non-2xx response body is
 ///   {"error":{"code":"<StatusCode name>","message":"<detail>"}}
@@ -71,6 +79,10 @@ class RestApi {
                      const std::string& body = "");
 
  private:
+  ApiResponse Dispatch(const std::string& method,
+                       const std::vector<std::string>& parts,
+                       const std::string& query, const std::string& body,
+                       const std::string& path);
   ApiResponse HandleEngines(const std::string& method,
                             const std::vector<std::string>& parts,
                             const std::string& body);
@@ -84,6 +96,7 @@ class RestApi {
   ApiResponse HandleJobs(const std::string& method,
                          const std::vector<std::string>& parts);
   ApiResponse HandleStats();
+  ApiResponse HandleHealthz();
 
   IresServer* server_;
   std::unique_ptr<JobService> owned_jobs_;

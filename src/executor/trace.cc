@@ -36,6 +36,25 @@ std::string ExecutionTraceJson(const ExecutionPlan& plan,
   return out;
 }
 
+void AddExecutionSpans(const ExecutionPlan& plan,
+                       const ExecutionReport& report, TraceContext* trace) {
+  if (trace == nullptr) return;
+  for (const PlanStep& step : plan.steps) {
+    const StepResult& result = report.steps[step.id];
+    if (result.step_id < 0) continue;  // never started
+    char cost[32];
+    std::snprintf(cost, sizeof(cost), "%.1f", result.cost);
+    trace->AddSpan(
+        step.name,
+        step.kind == PlanStep::Kind::kMove ? "move" : "step",
+        TraceContext::kSimTimeline, result.start_seconds * 1e6,
+        (result.finish_seconds - result.start_seconds) * 1e6,
+        {{"engine", step.engine},
+         {"cost", cost},
+         {"status", result.status.ok() ? "ok" : result.status.ToString()}});
+  }
+}
+
 std::string ExecutionTraceCsv(const ExecutionPlan& plan,
                               const ExecutionReport& report) {
   std::string out = "step,name,engine,kind,start,finish,cost,ok\n";

@@ -5,6 +5,7 @@
 
 #include "executor/enforcer.h"
 #include "planner/execution_plan.h"
+#include "telemetry/trace_context.h"
 
 namespace ires {
 
@@ -18,6 +19,13 @@ std::string ExecutionTraceJson(const ExecutionPlan& plan,
 /// for spreadsheet-side analysis.
 std::string ExecutionTraceCsv(const ExecutionPlan& plan,
                               const ExecutionReport& report);
+
+/// The same per-step Gantt, recorded as spans on `trace`'s simulated-time
+/// timeline: one span per executed step (category "step", or "move" for
+/// data movement) carrying engine/cost/status args. This is how the
+/// serving layer folds the execution report into a job's Chrome trace.
+void AddExecutionSpans(const ExecutionPlan& plan,
+                       const ExecutionReport& report, TraceContext* trace);
 
 }  // namespace ires
 

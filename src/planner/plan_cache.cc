@@ -2,14 +2,33 @@
 
 namespace ires {
 
+PlanCache::PlanCache(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  const std::string help = "Plan-cache events by outcome.";
+  hits_ = metrics->GetCounter("ires_plan_cache_events_total", help,
+                              {{"event", "hit"}});
+  misses_ = metrics->GetCounter("ires_plan_cache_events_total", help,
+                                {{"event", "miss"}});
+  insertions_ = metrics->GetCounter("ires_plan_cache_events_total", help,
+                                    {{"event", "insert"}});
+  evictions_ = metrics->GetCounter("ires_plan_cache_events_total", help,
+                                   {{"event", "evict"}});
+  entries_gauge_ = metrics->GetGauge("ires_plan_cache_entries",
+                                     "Plans currently cached.");
+}
+
 std::optional<ExecutionPlan> PlanCache::Lookup(const Key& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_->Increment();
     return std::nullopt;
   }
-  ++stats_.hits;
+  hits_->Increment();
   return it->second;
 }
 
@@ -20,22 +39,28 @@ void PlanCache::Insert(const Key& key, const ExecutionPlan& plan) {
   while (entries_.size() >= capacity_ && !insertion_order_.empty()) {
     entries_.erase(insertion_order_.front());
     insertion_order_.pop_front();
-    ++stats_.evictions;
+    evictions_->Increment();
   }
   entries_.emplace(key, plan);
   insertion_order_.push_back(key);
-  ++stats_.insertions;
+  insertions_->Increment();
+  entries_gauge_->Set(static_cast<double>(entries_.size()));
 }
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   insertion_order_.clear();
+  entries_gauge_->Set(0.0);
 }
 
 PlanCache::Stats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
+  Stats out;
+  out.hits = hits_->Value();
+  out.misses = misses_->Value();
+  out.insertions = insertions_->Value();
+  out.evictions = evictions_->Value();
   out.entries = entries_.size();
   return out;
 }

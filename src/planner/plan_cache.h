@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
 
 #include "planner/execution_plan.h"
+#include "telemetry/metrics_registry.h"
 
 namespace ires {
 
@@ -20,6 +22,11 @@ namespace ires {
 /// and version counters of the operator library, model library and engine
 /// availability — so any registration, model refit or engine ON/OFF flip
 /// naturally invalidates stale plans (their keys stop being produced).
+///
+/// Hit/miss/insertion/eviction accounting lives on `ires_plan_cache_*`
+/// counters in a MetricsRegistry (the server's when one is supplied, a
+/// private one otherwise); stats() is a thin read over those counters, so
+/// the REST stats route and /apiv1/metrics report from one source.
 class PlanCache {
  public:
   struct Key {
@@ -46,7 +53,11 @@ class PlanCache {
     size_t entries = 0;
   };
 
-  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+  /// When `metrics` is null the cache keeps its counters in a private
+  /// registry (standalone/test use); the server passes its own so the
+  /// counters surface on /apiv1/metrics.
+  explicit PlanCache(size_t capacity = 128,
+                     MetricsRegistry* metrics = nullptr);
 
   /// Returns a copy of the cached plan for `key`, counting a hit/miss.
   std::optional<ExecutionPlan> Lookup(const Key& key);
@@ -60,10 +71,15 @@ class PlanCache {
 
  private:
   const size_t capacity_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // fallback registry
+  Counter* hits_;
+  Counter* misses_;
+  Counter* insertions_;
+  Counter* evictions_;
+  Gauge* entries_gauge_;
   mutable std::mutex mu_;
   std::map<Key, ExecutionPlan> entries_;
   std::deque<Key> insertion_order_;  // FIFO eviction
-  Stats stats_;
 };
 
 }  // namespace ires

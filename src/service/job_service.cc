@@ -36,7 +36,29 @@ JobService::JobService(IresServer* server) : JobService(server, Options()) {}
 
 JobService::JobService(IresServer* server, Options options)
     : server_(server), options_(options) {
-  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  MetricsRegistry& metrics = server_->metrics();
+  const std::string help = "Terminal job outcomes plus admission events.";
+  submitted_total_ =
+      metrics.GetCounter("ires_jobs_total", help, {{"event", "submitted"}});
+  rejected_total_ =
+      metrics.GetCounter("ires_jobs_total", help, {{"event", "rejected"}});
+  succeeded_total_ =
+      metrics.GetCounter("ires_jobs_total", help, {{"event", "succeeded"}});
+  failed_total_ =
+      metrics.GetCounter("ires_jobs_total", help, {{"event", "failed"}});
+  cancelled_total_ =
+      metrics.GetCounter("ires_jobs_total", help, {{"event", "cancelled"}});
+  queued_gauge_ = metrics.GetGauge("ires_jobs_queued",
+                                   "Jobs admitted and awaiting a worker.");
+  active_gauge_ = metrics.GetGauge("ires_jobs_active",
+                                   "Jobs currently PLANNING or RUNNING.");
+  queue_wait_seconds_ = metrics.GetHistogram(
+      "ires_job_queue_wait_seconds",
+      "Wall-clock wait between admission and worker pickup.");
+  job_duration_seconds_ = metrics.GetHistogram(
+      "ires_job_duration_seconds",
+      "Wall-clock submission-to-terminal latency per job.");
+  pool_ = std::make_unique<ThreadPool>(options_.workers, &metrics);
 }
 
 JobService::~JobService() { Shutdown(); }
@@ -51,7 +73,7 @@ Result<std::string> JobService::Submit(const WorkflowGraph& graph,
       return Status::FailedPrecondition("job service is shutting down");
     }
     if (queued_ >= options_.queue_capacity) {
-      ++rejected_;
+      rejected_total_->Increment();
       return Status::ResourceExhausted(
           "admission queue full (" +
           std::to_string(options_.queue_capacity) + " queued jobs)");
@@ -66,49 +88,88 @@ Result<std::string> JobService::Submit(const WorkflowGraph& graph,
     job->record.policy = policy;
     job->record.state = JobState::kQueued;
     job->record.submitted_at = NowSeconds();
+    job->record.trace = std::make_shared<TraceContext>(job->record.id);
+    job->queue_span =
+        job->record.trace->BeginSpan("job.queue_wait", "job");
     jobs_.emplace(job->record.id, job);
     submission_order_.push_back(job->record.id);
     ++queued_;
-    ++submitted_;
+    queued_gauge_->Set(static_cast<double>(queued_));
+    submitted_total_->Increment();
   }
   pool_->Submit([this, job] { RunJob(job); });
   return job->record.id;
 }
 
+void JobService::FinalizeLocked(Job* job) {
+  job->record.finished_at = NowSeconds();
+  switch (job->record.state) {
+    case JobState::kSucceeded: succeeded_total_->Increment(); break;
+    case JobState::kFailed: failed_total_->Increment(); break;
+    case JobState::kCancelled: cancelled_total_->Increment(); break;
+    default: break;
+  }
+  // A job cancelled before pickup never measured its queue wait — the
+  // whole lifetime *was* the queue wait.
+  if (job->record.queue_seconds == 0.0 && job->record.started_at == 0.0) {
+    job->record.queue_seconds =
+        job->record.finished_at - job->record.submitted_at;
+    job->record.trace->EndSpan(
+        job->queue_span, {{"outcome", JobStateName(job->record.state)}});
+  }
+  job_duration_seconds_->Observe(job->record.finished_at -
+                                 job->record.submitted_at);
+  idle_.notify_all();
+}
+
 void JobService::RunJob(const std::shared_ptr<Job>& job) {
   OptimizationPolicy policy;
+  TraceContext* trace = job->record.trace.get();
+  uint64_t plan_span = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (job->record.state != JobState::kQueued) return;  // cancelled earlier
     if (job->cancel_requested || shutting_down_) {
       job->record.state = JobState::kCancelled;
-      job->record.finished_at = NowSeconds();
       --queued_;
-      ++cancelled_;
-      idle_.notify_all();
+      queued_gauge_->Set(static_cast<double>(queued_));
+      FinalizeLocked(job.get());
       return;
     }
     job->record.state = JobState::kPlanning;
     job->record.started_at = NowSeconds();
+    job->record.queue_seconds =
+        job->record.started_at - job->record.submitted_at;
+    queue_wait_seconds_->Observe(job->record.queue_seconds);
+    trace->EndSpan(job->queue_span, {{"outcome", "picked_up"}});
+    plan_span = trace->BeginSpan("job.plan", "job");
     --queued_;
     ++active_;
+    queued_gauge_->Set(static_cast<double>(queued_));
+    active_gauge_->Set(static_cast<double>(active_));
     policy = job->record.policy;
   }
 
-  auto planned = server_->PlanWorkflowCached(job->graph, policy);
+  auto planned = server_->PlanWorkflowCached(job->graph, policy, trace);
 
+  double exec_started_at = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    job->record.plan_seconds = NowSeconds() - job->record.started_at;
     if (!planned.ok()) {
+      trace->EndSpan(plan_span, {{"ok", "false"}});
       job->record.state = JobState::kFailed;
       job->record.error = planned.status().ToString();
-      job->record.finished_at = NowSeconds();
       --active_;
-      ++failed_;
-      idle_.notify_all();
+      active_gauge_->Set(static_cast<double>(active_));
+      FinalizeLocked(job.get());
       return;
     }
     const ExecutionPlan& plan = planned.value().plan;
+    trace->EndSpan(plan_span,
+                   {{"ok", "true"},
+                    {"cache", planned.value().cache_hit ? "hit" : "miss"},
+                    {"steps", std::to_string(plan.steps.size())}});
     job->record.plan_summary = plan.ToString();
     job->record.plan_steps = static_cast<int>(plan.steps.size());
     job->record.estimated_seconds = plan.estimated_seconds;
@@ -118,32 +179,31 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
     // enforcer starts, the run is not preemptible.
     if (job->cancel_requested) {
       job->record.state = JobState::kCancelled;
-      job->record.finished_at = NowSeconds();
       --active_;
-      ++cancelled_;
-      idle_.notify_all();
+      active_gauge_->Set(static_cast<double>(active_));
+      FinalizeLocked(job.get());
       return;
     }
     job->record.state = JobState::kRunning;
+    exec_started_at = NowSeconds();
   }
 
   IresServer::WorkflowRunResult result =
-      server_->ExecutePlanned(job->graph, policy, planned.value());
+      server_->ExecutePlanned(job->graph, policy, planned.value(), trace);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->record.outcome = std::move(result.recovery);
-    job->record.finished_at = NowSeconds();
+    job->record.exec_wall_seconds = NowSeconds() - exec_started_at;
     --active_;
+    active_gauge_->Set(static_cast<double>(active_));
     if (job->record.outcome.status.ok()) {
       job->record.state = JobState::kSucceeded;
-      ++succeeded_;
     } else {
       job->record.state = JobState::kFailed;
       job->record.error = job->record.outcome.status.ToString();
-      ++failed_;
     }
-    idle_.notify_all();
+    FinalizeLocked(job.get());
   }
 }
 
@@ -175,10 +235,9 @@ Status JobService::Cancel(const std::string& id) {
   }
   if (job.record.state == JobState::kQueued) {
     job.record.state = JobState::kCancelled;
-    job.record.finished_at = NowSeconds();
     --queued_;
-    ++cancelled_;
-    idle_.notify_all();
+    queued_gauge_->Set(static_cast<double>(queued_));
+    FinalizeLocked(&job);
     return Status::OK();
   }
   // PLANNING / RUNNING: honoured at the next preemption point.
@@ -189,11 +248,11 @@ Status JobService::Cancel(const std::string& id) {
 JobService::Stats JobService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.submitted = submitted_;
-  s.rejected = rejected_;
-  s.succeeded = succeeded_;
-  s.failed = failed_;
-  s.cancelled = cancelled_;
+  s.submitted = submitted_total_->Value();
+  s.rejected = rejected_total_->Value();
+  s.succeeded = succeeded_total_->Value();
+  s.failed = failed_total_->Value();
+  s.cancelled = cancelled_total_->Value();
   s.queue_depth = queued_;
   s.running = active_;
   s.workers = pool_ ? pool_->worker_count() : 0;
@@ -221,11 +280,11 @@ void JobService::Shutdown() {
   for (auto& [id, job] : jobs_) {
     if (job->record.state == JobState::kQueued) {
       job->record.state = JobState::kCancelled;
-      job->record.finished_at = NowSeconds();
       --queued_;
-      ++cancelled_;
+      FinalizeLocked(job.get());
     }
   }
+  queued_gauge_->Set(static_cast<double>(queued_));
   idle_.notify_all();
 }
 

@@ -11,6 +11,8 @@
 
 #include "core/ires_server.h"
 #include "service/thread_pool.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_context.h"
 
 namespace ires {
 
@@ -60,6 +62,20 @@ struct JobRecord {
   double submitted_at = 0.0;
   double started_at = 0.0;
   double finished_at = 0.0;
+
+  // Wall-clock phase durations (seconds). Every terminal job carries the
+  // durations of the phases it reached — including FAILED and CANCELLED
+  // jobs, whose latency would otherwise vanish from the record: a job
+  // cancelled while queued still reports its queue wait, a job that failed
+  // planning still reports queue + planning time.
+  double queue_seconds = 0.0;
+  double plan_seconds = 0.0;
+  double exec_wall_seconds = 0.0;
+
+  /// Span trace for this job, created at submission and shared with the
+  /// REST layer (GET /apiv1/jobs/{id}/trace renders it as Chrome
+  /// trace-event JSON). Never null for jobs created through Submit.
+  std::shared_ptr<TraceContext> trace;
 };
 
 /// The concurrent serving layer: accepts workflow submissions into a
@@ -68,6 +84,10 @@ struct JobRecord {
 /// with ResourceExhausted (HTTP 429 through the REST mapping) — the
 /// admission-control primitive that lets a long-lived multi-user IReS
 /// deployment shed load instead of collapsing under it.
+///
+/// Telemetry: lifecycle counters (`ires_jobs_total{outcome=...}`), queue
+/// depth / active gauges, and queue-wait / job-duration histograms all live
+/// in the server's MetricsRegistry; stats() is a thin read over them.
 class JobService {
  public:
   struct Options {
@@ -117,6 +137,8 @@ class JobService {
 
   Stats stats() const;
 
+  const Options& options() const { return options_; }
+
   /// Blocks until no job is QUEUED/PLANNING/RUNNING or `timeout_seconds`
   /// elapses; returns true when idle was reached. Test/benchmark helper.
   bool WaitForIdle(double timeout_seconds) const;
@@ -130,9 +152,14 @@ class JobService {
     JobRecord record;
     WorkflowGraph graph;
     bool cancel_requested = false;
+    uint64_t queue_span = 0;  // open "job.queue_wait" span id
   };
 
   void RunJob(const std::shared_ptr<Job>& job);
+  /// Closes out a job reaching a terminal state while holding mu_:
+  /// timestamps, the terminal counter, the duration histogram and the idle
+  /// broadcast. `job.state` must already be terminal.
+  void FinalizeLocked(Job* job);
 
   IresServer* server_;
   const Options options_;
@@ -146,12 +173,17 @@ class JobService {
   size_t active_ = 0;  // PLANNING or RUNNING
   bool shutting_down_ = false;
 
-  // Terminal-state counters (guarded by mu_).
-  uint64_t submitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t succeeded_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t cancelled_ = 0;
+  // Registry-backed instruments (stats() reads the counters back, so the
+  // legacy accessors and /apiv1/metrics can never disagree).
+  Counter* submitted_total_;
+  Counter* rejected_total_;
+  Counter* succeeded_total_;
+  Counter* failed_total_;
+  Counter* cancelled_total_;
+  Gauge* queued_gauge_;
+  Gauge* active_gauge_;
+  Histogram* queue_wait_seconds_;
+  Histogram* job_duration_seconds_;
 
   // Last: destroyed first, so workers join before state they use dies.
   std::unique_ptr<ThreadPool> pool_;

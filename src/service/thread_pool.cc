@@ -4,7 +4,15 @@
 
 namespace ires {
 
-ThreadPool::ThreadPool(int workers) {
+ThreadPool::ThreadPool(int workers, MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    pending_gauge_ = metrics->GetGauge(
+        "ires_pool_pending_tasks",
+        "Tasks enqueued on the worker pool awaiting pickup.");
+    wait_histogram_ = metrics->GetHistogram(
+        "ires_pool_task_wait_seconds",
+        "Latency from task enqueue to worker pickup.");
+  }
   const int n = std::max(1, workers);
   threads_.reserve(n);
   for (int i = 0; i < n; ++i) {
@@ -18,7 +26,10 @@ bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) return false;
-    tasks_.push_back(std::move(task));
+    tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
+    if (pending_gauge_ != nullptr) {
+      pending_gauge_->Set(static_cast<double>(tasks_.size()));
+    }
   }
   wake_.notify_one();
   return true;
@@ -46,15 +57,24 @@ size_t ThreadPool::pending() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       wake_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // shutting down and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
+      if (pending_gauge_ != nullptr) {
+        pending_gauge_->Set(static_cast<double>(tasks_.size()));
+      }
     }
-    task();
+    if (wait_histogram_ != nullptr) {
+      wait_histogram_->Observe(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   task.enqueued_at)
+                                   .count());
+    }
+    task.fn();
   }
 }
 

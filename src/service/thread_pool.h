@@ -1,6 +1,7 @@
 #ifndef IRES_SERVICE_THREAD_POOL_H_
 #define IRES_SERVICE_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -8,15 +9,21 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics_registry.h"
+
 namespace ires {
 
 /// Fixed-size worker pool backing the job service. Tasks are plain
 /// callables drained FIFO by `workers` threads; admission control (bounded
 /// queues, rejection) is the caller's responsibility — the pool itself
 /// never blocks a submitter.
+///
+/// When constructed with a MetricsRegistry, the pool publishes
+/// `ires_pool_pending_tasks` (queue depth) and observes each task's
+/// enqueue→pickup latency into `ires_pool_task_wait_seconds`.
 class ThreadPool {
  public:
-  explicit ThreadPool(int workers);
+  explicit ThreadPool(int workers, MetricsRegistry* metrics = nullptr);
 
   /// Joins all workers. Tasks already queued are still drained; Submit
   /// after (or during) destruction is a caller bug.
@@ -39,13 +46,20 @@ class ThreadPool {
   size_t pending() const;
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<QueuedTask> tasks_;
   std::vector<std::thread> threads_;
   bool shutting_down_ = false;
+  Gauge* pending_gauge_ = nullptr;          // null when unmetered
+  Histogram* wait_histogram_ = nullptr;
 };
 
 }  // namespace ires

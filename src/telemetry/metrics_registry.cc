@@ -1,0 +1,290 @@
+#include "telemetry/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ires {
+
+namespace {
+
+/// Atomic add for doubles without C++20 fetch_add(double) (not universally
+/// available in shipped libstdc++): a plain CAS loop.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}`, or "" for the unlabeled child.
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels plus one extra pair — used for the histogram `le` buckets.
+std::string RenderLabelsWith(const LabelSet& labels, const std::string& key,
+                             const std::string& value) {
+  LabelSet extended = labels;
+  extended.emplace_back(key, value);
+  return RenderLabels(extended);
+}
+
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+LabelSet Sorted(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // Prometheus `le` semantics: a value equal to a bound belongs to that
+  // bound's bucket, so pick the first bound >= value.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Quantile(double q) const {
+  const Snapshot snap = snapshot();
+  // Rank over the per-bucket counts, not `snap.count`: concurrent Observe
+  // calls can leave the aggregate ahead of the buckets momentarily.
+  uint64_t total = 0;
+  for (uint64_t c : snap.counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.counts.size(); ++i) {
+    cumulative += snap.counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= snap.bounds.size()) {
+      // +Inf bucket: clamp to the largest finite bound.
+      return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+    }
+    const double upper = snap.bounds[i];
+    const double lower = i == 0 ? 0.0 : snap.bounds[i - 1];
+    const uint64_t in_bucket = snap.counts[i];
+    if (in_bucket == 0) return upper;
+    const double before = static_cast<double>(cumulative - in_bucket);
+    const double fraction = (rank - before) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
+const std::vector<double>& MetricsRegistry::DefaultLatencyBuckets() {
+  static const std::vector<double> kBuckets = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+      0.25,  0.5,    1.0,   2.5,  5.0,   10.0, 60.0};
+  return kBuckets;
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name,
+                                                    const std::string& help,
+                                                    Type type) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = help;
+    it = families_.emplace(name, std::move(family)).first;
+  } else if (it->second.type != type) {
+    return nullptr;  // same name, different type: refuse
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Type::kCounter);
+  if (family == nullptr) return nullptr;
+  auto& child = family->counters[Sorted(labels)];
+  if (!child) child = std::make_unique<Counter>();
+  return child.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Type::kGauge);
+  if (family == nullptr) return nullptr;
+  auto& child = family->gauges[Sorted(labels)];
+  if (!child) child = std::make_unique<Gauge>();
+  return child.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const LabelSet& labels,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = GetFamily(name, help, Type::kHistogram);
+  if (family == nullptr) return nullptr;
+  if (family->bounds.empty()) {
+    family->bounds =
+        bounds.empty() ? DefaultLatencyBuckets() : std::move(bounds);
+  }
+  auto& child = family->histograms[Sorted(labels)];
+  if (!child) child = std::make_unique<Histogram>(family->bounds);
+  return child.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    switch (family.type) {
+      case Type::kCounter: {
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, counter] : family.counters) {
+          out += name + RenderLabels(labels) + " " +
+                 std::to_string(counter->Value()) + "\n";
+        }
+        break;
+      }
+      case Type::kGauge: {
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, gauge] : family.gauges) {
+          out += name + RenderLabels(labels) + " " +
+                 FormatDouble(gauge->Value()) + "\n";
+        }
+        break;
+      }
+      case Type::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, histogram] : family.histograms) {
+          const Histogram::Snapshot snap = histogram->snapshot();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < snap.counts.size(); ++i) {
+            cumulative += snap.counts[i];
+            const std::string le = i < snap.bounds.size()
+                                       ? FormatDouble(snap.bounds[i])
+                                       : "+Inf";
+            out += name + "_bucket" + RenderLabelsWith(labels, "le", le) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += name + "_sum" + RenderLabels(labels) + " " +
+                 FormatDouble(snap.sum) + "\n";
+          out += name + "_count" + RenderLabels(labels) + " " +
+                 std::to_string(snap.count) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first_family = true;
+  auto label_key = [](const LabelSet& labels) {
+    if (labels.empty()) return std::string("_");
+    std::string key;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) key += ",";
+      key += labels[i].first + "=" + labels[i].second;
+    }
+    return key;
+  };
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "\"" + name + "\":{";
+    bool first_child = true;
+    switch (family.type) {
+      case Type::kCounter:
+        for (const auto& [labels, counter] : family.counters) {
+          if (!first_child) out += ",";
+          first_child = false;
+          out += "\"" + label_key(labels) +
+                 "\":" + std::to_string(counter->Value());
+        }
+        break;
+      case Type::kGauge:
+        for (const auto& [labels, gauge] : family.gauges) {
+          if (!first_child) out += ",";
+          first_child = false;
+          out += "\"" + label_key(labels) +
+                 "\":" + FormatDouble(gauge->Value());
+        }
+        break;
+      case Type::kHistogram:
+        for (const auto& [labels, histogram] : family.histograms) {
+          if (!first_child) out += ",";
+          first_child = false;
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "{\"count\":%llu,\"sum\":%.6g,\"p50\":%.6g,"
+                        "\"p95\":%.6g,\"p99\":%.6g}",
+                        static_cast<unsigned long long>(histogram->Count()),
+                        histogram->Sum(), histogram->Quantile(0.5),
+                        histogram->Quantile(0.95), histogram->Quantile(0.99));
+          out += "\"" + label_key(labels) + "\":" + buf;
+        }
+        break;
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ires

@@ -1,0 +1,138 @@
+#ifndef IRES_TELEMETRY_METRICS_REGISTRY_H_
+#define IRES_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ires {
+
+/// One metric's label set, e.g. {{"engine","Spark"},{"kind","operator"}}.
+/// Registration sorts the pairs by key so equivalent sets compare equal.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (events, bytes, errors). Increments are a
+/// single relaxed atomic add — safe and cheap from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value that can go up and down (queue depth, active jobs).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket bounds in
+/// ascending order; one implicit +Inf bucket catches the rest. Observations
+/// touch two atomics (bucket + count) plus a CAS loop for the sum, so the
+/// hot path never takes a lock. Quantiles are estimated by linear
+/// interpolation inside the bucket holding the target rank — the usual
+/// Prometheus `histogram_quantile` semantics, computed server-side.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;    // finite upper bounds
+    std::vector<uint64_t> counts;  // per-bucket counts, bounds.size() + 1
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated value at quantile `q` in [0,1] (0 when empty). The +Inf
+  /// bucket clamps to the largest finite bound.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The process's metric catalogue: named families of counters, gauges and
+/// histograms, each family fanning out into children keyed by label set.
+/// Get* registers on first use and returns a stable pointer that callers
+/// cache and hit lock-free; the registry mutex guards only registration and
+/// rendering. Returns nullptr when `name` is already registered as a
+/// different metric type (a programming error surfaced gently).
+///
+/// Naming scheme (see DESIGN.md "Observability"): `ires_<subsystem>_<what>`
+/// with `_total` for counters and `_seconds` for time histograms; label
+/// values must come from bounded sets (routes, engines, states — never job
+/// or trace ids).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const LabelSet& labels = {},
+                          std::vector<double> bounds = {});
+
+  /// Prometheus text exposition format, families sorted by name:
+  ///   # HELP name help
+  ///   # TYPE name counter|gauge|histogram
+  ///   name{label="value"} 42
+  /// Histograms render cumulative `_bucket{le=...}`, `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  /// The same snapshot as a JSON object keyed by metric name — what the
+  /// bench harness dumps into BENCH_telemetry.json for run-over-run diffs.
+  std::string RenderJson() const;
+
+  /// Latency buckets (seconds) used when GetHistogram gets no bounds:
+  /// 1ms .. 60s, roughly exponential.
+  static const std::vector<double>& DefaultLatencyBuckets();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    std::map<LabelSet, std::unique_ptr<Counter>> counters;
+    std::map<LabelSet, std::unique_ptr<Gauge>> gauges;
+    std::map<LabelSet, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* GetFamily(const std::string& name, const std::string& help,
+                    Type type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_TELEMETRY_METRICS_REGISTRY_H_

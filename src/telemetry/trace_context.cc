@@ -1,0 +1,131 @@
+#include "telemetry/trace_context.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ires {
+
+namespace {
+
+std::string JsonEscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(std::string trace_id)
+    : trace_id_(std::move(trace_id)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceContext::ElapsedUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+uint64_t TraceContext::BeginSpan(const std::string& name,
+                                 const std::string& category) {
+  const double start = ElapsedUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = next_span_id_++;
+  span.name = name;
+  span.category = category;
+  span.timeline = kWallTimeline;
+  span.start_us = start;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceContext::EndSpan(
+    uint64_t span_id, std::vector<std::pair<std::string, std::string>> args) {
+  const double now = ElapsedUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->id != span_id) continue;
+    if (!it->finished()) {
+      it->duration_us = now - it->start_us;
+      for (auto& arg : args) it->args.push_back(std::move(arg));
+    }
+    return;
+  }
+}
+
+void TraceContext::AddSpan(
+    const std::string& name, const std::string& category, int timeline,
+    double start_us, double duration_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = next_span_id_++;
+  span.name = name;
+  span.category = category;
+  span.timeline = timeline;
+  span.start_us = start_us;
+  span.duration_us = duration_us < 0.0 ? 0.0 : duration_us;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceContext::ToChromeTraceJson() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Metadata events name the process (the job) and the two timelines.
+  out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"" + JsonEscapeText(trace_id_) + "\"}},";
+  out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"wall clock\"}},";
+  out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":2,"
+         "\"args\":{\"name\":\"simulated execution\"}}";
+  for (const TraceSpan& span : spans) {
+    // Open spans render with the duration observed so far (0 floor), so a
+    // trace fetched mid-run is still a valid document.
+    const double duration =
+        span.finished() ? span.duration_us
+                        : std::max(0.0, ElapsedUs() - span.start_us);
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                  "\"dur\":%.3f,",
+                  span.timeline, span.start_us, duration);
+    out += buf;
+    out += "\"name\":\"" + JsonEscapeText(span.name) + "\",\"cat\":\"" +
+           JsonEscapeText(span.category) + "\",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : span.args) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscapeText(key) + "\":\"" + JsonEscapeText(value) +
+             "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ires

@@ -1,0 +1,82 @@
+#ifndef IRES_TELEMETRY_TRACE_CONTEXT_H_
+#define IRES_TELEMETRY_TRACE_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ires {
+
+/// One recorded span: a named interval on one of the trace's timelines,
+/// with optional string arguments (engine, cache outcome, error, ...).
+struct TraceSpan {
+  uint64_t id = 0;
+  std::string name;      // e.g. "job.queue_wait", "step.LineCount_Spark"
+  std::string category;  // span taxonomy: job | plan | step | move | model
+  int timeline = 1;      // rendered as the Chrome trace `tid`
+  double start_us = 0.0;
+  double duration_us = -1.0;  // <0 while the span is still open
+  std::vector<std::pair<std::string, std::string>> args;
+
+  bool finished() const { return duration_us >= 0.0; }
+};
+
+/// Per-job span recorder, created at submission and threaded through
+/// planning and execution. All methods are thread-safe: the worker thread
+/// appends spans while REST readers render concurrently.
+///
+/// Two timelines share one trace:
+///  - kWallTimeline: wall-clock spans (queue wait, cache lookup, DP
+///    planning, execution attempt, model refinement), microseconds since
+///    the context was created.
+///  - kSimTimeline: the enforcer's discrete-event timeline (per-step
+///    enforcement and data movement), microseconds of *simulated* time.
+///
+/// ToChromeTraceJson() renders both as Chrome trace-event JSON (load it in
+/// chrome://tracing or Perfetto): complete "X" events on two named threads
+/// of one process, so the monitoring UI gets the paper's per-step Gantt and
+/// the serving-layer latency breakdown in a single document.
+class TraceContext {
+ public:
+  static constexpr int kWallTimeline = 1;
+  static constexpr int kSimTimeline = 2;
+
+  explicit TraceContext(std::string trace_id);
+
+  const std::string& trace_id() const { return trace_id_; }
+
+  /// Microseconds of wall clock since this context was created.
+  double ElapsedUs() const;
+
+  /// Opens a wall-clock span now; EndSpan closes it. Returns the span id.
+  uint64_t BeginSpan(const std::string& name, const std::string& category);
+  void EndSpan(uint64_t span_id,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records an already-measured interval (explicit start/duration in
+  /// microseconds on `timeline`). Used for simulated-time step spans and
+  /// for spans whose bounds were captured outside the context.
+  void AddSpan(const std::string& name, const std::string& category,
+               int timeline, double start_us, double duration_us,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Copy of every recorded span, in recording order.
+  std::vector<TraceSpan> Snapshot() const;
+
+  std::string ToChromeTraceJson() const;
+
+ private:
+  const std::string trace_id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  uint64_t next_span_id_ = 1;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_TELEMETRY_TRACE_CONTEXT_H_

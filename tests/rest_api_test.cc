@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 #include "core/rest_api.h"
 
 namespace ires {
@@ -127,6 +133,217 @@ TEST_F(RestApiTest, InvalidWorkflowRejected) {
                         "asapServerLog,LineCount,0\nLineCount,d1,0\n")
                 .code,
             422);
+}
+
+// ----------------------------------------------------- telemetry surface
+
+// Extracts the numeric value of `"key":<number>` from a JSON body.
+double JsonNumber(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in " << body;
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(body.c_str() + at + needle.size(), nullptr);
+}
+
+// Polls GET /apiv1/jobs/{id} until the job reaches a terminal state.
+std::string AwaitTerminal(RestApi* api, const std::string& job_id) {
+  for (int i = 0; i < 1000; ++i) {
+    ApiResponse record = api->Handle("GET", "/apiv1/jobs/" + job_id);
+    EXPECT_EQ(record.code, 200) << record.body;
+    for (const char* state : {"SUCCEEDED", "FAILED", "CANCELLED"}) {
+      if (record.body.find("\"state\":\"" + std::string(state) + "\"") !=
+          std::string::npos) {
+        return record.body;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return "";
+}
+
+TEST_F(RestApiTest, MetricsEndpointMovesWhenJobsRun) {
+  RegisterLineCount();
+  const std::string graph =
+      "asapServerLog,LineCount,0\nLineCount,d1,0\nd1,$$target\n";
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/workflows/lc", graph).code, 201);
+
+  // Two sync runs (miss then hit) plus one async job so every subsystem's
+  // instruments move: REST latency, pool wait, plan cache, planner timing,
+  // per-engine steps and model refinement.
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/workflows/lc/execute").code, 200);
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/workflows/lc/execute").code, 200);
+  ApiResponse submit =
+      api_.Handle("POST", "/apiv1/workflows/lc/execute?mode=async");
+  ASSERT_EQ(submit.code, 202) << submit.body;
+  const size_t start = submit.body.find("job-");
+  const std::string job_id =
+      submit.body.substr(start, submit.body.find('"', start) - start);
+  ASSERT_NE(AwaitTerminal(&api_, job_id).find("SUCCEEDED"),
+            std::string::npos);
+
+  ApiResponse metrics = api_.Handle("GET", "/apiv1/metrics");
+  ASSERT_EQ(metrics.code, 200);
+  const std::string& text = metrics.body;
+
+  // REST latency histogram, labelled by normalized route.
+  EXPECT_NE(text.find("# TYPE ires_http_request_seconds histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_http_request_seconds_count{method=\"POST\","
+                      "route=\"/apiv1/workflows/{name}/execute\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("ires_http_requests_total{code=\"201\",method=\"POST\","
+                "route=\"/apiv1/workflows/{name}\"} 1"),
+      std::string::npos)
+      << text;
+
+  // Plan cache: 1 miss (first plan) then hits for the repeats.
+  EXPECT_NE(text.find("ires_plan_cache_events_total{event=\"miss\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_plan_cache_events_total{event=\"hit\"} 2"),
+            std::string::npos)
+      << text;
+
+  // Planner timing (the miss ran the DP once, in the smallest size bucket).
+  EXPECT_NE(text.find("ires_planner_plan_seconds_count{dag_nodes=\"3-4\"} "
+                      "1"),
+            std::string::npos)
+      << text;
+
+  // Per-engine execution and model refinement: 3 runs of the one-step
+  // Spark plan.
+  EXPECT_NE(text.find("ires_engine_steps_total{engine=\"Spark\","
+                      "kind=\"operator\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_engine_sim_milliseconds_total{engine="
+                      "\"Spark\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_model_refinements_total{engine=\"Spark\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_model_refine_relative_error_count 3"),
+            std::string::npos)
+      << text;
+
+  // Serving-layer lifecycle + pool instruments moved for the async job.
+  EXPECT_NE(text.find("ires_jobs_total{event=\"succeeded\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_job_queue_wait_seconds_count 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_pool_task_wait_seconds_count 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_pool_pending_tasks 0"), std::string::npos)
+      << text;
+}
+
+TEST_F(RestApiTest, HealthzReportsQueueState) {
+  ApiResponse health = api_.Handle("GET", "/apiv1/healthz");
+  ASSERT_EQ(health.code, 200) << health.body;
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.body.find("\"queueDepth\":0"), std::string::npos);
+  EXPECT_NE(health.body.find("\"queueCapacity\":64"), std::string::npos);
+  EXPECT_NE(health.body.find("\"saturation\":0.000"), std::string::npos);
+  EXPECT_EQ(JsonNumber(health.body, "workers"), 4.0);
+}
+
+TEST_F(RestApiTest, JobTraceEndpointReturnsChromeTraceJson) {
+  RegisterLineCount();
+  const std::string graph =
+      "asapServerLog,LineCount,0\nLineCount,d1,0\nd1,$$target\n";
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/workflows/lc", graph).code, 201);
+  ApiResponse submit =
+      api_.Handle("POST", "/apiv1/workflows/lc/execute?mode=async");
+  ASSERT_EQ(submit.code, 202) << submit.body;
+  const size_t start = submit.body.find("job-");
+  const std::string job_id =
+      submit.body.substr(start, submit.body.find('"', start) - start);
+  const std::string record = AwaitTerminal(&api_, job_id);
+  ASSERT_NE(record.find("SUCCEEDED"), std::string::npos) << record;
+
+  ApiResponse trace =
+      api_.Handle("GET", "/apiv1/jobs/" + job_id + "/trace");
+  ASSERT_EQ(trace.code, 200) << trace.body;
+  const std::string& json = trace.body;
+  // The span taxonomy covers queue-wait → planning (cache lookup + DP) →
+  // execution → per-step enforcement → refinement.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"" + job_id + "\""), std::string::npos);
+  for (const char* span :
+       {"job.queue_wait", "job.plan", "plan.cache_lookup", "job.execute",
+        "LineCount_Spark", "model.refine"}) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(span) + "\""),
+              std::string::npos)
+        << "missing span " << span << " in " << json;
+  }
+  // The step span runs on the simulated timeline and names its engine.
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"engine\":\"Spark\""), std::string::npos);
+
+  // Consistency with the job record: the execute span reports the same
+  // simulated seconds the record carries.
+  const double recorded = JsonNumber(record, "executionSeconds");
+  char expected[48];
+  std::snprintf(expected, sizeof(expected),
+                "\"simulatedSeconds\":\"%.3f\"", recorded);
+  EXPECT_NE(json.find(expected), std::string::npos)
+      << expected << " not in " << json;
+
+  // Unknown job ids keep the uniform envelope.
+  EXPECT_EQ(api_.Handle("GET", "/apiv1/jobs/job-009999/trace").code, 404);
+}
+
+TEST_F(RestApiTest, FailedJobsStillCarryTimings) {
+  // An abstract operator with no materialized implementation: planning
+  // fails, the job goes FAILED — and must still record queue + planning
+  // durations (the fix for silent terminal jobs).
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/datasets/asapServerLog",
+                        "Constraints.Engine.FS=HDFS\n"
+                        "Execution.path=hdfs:///log\n"
+                        "Optimization.size=5e8\n"
+                        "Optimization.documents=1000\n")
+                .code,
+            201);
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/abstractOperators/Ghost",
+                        "Constraints.OpSpecification.Algorithm.name=Ghost\n")
+                .code,
+            201);
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/workflows/ghost",
+                        "asapServerLog,Ghost,0\nGhost,d1,0\nd1,$$target\n")
+                .code,
+            201);
+  ApiResponse submit =
+      api_.Handle("POST", "/apiv1/workflows/ghost/execute?mode=async");
+  ASSERT_EQ(submit.code, 202) << submit.body;
+  const size_t start = submit.body.find("job-");
+  const std::string job_id =
+      submit.body.substr(start, submit.body.find('"', start) - start);
+  const std::string record = AwaitTerminal(&api_, job_id);
+  ASSERT_NE(record.find("\"state\":\"FAILED\""), std::string::npos)
+      << record;
+
+  EXPECT_GT(JsonNumber(record, "queueSeconds"), 0.0) << record;
+  EXPECT_GT(JsonNumber(record, "planSeconds"), 0.0) << record;
+  EXPECT_GT(JsonNumber(record, "finishedAt"), 0.0) << record;
+  EXPECT_NE(record.find("\"error\":"), std::string::npos);
+
+  // The trace still closes its spans: queue wait was picked up and the
+  // plan span carries ok=false.
+  ApiResponse trace =
+      api_.Handle("GET", "/apiv1/jobs/" + job_id + "/trace");
+  ASSERT_EQ(trace.code, 200);
+  EXPECT_NE(trace.body.find("\"name\":\"job.queue_wait\""),
+            std::string::npos);
+  EXPECT_NE(trace.body.find("\"name\":\"job.plan\""), std::string::npos);
+  EXPECT_NE(trace.body.find("\"ok\":\"false\""), std::string::npos);
 }
 
 TEST(JsonEscapeTest, EscapesControlAndQuotes) {

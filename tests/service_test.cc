@@ -14,6 +14,7 @@
 #include "core/rest_api.h"
 #include "service/job_service.h"
 #include "service/thread_pool.h"
+#include "telemetry/trace_context.h"
 
 namespace ires {
 namespace {
@@ -154,6 +155,61 @@ TEST(JobServiceTest, CancelQueuedJob) {
   record = jobs.Get(ids.back());
   ASSERT_TRUE(record.ok());
   EXPECT_TRUE(IsTerminal(record.value().state));
+}
+
+TEST(JobServiceTest, CancelledJobsStillCarryQueueTiming) {
+  IresServer server;
+  RestApi setup(&server);
+  RegisterLineCount(&setup);
+  auto graph = server.ParseWorkflow(kGraph);
+  ASSERT_TRUE(graph.ok());
+
+  // One worker, deep queue, many jobs: the tail is still QUEUED when
+  // cancelled, and its record must nonetheless carry its queue wait — a
+  // cancelled job's latency is part of the serving signal.
+  JobService::Options options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  JobService jobs(&server, options);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 12; ++i) {
+    auto id = jobs.Submit(graph.value(), "lc");
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  const Status cancel = jobs.Cancel(ids.back());
+  ASSERT_TRUE(jobs.WaitForIdle(60.0));
+  for (const JobRecord& record : jobs.List()) {
+    ASSERT_TRUE(IsTerminal(record.state));
+    EXPECT_GT(record.finished_at, 0.0) << record.id;
+    // Every terminal job measured the phases it reached.
+    EXPECT_GT(record.queue_seconds, 0.0) << record.id;
+    if (record.state == JobState::kSucceeded) {
+      EXPECT_GT(record.plan_seconds, 0.0) << record.id;
+      EXPECT_GT(record.exec_wall_seconds, 0.0) << record.id;
+    }
+    // The trace exists and its queue-wait span is closed.
+    ASSERT_NE(record.trace, nullptr) << record.id;
+    bool queue_span_closed = false;
+    for (const TraceSpan& span : record.trace->Snapshot()) {
+      if (span.name == "job.queue_wait" && span.finished()) {
+        queue_span_closed = true;
+      }
+    }
+    EXPECT_TRUE(queue_span_closed) << record.id;
+  }
+  if (cancel.ok()) {
+    auto record = jobs.Get(ids.back());
+    ASSERT_TRUE(record.ok());
+    if (record.value().state == JobState::kCancelled) {
+      // Cancelled while queued: no planning/execution phases, queue wait
+      // spans its whole lifetime.
+      EXPECT_EQ(record.value().started_at, 0.0);
+      EXPECT_NEAR(record.value().queue_seconds,
+                  record.value().finished_at - record.value().submitted_at,
+                  1e-9);
+    }
+  }
 }
 
 TEST(JobServiceTest, ShutdownCancelsQueuedJobs) {
@@ -336,6 +392,22 @@ TEST(ServiceStressTest, ConcurrentSubmissionsAllTerminalNoLostUpdates) {
   EXPECT_EQ(stats.succeeded, static_cast<uint64_t>(succeeded));
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(stats.running, 0u);
+
+  // The stats above are thin reads over the metrics registry; the rendered
+  // exposition must agree with them after the concurrent hammering.
+  const std::string metrics = server.metrics().RenderPrometheus();
+  EXPECT_NE(metrics.find("ires_jobs_total{event=\"submitted\"} 64"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("ires_jobs_total{event=\"succeeded\"} 64"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("ires_job_queue_wait_seconds_count 64"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("ires_pool_task_wait_seconds_count 64"),
+            std::string::npos)
+      << metrics;
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+// Telemetry substrate suite: metrics registry (counters, gauges, labeled
+// families, histogram bucketing and quantile estimation, Prometheus
+// rendering), per-job span tracing (nesting, Chrome trace JSON), and the
+// production logger (format, pluggable sink, no mid-line interleaving).
+// CI also runs this binary under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace_context.h"
+
+namespace ires {
+namespace {
+
+// ---------------------------------------------------------------- Counters
+
+TEST(MetricsRegistryTest, CounterIncrementsAndRenders) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("ires_test_total", "Test counter.");
+  ASSERT_NE(c, nullptr);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP ires_test_total Test counter."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ires_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("ires_test_total 42"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishChildrenAndOrderIsCanonical) {
+  MetricsRegistry registry;
+  Counter* spark = registry.GetCounter("ires_steps_total", "Steps.",
+                                       {{"engine", "Spark"}});
+  Counter* hama = registry.GetCounter("ires_steps_total", "Steps.",
+                                      {{"engine", "Hama"}});
+  ASSERT_NE(spark, nullptr);
+  ASSERT_NE(hama, nullptr);
+  EXPECT_NE(spark, hama);
+  // Same labels in a different pair order resolve to the same child.
+  Counter* spark2 = registry.GetCounter(
+      "ires_multi_total", "Multi.", {{"b", "2"}, {"a", "1"}});
+  Counter* spark3 = registry.GetCounter(
+      "ires_multi_total", "Multi.", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(spark2, spark3);
+
+  spark->Increment(3);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("ires_steps_total{engine=\"Spark\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ires_steps_total{engine=\"Hama\"} 0"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchOnNameIsRefused) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("ires_thing", "A counter."), nullptr);
+  EXPECT_EQ(registry.GetGauge("ires_thing", "Now a gauge?"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("ires_thing", "Now a histogram?"),
+            nullptr);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("ires_depth", "Depth.");
+  ASSERT_NE(g, nullptr);
+  g->Set(5.0);
+  g->Add(2.5);
+  g->Add(-1.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 6.0);
+}
+
+// -------------------------------------------------------------- Histograms
+
+TEST(HistogramTest, BucketingAssignsObservationsToUpperBounds) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // <= 0.1
+  h.Observe(0.1);    // <= 0.1 (inclusive upper bound)
+  h.Observe(0.5);    // <= 1.0
+  h.Observe(5.0);    // <= 10.0
+  h.Observe(100.0);  // +Inf
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_NEAR(snap.sum, 105.65, 1e-9);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 100 observations uniformly inside (1, 2]: all land in bucket 2.
+  for (int i = 0; i < 100; ++i) h.Observe(1.0 + (i + 0.5) / 100.0);
+  // The whole mass is in [1, 2]; the median interpolates to ~1.5.
+  EXPECT_NEAR(h.Quantile(0.5), 1.5, 0.05);
+  EXPECT_NEAR(h.Quantile(0.0), 1.0, 0.05);
+  EXPECT_NEAR(h.Quantile(1.0), 2.0, 0.05);
+  // Empty histogram quantile is 0.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileClampsInfBucketToLargestBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.Observe(50.0);  // all in +Inf
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, PrometheusRenderingIsCumulative) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("ires_lat_seconds", "Latency.", {},
+                                       {0.1, 1.0});
+  ASSERT_NE(h, nullptr);
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(2.0);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE ires_lat_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ires_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ires_lat_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ires_lat_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ires_lat_seconds_count 3"), std::string::npos);
+}
+
+// ------------------------------------------------------------- Concurrency
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  Counter* counter = registry.GetCounter("ires_conc_total", "Concurrent.");
+  Histogram* histogram =
+      registry.GetHistogram("ires_conc_seconds", "Concurrent.");
+  Gauge* gauge = registry.GetGauge("ires_conc_gauge", "Concurrent.");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(0.001 * ((t + i) % 100));
+        gauge->Add(1.0);
+        // Concurrent registration of the same family must also be safe.
+        registry.GetCounter("ires_conc_total", "Concurrent.",
+                            {{"thread", std::to_string(t)}});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram->Count(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(gauge->Value(), kThreads * kPerThread);
+}
+
+// ------------------------------------------------------------ TraceContext
+
+TEST(TraceContextTest, SpansNestWithinParents) {
+  TraceContext trace("job-test");
+  const uint64_t parent = trace.BeginSpan("job.plan", "job");
+  const uint64_t lookup = trace.BeginSpan("plan.cache_lookup", "plan");
+  trace.EndSpan(lookup, {{"outcome", "miss"}});
+  const uint64_t dp = trace.BeginSpan("plan.dp", "plan");
+  trace.EndSpan(dp);
+  trace.EndSpan(parent);
+
+  const std::vector<TraceSpan> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  const TraceSpan& job = spans[0];
+  EXPECT_EQ(job.name, "job.plan");
+  for (size_t i = 1; i < spans.size(); ++i) {
+    ASSERT_TRUE(spans[i].finished());
+    // Children start no earlier and end no later than the parent.
+    EXPECT_GE(spans[i].start_us, job.start_us);
+    EXPECT_LE(spans[i].start_us + spans[i].duration_us,
+              job.start_us + job.duration_us + 1.0);
+  }
+  // The two children do not overlap.
+  EXPECT_GE(spans[2].start_us,
+            spans[1].start_us + spans[1].duration_us - 1.0);
+  EXPECT_EQ(spans[1].args.size(), 1u);
+  EXPECT_EQ(spans[1].args[0].second, "miss");
+}
+
+TEST(TraceContextTest, ExplicitSimulatedTimeSpans) {
+  TraceContext trace("job-sim");
+  trace.AddSpan("LineCount_Spark", "step", TraceContext::kSimTimeline,
+                0.0, 12.5e6, {{"engine", "Spark"}});
+  trace.AddSpan("move_d1", "move", TraceContext::kSimTimeline, 12.5e6,
+                1.0e6);
+  const std::vector<TraceSpan> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].timeline, TraceContext::kSimTimeline);
+  EXPECT_DOUBLE_EQ(spans[0].duration_us, 12.5e6);
+  EXPECT_EQ(spans[1].category, "move");
+}
+
+TEST(TraceContextTest, ChromeTraceJsonIsWellFormed) {
+  TraceContext trace("job-000001");
+  const uint64_t span = trace.BeginSpan("job.queue_wait", "job");
+  trace.EndSpan(span, {{"outcome", "picked_up"}});
+  trace.AddSpan("Step\"quoted\"", "step", TraceContext::kSimTimeline, 0.0,
+                5e6);
+  const std::string json = trace.ToChromeTraceJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job.queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"picked_up\""), std::string::npos);
+  // The quoted step name is escaped, and the process is named after the job.
+  EXPECT_NE(json.find("Step\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"job-000001\""), std::string::npos);
+  // Balanced braces/brackets (a cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceContextTest, ConcurrentAppendAndRender) {
+  TraceContext trace("job-race");
+  std::atomic<bool> stop{false};
+  std::thread renderer([&] {
+    while (!stop.load()) {
+      const std::string json = trace.ToChromeTraceJson();
+      ASSERT_FALSE(json.empty());
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t span = trace.BeginSpan("s" + std::to_string(i), "step");
+    trace.EndSpan(span);
+  }
+  stop.store(true);
+  renderer.join();
+  EXPECT_EQ(trace.Snapshot().size(), 500u);
+}
+
+// ------------------------------------------------------------------ Logger
+
+class SinkCapture {
+ public:
+  SinkCapture() {
+    Logger::SetSink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+    saved_threshold_ = Logger::threshold();
+  }
+  ~SinkCapture() {
+    Logger::SetSink(nullptr);
+    Logger::set_threshold(saved_threshold_);
+  }
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+  std::vector<LogLevel> levels() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return levels_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+  LogLevel saved_threshold_;
+};
+
+TEST(LoggerTest, FormatHasTimestampThreadIdAndLevel) {
+  const std::string line = Logger::Format(LogLevel::kInfo, "hello world");
+  // 2026-08-07T12:34:56.789Z [INFO] [tid 140213...] hello world
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[INFO\] \[tid [^\]]+\] hello world$)");
+  EXPECT_TRUE(std::regex_match(line, pattern)) << line;
+}
+
+TEST(LoggerTest, SinkCapturesAboveThresholdOnly) {
+  SinkCapture capture;
+  Logger::set_threshold(LogLevel::kWarning);
+  IRES_LOG(kInfo) << "dropped";
+  IRES_LOG(kWarning) << "kept " << 42;
+  IRES_LOG(kError) << "also kept";
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("kept 42"), std::string::npos);
+  EXPECT_NE(lines[0].find("[WARN]"), std::string::npos);
+  EXPECT_EQ(capture.levels()[1], LogLevel::kError);
+}
+
+TEST(LoggerTest, ConcurrentLogsArriveWholeLine) {
+  SinkCapture capture;
+  Logger::set_threshold(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        IRES_LOG(kInfo) << "thread=" << t << " msg=" << i << " end";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kPerThread));
+  // Every captured line is intact: one timestamp prefix, one trailing
+  // marker — nothing spliced mid-line.
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2}T[^ ]+ \[INFO\] \[tid [^\]]+\] thread=\d+ msg=\d+ end$)");
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(std::regex_match(line, pattern)) << line;
+  }
+}
+
+}  // namespace
+}  // namespace ires
