@@ -1,0 +1,19 @@
+#include "common/interner.h"
+
+namespace ires {
+
+int32_t StringInterner::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t StringInterner::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace ires

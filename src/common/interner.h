@@ -1,0 +1,43 @@
+#ifndef IRES_COMMON_INTERNER_H_
+#define IRES_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ires {
+
+/// Maps strings to dense int32 ids so hot loops compare/hash integers
+/// instead of heap strings. Ids are assigned in first-intern order starting
+/// at 0 and stay stable for the interner's lifetime; the empty string is a
+/// valid internable value like any other.
+///
+/// Not synchronized: each planner invocation owns its interner (the DP
+/// tables it serves are call-local too). Wrap in external locking if a
+/// shared instance is ever needed.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// Returns the id for `s`, assigning the next free id on first sight.
+  int32_t Intern(std::string_view s);
+
+  /// The id for `s`, or -1 when it was never interned (pure lookup).
+  int32_t Find(std::string_view s) const;
+
+  /// The string behind `id`; `id` must come from this interner.
+  const std::string& Name(int32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // deque keeps Name() references stable across Intern growth.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, int32_t> index_;  // views into names_
+};
+
+}  // namespace ires
+
+#endif  // IRES_COMMON_INTERNER_H_

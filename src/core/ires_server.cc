@@ -68,7 +68,11 @@ IresServer::IresServer(Config config) : config_(config) {
   engines_ = MakeStandardEngineRegistry();
   cluster_ = std::make_unique<ClusterSimulator>(
       config.cluster_nodes, config.cores_per_node, config.memory_gb_per_node);
-  planner_ = std::make_unique<DpPlanner>(&library_, engines_.get());
+  planner_context_ = std::make_unique<PlannerContext>(&library_,
+                                                      engines_.get(),
+                                                      &metrics_);
+  planner_ = std::make_unique<DpPlanner>(&library_, engines_.get(),
+                                         planner_context_.get());
   enforcer_ = std::make_unique<Enforcer>(engines_.get(), cluster_.get(),
                                          config.seed);
   monitor_ = std::make_unique<ExecutionMonitor>(engines_.get(),

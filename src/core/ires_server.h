@@ -176,6 +176,10 @@ class IresServer {
   EngineRegistry& engines() { return *engines_; }
   ClusterSimulator& cluster() { return *cluster_; }
   DpPlanner& planner() { return *planner_; }
+  /// The memoized candidate-resolution index the planner plans through;
+  /// share it with any ParetoPlanner / BuildMaterializationReport built
+  /// over this server's library and engines.
+  PlannerContext& planner_context() { return *planner_context_; }
   Enforcer& enforcer() { return *enforcer_; }
   ExecutionMonitor& monitor() { return *monitor_; }
   NsgaResourceProvisioner& provisioner() { return *provisioner_; }
@@ -217,6 +221,8 @@ class IresServer {
   OperatorLibrary library_;
   std::unique_ptr<EngineRegistry> engines_;
   std::unique_ptr<ClusterSimulator> cluster_;
+  /// Declared before the planners that resolve through it.
+  std::unique_ptr<PlannerContext> planner_context_;
   std::unique_ptr<DpPlanner> planner_;
   std::unique_ptr<Enforcer> enforcer_;
   std::unique_ptr<ExecutionMonitor> monitor_;

@@ -123,6 +123,28 @@ OperatorLibrary::FindMaterializedOperators(
   return out;
 }
 
+OperatorLibrary::MatchSnapshot OperatorLibrary::FindMaterializedSnapshot(
+    const AbstractOperator& abstract) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  MatchSnapshot snapshot;
+  snapshot.version = version_.load(std::memory_order_acquire);
+  const std::string algorithm = abstract.algorithm();
+  auto consider = [&](const MaterializedOperator& candidate) {
+    if (MatchesAbstract(abstract, candidate).matched) {
+      snapshot.operators.push_back(candidate);
+    }
+  };
+  if (!algorithm.empty() && algorithm != MetadataTree::kWildcard) {
+    auto [begin, end] = algorithm_index_.equal_range(algorithm);
+    for (auto it = begin; it != end; ++it) {
+      consider(materialized_.at(it->second));
+    }
+  } else {
+    for (const auto& [name, candidate] : materialized_) consider(candidate);
+  }
+  return snapshot;
+}
+
 const MaterializedOperator* OperatorLibrary::FindMaterializedByName(
     const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);

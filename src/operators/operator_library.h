@@ -24,8 +24,9 @@ namespace ires {
 /// reader/writer lock, so concurrent job submissions can register artefacts
 /// while the planner reads. Returned pointers stay valid as long as the
 /// named entry is not erased (std::map node stability); RemoveByEngine is
-/// the only eraser and must not race with a planner holding candidate
-/// pointers — the serving layer serializes it behind job draining.
+/// the only eraser, so planners running concurrently with removals must go
+/// through FindMaterializedSnapshot (owning, version-stamped copies) rather
+/// than the raw-pointer FindMaterializedOperators.
 class OperatorLibrary {
  public:
   OperatorLibrary() = default;
@@ -48,8 +49,24 @@ class OperatorLibrary {
 
   /// All materialized operators matching `abstract`: algorithm-index lookup
   /// followed by full metadata-tree matching.
+  ///
+  /// The returned pointers are only safe while no concurrent RemoveByEngine
+  /// can run (erasure frees the pointed-to nodes). Concurrent planners must
+  /// use FindMaterializedSnapshot (or the PlannerContext cache built on it)
+  /// instead.
   std::vector<const MaterializedOperator*> FindMaterializedOperators(
       const AbstractOperator& abstract) const;
+
+  /// Version-stamped, owning variant of FindMaterializedOperators: the
+  /// matching operators are copied out under one shared lock together with
+  /// the library version they were read at, so the result can never dangle
+  /// (RemoveByEngine erases map nodes) and callers can detect staleness by
+  /// comparing `version` against version().
+  struct MatchSnapshot {
+    uint64_t version = 0;
+    std::vector<MaterializedOperator> operators;
+  };
+  MatchSnapshot FindMaterializedSnapshot(const AbstractOperator& abstract) const;
 
   const MaterializedOperator* FindMaterializedByName(
       const std::string& name) const;

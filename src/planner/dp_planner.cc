@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
+#include <utility>
 
+#include "common/interner.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "planner/planner_common.h"
@@ -15,8 +16,6 @@ namespace {
 
 using planner_internal::InstanceSatisfies;
 using planner_internal::IoRequirement;
-using planner_internal::ReadParams;
-using planner_internal::RequirementFromSpec;
 
 // How one input port of one candidate operator is fed.
 struct InputChoice {
@@ -29,26 +28,36 @@ struct InputChoice {
 };
 
 // One dpTable record: the best known way to materialize a dataset node in a
-// particular (store, format).
+// particular (store, format). Strings shared by every entry of one producer
+// (operator name, engine, algorithm, params) live once in the candidate
+// snapshot and are referenced by (producer_op_node, producer_cand); the
+// (store, format) pair is interned to ids so bucket dedup compares ints.
 struct Entry {
   DatasetInstance instance;
+  int32_t store_id = -1;
+  int32_t format_id = -1;
   double metric = 0.0;   // cumulative optimal policy metric
   double seconds = 0.0;  // cumulative work seconds (additive model)
   double cost = 0.0;     // cumulative resource cost
   // Producer; op_node < 0 means the data pre-exists (source/intermediate).
   int producer_op_node = -1;
-  std::string producer_mo;
-  std::string engine;
-  std::string algorithm;
+  int producer_cand = -1;  // index into the producer node's snapshot
   Resources resources;
   OperatorRunEstimate op_estimate;
-  std::map<std::string, double> params;
   std::vector<InputChoice> inputs;
   double op_input_bytes = 0.0;
   double op_input_records = 0.0;
 };
 
 }  // namespace
+
+const PlannerContext& DpPlanner::context() const {
+  if (context_ != nullptr) return *context_;
+  std::call_once(owned_context_once_, [this] {
+    owned_context_ = std::make_unique<PlannerContext>(library_, engines_);
+  });
+  return *owned_context_;
+}
 
 Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
                                       const Options& options) const {
@@ -58,8 +67,13 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
       options.estimator != nullptr ? *options.estimator : kAnalytic;
   const OptimizationPolicy& policy = options.policy;
   const DataMovementModel& movement = engines_->movement();
+  const PlannerContext& ctx = context();
 
   std::vector<std::vector<Entry>> dp_table(graph.size());
+  // Per operator node: the resolved candidates, kept alive for the whole
+  // plan so entry back-references stay valid.
+  std::vector<CandidateSnapshot> snapshots(graph.size());
+  StringInterner interner;
 
   // ---- dpTable initialization (Algorithm 1, lines 5-10). -----------------
   for (size_t id = 0; id < graph.size(); ++id) {
@@ -71,6 +85,8 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
       Entry entry;
       entry.instance = pre_it->second;
       entry.instance.dataset_node = node.name;
+      entry.store_id = interner.Intern(entry.instance.store);
+      entry.format_id = interner.Intern(entry.instance.format);
       dp_table[id].push_back(std::move(entry));
       continue;
     }
@@ -90,6 +106,8 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
     entry.instance.format = dataset->format();
     entry.instance.bytes = dataset->size_bytes();
     entry.instance.records = dataset->record_count();
+    entry.store_id = interner.Intern(entry.instance.store);
+    entry.format_id = interner.Intern(entry.instance.format);
     dp_table[id].push_back(std::move(entry));
   }
 
@@ -105,25 +123,16 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
   for (int op_node : topo) {
     const WorkflowGraph::Node& node = graph.node(op_node);
 
-    // Resolve the abstract operator; a workflow may reference operators that
-    // exist only inline, in which case the node name doubles as algorithm.
-    const AbstractOperator* abstract = library_->FindAbstractByName(node.name);
-    AbstractOperator synthesized;
-    if (abstract == nullptr) {
-      MetadataTree meta;
-      meta.Set("Constraints.OpSpecification.Algorithm.name", node.name);
-      synthesized = AbstractOperator(node.name, std::move(meta));
-      abstract = &synthesized;
-    }
+    // findMaterializedOperators (line 12) through the memoized index; the
+    // synthesized-abstract fallback for inline operators lives there too.
+    snapshots[op_node] = ctx.Resolve(node.name);
+    const CandidateSnapshot& candidates = snapshots[op_node];
 
-    // findMaterializedOperators (line 12), filtered by engine availability
-    // (unavailable engines are excluded at planning time, §2.3).
-    std::vector<const MaterializedOperator*> candidates =
-        library_->FindMaterializedOperators(*abstract);
-
-    for (const MaterializedOperator* mo : candidates) {
-      const SimulatedEngine* engine = engines_->Find(mo->engine());
-      if (engine == nullptr || !engine->available()) continue;
+    for (size_t cand_idx = 0; cand_idx < candidates.size(); ++cand_idx) {
+      const ResolvedCandidate& cand = candidates[cand_idx];
+      // Unavailable engines are excluded at planning time (§2.3).
+      if (!cand.engine_available) continue;
+      const SimulatedEngine* engine = cand.engine;
 
       // ---- Resolve every input port (lines 14-26). ----------------------
       bool feasible = true;
@@ -133,10 +142,10 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
       double total_bytes = 0.0;
       double total_records = 0.0;
       std::vector<InputChoice> choices;
+      choices.reserve(node.inputs.size());
       for (size_t port = 0; port < node.inputs.size() && feasible; ++port) {
         const int in_node = node.inputs[port];
-        const IoRequirement req =
-            RequirementFromSpec(mo->InputSpec(static_cast<int>(port)));
+        const IoRequirement& req = cand.InputReq(port);
         double best = std::numeric_limits<double>::infinity();
         InputChoice best_choice;
         const std::vector<Entry>& entries = dp_table[in_node];
@@ -188,10 +197,10 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
 
       // ---- Estimate the operator itself (line 27). -----------------------
       OperatorRunRequest request;
-      request.algorithm = mo->algorithm();
+      request.algorithm = cand.algorithm;
       request.input_bytes = total_bytes;
       request.input_records = total_records;
-      request.params = ReadParams(*mo);
+      request.params = cand.params;
       request.resources = engine->default_resources();
       if (options.advisor != nullptr) {
         request.resources =
@@ -207,8 +216,7 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
       for (size_t port = 0; port < node.outputs.size(); ++port) {
         const int out_node = node.outputs[port];
         if (out_node < 0) continue;
-        const IoRequirement out_req =
-            RequirementFromSpec(mo->OutputSpec(static_cast<int>(port)));
+        const IoRequirement& out_req = cand.OutputReq(port);
         Entry entry;
         entry.instance.dataset_node = graph.node(out_node).name;
         entry.instance.store =
@@ -218,28 +226,35 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
                                     : (choices.empty()
                                            ? ""
                                            : choices[0].moved_instance.format);
+        entry.store_id = interner.Intern(entry.instance.store);
+        entry.format_id = interner.Intern(entry.instance.format);
         entry.instance.bytes = est.output_bytes;
         entry.instance.records = est.output_records;
         entry.metric = total_metric;
         entry.seconds = input_seconds + est.exec_seconds;
         entry.cost = input_cost + est.cost;
         entry.producer_op_node = op_node;
-        entry.producer_mo = mo->name();
-        entry.engine = engine->name();
-        entry.algorithm = mo->algorithm();
+        entry.producer_cand = static_cast<int>(cand_idx);
         entry.resources = request.resources;
         entry.op_estimate = est;
-        entry.params = request.params;
-        entry.inputs = choices;
         entry.op_input_bytes = total_bytes;
         entry.op_input_records = total_records;
+        // The last output port owns the choices; earlier ports copy.
+        if (port + 1 == node.outputs.size()) {
+          entry.inputs = std::move(choices);
+        } else {
+          entry.inputs = choices;
+        }
 
-        // Keep one record per (store, format): the cheapest.
+        // Keep one record per (store, format): the cheapest. Buckets hold
+        // at most one entry per distinct location, so a flat vector with
+        // interned-id comparison beats any map.
         std::vector<Entry>& bucket = dp_table[out_node];
+        if (bucket.capacity() == 0) bucket.reserve(candidates.size());
         auto existing = std::find_if(
             bucket.begin(), bucket.end(), [&](const Entry& other) {
-              return other.instance.store == entry.instance.store &&
-                     other.instance.format == entry.instance.format;
+              return other.store_id == entry.store_id &&
+                     other.format_id == entry.format_id;
             });
         if (existing == bucket.end()) {
           bucket.push_back(std::move(entry));
@@ -265,86 +280,128 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
 
   // ---- Reconstruct the chosen plan from the back-pointers. ---------------
   ExecutionPlan plan;
-  // Memo: one plan step per producing run, keyed by (op node, mo name).
-  std::map<std::pair<int, std::string>, int> produced;
+  // Memo: one plan step per producing run, keyed by (op node, candidate).
+  std::map<std::pair<int, int>, int> produced;
 
-  std::function<int(int, int)> build = [&](int dataset_node,
-                                           int entry_index) -> int {
-    const Entry& entry = dp_table[dataset_node][entry_index];
-    if (entry.producer_op_node < 0) return -1;  // source data
-    const std::pair<int, std::string> key{entry.producer_op_node,
-                                          entry.producer_mo};
-    auto it = produced.find(key);
-    if (it != produced.end()) return it->second;
-
+  // Explicit worklist in place of recursion: deep (1000+ operator) chains
+  // must not overflow the stack. Each frame mirrors one recursive
+  // activation; a frame suspends before an unbuilt producer and resumes at
+  // the same input once the producer's step is memoized, which reproduces
+  // the recursive step order (producer subtree, then the move step, then
+  // the consumer) exactly.
+  struct Frame {
+    int dataset_node;
+    int entry_index;
+    size_t next_input = 0;
     PlanStep step;
-    step.kind = PlanStep::Kind::kOperator;
-    step.name = entry.producer_mo;
-    step.engine = entry.engine;
-    step.algorithm = entry.algorithm;
-    step.resources = entry.resources;
-    step.estimated_seconds = entry.op_estimate.exec_seconds;
-    step.estimated_cost = entry.op_estimate.cost;
-    step.params = entry.params;
-    step.input_bytes = entry.op_input_bytes;
-    step.input_records = entry.op_input_records;
-    for (size_t port = 0;
-         port < graph.node(entry.producer_op_node).outputs.size(); ++port) {
-      const int out_node = graph.node(entry.producer_op_node).outputs[port];
-      if (out_node < 0) continue;
-      // All outputs of this run share the producer's estimate; find the
-      // entry for each output that this run created.
-      for (const Entry& out_entry : dp_table[out_node]) {
-        if (out_entry.producer_op_node == entry.producer_op_node &&
-            out_entry.producer_mo == entry.producer_mo) {
-          step.outputs.push_back(out_entry.instance);
-          break;
-        }
-      }
-    }
-
-    for (const InputChoice& choice : entry.inputs) {
-      const int producer_step = build(choice.dataset_node, choice.entry_index);
-      const Entry& in_entry =
-          dp_table[choice.dataset_node][choice.entry_index];
-      int upstream = producer_step;
-      if (choice.move) {
-        PlanStep move_step;
-        move_step.kind = PlanStep::Kind::kMove;
-        move_step.name = "move(" + in_entry.instance.dataset_node + ":" +
-                         in_entry.instance.store + "->" +
-                         choice.moved_instance.store + ")";
-        move_step.engine = entry.engine;
-        move_step.algorithm = "Move";
-        move_step.resources = Resources{1, 1, 1.0};
-        move_step.estimated_seconds = choice.move_seconds;
-        move_step.estimated_cost = choice.move_cost;
-        move_step.outputs.push_back(choice.moved_instance);
-        move_step.input_bytes = in_entry.instance.bytes;
-        move_step.input_records = in_entry.instance.records;
-        if (producer_step >= 0) {
-          move_step.deps.push_back(producer_step);
-        } else {
-          move_step.source_datasets.push_back(
-              in_entry.instance.dataset_node);
-        }
-        move_step.id = static_cast<int>(plan.steps.size());
-        plan.steps.push_back(move_step);
-        upstream = move_step.id;
-      }
-      if (upstream >= 0) {
-        step.deps.push_back(upstream);
-      } else {
-        step.source_datasets.push_back(in_entry.instance.dataset_node);
-      }
-    }
-
-    step.id = static_cast<int>(plan.steps.size());
-    produced.emplace(key, step.id);
-    plan.steps.push_back(std::move(step));
-    return plan.steps.back().id;
   };
-  build(graph.target(), static_cast<int>(best_idx));
+  auto build_plan = [&](int root_node, int root_entry) {
+    {
+      const Entry& root = dp_table[root_node][root_entry];
+      if (root.producer_op_node < 0) return;  // source data, empty plan
+    }
+    std::vector<Frame> stack;
+    auto push_frame = [&](int dataset_node, int entry_index) -> bool {
+      const Entry& entry = dp_table[dataset_node][entry_index];
+      if (produced.count({entry.producer_op_node, entry.producer_cand}) > 0) {
+        return false;  // already built
+      }
+      Frame frame;
+      frame.dataset_node = dataset_node;
+      frame.entry_index = entry_index;
+      const ResolvedCandidate& cand =
+          snapshots[entry.producer_op_node][entry.producer_cand];
+      PlanStep& step = frame.step;
+      step.kind = PlanStep::Kind::kOperator;
+      step.name = cand.op.name();
+      step.engine = cand.engine_name;
+      step.algorithm = cand.algorithm;
+      step.resources = entry.resources;
+      step.estimated_seconds = entry.op_estimate.exec_seconds;
+      step.estimated_cost = entry.op_estimate.cost;
+      step.params = cand.params;
+      step.input_bytes = entry.op_input_bytes;
+      step.input_records = entry.op_input_records;
+      for (int out_node : graph.node(entry.producer_op_node).outputs) {
+        if (out_node < 0) continue;
+        // All outputs of this run share the producer's estimate; find the
+        // entry for each output that this run created.
+        for (const Entry& out_entry : dp_table[out_node]) {
+          if (out_entry.producer_op_node == entry.producer_op_node &&
+              out_entry.producer_cand == entry.producer_cand) {
+            step.outputs.push_back(out_entry.instance);
+            break;
+          }
+        }
+      }
+      stack.push_back(std::move(frame));
+      return true;
+    };
+
+    push_frame(root_node, root_entry);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Entry& entry = dp_table[frame.dataset_node][frame.entry_index];
+      bool suspended = false;
+      while (frame.next_input < entry.inputs.size()) {
+        const InputChoice& choice = entry.inputs[frame.next_input];
+        const Entry& in_entry =
+            dp_table[choice.dataset_node][choice.entry_index];
+        int producer_step = -1;
+        if (in_entry.producer_op_node >= 0) {
+          auto it = produced.find(
+              {in_entry.producer_op_node, in_entry.producer_cand});
+          if (it == produced.end()) {
+            // Build the producer first; resume this input afterwards.
+            push_frame(choice.dataset_node, choice.entry_index);
+            suspended = true;
+            break;
+          }
+          producer_step = it->second;
+        }
+        int upstream = producer_step;
+        if (choice.move) {
+          PlanStep move_step;
+          move_step.kind = PlanStep::Kind::kMove;
+          move_step.name = "move(" + in_entry.instance.dataset_node + ":" +
+                           in_entry.instance.store + "->" +
+                           choice.moved_instance.store + ")";
+          move_step.engine = frame.step.engine;
+          move_step.algorithm = "Move";
+          move_step.resources = Resources{1, 1, 1.0};
+          move_step.estimated_seconds = choice.move_seconds;
+          move_step.estimated_cost = choice.move_cost;
+          move_step.outputs.push_back(choice.moved_instance);
+          move_step.input_bytes = in_entry.instance.bytes;
+          move_step.input_records = in_entry.instance.records;
+          if (producer_step >= 0) {
+            move_step.deps.push_back(producer_step);
+          } else {
+            move_step.source_datasets.push_back(
+                in_entry.instance.dataset_node);
+          }
+          move_step.id = static_cast<int>(plan.steps.size());
+          plan.steps.push_back(move_step);
+          upstream = move_step.id;
+        }
+        if (upstream >= 0) {
+          frame.step.deps.push_back(upstream);
+        } else {
+          frame.step.source_datasets.push_back(in_entry.instance.dataset_node);
+        }
+        ++frame.next_input;
+      }
+      if (suspended) continue;
+
+      frame.step.id = static_cast<int>(plan.steps.size());
+      produced.emplace(
+          std::make_pair(entry.producer_op_node, entry.producer_cand),
+          frame.step.id);
+      plan.steps.push_back(std::move(frame.step));
+      stack.pop_back();
+    }
+  };
+  build_plan(graph.target(), static_cast<int>(best_idx));
 
   // ---- End-to-end estimates: critical path + summed cost. ----------------
   std::vector<double> finish(plan.steps.size(), 0.0);

@@ -2,6 +2,8 @@
 #define IRES_PLANNER_DP_PLANNER_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "planner/cost_estimator.h"
 #include "planner/execution_plan.h"
 #include "planner/optimization_policy.h"
+#include "planner/planner_context.h"
 #include "workflow/workflow_graph.h"
 
 namespace ires {
@@ -49,17 +52,28 @@ class DpPlanner {
     std::map<std::string, DatasetInstance> materialized_intermediates;
   };
 
-  DpPlanner(const OperatorLibrary* library, const EngineRegistry* engines)
-      : library_(library), engines_(engines) {}
+  /// When `context` is non-null it must be built over the same `library`
+  /// and `engines`; sharing one context across planners (and with the
+  /// Pareto planner / materialization report) is what lets repeated jobs
+  /// skip candidate tree-matching. When null, the planner lazily owns a
+  /// private context, so repeated Plan calls on one instance still warm up.
+  DpPlanner(const OperatorLibrary* library, const EngineRegistry* engines,
+            const PlannerContext* context = nullptr)
+      : library_(library), engines_(engines), context_(context) {}
 
   /// Plans `graph` under `options`. Fails with FailedPrecondition when no
-  /// feasible materialized plan reaches the target.
+  /// feasible materialized plan reaches the target. Thread-safe.
   Result<ExecutionPlan> Plan(const WorkflowGraph& graph,
                              const Options& options) const;
 
  private:
+  const PlannerContext& context() const;
+
   const OperatorLibrary* library_;
   const EngineRegistry* engines_;
+  const PlannerContext* context_;
+  mutable std::once_flag owned_context_once_;
+  mutable std::unique_ptr<PlannerContext> owned_context_;
 };
 
 }  // namespace ires

@@ -2,8 +2,7 @@
 
 #include <cstdio>
 #include <map>
-
-#include "planner/planner_common.h"
+#include <memory>
 
 namespace ires {
 
@@ -31,7 +30,13 @@ std::string MaterializationReport::ToString() const {
 
 Result<MaterializationReport> BuildMaterializationReport(
     const WorkflowGraph& graph, const OperatorLibrary& library,
-    const EngineRegistry& engines, const ExecutionPlan& plan) {
+    const EngineRegistry& engines, const ExecutionPlan& plan,
+    const PlannerContext* context) {
+  std::unique_ptr<PlannerContext> transient;
+  if (context == nullptr) {
+    transient = std::make_unique<PlannerContext>(&library, &engines);
+    context = transient.get();
+  }
   // Map each produced dataset node to its producing plan step.
   // Moves re-emit the dataset they ship, so only operator steps count as
   // producers here.
@@ -65,33 +70,28 @@ Result<MaterializationReport> BuildMaterializationReport(
 
     // Candidate implementations, estimated at the chosen step's input
     // statistics (or zero inputs when the operator was not scheduled).
-    const AbstractOperator* abstract = library.FindAbstractByName(node.name);
-    AbstractOperator synthesized;
-    if (abstract == nullptr) {
-      MetadataTree meta;
-      meta.Set("Constraints.OpSpecification.Algorithm.name", node.name);
-      synthesized = AbstractOperator(node.name, std::move(meta));
-      abstract = &synthesized;
-    }
-    for (const MaterializedOperator* mo :
-         library.FindMaterializedOperators(*abstract)) {
+    // Resolution (including the synthesized-abstract fallback for inline
+    // operators) is shared with the planners via the context's index.
+    const CandidateSnapshot candidates = context->Resolve(node.name);
+    for (const ResolvedCandidate& cand : candidates.candidates()) {
       OperatorAlternative alt;
-      alt.materialized = mo->name();
-      alt.engine = mo->engine();
-      alt.chosen = chosen_step != nullptr && chosen_step->name == mo->name();
-      const SimulatedEngine* engine = engines.Find(mo->engine());
-      if (engine == nullptr || !engine->available()) {
+      alt.materialized = cand.op.name();
+      alt.engine = cand.engine_name;
+      alt.chosen =
+          chosen_step != nullptr && chosen_step->name == cand.op.name();
+      if (!cand.engine_available) {
         alt.infeasibility = "engine unavailable";
         entry.alternatives.push_back(std::move(alt));
         continue;
       }
+      const SimulatedEngine* engine = cand.engine;
       OperatorRunRequest request;
-      request.algorithm = mo->algorithm();
+      request.algorithm = cand.algorithm;
       if (chosen_step != nullptr) {
         request.input_bytes = chosen_step->input_bytes;
         request.input_records = chosen_step->input_records;
       }
-      request.params = planner_internal::ReadParams(*mo);
+      request.params = cand.params;
       request.resources = engine->default_resources();
       auto estimate = engine->Estimate(request);
       if (estimate.ok()) {

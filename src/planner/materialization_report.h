@@ -7,6 +7,7 @@
 #include "engines/engine_registry.h"
 #include "operators/operator_library.h"
 #include "planner/execution_plan.h"
+#include "planner/planner_context.h"
 #include "workflow/workflow_graph.h"
 
 namespace ires {
@@ -40,9 +41,14 @@ struct MaterializationReport {
 /// every matching materialized operator is re-estimated with the input
 /// statistics the chosen plan established, so the numbers are comparable
 /// with the selected implementation's.
+///
+/// When `context` is non-null (built over the same library/registry, e.g.
+/// the planner's), candidate resolution is served from its memoized index;
+/// otherwise a transient context resolves each node once.
 Result<MaterializationReport> BuildMaterializationReport(
     const WorkflowGraph& graph, const OperatorLibrary& library,
-    const EngineRegistry& engines, const ExecutionPlan& plan);
+    const EngineRegistry& engines, const ExecutionPlan& plan,
+    const PlannerContext* context = nullptr);
 
 }  // namespace ires
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
+#include <utility>
 
+#include "common/interner.h"
 #include "planner/planner_common.h"
 
 namespace ires {
@@ -13,8 +14,6 @@ namespace {
 
 using planner_internal::InstanceSatisfies;
 using planner_internal::IoRequirement;
-using planner_internal::ReadParams;
-using planner_internal::RequirementFromSpec;
 
 // How one input port of one candidate run is fed: a dpTable entry id plus
 // an optional move.
@@ -28,18 +27,19 @@ struct InputChoice {
 
 // One Pareto record: a way to materialize a dataset node with a particular
 // (seconds, cost) trade-off. Entries live in a global arena and are
-// referenced by id so that back-pointers stay stable.
+// referenced by id so that back-pointers stay stable. Producer identity is
+// a (op node, candidate index) reference into that node's candidate
+// snapshot; name/engine/algorithm/params strings live there exactly once.
 struct Entry {
   DatasetInstance instance;
+  int32_t store_id = -1;   // interned at insert time
+  int32_t format_id = -1;
   double seconds = 0.0;
   double cost = 0.0;
-  int producer_op_node = -1;       // <0: source data
-  std::string producer_mo;
-  std::string engine;
-  std::string algorithm;
+  int producer_op_node = -1;  // <0: source data
+  int producer_cand = -1;
   Resources resources;
   OperatorRunEstimate op_estimate;
-  std::map<std::string, double> params;
   std::vector<InputChoice> inputs;
   double op_input_bytes = 0.0;
   double op_input_records = 0.0;
@@ -90,6 +90,14 @@ void PrunePartials(std::vector<Partial>* partials, int cap) {
 
 }  // namespace
 
+const PlannerContext& ParetoPlanner::context() const {
+  if (context_ != nullptr) return *context_;
+  std::call_once(owned_context_once_, [this] {
+    owned_context_ = std::make_unique<PlannerContext>(library_, engines_);
+  });
+  return *owned_context_;
+}
+
 Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
     const WorkflowGraph& graph, const Options& options) const {
   IRES_RETURN_IF_ERROR(graph.Validate());
@@ -97,6 +105,7 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
   const CostEstimator& estimator =
       options.estimator != nullptr ? *options.estimator : kAnalytic;
   const DataMovementModel& movement = engines_->movement();
+  const PlannerContext& ctx = context();
   const int cap = std::max(2, options.max_frontier_size);
 
   std::vector<Entry> arena;
@@ -104,15 +113,20 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
   // store/format variants; dominance is checked within a variant only,
   // since a "worse" location can still enable a cheaper downstream plan).
   std::vector<std::vector<int>> dp(graph.size());
+  // Candidate snapshots per operator node, kept for plan reconstruction.
+  std::vector<CandidateSnapshot> snapshots(graph.size());
+  StringInterner interner;
 
   auto insert_entry = [&](int node, Entry entry) {
+    entry.store_id = interner.Intern(entry.instance.store);
+    entry.format_id = interner.Intern(entry.instance.format);
     std::vector<int>& bucket = dp[node];
     // Drop the new entry if a same-location entry dominates it; drop
     // dominated same-location entries.
     for (int id : bucket) {
       const Entry& other = arena[id];
-      if (other.instance.store == entry.instance.store &&
-          other.instance.format == entry.instance.format &&
+      if (other.store_id == entry.store_id &&
+          other.format_id == entry.format_id &&
           (Dominates(other.seconds, other.cost, entry.seconds, entry.cost) ||
            (other.seconds == entry.seconds && other.cost == entry.cost))) {
         return;
@@ -122,9 +136,8 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
         std::remove_if(bucket.begin(), bucket.end(),
                        [&](int id) {
                          const Entry& other = arena[id];
-                         return other.instance.store == entry.instance.store &&
-                                other.instance.format ==
-                                    entry.instance.format &&
+                         return other.store_id == entry.store_id &&
+                                other.format_id == entry.format_id &&
                                 Dominates(entry.seconds, entry.cost,
                                           other.seconds, other.cost);
                        }),
@@ -133,9 +146,9 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
     arena.push_back(std::move(entry));
     bucket.push_back(id);
     // Cap per (store, format): keep extremes + spread, by seconds order.
-    std::map<std::pair<std::string, std::string>, std::vector<int>> groups;
+    std::map<std::pair<int32_t, int32_t>, std::vector<int>> groups;
     for (int e : bucket) {
-      groups[{arena[e].instance.store, arena[e].instance.format}].push_back(e);
+      groups[{arena[e].store_id, arena[e].format_id}].push_back(e);
     }
     std::vector<int> pruned;
     for (auto& [key, ids] : groups) {
@@ -190,27 +203,28 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
   // ---- DP over operators, combining input Pareto sets. ---------------------
   for (int op_node : topo) {
     const WorkflowGraph::Node& node = graph.node(op_node);
-    const AbstractOperator* abstract = library_->FindAbstractByName(node.name);
-    AbstractOperator synthesized;
-    if (abstract == nullptr) {
-      MetadataTree meta;
-      meta.Set("Constraints.OpSpecification.Algorithm.name", node.name);
-      synthesized = AbstractOperator(node.name, std::move(meta));
-      abstract = &synthesized;
-    }
+    snapshots[op_node] = ctx.Resolve(node.name);
+    const CandidateSnapshot& candidates = snapshots[op_node];
 
-    for (const MaterializedOperator* mo :
-         library_->FindMaterializedOperators(*abstract)) {
-      const SimulatedEngine* engine = engines_->Find(mo->engine());
-      if (engine == nullptr || !engine->available()) continue;
+    // Phase 1 — per candidate, combine input Pareto sets and estimate runs.
+    // Touches only this op's *input* nodes, which earlier topological steps
+    // finalized, so it is read-only on dp/arena and safe to fan out. New
+    // entries are staged per candidate instead of inserted.
+    struct PendingEntry {
+      int out_node;
+      Entry entry;
+    };
+    std::vector<std::vector<PendingEntry>> staged(candidates.size());
+    ParallelFor(options.pool, candidates.size(), [&](size_t cand_idx) {
+      const ResolvedCandidate& cand = candidates[cand_idx];
+      if (!cand.engine_available) return;
+      const SimulatedEngine* engine = cand.engine;
 
       // Combine the inputs' Pareto sets port by port.
       std::vector<Partial> partials = {Partial{}};
-      bool feasible = true;
-      for (size_t port = 0; port < node.inputs.size() && feasible; ++port) {
+      for (size_t port = 0; port < node.inputs.size(); ++port) {
         const int in_node = node.inputs[port];
-        const IoRequirement req =
-            RequirementFromSpec(mo->InputSpec(static_cast<int>(port)));
+        const IoRequirement& req = cand.InputReq(port);
         std::vector<Partial> next;
         for (const Partial& base : partials) {
           for (int entry_id : dp[in_node]) {
@@ -239,21 +253,17 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
             next.push_back(std::move(combined));
           }
         }
-        if (next.empty()) {
-          feasible = false;
-          break;
-        }
+        if (next.empty()) return;  // infeasible on this candidate
         PrunePartials(&next, cap);
         partials = std::move(next);
       }
-      if (!feasible) continue;
 
-      for (const Partial& partial : partials) {
+      for (Partial& partial : partials) {
         OperatorRunRequest request;
-        request.algorithm = mo->algorithm();
+        request.algorithm = cand.algorithm;
         request.input_bytes = partial.bytes;
         request.input_records = partial.records;
-        request.params = ReadParams(*mo);
+        request.params = cand.params;
         request.resources = engine->default_resources();
         auto estimate = estimator.Estimate(*engine, request);
         if (!estimate.ok()) continue;
@@ -262,8 +272,7 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
         for (size_t port = 0; port < node.outputs.size(); ++port) {
           const int out_node = node.outputs[port];
           if (out_node < 0) continue;
-          const IoRequirement out_req =
-              RequirementFromSpec(mo->OutputSpec(static_cast<int>(port)));
+          const IoRequirement& out_req = cand.OutputReq(port);
           Entry entry;
           entry.instance.dataset_node = graph.node(out_node).name;
           entry.instance.store =
@@ -279,17 +288,28 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
           entry.seconds = partial.seconds + est.exec_seconds;
           entry.cost = partial.cost + est.cost;
           entry.producer_op_node = op_node;
-          entry.producer_mo = mo->name();
-          entry.engine = engine->name();
-          entry.algorithm = mo->algorithm();
+          entry.producer_cand = static_cast<int>(cand_idx);
           entry.resources = request.resources;
           entry.op_estimate = est;
-          entry.params = request.params;
-          entry.inputs = partial.choices;
+          // The last output port owns the choices; earlier ports copy.
+          if (port + 1 == node.outputs.size()) {
+            entry.inputs = std::move(partial.choices);
+          } else {
+            entry.inputs = partial.choices;
+          }
           entry.op_input_bytes = partial.bytes;
           entry.op_input_records = partial.records;
-          insert_entry(out_node, std::move(entry));
+          staged[cand_idx].push_back(PendingEntry{out_node, std::move(entry)});
         }
+      }
+    });
+
+    // Phase 2 — merge in candidate-index order. This is exactly the order
+    // the serial loop inserted in, so dominance pruning (which is
+    // insertion-order sensitive on ties) produces identical dpTables.
+    for (std::vector<PendingEntry>& pending : staged) {
+      for (PendingEntry& p : pending) {
+        insert_entry(p.out_node, std::move(p.entry));
       }
     }
   }
@@ -325,28 +345,58 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
     ExecutionPlan& plan = out.plan;
     std::map<int, int> step_of_entry;  // entry id -> producing plan step
 
-    std::function<int(int)> build = [&](int entry_id) -> int {
-      const Entry& entry = arena[entry_id];
-      if (entry.producer_op_node < 0) return -1;
-      auto it = step_of_entry.find(entry_id);
-      if (it != step_of_entry.end()) return it->second;
-
+    // Explicit worklist (deep chains must not overflow the stack). A frame
+    // suspends before an unbuilt producer and retries the same input once
+    // that producer's step is memoized, reproducing the recursive step
+    // order exactly.
+    struct Frame {
+      int entry_id;
+      size_t next_input = 0;
       PlanStep step;
+    };
+    std::vector<Frame> stack;
+    auto push_frame = [&](int entry_id) -> bool {
+      const Entry& entry = arena[entry_id];
+      if (entry.producer_op_node < 0) return false;  // source data
+      if (step_of_entry.count(entry_id) > 0) return false;
+      const ResolvedCandidate& cand =
+          snapshots[entry.producer_op_node][entry.producer_cand];
+      Frame frame;
+      frame.entry_id = entry_id;
+      PlanStep& step = frame.step;
       step.kind = PlanStep::Kind::kOperator;
-      step.name = entry.producer_mo;
-      step.engine = entry.engine;
-      step.algorithm = entry.algorithm;
+      step.name = cand.op.name();
+      step.engine = cand.engine_name;
+      step.algorithm = cand.algorithm;
       step.resources = entry.resources;
       step.estimated_seconds = entry.op_estimate.exec_seconds;
       step.estimated_cost = entry.op_estimate.cost;
-      step.params = entry.params;
+      step.params = cand.params;
       step.input_bytes = entry.op_input_bytes;
       step.input_records = entry.op_input_records;
       step.outputs.push_back(entry.instance);
+      stack.push_back(std::move(frame));
+      return true;
+    };
 
-      for (const InputChoice& choice : entry.inputs) {
-        const int producer_step = build(choice.entry_id);
+    push_frame(target_id);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Entry& entry = arena[frame.entry_id];
+      bool suspended = false;
+      while (frame.next_input < entry.inputs.size()) {
+        const InputChoice& choice = entry.inputs[frame.next_input];
         const Entry& in_entry = arena[choice.entry_id];
+        int producer_step = -1;
+        if (in_entry.producer_op_node >= 0) {
+          auto it = step_of_entry.find(choice.entry_id);
+          if (it == step_of_entry.end()) {
+            push_frame(choice.entry_id);
+            suspended = true;
+            break;
+          }
+          producer_step = it->second;
+        }
         int upstream = producer_step;
         if (choice.move) {
           PlanStep move_step;
@@ -354,7 +404,7 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
           move_step.name = "move(" + in_entry.instance.dataset_node + ":" +
                            in_entry.instance.store + "->" +
                            choice.moved_instance.store + ")";
-          move_step.engine = entry.engine;
+          move_step.engine = frame.step.engine;
           move_step.algorithm = "Move";
           move_step.resources = Resources{1, 1, 1.0};
           move_step.estimated_seconds = choice.move_seconds;
@@ -373,17 +423,19 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
           upstream = move_step.id;
         }
         if (upstream >= 0) {
-          step.deps.push_back(upstream);
+          frame.step.deps.push_back(upstream);
         } else {
-          step.source_datasets.push_back(in_entry.instance.dataset_node);
+          frame.step.source_datasets.push_back(in_entry.instance.dataset_node);
         }
+        ++frame.next_input;
       }
-      step.id = static_cast<int>(plan.steps.size());
-      step_of_entry.emplace(entry_id, step.id);
-      plan.steps.push_back(std::move(step));
-      return plan.steps.back().id;
-    };
-    build(target_id);
+      if (suspended) continue;
+
+      frame.step.id = static_cast<int>(plan.steps.size());
+      step_of_entry.emplace(frame.entry_id, frame.step.id);
+      plan.steps.push_back(std::move(frame.step));
+      stack.pop_back();
+    }
 
     std::vector<double> finish(plan.steps.size(), 0.0);
     double makespan = 0.0, total_cost = 0.0;

@@ -2,6 +2,8 @@
 #define IRES_PLANNER_PARETO_PLANNER_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,8 @@
 #include "operators/operator_library.h"
 #include "planner/cost_estimator.h"
 #include "planner/execution_plan.h"
+#include "planner/planner_context.h"
+#include "threading/thread_pool.h"
 #include "workflow/workflow_graph.h"
 
 namespace ires {
@@ -25,7 +29,8 @@ namespace ires {
 class ParetoPlanner {
  public:
   struct Options {
-    /// Cost model library; null = analytic models.
+    /// Cost model library; null = analytic models. Must be thread-safe for
+    /// concurrent Estimate calls when `pool` is set.
     const CostEstimator* estimator = nullptr;
     /// Frontier-size cap per dpTable bucket; larger = finer frontier,
     /// slower planning. Pruning keeps the extremes plus evenly spread
@@ -33,6 +38,11 @@ class ParetoPlanner {
     int max_frontier_size = 16;
     /// Replanning support, as in DpPlanner.
     std::map<std::string, DatasetInstance> materialized_intermediates;
+    /// When set, per-candidate input combination and cost estimation fan
+    /// out across the pool. The result is bit-identical to the serial path:
+    /// the parallel phase only reads the dpTable, and entries are merged in
+    /// candidate-index order afterwards.
+    ThreadPool* pool = nullptr;
   };
 
   /// One frontier plan with its objective vector.
@@ -42,8 +52,12 @@ class ParetoPlanner {
     double cost = 0.0;     // cumulative resource cost (DP objective 2)
   };
 
-  ParetoPlanner(const OperatorLibrary* library, const EngineRegistry* engines)
-      : library_(library), engines_(engines) {}
+  /// As with DpPlanner: a shared non-null `context` (built over the same
+  /// library/registry) lets repeated jobs reuse memoized candidate
+  /// resolution; when null a private context is created lazily.
+  ParetoPlanner(const OperatorLibrary* library, const EngineRegistry* engines,
+                const PlannerContext* context = nullptr)
+      : library_(library), engines_(engines), context_(context) {}
 
   /// Computes the Pareto frontier of execution plans for `graph`, sorted by
   /// ascending seconds (and thus descending cost). Fails when no feasible
@@ -52,8 +66,13 @@ class ParetoPlanner {
                                                  const Options& options) const;
 
  private:
+  const PlannerContext& context() const;
+
   const OperatorLibrary* library_;
   const EngineRegistry* engines_;
+  const PlannerContext* context_;
+  mutable std::once_flag owned_context_once_;
+  mutable std::unique_ptr<PlannerContext> owned_context_;
 };
 
 }  // namespace ires

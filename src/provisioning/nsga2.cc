@@ -106,21 +106,26 @@ std::vector<Nsga2::Individual> Nsga2::Optimize(
                                 ? options_.mutation_probability
                                 : 1.0 / static_cast<double>(genes);
 
-  auto random_individual = [&]() {
-    Individual ind;
-    ind.genes.resize(genes);
-    for (size_t g = 0; g < genes; ++g) {
-      ind.genes[g] = rng.Uniform(bounds[g].first, bounds[g].second);
-    }
-    ind.objectives = evaluate(ind.genes);
-    return ind;
+  // Objective evaluation is a pure function of the genes and never touches
+  // the RNG, so it can run as a parallel batch after the (serial, RNG-
+  // consuming) gene generation without perturbing the random stream.
+  auto evaluate_all = [&](std::vector<Individual>* individuals) {
+    ParallelFor(options_.pool, individuals->size(), [&](size_t i) {
+      (*individuals)[i].objectives = evaluate((*individuals)[i].genes);
+    });
   };
 
   std::vector<Individual> population;
   population.reserve(options_.population);
   for (int i = 0; i < options_.population; ++i) {
-    population.push_back(random_individual());
+    Individual ind;
+    ind.genes.resize(genes);
+    for (size_t g = 0; g < genes; ++g) {
+      ind.genes[g] = rng.Uniform(bounds[g].first, bounds[g].second);
+    }
+    population.push_back(std::move(ind));
   }
+  evaluate_all(&population);
   {
     auto fronts = NonDominatedSort(&population);
     for (const auto& front : fronts) AssignCrowding(&population, front);
@@ -164,11 +169,11 @@ std::vector<Nsga2::Individual> Nsga2::Optimize(
         }
         Individual ind;
         ind.genes = *child;
-        ind.objectives = evaluate(ind.genes);
         offspring.push_back(std::move(ind));
         if (static_cast<int>(offspring.size()) >= options_.population) break;
       }
     }
+    evaluate_all(&offspring);
 
     // Elitist environmental selection over parents + offspring.
     std::vector<Individual> combined = std::move(population);

@@ -22,6 +22,9 @@ class NsgaResourceProvisioner : public ResourceAdvisor {
   };
 
   NsgaResourceProvisioner() = default;
+  /// `ga.pool` may be set to parallelize objective evaluation: the
+  /// objective here is SimulatedEngine::Estimate on a copied request, which
+  /// is safe for concurrent calls. Results stay bit-identical to serial.
   NsgaResourceProvisioner(Limits limits, Nsga2::Options ga)
       : limits_(limits), ga_(ga) {}
 

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/ires_server.h"
-#include "service/thread_pool.h"
+#include "threading/thread_pool.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace_context.h"
 

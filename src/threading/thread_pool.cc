@@ -1,4 +1,4 @@
-#include "service/thread_pool.h"
+#include "threading/thread_pool.h"
 
 #include <algorithm>
 
@@ -76,6 +76,59 @@ void ThreadPool::WorkerLoop() {
     }
     task.fn();
   }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared between the caller and the helper tasks; heap-allocated so a
+  // helper that outlives an early-returning caller path can never touch a
+  // dead frame (the caller always waits, but the shared_ptr keeps the
+  // invariant local and obvious).
+  struct State {
+    std::atomic<size_t> next{0};
+    size_t n;
+    std::function<void(size_t)> fn;
+    std::mutex mu;
+    std::condition_variable done;
+    int live_helpers = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = fn;
+
+  auto drain = [](State* s) {
+    for (size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+         i < s->n; i = s->next.fetch_add(1, std::memory_order_relaxed)) {
+      s->fn(i);
+    }
+  };
+
+  const size_t helpers =
+      std::min(static_cast<size_t>(pool->worker_count()), n - 1);
+  int submitted = 0;
+  for (size_t h = 0; h < helpers; ++h) {
+    const bool ok = pool->Submit([state, drain] {
+      drain(state.get());
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->live_helpers == 0) state->done.notify_all();
+    });
+    if (ok) ++submitted;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->live_helpers += submitted;
+  }
+
+  drain(state.get());  // the caller works too — progress without any worker
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->live_helpers <= 0; });
 }
 
 }  // namespace ires

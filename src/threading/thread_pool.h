@@ -1,5 +1,5 @@
-#ifndef IRES_SERVICE_THREAD_POOL_H_
-#define IRES_SERVICE_THREAD_POOL_H_
+#ifndef IRES_THREADING_THREAD_POOL_H_
+#define IRES_THREADING_THREAD_POOL_H_
 
 #include <chrono>
 #include <condition_variable>
@@ -62,6 +62,18 @@ class ThreadPool {
   Histogram* wait_histogram_ = nullptr;
 };
 
+/// Runs `fn(0) .. fn(n-1)` across `pool`, blocking until every index has
+/// finished. Indices are claimed from a shared atomic counter by up to
+/// worker_count helper tasks plus the calling thread, so the call makes
+/// progress (degrading to serial on the caller) even when every pool worker
+/// is busy or the pool is shutting down — it can never deadlock on itself.
+/// A null pool runs everything inline.
+///
+/// `fn` is invoked concurrently and must be thread-safe; writes keyed by
+/// index keep results deterministic regardless of scheduling.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
 }  // namespace ires
 
-#endif  // IRES_SERVICE_THREAD_POOL_H_
+#endif  // IRES_THREADING_THREAD_POOL_H_

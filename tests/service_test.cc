@@ -13,7 +13,7 @@
 
 #include "core/rest_api.h"
 #include "service/job_service.h"
-#include "service/thread_pool.h"
+#include "threading/thread_pool.h"
 #include "telemetry/trace_context.h"
 
 namespace ires {
