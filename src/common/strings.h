@@ -25,6 +25,10 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// Lowercases ASCII characters.
 std::string ToLower(std::string_view text);
 
+/// Minimal JSON string escaping (quotes, backslash, control characters) for
+/// hand-assembled API / diagnostics payloads.
+std::string JsonEscape(const std::string& text);
+
 /// Formats a byte count as a human-readable string ("1.5GB").
 std::string HumanBytes(double bytes);
 

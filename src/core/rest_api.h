@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/strings.h"
 #include "core/ires_server.h"
 #include "service/job_service.h"
 
@@ -105,8 +106,6 @@ class RestApi {
   std::map<std::string, WorkflowGraph> workflows_;
 };
 
-/// Minimal JSON string escaping for API payloads.
-std::string JsonEscape(const std::string& text);
 
 }  // namespace ires
 
