@@ -1,8 +1,16 @@
 #include "workflow/workflow_graph.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
 #include "common/strings.h"
+
+namespace {
+// Ports index a std::vector that Connect resizes up to the requested slot;
+// cap them so a typo'd port number cannot allocate gigabytes.
+constexpr int kMaxPort = 4096;
+}  // namespace
 
 namespace ires {
 
@@ -34,6 +42,11 @@ Status WorkflowGraph::Connect(const std::string& from, const std::string& to,
   if (src.kind == dst.kind) {
     return Status::InvalidArgument("edge " + from + "->" + to +
                                    " must connect a dataset and an operator");
+  }
+  if (port > kMaxPort) {
+    return Status::InvalidArgument("edge " + from + "->" + to + ": port " +
+                                   std::to_string(port) + " exceeds the " +
+                                   std::to_string(kMaxPort) + " limit");
   }
   auto place = [](std::vector<int>& ports, int slot, int id) {
     if (slot < 0) {
@@ -204,7 +217,21 @@ Result<WorkflowGraph> WorkflowGraph::ParseGraphFile(
     }
     resolve(fields[0]);
     resolve(fields[1]);
-    int port = fields.size() > 2 ? std::atoi(fields[2].c_str()) : -1;
+    int port = -1;
+    if (fields.size() > 2) {
+      // strtol with full validation: std::atoi silently maps garbage to 0,
+      // which would mis-wire the edge onto port 0 instead of rejecting it.
+      errno = 0;
+      char* end = nullptr;
+      const long parsed = std::strtol(fields[2].c_str(), &end, 10);
+      if (end == fields[2].c_str() || *end != '\0' || errno == ERANGE ||
+          parsed < -1 || parsed > kMaxPort) {
+        return Status::InvalidArgument(
+            "graph line " + std::to_string(line_no) + ": bad port '" +
+            fields[2] + "'");
+      }
+      port = static_cast<int>(parsed);
+    }
     IRES_RETURN_IF_ERROR(graph.Connect(fields[0], fields[1], port));
   }
   return graph;
