@@ -1,7 +1,10 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ires {
 
@@ -89,6 +92,18 @@ std::string JsonEscape(const std::string& text) {
     }
   }
   return out;
+}
+
+int ParseIntOr(const std::string& text, int fallback) {
+  if (text.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      parsed < INT_MIN || parsed > INT_MAX) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
 }
 
 std::string HumanBytes(double bytes) {

@@ -29,6 +29,11 @@ std::string ToLower(std::string_view text);
 /// hand-assembled API / diagnostics payloads.
 std::string JsonEscape(const std::string& text);
 
+/// Parses a complete base-10 integer, returning `fallback` on malformed
+/// input, trailing garbage or int overflow (unlike std::atoi, which returns
+/// an indistinguishable 0 for all of those).
+int ParseIntOr(const std::string& text, int fallback);
+
 /// Formats a byte count as a human-readable string ("1.5GB").
 std::string HumanBytes(double bytes);
 

@@ -77,8 +77,8 @@ Status ModelLibrary::SaveToDirectory(const std::string& dir) const {
   for (const auto& [key, models] : models_) {
     std::lock_guard<std::mutex> lock(models->mu);
     for (int metric = 0; metric < 3; ++metric) {
-      const OnlineEstimator* estimator = MetricEstimator(
-          const_cast<OperatorModels*>(models.get()), metric);
+      const OnlineEstimator* estimator =
+          MetricEstimator(models.get(), metric);
       const auto samples = estimator->ExportSamples();
       if (samples.empty()) continue;
       const fs::path path = fs::path(dir) / (key.first + "__" + key.second +

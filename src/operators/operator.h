@@ -1,10 +1,10 @@
 #ifndef IRES_OPERATORS_OPERATOR_H_
 #define IRES_OPERATORS_OPERATOR_H_
 
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "metadata/metadata_tree.h"
 #include "metadata/tree_match.h"
 #include "operators/dataset.h"
@@ -32,10 +32,10 @@ class AbstractOperator {
   }
 
   int input_count() const {
-    return std::atoi(meta_.GetOr("Constraints.Input.number", "1").c_str());
+    return ParseIntOr(meta_.GetOr("Constraints.Input.number", "1"), 1);
   }
   int output_count() const {
-    return std::atoi(meta_.GetOr("Constraints.Output.number", "1").c_str());
+    return ParseIntOr(meta_.GetOr("Constraints.Output.number", "1"), 1);
   }
 
  private:
@@ -64,10 +64,10 @@ class MaterializedOperator {
   std::string engine() const { return meta_.GetOr("Constraints.Engine", ""); }
 
   int input_count() const {
-    return std::atoi(meta_.GetOr("Constraints.Input.number", "1").c_str());
+    return ParseIntOr(meta_.GetOr("Constraints.Input.number", "1"), 1);
   }
   int output_count() const {
-    return std::atoi(meta_.GetOr("Constraints.Output.number", "1").c_str());
+    return ParseIntOr(meta_.GetOr("Constraints.Output.number", "1"), 1);
   }
 
   /// The constraint subtree for input `i` (`Constraints.Input<i>`), used as a
