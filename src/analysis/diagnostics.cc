@@ -1,0 +1,129 @@
+#include "analysis/diagnostics.h"
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace ires {
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError: return "error";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kInfo: return "info";
+  }
+  return "?";
+}
+
+std::string DiagLocation::ToString() const {
+  std::string out;
+  if (!node.empty()) {
+    out += "node '" + node + "'";
+    if (port >= 0) out += " port " + std::to_string(port);
+  } else if (step >= 0) {
+    out += "step " + std::to_string(step);
+  }
+  if (!path.empty()) {
+    if (!out.empty()) out += " ";
+    out += "(path " + path + ")";
+  }
+  return out;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::string(DiagSeverityName(severity)) + " " + code;
+  const std::string where = location.ToString();
+  if (!where.empty()) out += " at " + where;
+  out += ": " + message;
+  if (!fix_hint.empty()) out += " [fix: " + fix_hint + "]";
+  return out;
+}
+
+std::string Diagnostic::ToJson() const {
+  std::string out = "{\"code\":\"" + JsonEscape(code) + "\",\"severity\":\"" +
+                    DiagSeverityName(severity) + "\",\"location\":{";
+  bool first = true;
+  auto field = [&](const char* key, const std::string& value) {
+    if (!first) out += ",";
+    first = false;
+    out += std::string("\"") + key + "\":\"" + JsonEscape(value) + "\"";
+  };
+  if (!location.node.empty()) field("node", location.node);
+  if (location.port >= 0) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"port\":" + std::to_string(location.port);
+  }
+  if (!location.path.empty()) field("path", location.path);
+  if (location.step >= 0) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"step\":" + std::to_string(location.step);
+  }
+  out += "},\"message\":\"" + JsonEscape(message) + "\"";
+  if (!fix_hint.empty()) out += ",\"fixHint\":\"" + JsonEscape(fix_hint) + "\"";
+  out += "}";
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::kError) return true;
+  }
+  return false;
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                     DiagSeverity severity) {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += diagnostics[i].ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics) {
+  std::string message;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != DiagSeverity::kError) continue;
+    if (!message.empty()) message += "; ";
+    message += d.ToString();
+  }
+  if (message.empty()) return Status::OK();
+  return Status::FailedPrecondition(message);
+}
+
+void CountValidationRejects(MetricsRegistry* metrics,
+                            const std::vector<Diagnostic>& diagnostics) {
+  if (metrics == nullptr) return;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != DiagSeverity::kError) continue;
+    metrics
+        ->GetCounter("ires_validation_rejects_total",
+                     "Workflow submissions rejected by static analysis, "
+                     "by diagnostic code.",
+                     {{"code", d.code}})
+        ->Increment();
+  }
+}
+
+}  // namespace ires

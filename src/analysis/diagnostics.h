@@ -1,0 +1,129 @@
+#ifndef IRES_ANALYSIS_DIAGNOSTICS_H_
+#define IRES_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics_registry.h"
+
+namespace ires {
+
+/// How bad a finding is. Admission (JobService::Submit, the REST execute
+/// routes) rejects on kError only; warnings and notes ride along in the
+/// diagnostics payload for the user to act on.
+enum class DiagSeverity { kError, kWarning, kInfo };
+
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// Stable diagnostic codes (see DESIGN.md "Static analysis" for the full
+/// table). WFxxx = workflow-graph lint, POxxx = optimization-policy lint,
+/// PLxxx = execution-plan verification. Codes are part of the API surface:
+/// clients and tests match on them, so existing codes never change meaning.
+namespace diag {
+// -- WorkflowAnalyzer: structure pass.
+inline constexpr char kNoTarget[] = "WF001";
+inline constexpr char kOperatorNoInput[] = "WF002";
+inline constexpr char kOperatorNoOutput[] = "WF003";
+inline constexpr char kDanglingInputPort[] = "WF004";
+inline constexpr char kMultipleProducers[] = "WF005";
+inline constexpr char kCycle[] = "WF006";
+// -- WorkflowAnalyzer: reachability pass.
+inline constexpr char kOrphanNode[] = "WF007";
+inline constexpr char kUnreachableNode[] = "WF008";
+// -- WorkflowAnalyzer: library passes (sources, resolution, ports,
+//    capacity).
+inline constexpr char kUnknownSourceDataset[] = "WF009";
+inline constexpr char kAbstractSourceDataset[] = "WF010";
+inline constexpr char kUnresolvableOperator[] = "WF011";
+inline constexpr char kNoAvailableEngine[] = "WF012";
+inline constexpr char kPortMismatch[] = "WF013";
+inline constexpr char kArityMismatch[] = "WF014";
+inline constexpr char kOverCapacity[] = "WF015";
+// -- Policy sanity.
+inline constexpr char kBadPolicyWeights[] = "PO001";
+// -- PlanAnalyzer.
+inline constexpr char kStepIdMismatch[] = "PL001";
+inline constexpr char kBadDependency[] = "PL002";
+inline constexpr char kUnknownEngine[] = "PL003";
+inline constexpr char kEngineUnavailable[] = "PL004";
+inline constexpr char kNoCostModel[] = "PL005";
+inline constexpr char kEdgeIncompatible[] = "PL006";
+inline constexpr char kStepOverCapacity[] = "PL007";
+inline constexpr char kBadEstimate[] = "PL008";
+inline constexpr char kMalformedMove[] = "PL009";
+inline constexpr char kUnknownPlanSource[] = "PL010";
+}  // namespace diag
+
+/// Where a diagnostic points. Every field is optional; analyzers fill the
+/// ones that apply (a workflow lint names a node and maybe a port, a
+/// metadata mismatch adds the failing tree path, a plan finding names a
+/// step).
+struct DiagLocation {
+  std::string node;  // workflow node (dataset or operator) name
+  int port = -1;     // input-port index on `node`
+  std::string path;  // metadata-tree path of the failed constraint
+  int step = -1;     // execution-plan step id
+
+  bool empty() const {
+    return node.empty() && port < 0 && path.empty() && step < 0;
+  }
+  /// "node 'x' port 2 (path Engine.FS)", "step 5", or "" when unset.
+  std::string ToString() const;
+
+  static DiagLocation Node(std::string name) {
+    DiagLocation loc;
+    loc.node = std::move(name);
+    return loc;
+  }
+  static DiagLocation Port(std::string name, int port) {
+    DiagLocation loc;
+    loc.node = std::move(name);
+    loc.port = port;
+    return loc;
+  }
+  static DiagLocation Step(int step) {
+    DiagLocation loc;
+    loc.step = step;
+    return loc;
+  }
+};
+
+/// One structured finding of a workflow or plan analyzer.
+struct Diagnostic {
+  std::string code;  // stable id from ires::diag
+  DiagSeverity severity = DiagSeverity::kError;
+  DiagLocation location;
+  std::string message;   // what is wrong
+  std::string fix_hint;  // how to fix it (may be empty)
+
+  /// One human line: "error WF006 at node 'op': ... [fix: ...]".
+  std::string ToString() const;
+  /// {"code":...,"severity":...,"location":{...},"message":...,"fixHint":...}
+  std::string ToJson() const;
+};
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+size_t CountSeverity(const std::vector<Diagnostic>& diagnostics,
+                     DiagSeverity severity);
+
+/// One diagnostic per line, errors first severity order preserved otherwise.
+std::string RenderText(const std::vector<Diagnostic>& diagnostics);
+
+/// JSON array of Diagnostic::ToJson objects.
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics);
+
+/// OK when no error-severity diagnostic is present; otherwise a
+/// FailedPrecondition whose message is the semicolon-joined error lines —
+/// the bridge into the Status-based call sites (WorkflowGraph::Validate,
+/// JobService::Submit) and the REST 422 mapping.
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics);
+
+/// Bumps `ires_validation_rejects_total{code=...}` once per error-severity
+/// diagnostic. Call at the rejection site (not from dry-run linting).
+void CountValidationRejects(MetricsRegistry* metrics,
+                            const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ires
+
+#endif  // IRES_ANALYSIS_DIAGNOSTICS_H_

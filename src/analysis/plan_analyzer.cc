@@ -1,0 +1,213 @@
+#include "analysis/plan_analyzer.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "planner/planner_common.h"
+
+namespace ires {
+namespace {
+
+DiagLocation StepLocation(const PlanStep& step) {
+  DiagLocation loc;
+  loc.step = step.id;
+  loc.node = step.name;
+  return loc;
+}
+
+void Emit(std::vector<Diagnostic>* out, const char* code,
+          DiagSeverity severity, DiagLocation location, std::string message,
+          std::string fix_hint = "") {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  out->push_back(std::move(d));
+}
+
+/// Highest declared Constraints.Input<i> index of `op`, or -1 when the
+/// operator declares no per-port input constraints.
+int MaxInputSpecIndex(const MaterializedOperator& op) {
+  int max_index = -1;
+  const MetadataTree::Node* constraints = op.meta().Find("Constraints");
+  if (constraints == nullptr) return max_index;
+  for (const auto& [label, child] : constraints->children) {
+    if (label.size() <= 5 || label.compare(0, 5, "Input") != 0) continue;
+    bool digits = true;
+    for (size_t i = 5; i < label.size(); ++i) {
+      if (label[i] < '0' || label[i] > '9') {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) max_index = std::max(max_index, std::stoi(label.substr(5)));
+  }
+  return max_index;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> PlanAnalyzer::Analyze(const ExecutionPlan& plan) const {
+  std::vector<Diagnostic> out;
+  const int step_count = static_cast<int>(plan.steps.size());
+
+  for (int i = 0; i < step_count; ++i) {
+    const PlanStep& step = plan.steps[i];
+
+    if (step.id != i) {
+      Emit(&out, diag::kStepIdMismatch, DiagSeverity::kError,
+           StepLocation(step),
+           "step at index " + std::to_string(i) + " carries id " +
+               std::to_string(step.id),
+           "plan steps must be stored in id order with dense ids");
+    }
+
+    for (int dep : step.deps) {
+      if (dep < 0 || dep >= step_count || dep >= i) {
+        Emit(&out, diag::kBadDependency, DiagSeverity::kError,
+             StepLocation(step),
+             "dependency " + std::to_string(dep) +
+                 " does not name an earlier step",
+             "emit producers before their consumers");
+      }
+    }
+
+    const SimulatedEngine* engine = nullptr;
+    if (options_.engines != nullptr) {
+      engine = options_.engines->Find(step.engine);
+      if (engine == nullptr) {
+        Emit(&out, diag::kUnknownEngine, DiagSeverity::kError,
+             StepLocation(step),
+             "engine '" + step.engine + "' is not registered",
+             "plan against the deployed engine registry");
+      } else if (!engine->available()) {
+        Emit(&out, diag::kEngineUnavailable, DiagSeverity::kError,
+             StepLocation(step),
+             "engine '" + step.engine + "' is switched off",
+             "re-plan, or turn the engine back on");
+      }
+    }
+
+    if (step.kind == PlanStep::Kind::kMove) {
+      if (step.outputs.size() != 1 ||
+          (step.deps.empty() && step.source_datasets.empty())) {
+        Emit(&out, diag::kMalformedMove, DiagSeverity::kError,
+             StepLocation(step),
+             "move step must consume exactly one upstream and produce "
+             "exactly one instance",
+             "");
+      }
+    } else if (engine != nullptr &&
+               engine->FindProfile(step.algorithm) == nullptr) {
+      Emit(&out, diag::kNoCostModel, DiagSeverity::kError, StepLocation(step),
+           "engine '" + step.engine + "' has no cost profile for algorithm '" +
+               step.algorithm + "'",
+           "profile the algorithm or add a '*' fallback profile");
+    }
+
+    const auto is_intermediate = [this](const std::string& source) {
+      return options_.materialized_intermediates != nullptr &&
+             options_.materialized_intermediates->count(source) != 0;
+    };
+
+    if (options_.library != nullptr) {
+      for (const std::string& source : step.source_datasets) {
+        if (is_intermediate(source)) continue;
+        if (options_.library->FindDatasetByName(source) == nullptr) {
+          Emit(&out, diag::kUnknownPlanSource, DiagSeverity::kError,
+               StepLocation(step),
+               "source dataset '" + source + "' is not in the library",
+               "register the dataset before executing the plan");
+        }
+      }
+    }
+
+    // Edge compatibility: every declared input requirement of the step's
+    // operator must be satisfiable by something the step actually consumes
+    // (a dependency's output or a library source dataset). The check is
+    // ordering-tolerant — PlanStep does not record port assignments.
+    if (step.kind == PlanStep::Kind::kOperator &&
+        options_.library != nullptr) {
+      const MaterializedOperator* op =
+          options_.library->FindMaterializedByName(step.name);
+      if (op != nullptr) {
+        std::vector<DatasetInstance> inputs;
+        for (int dep : step.deps) {
+          if (dep < 0 || dep >= step_count) continue;
+          for (const DatasetInstance& inst : plan.steps[dep].outputs) {
+            inputs.push_back(inst);
+          }
+        }
+        for (const std::string& source : step.source_datasets) {
+          if (is_intermediate(source)) {
+            inputs.push_back(options_.materialized_intermediates->at(source));
+            continue;
+          }
+          const Dataset* ds = options_.library->FindDatasetByName(source);
+          if (ds == nullptr) continue;  // already PL010
+          DatasetInstance inst;
+          inst.dataset_node = source;
+          inst.store = ds->store();
+          inst.format = ds->format();
+          inputs.push_back(inst);
+        }
+        const int max_spec = MaxInputSpecIndex(*op);
+        for (int port = 0; port <= max_spec; ++port) {
+          const planner_internal::IoRequirement req =
+              planner_internal::RequirementFromSpec(op->InputSpec(port));
+          if (req.store.empty() && req.format.empty()) continue;
+          bool satisfied = false;
+          for (const DatasetInstance& inst : inputs) {
+            if (planner_internal::InstanceSatisfies(inst, req)) {
+              satisfied = true;
+              break;
+            }
+          }
+          if (!satisfied) {
+            DiagLocation loc = StepLocation(step);
+            loc.port = port;
+            loc.path = "Constraints.Input" + std::to_string(port);
+            Emit(&out, diag::kEdgeIncompatible, DiagSeverity::kError,
+                 std::move(loc),
+                 "no consumed instance satisfies the operator's Input" +
+                     std::to_string(port) + " requirement (store='" +
+                     req.store + "', format='" + req.format + "')",
+                 "the planner should have injected a move/transform here");
+          }
+        }
+      }
+    }
+
+    if (options_.cluster_total_cores > 0) {
+      if (step.resources.total_cores() > options_.cluster_total_cores ||
+          step.resources.total_memory_gb() >
+              options_.cluster_total_memory_gb) {
+        Emit(&out, diag::kStepOverCapacity, DiagSeverity::kError,
+             StepLocation(step),
+             "step asks " + step.resources.ToString() +
+                 " but the cluster owns " +
+                 std::to_string(options_.cluster_total_cores) + " cores / " +
+                 std::to_string(options_.cluster_total_memory_gb) + " GB",
+             "provision within the cluster's capacity");
+      }
+    }
+
+    if (!std::isfinite(step.estimated_seconds) ||
+        step.estimated_seconds < 0.0 || !std::isfinite(step.estimated_cost) ||
+        step.estimated_cost < 0.0) {
+      Emit(&out, diag::kBadEstimate, DiagSeverity::kWarning,
+           StepLocation(step),
+           "model estimates are not finite non-negative numbers (seconds=" +
+               std::to_string(step.estimated_seconds) +
+               ", cost=" + std::to_string(step.estimated_cost) + ")",
+           "re-profile the (operator, engine) pair");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ires

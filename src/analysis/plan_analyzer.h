@@ -1,0 +1,57 @@
+#ifndef IRES_ANALYSIS_PLAN_ANALYZER_H_
+#define IRES_ANALYSIS_PLAN_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "engines/engine_registry.h"
+#include "operators/operator_library.h"
+#include "planner/execution_plan.h"
+
+namespace ires {
+
+/// Verifier for materialized execution plans — the post-planning
+/// counterpart of WorkflowAnalyzer. The planners run it on their own output
+/// in debug builds (a cheap structural proof that the DP produced a sane
+/// DAG); tools/ireslint and tests run it explicitly. Checks:
+///
+///   PL001  step ids are dense and equal to their index
+///   PL002  dependencies point at earlier, existing steps
+///   PL003  the step's engine is registered           (needs Options.engines)
+///   PL004  the step's engine is available            (needs Options.engines)
+///   PL005  a cost profile covers (algorithm, engine) (operator steps only)
+///   PL006  some upstream output / source dataset satisfies every declared
+///          input requirement of the step's operator  (needs Options.library)
+///   PL007  step resources fit the cluster            (needs capacity)
+///   PL008  estimates are finite and non-negative     (warning)
+///   PL009  move steps have exactly one output and one upstream
+///   PL010  source datasets exist in the library      (needs Options.library)
+class PlanAnalyzer {
+ public:
+  struct Options {
+    const OperatorLibrary* library = nullptr;
+    const EngineRegistry* engines = nullptr;
+    /// Replanning short-circuits (the planners' Options
+    /// .materialized_intermediates): plan sources that are legitimate
+    /// without a library entry. Checked before the library by PL010/PL006.
+    const std::map<std::string, DatasetInstance>* materialized_intermediates =
+        nullptr;
+    /// Cluster capacity for PL007; 0 disables the capacity check.
+    int cluster_total_cores = 0;
+    double cluster_total_memory_gb = 0.0;
+  };
+
+  PlanAnalyzer() = default;
+  explicit PlanAnalyzer(Options options) : options_(options) {}
+
+  std::vector<Diagnostic> Analyze(const ExecutionPlan& plan) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_ANALYSIS_PLAN_ANALYZER_H_

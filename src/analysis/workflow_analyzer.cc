@@ -1,0 +1,420 @@
+#include "analysis/workflow_analyzer.h"
+
+#include <cmath>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "metadata/tree_match.h"
+
+namespace ires {
+namespace {
+
+using Node = WorkflowGraph::Node;
+using NodeKind = WorkflowGraph::NodeKind;
+
+void Emit(std::vector<Diagnostic>* out, const char* code,
+          DiagSeverity severity, DiagLocation location, std::string message,
+          std::string fix_hint = "") {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  out->push_back(std::move(d));
+}
+
+/// True when `node` touches no edge at all — a stray artefact of graph
+/// assembly rather than a mis-wired one.
+bool IsIsolated(const Node& node) {
+  if (node.kind == NodeKind::kOperator) {
+    return node.inputs.empty() && node.outputs.empty();
+  }
+  return node.inputs.empty() && node.outputs.empty();
+}
+
+/// Copies `spec` minus the store (Engine.FS) and format (type) constraints —
+/// exactly the two attributes a planner-injected move/transform hop can
+/// rewrite. Whatever still mismatches after this is a hard incompatibility.
+MetadataTree::Node StripBridgeable(const MetadataTree::Node& spec) {
+  MetadataTree::Node out = spec;
+  out.children.erase("type");
+  auto engine = out.children.find("Engine");
+  if (engine != out.children.end()) {
+    engine->second.children.erase("FS");
+    if (engine->second.children.empty() && !engine->second.value) {
+      out.children.erase(engine);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> WorkflowAnalyzer::Analyze(
+    const WorkflowGraph& graph, const OptimizationPolicy* policy) const {
+  std::vector<Diagnostic> out;
+  CheckStructure(graph, &out);
+  CheckReachability(graph, &out);
+  if (policy != nullptr) CheckPolicy(*policy, &out);
+  if (options_.library != nullptr) CheckLibrary(graph, &out);
+  return out;
+}
+
+void WorkflowAnalyzer::CheckStructure(const WorkflowGraph& graph,
+                                      std::vector<Diagnostic>* out) const {
+  if (graph.target() < 0) {
+    Emit(out, diag::kNoTarget, DiagSeverity::kError, DiagLocation{},
+         "no $target dataset",
+         "end the graph file with a `<dataset>,$target` line");
+  }
+
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const Node& node = graph.node(static_cast<int>(id));
+    if (node.kind == NodeKind::kOperator) {
+      if (node.inputs.empty()) {
+        Emit(out, diag::kOperatorNoInput, DiagSeverity::kError,
+             DiagLocation::Node(node.name),
+             "operator has no input datasets",
+             "connect at least one dataset into the operator");
+      }
+      if (node.outputs.empty()) {
+        Emit(out, diag::kOperatorNoOutput, DiagSeverity::kError,
+             DiagLocation::Node(node.name),
+             "operator produces no output datasets",
+             "connect the operator to an output dataset");
+      }
+      for (size_t port = 0; port < node.inputs.size(); ++port) {
+        if (node.inputs[port] < 0) {
+          Emit(out, diag::kDanglingInputPort, DiagSeverity::kError,
+               DiagLocation::Port(node.name, static_cast<int>(port)),
+               "input port " + std::to_string(port) + " is unconnected",
+               "connect a dataset to every declared input port");
+        }
+      }
+    } else if (node.outputs.size() > 1) {
+      std::string producers;
+      for (int op : node.outputs) {
+        if (!producers.empty()) producers += ", ";
+        producers += graph.node(op).name;
+      }
+      Emit(out, diag::kMultipleProducers, DiagSeverity::kError,
+           DiagLocation::Node(node.name),
+           "dataset is produced by " + std::to_string(node.outputs.size()) +
+               " operators (" + producers + ")",
+           "give every dataset exactly one producing operator");
+    }
+  }
+
+  // Kahn's algorithm over operator nodes (producer -> consumer edges through
+  // the shared dataset); whatever never drains to indegree 0 sits on or
+  // behind a cycle.
+  std::vector<int> indegree(graph.size(), 0);
+  std::vector<bool> is_op(graph.size(), false);
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const Node& node = graph.node(static_cast<int>(id));
+    if (node.kind != NodeKind::kOperator) continue;
+    is_op[id] = true;
+    for (int in : node.inputs) {
+      if (in < 0) continue;
+      indegree[id] += static_cast<int>(graph.node(in).outputs.size());
+    }
+  }
+  std::deque<int> ready;
+  size_t op_count = 0;
+  for (size_t id = 0; id < graph.size(); ++id) {
+    if (!is_op[id]) continue;
+    ++op_count;
+    if (indegree[id] == 0) ready.push_back(static_cast<int>(id));
+  }
+  size_t drained = 0;
+  while (!ready.empty()) {
+    const int id = ready.front();
+    ready.pop_front();
+    ++drained;
+    for (int out_ds : graph.node(id).outputs) {
+      if (out_ds < 0) continue;
+      for (int consumer : graph.node(out_ds).inputs) {
+        if (--indegree[consumer] == 0) ready.push_back(consumer);
+      }
+    }
+  }
+  if (drained < op_count) {
+    std::string cycle_ops;
+    std::string first;
+    for (size_t id = 0; id < graph.size(); ++id) {
+      if (!is_op[id] || indegree[id] == 0) continue;
+      if (first.empty()) first = graph.node(static_cast<int>(id)).name;
+      if (!cycle_ops.empty()) cycle_ops += ", ";
+      cycle_ops += graph.node(static_cast<int>(id)).name;
+    }
+    Emit(out, diag::kCycle, DiagSeverity::kError, DiagLocation::Node(first),
+         "workflow contains a cycle through operators {" + cycle_ops + "}",
+         "break the dependency cycle; workflows must be DAGs");
+  }
+}
+
+void WorkflowAnalyzer::CheckReachability(const WorkflowGraph& graph,
+                                         std::vector<Diagnostic>* out) const {
+  const int target = graph.target();
+  if (target < 0 || static_cast<size_t>(target) >= graph.size()) return;
+
+  // Backward BFS from the target: a dataset depends on its producer
+  // operators, an operator on its input datasets.
+  std::vector<bool> reached(graph.size(), false);
+  std::deque<int> frontier{target};
+  reached[target] = true;
+  while (!frontier.empty()) {
+    const Node& node = graph.node(frontier.front());
+    frontier.pop_front();
+    const std::vector<int>& upstream =
+        node.kind == NodeKind::kOperator ? node.inputs : node.outputs;
+    for (int up : upstream) {
+      if (up < 0 || reached[up]) continue;
+      reached[up] = true;
+      frontier.push_back(up);
+    }
+  }
+
+  for (size_t id = 0; id < graph.size(); ++id) {
+    if (reached[id]) continue;
+    const Node& node = graph.node(static_cast<int>(id));
+    if (IsIsolated(node)) {
+      Emit(out, diag::kOrphanNode, DiagSeverity::kError,
+           DiagLocation::Node(node.name),
+           "node is connected to nothing",
+           "remove the node or wire it into the workflow");
+    } else {
+      Emit(out, diag::kUnreachableNode, DiagSeverity::kWarning,
+           DiagLocation::Node(node.name),
+           "node cannot reach the target dataset; it will never be planned "
+           "or executed",
+           "remove the dead branch or re-point the target");
+    }
+  }
+}
+
+void WorkflowAnalyzer::CheckPolicy(const OptimizationPolicy& policy,
+                                   std::vector<Diagnostic>* out) const {
+  if (policy.objective != OptimizationPolicy::Objective::kWeighted) return;
+  const double tw = policy.time_weight;
+  const double cw = policy.cost_weight;
+  if (!std::isfinite(tw) || !std::isfinite(cw) || tw < 0.0 || cw < 0.0) {
+    Emit(out, diag::kBadPolicyWeights, DiagSeverity::kError, DiagLocation{},
+         "weighted policy has non-finite or negative weights (time=" +
+             std::to_string(tw) + ", cost=" + std::to_string(cw) + ")",
+         "use finite weights >= 0");
+  } else if (tw == 0.0 && cw == 0.0) {
+    Emit(out, diag::kBadPolicyWeights, DiagSeverity::kError, DiagLocation{},
+         "weighted policy has both weights zero; every plan scores 0 and the "
+         "choice is arbitrary",
+         "set at least one of time_weight / cost_weight > 0");
+  }
+}
+
+std::vector<ResolvedCandidate> WorkflowAnalyzer::ResolveCandidates(
+    const std::string& name) const {
+  if (options_.context != nullptr) {
+    return options_.context->Resolve(name).candidates();
+  }
+  // Mirror PlannerContext::Resolve without the cache: the library's abstract
+  // of that name, or a synthesized one keyed on the node name as algorithm.
+  const AbstractOperator* abstract = options_.library->FindAbstractByName(name);
+  AbstractOperator synthesized;
+  if (abstract == nullptr) {
+    MetadataTree meta;
+    meta.Set("Constraints.OpSpecification.Algorithm.name", name);
+    synthesized = AbstractOperator(name, std::move(meta));
+    abstract = &synthesized;
+  }
+  OperatorLibrary::MatchSnapshot match =
+      options_.library->FindMaterializedSnapshot(*abstract);
+  std::vector<ResolvedCandidate> candidates;
+  candidates.reserve(match.operators.size());
+  for (MaterializedOperator& op : match.operators) {
+    ResolvedCandidate candidate;
+    candidate.engine_name = op.engine();
+    candidate.algorithm = op.algorithm();
+    if (options_.engines != nullptr) {
+      candidate.engine = options_.engines->Find(candidate.engine_name);
+      candidate.engine_available =
+          candidate.engine != nullptr && candidate.engine->available();
+    } else {
+      // No registry to consult: treat every binding as available so the
+      // resolution pass still works for library-only linting.
+      candidate.engine_available = true;
+    }
+    candidate.op = std::move(op);
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+void WorkflowAnalyzer::CheckLibrary(const WorkflowGraph& graph,
+                                    std::vector<Diagnostic>* out) const {
+  const OperatorLibrary& library = *options_.library;
+
+  for (size_t id = 0; id < graph.size(); ++id) {
+    const Node& node = graph.node(static_cast<int>(id));
+
+    if (node.kind == NodeKind::kDataset) {
+      // Source datasets (no producer, at least one consumer) must exist in
+      // the library and be materialized — they are read from storage.
+      if (!node.outputs.empty() || node.inputs.empty()) continue;
+      const Dataset* ds = library.FindDatasetByName(node.name);
+      if (ds == nullptr) {
+        Emit(out, diag::kUnknownSourceDataset, DiagSeverity::kError,
+             DiagLocation::Node(node.name),
+             "source dataset is not registered in the operator library",
+             "register it via POST /apiv1/datasets/" + node.name);
+      } else if (!ds->IsMaterialized()) {
+        Emit(out, diag::kAbstractSourceDataset, DiagSeverity::kError,
+             DiagLocation::Node(node.name),
+             "source dataset has no Execution.path (it exists nowhere "
+             "concrete)",
+             "add Execution.path to the dataset description");
+      }
+      continue;
+    }
+
+    // ---- Operator node: resolution / engines / arity / ports / capacity.
+    const std::vector<ResolvedCandidate> candidates =
+        ResolveCandidates(node.name);
+    if (candidates.empty()) {
+      Emit(out, diag::kUnresolvableOperator, DiagSeverity::kError,
+           DiagLocation::Node(node.name),
+           "no materialized operator implements this abstract operator",
+           "register an implementation via POST /apiv1/operators/<name>");
+      continue;
+    }
+
+    std::vector<const ResolvedCandidate*> available;
+    for (const ResolvedCandidate& cand : candidates) {
+      if (cand.engine_available) available.push_back(&cand);
+    }
+    if (available.empty()) {
+      std::string engines;
+      for (const ResolvedCandidate& cand : candidates) {
+        if (!engines.empty()) engines += ", ";
+        engines += cand.engine_name.empty() ? "?" : cand.engine_name;
+      }
+      Emit(out, diag::kNoAvailableEngine, DiagSeverity::kError,
+           DiagLocation::Node(node.name),
+           "implementations exist but every bound engine is unavailable (" +
+               engines + ")",
+           "turn an engine back on via PUT /apiv1/engines/<name>/availability");
+      continue;
+    }
+
+    // Declared arity vs. connected ports — only when the abstract operator
+    // states Constraints.Input.number explicitly (the implicit default of 1
+    // would false-positive legitimate multi-input operators).
+    const AbstractOperator* abstract = library.FindAbstractByName(node.name);
+    if (abstract != nullptr &&
+        abstract->meta().Get("Constraints.Input.number").has_value()) {
+      const int declared = abstract->input_count();
+      const int connected = static_cast<int>(node.inputs.size());
+      if (declared != connected) {
+        Emit(out, diag::kArityMismatch, DiagSeverity::kError,
+             [&] {
+               DiagLocation loc = DiagLocation::Node(node.name);
+               loc.path = "Constraints.Input.number";
+               return loc;
+             }(),
+             "operator declares " + std::to_string(declared) +
+                 " input(s) but the workflow connects " +
+                 std::to_string(connected),
+             "connect exactly the declared number of inputs");
+      }
+    }
+
+    // Port compatibility against *source* datasets whose metadata is known
+    // now. Intermediate datasets depend on which upstream implementation the
+    // planner picks, so they are checked post-planning by the PlanAnalyzer.
+    for (size_t port = 0; port < node.inputs.size(); ++port) {
+      const int in_id = node.inputs[port];
+      if (in_id < 0) continue;  // already WF004
+      const Node& in_node = graph.node(in_id);
+      if (!in_node.outputs.empty()) continue;  // produced in-workflow
+      const Dataset* ds = library.FindDatasetByName(in_node.name);
+      if (ds == nullptr) continue;  // already WF009
+
+      static const MetadataTree::Node kEmpty;
+      const MetadataTree::Node* data_constraints =
+          ds->meta().Find("Constraints");
+      if (data_constraints == nullptr) data_constraints = &kEmpty;
+
+      bool any_accepts = false;
+      bool any_bridgeable = false;
+      std::string mismatch_path;
+      for (const ResolvedCandidate* cand : available) {
+        const MetadataTree::Node* spec =
+            cand->op.InputSpec(static_cast<int>(port));
+        if (spec == nullptr) {
+          any_accepts = true;
+          break;
+        }
+        MatchResult result = MatchTreeNodes(*spec, *data_constraints);
+        if (result.matched) {
+          any_accepts = true;
+          break;
+        }
+        // A store/format-only mismatch is fixable with one move/transform
+        // hop; strip those attributes and re-match to find out.
+        MatchResult relaxed =
+            MatchTreeNodes(StripBridgeable(*spec), *data_constraints);
+        if (relaxed.matched) {
+          any_bridgeable = true;
+        } else if (mismatch_path.empty()) {
+          mismatch_path = relaxed.mismatch_path;
+        }
+      }
+      if (!any_accepts && !any_bridgeable) {
+        DiagLocation loc =
+            DiagLocation::Port(node.name, static_cast<int>(port));
+        loc.path = mismatch_path;
+        Emit(out, diag::kPortMismatch, DiagSeverity::kError, std::move(loc),
+             "dataset '" + in_node.name +
+                 "' satisfies no implementation's input constraints, and the "
+                 "difference is not bridgeable by a data move",
+             "align the dataset metadata with the operator's Input" +
+                 std::to_string(port) + " spec");
+      }
+    }
+
+    // Capacity: every runnable implementation would ask for more than the
+    // cluster owns, so planning is guaranteed to come up empty.
+    if (options_.cluster_total_cores > 0) {
+      bool any_fits = false;
+      const ResolvedCandidate* worst = available.front();
+      for (const ResolvedCandidate* cand : available) {
+        if (cand->engine == nullptr) {
+          any_fits = true;  // unknown engine: capacity is checked elsewhere
+          break;
+        }
+        const Resources& ask = cand->engine->default_resources();
+        if (ask.total_cores() <= options_.cluster_total_cores &&
+            ask.total_memory_gb() <= options_.cluster_total_memory_gb) {
+          any_fits = true;
+          break;
+        }
+        worst = cand;
+      }
+      if (!any_fits) {
+        Emit(out, diag::kOverCapacity, DiagSeverity::kError,
+             DiagLocation::Node(node.name),
+             "every available implementation needs more than the cluster "
+             "owns (e.g. engine " +
+                 worst->engine_name + " asks " +
+                 worst->engine->default_resources().ToString() +
+                 " against " +
+                 std::to_string(options_.cluster_total_cores) + " cores / " +
+                 std::to_string(options_.cluster_total_memory_gb) + " GB)",
+             "grow the cluster or register a smaller implementation");
+      }
+    }
+  }
+}
+
+}  // namespace ires

@@ -1,0 +1,82 @@
+#ifndef IRES_ANALYSIS_WORKFLOW_ANALYZER_H_
+#define IRES_ANALYSIS_WORKFLOW_ANALYZER_H_
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "engines/engine_registry.h"
+#include "operators/operator_library.h"
+#include "planner/optimization_policy.h"
+#include "planner/planner_context.h"
+#include "workflow/workflow_graph.h"
+
+namespace ires {
+
+/// Multi-pass linter for abstract workflow graphs — the admission gate that
+/// runs before any planning. Passes, in order (each collects every finding
+/// instead of stopping at the first):
+///
+///   1. structure     WF001-WF006: target set, operator arity, dangling
+///                    input ports, multi-producer datasets, cycles.
+///   2. reachability  WF007 (orphan, error) / WF008 (connected but cannot
+///                    reach the target, warning), via backward BFS from the
+///                    target.
+///   3. policy        PO001: non-finite or negative weights, weighted
+///                    objective with both weights zero.
+///   4. library       Only when Options.library is set. WF009/WF010 source
+///                    datasets missing or abstract, WF011 abstract operators
+///                    with no materialized implementation, WF012 candidates
+///                    exist but every engine is OFF, WF014 declared
+///                    Constraints.Input.number vs. connected ports, WF013
+///                    source-dataset/port metadata incompatibilities (reuses
+///                    metadata/tree_match; move-bridgeable store/format
+///                    differences are not flagged), WF015 every available
+///                    candidate asks for more than the cluster owns.
+///
+/// Structure and reachability need only the graph, which is what the
+/// WorkflowGraph::Validate() wrapper uses; the deeper passes switch on
+/// whichever collaborators the Options carry.
+class WorkflowAnalyzer {
+ public:
+  struct Options {
+    /// Library for source-dataset / resolution / port checks (optional).
+    const OperatorLibrary* library = nullptr;
+    /// Registry for engine-availability checks (optional).
+    const EngineRegistry* engines = nullptr;
+    /// Memoized resolver; when set, candidate resolution goes through its
+    /// cache instead of re-matching against the library.
+    const PlannerContext* context = nullptr;
+    /// Cluster capacity for WF015; 0 disables the capacity pass.
+    int cluster_total_cores = 0;
+    double cluster_total_memory_gb = 0.0;
+  };
+
+  WorkflowAnalyzer() = default;
+  explicit WorkflowAnalyzer(Options options) : options_(options) {}
+
+  /// Runs all applicable passes; diagnostics arrive in pass order.
+  std::vector<Diagnostic> Analyze(const WorkflowGraph& graph,
+                                  const OptimizationPolicy* policy = nullptr) const;
+
+ private:
+  void CheckStructure(const WorkflowGraph& graph,
+                      std::vector<Diagnostic>* out) const;
+  void CheckReachability(const WorkflowGraph& graph,
+                         std::vector<Diagnostic>* out) const;
+  void CheckPolicy(const OptimizationPolicy& policy,
+                   std::vector<Diagnostic>* out) const;
+  void CheckLibrary(const WorkflowGraph& graph,
+                    std::vector<Diagnostic>* out) const;
+
+  /// Candidates for the abstract node `name`, via the context cache when
+  /// available, else a direct library snapshot (mirroring
+  /// PlannerContext::Resolve's synthesized-abstract fallback).
+  std::vector<ResolvedCandidate> ResolveCandidates(
+      const std::string& name) const;
+
+  Options options_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_ANALYSIS_WORKFLOW_ANALYZER_H_

@@ -125,6 +125,17 @@ Result<WorkflowGraph> IresServer::ParseWorkflow(
   return WorkflowGraph::ParseGraphFile(graph_text, library_);
 }
 
+std::vector<Diagnostic> IresServer::ValidateWorkflow(
+    const WorkflowGraph& graph, const OptimizationPolicy* policy) const {
+  WorkflowAnalyzer::Options options;
+  options.library = &library_;
+  options.engines = engines_.get();
+  options.context = planner_context_.get();
+  options.cluster_total_cores = cluster_->total_cores();
+  options.cluster_total_memory_gb = cluster_->total_memory_gb();
+  return WorkflowAnalyzer(options).Analyze(graph, policy);
+}
+
 DpPlanner::Options IresServer::MakePlannerOptions(
     const OptimizationPolicy& policy) {
   DpPlanner::Options options;

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "analysis/workflow_analyzer.h"
 #include "cluster/cluster_simulator.h"
 #include "core/model_library.h"
 #include "executor/enforcer.h"
@@ -107,6 +108,16 @@ class IresServer {
   Status ImportLibrary(const OperatorLibrary& library);
   /// Parses a workflow `graph` file against the current library.
   Result<WorkflowGraph> ParseWorkflow(const std::string& graph_text) const;
+
+  /// Runs the full workflow linter (structure, reachability, policy,
+  /// library resolution, engine availability, port compatibility, cluster
+  /// capacity) against this server's library/engines/cluster. This is what
+  /// POST /apiv1/validate serves and what job admission gates on; it never
+  /// mutates state and does not count rejects (callers at rejection sites
+  /// do, via CountValidationRejects).
+  std::vector<Diagnostic> ValidateWorkflow(
+      const WorkflowGraph& graph,
+      const OptimizationPolicy* policy = nullptr) const;
 
   // ---- Optimizer layer ----------------------------------------------------
   /// Materializes (plans) a workflow under `policy`, consulting the plan

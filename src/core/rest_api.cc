@@ -155,6 +155,9 @@ ApiResponse RestApi::Dispatch(const std::string& method,
   if (resource == "workflows") {
     return HandleWorkflows(method, parts, query, body);
   }
+  if (resource == "validate" && method == "POST" && parts.size() == 2) {
+    return HandleValidate(body);
+  }
   if (resource == "jobs") return HandleJobs(method, parts);
   if (resource == "stats" && method == "GET" && parts.size() == 2) {
     return HandleStats();
@@ -281,6 +284,34 @@ ApiResponse RestApi::HandleDescriptions(const std::string& method,
   return NotFoundError("unsupported method " + method);
 }
 
+ApiResponse RestApi::HandleValidate(const std::string& body) {
+  // Dry-run lint: parse + full analyzer passes, no state change and no
+  // reject accounting (nothing was rejected — nothing was submitted).
+  auto graph = server_->ParseWorkflow(body);
+  if (!graph.ok()) return FromStatus(graph.status());
+  const std::vector<Diagnostic> findings =
+      server_->ValidateWorkflow(graph.value());
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "{\"valid\":%s,\"errors\":%zu,\"warnings\":%zu,"
+                "\"diagnostics\":",
+                HasErrors(findings) ? "false" : "true",
+                CountSeverity(findings, DiagSeverity::kError),
+                CountSeverity(findings, DiagSeverity::kWarning));
+  return {200, std::string(head) + RenderJson(findings) + "}"};
+}
+
+/// 422 envelope carrying the structured findings; the admission-rejection
+/// shape shared by the materialize/execute routes.
+ApiResponse RestApi::ValidationRejection(
+    const std::vector<Diagnostic>& findings) {
+  CountValidationRejects(&server_->metrics(), findings);
+  return {422,
+          "{\"error\":{\"code\":\"FailedPrecondition\","
+          "\"message\":\"workflow failed validation\",\"diagnostics\":" +
+              RenderJson(findings) + "}}"};
+}
+
 ApiResponse RestApi::HandleWorkflows(const std::string& method,
                                      const std::vector<std::string>& parts,
                                      const std::string& query,
@@ -314,6 +345,14 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
         return NotFoundError("workflow: " + parts[2]);
       }
       graph = it->second;
+    }
+    // Deep pre-admission lint (the store route only checks structure — the
+    // library may have changed since). Returning here, before Submit, keeps
+    // each rejection counted exactly once.
+    if (parts[3] == "materialize" || parts[3] == "execute") {
+      const std::vector<Diagnostic> findings =
+          server_->ValidateWorkflow(graph);
+      if (HasErrors(findings)) return ValidationRejection(findings);
     }
     if (parts[3] == "materialize") {
       auto plan = server_->MaterializeWorkflow(graph);

@@ -39,6 +39,9 @@ struct ApiResponse {
 ///   POST /apiv1/operators/{name}                (the send_operator.sh path)
 ///   GET  /apiv1/workflows                       list stored workflows
 ///   POST /apiv1/workflows/{name}                body: `graph` file text
+///   POST /apiv1/validate                        dry-run workflow lint;
+///                                               200 + {"valid",...,
+///                                               "diagnostics":[...]}
 ///   POST /apiv1/workflows/{name}/materialize    plan; returns the plan
 ///   POST /apiv1/workflows/{name}/execute        plan + run + refine models
 ///   POST /apiv1/workflows/{name}/execute?mode=async
@@ -58,6 +61,9 @@ struct ApiResponse {
 ///
 /// Error envelope: every non-2xx response body is
 ///   {"error":{"code":"<StatusCode name>","message":"<detail>"}}
+/// Workflow-lint rejections (materialize/execute of an invalid workflow)
+/// additionally carry "diagnostics": a JSON array of structured findings
+/// (code, severity, location, message, fixHint) from the analysis layer.
 /// with StatusCode mapped to HTTP in one place:
 ///   kNotFound            -> 404     kAlreadyExists       -> 409
 ///   kInvalidArgument     -> 400     kFailedPrecondition  -> 422
@@ -94,6 +100,8 @@ class RestApi {
                               const std::vector<std::string>& parts,
                               const std::string& query,
                               const std::string& body);
+  ApiResponse HandleValidate(const std::string& body);
+  ApiResponse ValidationRejection(const std::vector<Diagnostic>& findings);
   ApiResponse HandleJobs(const std::string& method,
                          const std::vector<std::string>& parts);
   ApiResponse HandleStats();
@@ -105,7 +113,6 @@ class RestApi {
   std::mutex workflows_mu_;
   std::map<std::string, WorkflowGraph> workflows_;
 };
-
 
 }  // namespace ires
 

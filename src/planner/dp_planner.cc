@@ -1,10 +1,12 @@
 #include "planner/dp_planner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>
 
+#include "analysis/plan_analyzer.h"
 #include "common/interner.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -417,6 +419,23 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
   plan.estimated_seconds = makespan;
   plan.estimated_cost = total_cost;
   plan.metric = target_entries[best_idx].metric;
+#ifndef NDEBUG
+  // Debug-only self-check: the DP must never emit a structurally unsound
+  // plan (dense ids, backward deps, known available engines, covered cost
+  // models, satisfiable edges). Release builds skip this entirely.
+  {
+    PlanAnalyzer::Options check;
+    check.library = library_;
+    check.engines = engines_;
+    check.materialized_intermediates = &options.materialized_intermediates;
+    const std::vector<Diagnostic> findings = PlanAnalyzer(check).Analyze(plan);
+    if (HasErrors(findings)) {
+      IRES_LOG(kError) << "DpPlanner produced an invalid plan:\n"
+                       << RenderText(findings);
+      assert(false && "DpPlanner emitted a plan that fails PlanAnalyzer");
+    }
+  }
+#endif
   return plan;
 }
 

@@ -1,11 +1,14 @@
 #include "planner/pareto_planner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>
 
+#include "analysis/plan_analyzer.h"
 #include "common/interner.h"
+#include "common/logging.h"
 #include "planner/planner_common.h"
 
 namespace ires {
@@ -449,6 +452,24 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
     plan.estimated_seconds = makespan;
     plan.estimated_cost = total_cost;
     plan.metric = out.seconds;
+#ifndef NDEBUG
+    // Debug-only self-check mirroring DpPlanner: every frontier plan must
+    // pass the structural plan verifier.
+    {
+      PlanAnalyzer::Options check;
+      check.library = library_;
+      check.engines = engines_;
+      check.materialized_intermediates = &options.materialized_intermediates;
+      const std::vector<Diagnostic> findings =
+          PlanAnalyzer(check).Analyze(plan);
+      if (HasErrors(findings)) {
+        IRES_LOG(kError) << "ParetoPlanner produced an invalid plan:\n"
+                         << RenderText(findings);
+        assert(false &&
+               "ParetoPlanner emitted a plan that fails PlanAnalyzer");
+      }
+    }
+#endif
     frontier.push_back(std::move(out));
   }
   return frontier;

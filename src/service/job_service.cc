@@ -66,6 +66,18 @@ JobService::~JobService() { Shutdown(); }
 Result<std::string> JobService::Submit(const WorkflowGraph& graph,
                                        const std::string& workflow_name,
                                        OptimizationPolicy policy) {
+  // Admission gate: lint the workflow against the current library/engines
+  // before it costs a queue slot or a worker. Runs outside mu_ — the
+  // analyzer only reads internally synchronized registries.
+  {
+    const std::vector<Diagnostic> findings =
+        server_->ValidateWorkflow(graph, &policy);
+    if (HasErrors(findings)) {
+      rejected_total_->Increment();
+      CountValidationRejects(&server_->metrics(), findings);
+      return DiagnosticsToStatus(findings);
+    }
+  }
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "analysis/workflow_analyzer.h"
 #include "common/strings.h"
 
 namespace {
@@ -128,31 +129,11 @@ Result<std::vector<int>> WorkflowGraph::TopologicalOperators() const {
 }
 
 Status WorkflowGraph::Validate() const {
-  if (target_ < 0) return Status::FailedPrecondition("no $$target dataset");
-  for (const Node& n : nodes_) {
-    if (n.kind == NodeKind::kOperator) {
-      if (n.inputs.empty()) {
-        return Status::FailedPrecondition("operator " + n.name +
-                                          " has no inputs");
-      }
-      if (n.outputs.empty()) {
-        return Status::FailedPrecondition("operator " + n.name +
-                                          " has no outputs");
-      }
-      for (int port = 0; port < static_cast<int>(n.inputs.size()); ++port) {
-        if (n.inputs[port] < 0) {
-          return Status::FailedPrecondition(
-              "operator " + n.name + " input port " + std::to_string(port) +
-              " is unconnected");
-        }
-      }
-    } else if (n.outputs.size() > 1) {
-      return Status::FailedPrecondition("dataset " + n.name +
-                                        " has multiple producers");
-    }
-  }
-  IRES_RETURN_IF_ERROR(TopologicalOperators().status());
-  return Status::OK();
+  // Thin wrapper over the structural passes of the workflow linter (no
+  // library/engine collaborators, so only WF/PO structure checks run); the
+  // Status keeps the historical FailedPrecondition contract while the full
+  // diagnostics surface lives in analysis/workflow_analyzer.h.
+  return DiagnosticsToStatus(WorkflowAnalyzer().Analyze(*this));
 }
 
 std::string WorkflowGraph::ToDot() const {

@@ -69,7 +69,10 @@ class WorkflowGraph {
 
   /// Structural validation: a target exists, every operator has at least one
   /// input and one output, every non-source dataset has exactly one
-  /// producer, and the target is reachable.
+  /// producer, the graph is acyclic and no node is left orphaned.
+  /// Implemented as a thin wrapper over the structural passes of
+  /// analysis/workflow_analyzer.h; callers who want the individual findings
+  /// (codes, locations, fix hints) should run WorkflowAnalyzer directly.
   Status Validate() const;
 
   /// Stable structural hash over nodes, edges and target — the plan-cache

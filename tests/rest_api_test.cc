@@ -302,17 +302,24 @@ TEST_F(RestApiTest, JobTraceEndpointReturnsChromeTraceJson) {
 }
 
 TEST_F(RestApiTest, FailedJobsStillCarryTimings) {
-  // An abstract operator with no materialized implementation: planning
+  // A workflow that passes admission linting (implementation exists, engine
+  // on) but is memory-infeasible at planning time: its only implementation
+  // runs on centralized Java (3 GB budget) against a 10 TB input. Planning
   // fails, the job goes FAILED — and must still record queue + planning
   // durations (the fix for silent terminal jobs).
   ASSERT_EQ(api_.Handle("POST", "/apiv1/datasets/asapServerLog",
                         "Constraints.Engine.FS=HDFS\n"
                         "Execution.path=hdfs:///log\n"
-                        "Optimization.size=5e8\n"
+                        "Optimization.size=1e13\n"
                         "Optimization.documents=1000\n")
                 .code,
             201);
   ASSERT_EQ(api_.Handle("POST", "/apiv1/abstractOperators/Ghost",
+                        "Constraints.OpSpecification.Algorithm.name=Ghost\n")
+                .code,
+            201);
+  ASSERT_EQ(api_.Handle("POST", "/apiv1/operators/Ghost_Java",
+                        "Constraints.Engine=Java\n"
                         "Constraints.OpSpecification.Algorithm.name=Ghost\n")
                 .code,
             201);

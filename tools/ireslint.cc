@@ -1,0 +1,237 @@
+// ireslint: offline workflow linter.
+//
+// Runs the WorkflowAnalyzer passes over a platform `graph` file without
+// starting a server — the same diagnostics POST /apiv1/validate returns,
+// usable from editors, CI and the shell:
+//
+//   ireslint --library asapLibrary workflow.graph
+//   ireslint --library asapLibrary --json --policy weighted:0.7,0.3 wf.graph
+//
+// Exit status: 0 clean (warnings allowed), 1 error diagnostics, 2 usage or
+// I/O failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/workflow_analyzer.h"
+#include "common/strings.h"
+#include "engines/standard_engines.h"
+#include "operators/operator_library.h"
+#include "planner/optimization_policy.h"
+#include "workflow/workflow_graph.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <graph-file>\n"
+               "  --library DIR     operator-library directory "
+               "(operators/, abstractOperators/, datasets/)\n"
+               "  --json            emit diagnostics as a JSON array\n"
+               "  --policy P        time | cost | weighted:<tw>,<cw>\n"
+               "  --cores N         cluster core capacity (enables WF015)\n"
+               "  --memory GB       cluster memory capacity\n",
+               argv0);
+}
+
+/// ParseGraphFile classifies a name as an operator only when the library
+/// knows its abstract; with no library every node would become a dataset and
+/// every edge would be rejected. Standalone runs instead infer node kinds
+/// from the graph's bipartite structure: 2-color the edge list starting from
+/// the `$$target` (a dataset by definition) and from sources, and seed the
+/// scratch library with synthetic abstracts for the operator-colored names.
+/// Coloring conflicts are left unresolved — the structural passes then
+/// report the bad edge themselves.
+void InferOperators(const std::string& text, ires::OperatorLibrary* library) {
+  std::map<std::string, std::vector<std::string>> adjacent;
+  std::set<std::string> has_producer;
+  std::map<std::string, int> color;  // 0 = dataset, 1 = operator
+  std::deque<std::string> queue;
+  for (const std::string& raw : ires::Split(text, '\n')) {
+    const std::string line = ires::Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = ires::SplitAndTrim(line, ',');
+    if (fields.size() < 2) continue;
+    if (fields[1] == "$$target") {
+      color.emplace(fields[0], 0);
+      queue.push_back(fields[0]);
+      continue;
+    }
+    adjacent[fields[0]].push_back(fields[1]);
+    adjacent[fields[1]].push_back(fields[0]);
+    has_producer.insert(fields[1]);
+  }
+  // Graph sources are datasets too (operators must have inputs).
+  for (const auto& [name, _] : adjacent) {
+    if (has_producer.count(name) == 0 && color.emplace(name, 0).second) {
+      queue.push_back(name);
+    }
+  }
+  while (!queue.empty()) {
+    const std::string name = queue.front();
+    queue.pop_front();
+    const int next = 1 - color[name];
+    for (const std::string& peer : adjacent[name]) {
+      if (color.emplace(peer, next).second) queue.push_back(peer);
+    }
+  }
+  for (const auto& [name, kind] : color) {
+    if (kind != 1 || library->FindAbstractByName(name) != nullptr) continue;
+    ires::MetadataTree meta;
+    meta.Set("Constraints.OpSpecification.Algorithm.name", name);
+    (void)library->AddAbstract(ires::AbstractOperator(name, std::move(meta)));
+  }
+}
+
+bool ParsePolicy(const std::string& text, ires::OptimizationPolicy* policy) {
+  if (text == "time") {
+    *policy = ires::OptimizationPolicy::MinimizeTime();
+    return true;
+  }
+  if (text == "cost") {
+    *policy = ires::OptimizationPolicy::MinimizeCost();
+    return true;
+  }
+  const std::string prefix = "weighted:";
+  if (text.rfind(prefix, 0) == 0) {
+    const std::string weights = text.substr(prefix.size());
+    const size_t comma = weights.find(',');
+    if (comma == std::string::npos) return false;
+    char* end = nullptr;
+    const double tw = std::strtod(weights.c_str(), &end);
+    if (end != weights.c_str() + comma) return false;
+    const char* cw_begin = weights.c_str() + comma + 1;
+    const double cw = std::strtod(cw_begin, &end);
+    if (end == cw_begin || *end != '\0') return false;
+    *policy = ires::OptimizationPolicy::Weighted(tw, cw);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string library_dir;
+  std::string graph_file;
+  std::string policy_text;
+  bool as_json = false;
+  int cores = 0;
+  double memory_gb = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--library") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      library_dir = v;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      policy_text = v;
+    } else if (arg == "--cores") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      cores = ires::ParseIntOr(v, -1);
+      if (cores < 0) {
+        std::fprintf(stderr, "bad --cores value: %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--memory") {
+      const char* v = next();
+      if (v == nullptr) { Usage(argv[0]); return 2; }
+      memory_gb = std::strtod(v, nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    } else if (graph_file.empty()) {
+      graph_file = arg;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (graph_file.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(graph_file);
+  if (!in) {
+    std::fprintf(stderr, "ireslint: cannot read %s\n", graph_file.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  ires::OperatorLibrary library;
+  if (!library_dir.empty()) {
+    ires::Status loaded = library.LoadFromDirectory(library_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "ireslint: loading %s: %s\n", library_dir.c_str(),
+                   loaded.ToString().c_str());
+      return 2;
+    }
+  }
+
+  if (library_dir.empty()) InferOperators(text.str(), &library);
+
+  ires::Result<ires::WorkflowGraph> graph =
+      ires::WorkflowGraph::ParseGraphFile(text.str(), library);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "ireslint: parsing %s: %s\n", graph_file.c_str(),
+                 graph.status().ToString().c_str());
+    return 2;
+  }
+
+  ires::OptimizationPolicy policy;
+  bool have_policy = false;
+  if (!policy_text.empty()) {
+    if (!ParsePolicy(policy_text, &policy)) {
+      std::fprintf(stderr, "ireslint: bad --policy value: %s\n",
+                   policy_text.c_str());
+      return 2;
+    }
+    have_policy = true;
+  }
+
+  std::unique_ptr<ires::EngineRegistry> engines =
+      ires::MakeStandardEngineRegistry();
+
+  ires::WorkflowAnalyzer::Options options;
+  if (!library_dir.empty()) {
+    options.library = &library;
+    options.engines = engines.get();
+  }
+  options.cluster_total_cores = cores;
+  options.cluster_total_memory_gb = memory_gb;
+
+  const std::vector<ires::Diagnostic> diagnostics =
+      ires::WorkflowAnalyzer(options).Analyze(
+          graph.value(), have_policy ? &policy : nullptr);
+
+  if (as_json) {
+    std::printf("%s\n", ires::RenderJson(diagnostics).c_str());
+  } else if (diagnostics.empty()) {
+    std::printf("%s: clean\n", graph_file.c_str());
+  } else {
+    std::printf("%s", ires::RenderText(diagnostics).c_str());
+  }
+  return ires::HasErrors(diagnostics) ? 1 : 0;
+}
