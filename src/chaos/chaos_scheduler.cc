@@ -1,0 +1,57 @@
+#include "chaos/chaos_scheduler.h"
+
+namespace ires {
+
+void ChaosScheduler::Arm(Enforcer* enforcer) {
+  if (enforcer == nullptr || !config_.enabled()) return;
+  enforcer->set_fault_oracle(
+      [this](const PlanStep& step, double now, int attempt) {
+        return Decide(step, now, attempt);
+      });
+  for (const ChaosConfig::NodeEvent& event : config_.node_events) {
+    if (event.node < 0) continue;
+    if (event.fail) {
+      enforcer->ScheduleNodeFailure(event.node, event.at_seconds);
+    } else {
+      enforcer->ScheduleNodeRecovery(event.node, event.at_seconds);
+    }
+  }
+}
+
+Enforcer::FaultDecision ChaosScheduler::Decide(const PlanStep& step,
+                                               double /*now*/,
+                                               int /*attempt*/) {
+  Enforcer::FaultDecision decision;
+  const double total = config_.transient_probability +
+                       config_.timeout_probability +
+                       config_.engine_crash_probability;
+  if (total <= 0.0) return decision;
+  // One uniform draw per attempt, partitioned into bands: enabling or
+  // tuning one fault kind never shifts which attempts another kind hits.
+  const double u = rng_.Uniform(0.0, 1.0);
+  double band = config_.transient_probability;
+  if (u < band) {
+    decision.fail = true;
+    decision.kind = FailureKind::kTransient;
+    transient_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  band += config_.timeout_probability;
+  if (u < band) {
+    decision.fail = true;
+    decision.kind = FailureKind::kTimeout;
+    timeout_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  band += config_.engine_crash_probability;
+  if (u < band &&
+      (config_.crash_engine.empty() || step.engine == config_.crash_engine)) {
+    decision.fail = true;
+    decision.kind = FailureKind::kEngineCrash;
+    engine_crash_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  return decision;
+}
+
+}  // namespace ires

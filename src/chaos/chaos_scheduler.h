@@ -1,0 +1,98 @@
+#ifndef IRES_CHAOS_CHAOS_SCHEDULER_H_
+#define IRES_CHAOS_CHAOS_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "executor/enforcer.h"
+#include "executor/failure.h"
+
+namespace ires {
+
+/// Declarative fault schedule for one job. All randomness is drawn from a
+/// dedicated xoshiro stream seeded with `seed`, so the same config against
+/// the same plan injects the same faults at the same step attempts — chaos
+/// runs are replayable bug reports, not flaky ones.
+struct ChaosConfig {
+  /// 0 disables chaos entirely (the scheduler injects nothing).
+  uint64_t seed = 0;
+
+  /// Per start-attempt probabilities, evaluated in this order from a single
+  /// uniform draw (so enabling one kind never perturbs another kind's
+  /// stream). Sums above 1.0 are nonsensical; keep the total <= 1.
+  double transient_probability = 0.0;
+  double timeout_probability = 0.0;
+  double engine_crash_probability = 0.0;
+
+  /// Restricts engine-crash injection to steps on this engine; empty hits
+  /// any engine. Transient/timeout faults always apply to any step.
+  std::string crash_engine;
+
+  /// Node flap schedule: nodes die and come back at fixed simulated times.
+  struct NodeEvent {
+    int node = -1;
+    double at_seconds = 0.0;
+    bool fail = true;  // false = recovery
+  };
+  std::vector<NodeEvent> node_events;
+
+  bool enabled() const {
+    return seed != 0 &&
+           (transient_probability > 0.0 || timeout_probability > 0.0 ||
+            engine_crash_probability > 0.0 || !node_events.empty());
+  }
+};
+
+/// Deterministic fault scheduler: turns a ChaosConfig into the enforcer's
+/// FaultOracle plus node failure/recovery schedules, and counts what it
+/// injected so tests can reconcile injected faults against retry and replan
+/// telemetry. One scheduler per job; it must outlive every Execute() call
+/// of the enforcer it armed.
+class ChaosScheduler {
+ public:
+  explicit ChaosScheduler(const ChaosConfig& config)
+      : config_(config), rng_(config.seed == 0 ? 1 : config.seed) {}
+
+  ChaosScheduler(const ChaosScheduler&) = delete;
+  ChaosScheduler& operator=(const ChaosScheduler&) = delete;
+
+  /// Installs this scheduler as `enforcer`'s fault oracle and arms the
+  /// configured node events. No-op when the config is disabled.
+  void Arm(Enforcer* enforcer);
+
+  /// The oracle body: decides whether the given step start attempt fails,
+  /// and with which failure kind.
+  Enforcer::FaultDecision Decide(const PlanStep& step, double now,
+                                 int attempt);
+
+  /// Injected-fault tallies (reads are safe after the armed runs finish).
+  struct Counts {
+    uint64_t transient = 0;
+    uint64_t timeout = 0;
+    uint64_t engine_crash = 0;
+    uint64_t total() const { return transient + timeout + engine_crash; }
+  };
+  Counts counts() const {
+    Counts c;
+    c.transient = transient_.load(std::memory_order_relaxed);
+    c.timeout = timeout_.load(std::memory_order_relaxed);
+    c.engine_crash = engine_crash_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  const ChaosConfig& config() const { return config_; }
+
+ private:
+  const ChaosConfig config_;
+  Rng rng_;
+  std::atomic<uint64_t> transient_{0};
+  std::atomic<uint64_t> timeout_{0};
+  std::atomic<uint64_t> engine_crash_{0};
+};
+
+}  // namespace ires
+
+#endif  // IRES_CHAOS_CHAOS_SCHEDULER_H_

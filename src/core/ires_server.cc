@@ -66,6 +66,7 @@ const char* ArtifactKindName(ArtifactKind kind) {
 
 IresServer::IresServer(Config config) : config_(config) {
   engines_ = MakeStandardEngineRegistry();
+  engines_->EnableMetrics(&metrics_);
   cluster_ = std::make_unique<ClusterSimulator>(
       config.cluster_nodes, config.cores_per_node, config.memory_gb_per_node);
   planner_context_ = std::make_unique<PlannerContext>(&library_,
@@ -225,18 +226,31 @@ Result<RecoveryOutcome> IresServer::ExecuteWorkflow(
 IresServer::WorkflowRunResult IresServer::RunWorkflow(
     const WorkflowGraph& graph, OptimizationPolicy policy,
     TraceContext* trace) {
+  return RunWorkflow(graph, policy, trace, ExecutionOptions());
+}
+
+IresServer::WorkflowRunResult IresServer::ExecutePlanned(
+    const WorkflowGraph& graph, OptimizationPolicy policy,
+    const PlannedWorkflow& planned, TraceContext* trace) {
+  return ExecutePlanned(graph, policy, planned, trace, ExecutionOptions());
+}
+
+IresServer::WorkflowRunResult IresServer::RunWorkflow(
+    const WorkflowGraph& graph, OptimizationPolicy policy,
+    TraceContext* trace, const ExecutionOptions& exec) {
   auto planned = PlanWorkflowCached(graph, policy, trace);
   if (!planned.ok()) {
     WorkflowRunResult result;
     result.recovery.status = planned.status();
     return result;
   }
-  return ExecutePlanned(graph, policy, planned.value(), trace);
+  return ExecutePlanned(graph, policy, planned.value(), trace, exec);
 }
 
 IresServer::WorkflowRunResult IresServer::ExecutePlanned(
     const WorkflowGraph& graph, OptimizationPolicy policy,
-    const PlannedWorkflow& planned, TraceContext* trace) {
+    const PlannedWorkflow& planned, TraceContext* trace,
+    const ExecutionOptions& exec) {
   WorkflowRunResult result;
   result.plan = planned.plan;
   result.plan_cache_hit = planned.cache_hit;
@@ -251,13 +265,18 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
       run_counter_.fetch_add(1, std::memory_order_acq_rel);
   Enforcer enforcer(engines_.get(), &cluster,
                     config_.seed + 0x9e3779b97f4a7c15ull * (run_id + 1));
+  enforcer.set_retry_policy(exec.retry);
+  ChaosScheduler chaos(exec.chaos);
+  chaos.Arm(&enforcer);
   RecoveringExecutor recovering(planner_.get(), &enforcer, engines_.get());
+  recovering.set_max_replans(exec.max_replans);
   const uint64_t exec_span =
       trace ? trace->BeginSpan("job.execute", "job") : 0;
   result.recovery =
-      recovering.RunFrom(graph, MakePlannerOptions(policy),
-                         ReplanStrategy::kIresReplan, &planned.plan,
-                         planned.planning_ms);
+      recovering.RunFrom(graph, MakePlannerOptions(policy), exec.strategy,
+                         &planned.plan, planned.planning_ms);
+  result.chaos_injected = chaos.counts();
+  RecordRecoveryMetrics(result.recovery, exec, result.chaos_injected);
   if (trace) {
     char sim[32];
     std::snprintf(sim, sizeof(sim), "%.3f",
@@ -281,6 +300,40 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
   return result;
 }
 
+void IresServer::RecordRecoveryMetrics(
+    const RecoveryOutcome& recovery, const ExecutionOptions& exec,
+    const ChaosScheduler::Counts& injected) {
+  metrics_
+      .GetCounter("ires_step_retries_total",
+                  "In-place step retries (transient faults and straggler "
+                  "kills) across all runs.")
+      ->Increment(static_cast<uint64_t>(recovery.step_retries));
+  metrics_
+      .GetCounter("ires_replans_total",
+                  "Workflow replanning rounds by recovery strategy.",
+                  {{"strategy", ReplanStrategyName(exec.strategy)}})
+      ->Increment(static_cast<uint64_t>(recovery.replans));
+  for (const FailureEvent& failure : recovery.failures) {
+    metrics_
+        .GetCounter("ires_workflow_failures_total",
+                    "Workflow-level execution-attempt failures by domain.",
+                    {{"kind", FailureKindName(failure.kind)}})
+        ->Increment();
+  }
+  if (exec.chaos.enabled()) {
+    const std::string help = "Chaos-injected faults by failure domain.";
+    metrics_.GetCounter("ires_chaos_injected_total", help,
+                        {{"kind", "transient"}})
+        ->Increment(injected.transient);
+    metrics_.GetCounter("ires_chaos_injected_total", help,
+                        {{"kind", "timeout"}})
+        ->Increment(injected.timeout);
+    metrics_.GetCounter("ires_chaos_injected_total", help,
+                        {{"kind", "engine_crash"}})
+        ->Increment(injected.engine_crash);
+  }
+}
+
 void IresServer::RecordExecutionMetrics(const ExecutionPlan& plan,
                                         const ExecutionReport& report) {
   // Per-engine accounting over every step that actually ran, successful or
@@ -291,6 +344,9 @@ void IresServer::RecordExecutionMetrics(const ExecutionPlan& plan,
     }
     const StepResult& result = report.steps[step.id];
     if (result.step_id < 0) continue;
+    // A step caught mid-backoff by an abort has no finish time; skip it
+    // rather than credit a negative duration.
+    if (result.finish_seconds < result.start_seconds) continue;
     const char* kind =
         step.kind == PlanStep::Kind::kMove ? "move" : "operator";
     metrics_

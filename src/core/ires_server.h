@@ -9,6 +9,7 @@
 #include <string>
 
 #include "analysis/workflow_analyzer.h"
+#include "chaos/chaos_scheduler.h"
 #include "cluster/cluster_simulator.h"
 #include "core/model_library.h"
 #include "executor/enforcer.h"
@@ -152,6 +153,17 @@ class IresServer {
       const WorkflowGraph& graph,
       OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
 
+  /// Per-run execution knobs: recovery strategy and budget, in-place retry
+  /// policy, and the chaos fault schedule. Carried per job by the job
+  /// service, so two concurrent submissions can run under different
+  /// fault-tolerance regimes.
+  struct ExecutionOptions {
+    ReplanStrategy strategy = ReplanStrategy::kIresReplan;
+    int max_replans = 5;
+    RetryPolicy retry;
+    ChaosConfig chaos;
+  };
+
   /// Everything one workflow run produced: the recovery outcome plus the
   /// initially chosen plan (so callers — notably async job records — get
   /// the plan summary without re-planning) and whether it came from the
@@ -160,6 +172,9 @@ class IresServer {
     RecoveryOutcome recovery;
     ExecutionPlan plan;
     bool plan_cache_hit = false;
+    /// What the run's chaos schedule actually injected (all zero when
+    /// chaos was disabled).
+    ChaosScheduler::Counts chaos_injected;
   };
 
   /// Thread-safe plan→execute→refine pipeline used by the job service:
@@ -172,6 +187,10 @@ class IresServer {
       const WorkflowGraph& graph,
       OptimizationPolicy policy = OptimizationPolicy::MinimizeTime(),
       TraceContext* trace = nullptr);
+  WorkflowRunResult RunWorkflow(const WorkflowGraph& graph,
+                                OptimizationPolicy policy,
+                                TraceContext* trace,
+                                const ExecutionOptions& exec);
 
   /// Executes `planned` (obtained from PlanWorkflowCached) without
   /// re-planning the first attempt. Thread-safe; see RunWorkflow. When
@@ -181,6 +200,11 @@ class IresServer {
                                    OptimizationPolicy policy,
                                    const PlannedWorkflow& planned,
                                    TraceContext* trace = nullptr);
+  WorkflowRunResult ExecutePlanned(const WorkflowGraph& graph,
+                                   OptimizationPolicy policy,
+                                   const PlannedWorkflow& planned,
+                                   TraceContext* trace,
+                                   const ExecutionOptions& exec);
 
   // ---- Access to the wired components (experiments drive them directly). --
   OperatorLibrary& library() { return library_; }
@@ -225,6 +249,9 @@ class IresServer {
                         const ExecutionReport& report);
   void RecordExecutionMetrics(const ExecutionPlan& plan,
                               const ExecutionReport& report);
+  void RecordRecoveryMetrics(const RecoveryOutcome& recovery,
+                             const ExecutionOptions& exec,
+                             const ChaosScheduler::Counts& injected);
 
   Config config_;
   /// Declared before every component that registers instruments in it.

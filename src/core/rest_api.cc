@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -57,6 +58,7 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
       "\"state\":\"%s\",\"planSteps\":%d,\"estimatedSeconds\":%.3f,"
       "\"estimatedCost\":%.1f,\"planCacheHit\":%s,"
       "\"executionSeconds\":%.3f,\"planningMs\":%.3f,\"replans\":%d,"
+      "\"stepRetries\":%d,"
       "\"submittedAt\":%.3f,\"startedAt\":%.3f,\"finishedAt\":%.3f,"
       "\"queueSeconds\":%.6f,\"planSeconds\":%.6f,\"execWallSeconds\":%.6f",
       JobStateName(record.state), record.plan_steps,
@@ -64,6 +66,7 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
       record.plan_cache_hit ? "true" : "false",
       record.outcome.total_execution_seconds,
       record.outcome.total_planning_ms, record.outcome.replans,
+      record.outcome.step_retries,
       record.submitted_at, record.started_at, record.finished_at,
       record.queue_seconds, record.plan_seconds, record.exec_wall_seconds);
   std::string out = "{\"id\":\"" + JsonEscape(record.id) +
@@ -73,11 +76,127 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
   if (!record.error.empty()) {
     out += ",\"error\":\"" + JsonEscape(record.error) + "\"";
   }
+  // Structured failure causes: every failed execution attempt, in order,
+  // with its failure domain — the post-mortem a bare error string can't
+  // carry.
+  if (!record.outcome.failures.empty()) {
+    out += ",\"failures\":[";
+    for (size_t i = 0; i < record.outcome.failures.size(); ++i) {
+      const FailureEvent& f = record.outcome.failures[i];
+      if (i > 0) out += ",";
+      char fbuf[128];
+      std::snprintf(fbuf, sizeof(fbuf),
+                    "{\"attempt\":%d,\"step\":%d,\"kind\":\"%s\"", f.attempt,
+                    f.failed_step, FailureKindName(f.kind));
+      out += fbuf;
+      if (!f.engine.empty()) {
+        out += ",\"engine\":\"" + JsonEscape(f.engine) + "\"";
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+  if (record.chaos_injected.total() > 0) {
+    char cbuf[128];
+    std::snprintf(cbuf, sizeof(cbuf),
+                  ",\"chaosInjected\":{\"transient\":%llu,\"timeout\":%llu,"
+                  "\"engineCrash\":%llu}",
+                  static_cast<unsigned long long>(
+                      record.chaos_injected.transient),
+                  static_cast<unsigned long long>(record.chaos_injected.timeout),
+                  static_cast<unsigned long long>(
+                      record.chaos_injected.engine_crash));
+    out += cbuf;
+  }
   if (include_plan && !record.plan_summary.empty()) {
     out += ",\"plan\":\"" + JsonEscape(record.plan_summary) + "\"";
   }
   out += "}";
   return out;
+}
+
+/// Parses one strictly numeric query value; false on trailing garbage.
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+/// Execute-route query options: `mode` picks sync/async, the rest select
+/// the job's fault-tolerance regime (strategy, replan budget, retry policy,
+/// chaos schedule). Unknown keys and malformed values are rejected so typos
+/// never silently run with defaults.
+Status ParseExecuteQuery(const std::string& query, bool* async,
+                         IresServer::ExecutionOptions* exec) {
+  *async = false;
+  if (query.empty()) return Status::OK();
+  for (const std::string& pair : SplitAndTrim(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("query parameter needs a value: " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    double number = 0.0;
+    if (key == "mode") {
+      if (value == "async") {
+        *async = true;
+      } else if (value != "sync") {
+        return Status::InvalidArgument("mode must be sync or async");
+      }
+    } else if (key == "strategy") {
+      if (value == "ires") {
+        exec->strategy = ReplanStrategy::kIresReplan;
+      } else if (value == "trivial") {
+        exec->strategy = ReplanStrategy::kTrivialReplan;
+      } else {
+        return Status::InvalidArgument("strategy must be ires or trivial");
+      }
+    } else if (key == "maxReplans") {
+      if (!ParseDouble(value, &number) || number < 0 || number > 1000) {
+        return Status::InvalidArgument("maxReplans must be in [0, 1000]");
+      }
+      exec->max_replans = static_cast<int>(number);
+    } else if (key == "retryAttempts") {
+      if (!ParseDouble(value, &number) || number < 1 || number > 100) {
+        return Status::InvalidArgument("retryAttempts must be in [1, 100]");
+      }
+      exec->retry.max_attempts = static_cast<int>(number);
+    } else if (key == "retryBackoffSeconds") {
+      if (!ParseDouble(value, &number) || number < 0) {
+        return Status::InvalidArgument("retryBackoffSeconds must be >= 0");
+      }
+      exec->retry.base_backoff_seconds = number;
+    } else if (key == "stragglerMultiplier") {
+      if (!ParseDouble(value, &number) || number < 0) {
+        return Status::InvalidArgument("stragglerMultiplier must be >= 0");
+      }
+      exec->retry.straggler_multiplier = number;
+    } else if (key == "chaosSeed") {
+      if (!ParseDouble(value, &number) || number < 1) {
+        return Status::InvalidArgument("chaosSeed must be a positive integer");
+      }
+      exec->chaos.seed = static_cast<uint64_t>(number);
+    } else if (key == "chaosTransient" || key == "chaosTimeout" ||
+               key == "chaosCrash") {
+      if (!ParseDouble(value, &number) || number < 0 || number > 1) {
+        return Status::InvalidArgument(key + " must be in [0, 1]");
+      }
+      if (key == "chaosTransient") {
+        exec->chaos.transient_probability = number;
+      } else if (key == "chaosTimeout") {
+        exec->chaos.timeout_probability = number;
+      } else {
+        exec->chaos.engine_crash_probability = number;
+      }
+    } else if (key == "chaosCrashEngine") {
+      exec->chaos.crash_engine = value;
+    } else {
+      return Status::InvalidArgument("unsupported execute query key: " + key);
+    }
+  }
+  return Status::OK();
 }
 
 /// Metric-label form of a request path: resource names stay, per-entity
@@ -195,16 +314,39 @@ ApiResponse RestApi::HandleEngines(const std::string& method,
                                    const std::vector<std::string>& parts,
                                    const std::string& body) {
   if (method == "GET" && parts.size() == 2) {
+    // Values are the breaker state names; the historic ON/OFF strings are a
+    // subset, so clients switching on them keep working.
     std::string out = "{";
     bool first = true;
     for (const std::string& name : server_->engines().Names()) {
       if (!first) out += ",";
       first = false;
+      auto health = server_->engines().HealthOf(name);
       out += "\"" + JsonEscape(name) + "\":\"" +
-             (server_->engines().IsAvailable(name) ? "ON" : "OFF") + "\"";
+             (health.ok() ? EngineHealthName(health.value().health)
+                          : (server_->engines().IsAvailable(name) ? "ON"
+                                                                  : "OFF")) +
+             "\"";
     }
     out += "}";
     return {200, out};
+  }
+  if (method == "GET" && parts.size() == 4 && parts[3] == "health") {
+    auto health = server_->engines().HealthOf(parts[2]);
+    if (!health.ok()) return FromStatus(health.status());
+    const EngineRegistry::HealthSnapshot& snap = health.value();
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"engine\":\"%s\",\"health\":\"%s\",\"available\":%s,"
+        "\"suspendedUntil\":%.3f,\"consecutiveTrips\":%d,\"tripsTotal\":%llu,"
+        "\"simClockSeconds\":%.3f}",
+        JsonEscape(parts[2]).c_str(), EngineHealthName(snap.health),
+        server_->engines().IsAvailable(parts[2]) ? "true" : "false",
+        snap.suspended_until, snap.consecutive_trips,
+        static_cast<unsigned long long>(snap.trips_total),
+        server_->engines().sim_clock_seconds());
+    return {200, buf};
   }
   if (method == "PUT" && parts.size() == 4 && parts[3] == "availability") {
     const std::string value = ToLower(Trim(body));
@@ -367,26 +509,28 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
               std::string(head) + JsonEscape(plan.value().ToString()) + "\"}"};
     }
     if (parts[3] == "execute") {
-      if (query == "mode=async") {
-        auto job_id = jobs_->Submit(graph, parts[2]);
+      bool async = false;
+      IresServer::ExecutionOptions exec;
+      const Status parsed = ParseExecuteQuery(query, &async, &exec);
+      if (!parsed.ok()) return FromStatus(parsed);
+      if (async) {
+        auto job_id = jobs_->Submit(graph, parts[2],
+                                    OptimizationPolicy::MinimizeTime(), exec);
         if (!job_id.ok()) return FromStatus(job_id.status());
         return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"}"};
       }
-      if (!query.empty() && query != "mode=sync") {
-        return ErrorEnvelope(StatusCode::kInvalidArgument,
-                             "unsupported execute query: " + query);
-      }
-      IresServer::WorkflowRunResult result = server_->RunWorkflow(graph);
+      IresServer::WorkflowRunResult result = server_->RunWorkflow(
+          graph, OptimizationPolicy::MinimizeTime(), nullptr, exec);
       if (!result.recovery.status.ok()) {
         return FromStatus(result.recovery.status);
       }
-      char buf[200];
+      char buf[256];
       std::snprintf(buf, sizeof(buf),
                     "{\"executionSeconds\":%.3f,\"planningMs\":%.3f,"
-                    "\"replans\":%d,\"planCacheHit\":%s}",
+                    "\"replans\":%d,\"stepRetries\":%d,\"planCacheHit\":%s}",
                     result.recovery.total_execution_seconds,
                     result.recovery.total_planning_ms,
-                    result.recovery.replans,
+                    result.recovery.replans, result.recovery.step_retries,
                     result.plan_cache_hit ? "true" : "false");
       return {200, buf};
     }

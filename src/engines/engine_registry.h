@@ -5,19 +5,62 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engines/data_movement.h"
 #include "engines/engine.h"
+#include "telemetry/metrics_registry.h"
 
 namespace ires {
 
+/// Circuit-breaker health of one engine (deliverable §2.3, hardened for a
+/// long-lived service). Failure reports no longer amputate an engine
+/// forever; they suspend it on the simulated clock with exponential
+/// backoff, probe it half-open once the suspension expires, and only turn
+/// it permanently OFF after N consecutive trips (or a manual OFF):
+///
+///   ON ──ReportFailure──► SUSPENDED(until t) ──clock reaches t──► HALF_OPEN
+///   ▲                          ▲                                     │
+///   │                          └────────────ReportFailure────────────┤
+///   └───────────────────────────ReportSuccess────────────────────────┘
+///
+/// SUSPENDED and OFF engines read as unavailable (planners exclude them);
+/// HALF_OPEN engines are available so the next job probes them.
+enum class EngineHealth { kOn, kSuspended, kHalfOpen, kOff };
+
+const char* EngineHealthName(EngineHealth health);
+
 /// Registry of the deployed engines and the data-movement model between
 /// their stores — the "Multi-Engine Cloud" box of the architecture figure.
+/// Thread-safe: health transitions take an internal mutex, availability
+/// reads stay lock-free on the engines' atomics, and every transition that
+/// changes availability bumps availability_epoch() so cached plans and
+/// memoized candidate resolutions from before the flip are never reused.
 class EngineRegistry {
  public:
+  /// Circuit-breaker tuning.
+  struct BreakerConfig {
+    /// First suspension length (simulated seconds).
+    double base_suspension_seconds = 30.0;
+    /// Each consecutive trip multiplies the suspension by this factor.
+    double suspension_multiplier = 2.0;
+    double max_suspension_seconds = 3600.0;
+    /// Consecutive trips before the engine goes permanently OFF;
+    /// <= 0 means never (the breaker keeps suspending with max backoff).
+    int off_after_consecutive_trips = 8;
+  };
+
+  /// Diagnostic snapshot of one engine's breaker.
+  struct HealthSnapshot {
+    EngineHealth health = EngineHealth::kOn;
+    double suspended_until = 0.0;  // simulated seconds; kSuspended only
+    int consecutive_trips = 0;
+    uint64_t trips_total = 0;
+  };
+
   EngineRegistry() = default;
 
   /// Registers an engine; names must be unique.
@@ -29,15 +72,44 @@ class EngineRegistry {
   /// Names of all registered engines, sorted.
   std::vector<std::string> Names() const;
 
-  /// Marks an engine ON/OFF (the service-availability check of §2.3).
-  /// Safe to call while planners read availability concurrently; each flip
-  /// bumps availability_epoch() so cached plans from before the flip are
-  /// never reused.
+  /// Administrative ON/OFF override (the REST availability route and the
+  /// single-engine benchmark baselines). `on` resets the breaker to ON;
+  /// `off` is a manual OFF that only another SetAvailable(name, true)
+  /// undoes — failure-driven recovery never resurrects a manually disabled
+  /// engine.
   Status SetAvailable(const std::string& name, bool on);
   bool IsAvailable(const std::string& name) const;
 
-  /// Monotonic counter bumped by every SetAvailable; part of the
-  /// plan-cache key.
+  /// Records a failure indicting `name` (engine crash, exhausted retries):
+  /// trips the breaker to SUSPENDED with exponential backoff on the
+  /// simulated clock, or to OFF once the consecutive-trip limit is hit.
+  /// Manual OFF states are left untouched.
+  Status ReportFailure(const std::string& name);
+
+  /// Records a successful use of `name`: closes a HALF_OPEN probe back to
+  /// ON (recording time-to-recovery) and resets the consecutive-trip
+  /// streak. No-op in every other state.
+  Status ReportSuccess(const std::string& name);
+
+  /// Advances the shared simulated clock (the executor adds each run's
+  /// makespan) and promotes SUSPENDED engines whose deadline passed to
+  /// HALF_OPEN. Returns the new clock value.
+  double AdvanceSimClock(double delta_seconds);
+  double sim_clock_seconds() const;
+
+  /// Breaker state of one engine (ON for engines never reported).
+  Result<HealthSnapshot> HealthOf(const std::string& name) const;
+
+  void set_breaker_config(const BreakerConfig& config);
+  BreakerConfig breaker_config() const;
+
+  /// Publishes `ires_engine_state` gauges, `ires_engine_trips_total`
+  /// counters and the `ires_engine_recovery_sim_seconds` time-to-recovery
+  /// histogram into `metrics`. Call once at wiring time.
+  void EnableMetrics(MetricsRegistry* metrics);
+
+  /// Monotonic counter bumped by every availability change (manual flips
+  /// and breaker transitions); part of the plan-cache key.
   uint64_t availability_epoch() const {
     return availability_epoch_.load(std::memory_order_acquire);
   }
@@ -48,9 +120,34 @@ class EngineRegistry {
   size_t size() const { return engines_.size(); }
 
  private:
+  struct BreakerState {
+    EngineHealth health = EngineHealth::kOn;
+    bool manual_off = false;
+    double suspended_until = 0.0;
+    double tripped_at = 0.0;  // clock at the start of the current outage
+    int consecutive_trips = 0;
+    uint64_t trips_total = 0;
+  };
+
+  /// Applies `health` to the engine atomic + state gauge. Caller holds
+  /// health_mu_; returns true when engine availability actually changed
+  /// (the caller then bumps the epoch).
+  bool TransitionLocked(const std::string& name, BreakerState* state,
+                        EngineHealth health);
+  void BumpEpoch() {
+    availability_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::map<std::string, std::unique_ptr<SimulatedEngine>> engines_;
   DataMovementModel movement_;
   std::atomic<uint64_t> availability_epoch_{0};
+
+  mutable std::mutex health_mu_;
+  std::map<std::string, BreakerState> health_;  // guarded by health_mu_
+  BreakerConfig breaker_;                       // guarded by health_mu_
+  double sim_clock_ = 0.0;                      // guarded by health_mu_
+  MetricsRegistry* metrics_ = nullptr;          // guarded by health_mu_
+  Histogram* recovery_seconds_ = nullptr;       // guarded by health_mu_
 };
 
 }  // namespace ires

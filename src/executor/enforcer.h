@@ -9,6 +9,7 @@
 #include "cluster/cluster_simulator.h"
 #include "common/rng.h"
 #include "engines/engine_registry.h"
+#include "executor/failure.h"
 #include "planner/execution_plan.h"
 
 namespace ires {
@@ -20,6 +21,11 @@ struct StepResult {
   double finish_seconds = 0.0;
   double cost = 0.0;
   Status status;
+  /// Start attempts consumed (0 = the step never started; >1 = it was
+  /// retried in place after transient faults or straggler kills).
+  int attempts = 0;
+  /// Failure domain of the step's final failure; meaningless when ok.
+  FailureKind failure_kind = FailureKind::kTransient;
 };
 
 /// Outcome of enforcing a plan.
@@ -32,6 +38,10 @@ struct ExecutionReport {
   /// node -> where/what it is. These seed IResReplan after a failure.
   std::map<std::string, DatasetInstance> materialized;
   int failed_step = -1;
+  /// Failure domain of the abort cause; meaningless when status is OK.
+  FailureKind failure_kind = FailureKind::kTransient;
+  /// In-place step retries performed across all steps of this run.
+  int step_retries = 0;
 };
 
 /// The executor-layer enforcer (deliverable §2.3): turns the planner's
@@ -39,12 +49,27 @@ struct ExecutionReport {
 /// advances a discrete-event simulation of the run. Step durations are the
 /// engines' noisy ground truth, so enforcement times differ slightly from
 /// planning estimates, as on a real cluster.
+///
+/// Failure handling is domain-aware (executor/failure.h): transient faults
+/// and straggler kills are retried per step with backoff on the simulated
+/// clock under the configured RetryPolicy; engine crashes and fatal node
+/// deaths abort the run so the recovering executor can replan around them.
 class Enforcer {
  public:
-  /// Inspects a step about to start; returning true injects a fault and
-  /// fails the step (used by the fault-tolerance experiments to kill an
-  /// engine mid-workflow).
+  /// Inspects a step about to start; returning true injects an
+  /// engine-crash fault and fails the step (the legacy hook of the
+  /// fault-tolerance experiments). Prefer FaultOracle for domain-typed
+  /// injection.
   using FaultInjector = std::function<bool(const PlanStep&, double now)>;
+
+  /// Domain-typed fault injection: consulted at every step start attempt
+  /// (attempt is 1-based). `fail == false` lets the attempt proceed.
+  struct FaultDecision {
+    bool fail = false;
+    FailureKind kind = FailureKind::kEngineCrash;
+  };
+  using FaultOracle =
+      std::function<FaultDecision(const PlanStep&, double now, int attempt)>;
 
   Enforcer(EngineRegistry* engines, ClusterSimulator* cluster,
            uint64_t seed = 777)
@@ -53,25 +78,56 @@ class Enforcer {
   void set_fault_injector(FaultInjector injector) {
     fault_injector_ = std::move(injector);
   }
+  void set_fault_oracle(FaultOracle oracle) {
+    fault_oracle_ = std::move(oracle);
+  }
+
+  /// Per-step retry budget and straggler deadline. The default policy never
+  /// retries (max_attempts = 1 semantics are preserved by retries applying
+  /// only to transient/timeout failures, which are never produced without a
+  /// fault oracle or an armed straggler deadline).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   /// Schedules cluster node `node_index` to die at simulated time
   /// `at_seconds`: the health scripts mark it UNHEALTHY and every step with
-  /// a container on it fails (the hardware-failure path of §2.3). Cleared
-  /// after each Execute call.
+  /// a container on it fails (the hardware-failure path of §2.3). The
+  /// schedule persists across Execute calls — a replan attempt re-arms
+  /// events that have not fired yet (nodes already UNHEALTHY do not
+  /// re-fire), so a dead node stays dead for the retry while engines keep
+  /// their own availability.
   void ScheduleNodeFailure(int node_index, double at_seconds) {
-    node_failures_.push_back({at_seconds, node_index});
+    node_schedule_.push_back({at_seconds, node_index, /*fail=*/true});
   }
+
+  /// Schedules node `node_index` to return to HEALTHY at `at_seconds` — the
+  /// recovery half of a chaos node-flap schedule.
+  void ScheduleNodeRecovery(int node_index, double at_seconds) {
+    node_schedule_.push_back({at_seconds, node_index, /*fail=*/false});
+  }
+
+  /// Drops all scheduled node events (tests and benches re-arming a fresh
+  /// scenario on a reused enforcer).
+  void ClearNodeSchedule() { node_schedule_.clear(); }
 
   /// Runs the plan to completion or first failure. On failure the report
   /// carries the completed steps' materialized outputs and the failed step.
   ExecutionReport Execute(const ExecutionPlan& plan);
 
  private:
+  struct NodeEvent {
+    double time = 0.0;
+    int node = -1;
+    bool fail = true;
+  };
+
   EngineRegistry* engines_;
   ClusterSimulator* cluster_;
   Rng rng_;
   FaultInjector fault_injector_;
-  std::vector<std::pair<double, int>> node_failures_;  // (time, node)
+  FaultOracle fault_oracle_;
+  RetryPolicy retry_policy_;
+  std::vector<NodeEvent> node_schedule_;
 };
 
 }  // namespace ires

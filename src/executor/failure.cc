@@ -1,0 +1,46 @@
+#include "executor/failure.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ires {
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kTransient: return "transient";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kEngineCrash: return "engine_crash";
+    case FailureKind::kNodeCrash: return "node_crash";
+  }
+  return "?";
+}
+
+FailureKind ClassifyFailure(const Status& status) {
+  // Every natural (non-injected) step failure indicts the hosting engine:
+  // kUnavailable (engine OFF at step start), kNotFound (engine or profile
+  // missing), kResourceExhausted (deterministic memory infeasibility — a
+  // retry on the same engine re-fails identically) and kExecutionError (a
+  // container died). Transient/timeout kinds are only ever assigned
+  // explicitly, by the fault oracle or the straggler deadline.
+  (void)status;
+  return FailureKind::kEngineCrash;
+}
+
+double RetryPolicy::BackoffSeconds(int retry, Rng* rng) const {
+  if (retry < 1) retry = 1;
+  double backoff = base_backoff_seconds *
+                   std::pow(backoff_multiplier, static_cast<double>(retry - 1));
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    backoff *= rng->Uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+  }
+  return std::max(backoff, 0.0);
+}
+
+double RetryPolicy::DeadlineSeconds(double estimated_seconds) const {
+  if (straggler_multiplier <= 0.0 || estimated_seconds <= 0.0) return 0.0;
+  return std::max(straggler_multiplier * estimated_seconds,
+                  min_deadline_seconds);
+}
+
+}  // namespace ires

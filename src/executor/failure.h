@@ -1,0 +1,85 @@
+#ifndef IRES_EXECUTOR_FAILURE_H_
+#define IRES_EXECUTOR_FAILURE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace ires {
+
+/// Failure-domain taxonomy of the executor layer (deliverable §2.3). Every
+/// step failure is classified into one of these domains, and each domain has
+/// its own recovery ladder:
+///
+///   kTransient    - a flake local to one step attempt (lost container,
+///                   spurious task error). Retried in place with backoff on
+///                   the simulated clock; escalates to replanning only after
+///                   the retry budget is exhausted.
+///   kTimeout      - a straggler: the step ran past k× its planner estimate
+///                   and was killed. Retried like a transient.
+///   kEngineCrash  - the hosting engine's service died or misbehaved.
+///                   Escalates immediately: the engine's circuit breaker
+///                   trips (EngineRegistry) and the workflow replans around
+///                   it.
+///   kNodeCrash    - a cluster node became UNHEALTHY. The node stays
+///                   unhealthy for the replan attempt, but the engine is not
+///                   at fault and its breaker is left alone.
+enum class FailureKind {
+  kTransient,
+  kTimeout,
+  kEngineCrash,
+  kNodeCrash,
+};
+
+const char* FailureKindName(FailureKind kind);
+
+/// True when the failure domain is retried in place by the enforcer before
+/// replanning is considered.
+inline bool IsRetryable(FailureKind kind) {
+  return kind == FailureKind::kTransient || kind == FailureKind::kTimeout;
+}
+
+/// True when the failure domain indicts the hosting engine — the recovering
+/// executor trips that engine's circuit breaker so replanning avoids it.
+inline bool IndictsEngine(FailureKind kind) {
+  return kind != FailureKind::kNodeCrash;
+}
+
+/// Fallback classification for failures that carry no explicit kind (engine
+/// estimate/run errors, availability checks). Conservative: everything that
+/// is not clearly a node problem indicts the engine, matching the historic
+/// mark-OFF-and-replan behaviour.
+FailureKind ClassifyFailure(const Status& status);
+
+/// Per-step retry budget applied by the Enforcer before a failure escalates
+/// to replanning. Backoff is exponential with multiplicative jitter and is
+/// charged to the *simulated* clock, so retries cost simulated makespan, not
+/// wall time.
+struct RetryPolicy {
+  /// Total start attempts per step (1 = never retry, the legacy behaviour).
+  int max_attempts = 3;
+  double base_backoff_seconds = 2.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 60.0;
+  /// Backoff is multiplied by a uniform draw in [1-j, 1+j].
+  double jitter_fraction = 0.2;
+  /// Step deadline: a step still running after this multiple of its planner
+  /// estimate is killed and retried as a kTimeout. 0 disables deadlines.
+  double straggler_multiplier = 0.0;
+  /// Deadlines only apply once k× the estimate exceeds this floor, so short
+  /// steps are never killed over estimate noise.
+  double min_deadline_seconds = 1.0;
+
+  /// Backoff before retry number `retry` (1-based: the wait after the
+  /// first failed attempt is retry == 1). Draws jitter from `rng`.
+  double BackoffSeconds(int retry, Rng* rng) const;
+
+  /// Kill deadline for a step whose planner estimate is
+  /// `estimated_seconds`, or 0 when deadlines are disabled for it.
+  double DeadlineSeconds(double estimated_seconds) const;
+};
+
+}  // namespace ires
+
+#endif  // IRES_EXECUTOR_FAILURE_H_

@@ -1,6 +1,7 @@
 #include "executor/recovering_executor.h"
 
 #include <chrono>
+#include <set>
 
 #include "common/logging.h"
 
@@ -15,6 +16,14 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
 }
 
 }  // namespace
+
+const char* ReplanStrategyName(ReplanStrategy strategy) {
+  switch (strategy) {
+    case ReplanStrategy::kIresReplan: return "ires_replan";
+    case ReplanStrategy::kTrivialReplan: return "trivial_replan";
+  }
+  return "?";
+}
 
 Result<RecoveryOutcome> RecoveringExecutor::Run(const WorkflowGraph& graph,
                                                 DpPlanner::Options options,
@@ -47,35 +56,66 @@ RecoveryOutcome RecoveringExecutor::RunFrom(const WorkflowGraph& graph,
     }();
     if (!plan.ok()) {
       outcome.status = plan.status();
+      engines_->AdvanceSimClock(outcome.total_execution_seconds);
       return outcome;
     }
 
     ExecutionReport report = enforcer_->Execute(plan.value());
     outcome.total_execution_seconds += report.makespan_seconds;
+    outcome.step_retries += report.step_retries;
 
     if (report.status.ok()) {
+      // Close any half-open probes among the engines that just delivered,
+      // then let the simulated clock tick past this run's makespan so
+      // suspended engines heal as work flows.
+      std::set<std::string> used;
+      for (const PlanStep& step : plan.value().steps) {
+        used.insert(step.engine);
+      }
+      for (const std::string& engine : used) {
+        (void)engines_->ReportSuccess(engine);
+      }
+      engines_->AdvanceSimClock(outcome.total_execution_seconds);
       outcome.status = Status::OK();
       outcome.final_report = std::move(report);
       outcome.final_plan = std::move(plan).value();
       return outcome;
     }
 
-    // Failure: the engine that hosted the failed step is reported OFF so
-    // the next plan excludes it (§2.3).
-    if (report.failed_step >= 0) {
-      const std::string& dead_engine =
-          plan.value().steps[report.failed_step].engine;
-      IRES_LOG(kInfo) << "engine " << dead_engine
-                      << " failed; marking OFF and replanning";
-      (void)engines_->SetAvailable(dead_engine, false);
+    // Record the failure and escalate by its domain (§2.3). The Enforcer
+    // already retried transient/straggler faults in place; whatever reaches
+    // this layer aborted the attempt.
+    FailureEvent event;
+    event.attempt = attempt;
+    event.failed_step = report.failed_step;
+    event.kind = report.failure_kind;
+    event.message = report.status.message();
+    if (report.failed_step >= 0 &&
+        report.failed_step < static_cast<int>(plan.value().steps.size())) {
+      event.engine = plan.value().steps[report.failed_step].engine;
     }
-    ++outcome.replans;
-    if (outcome.replans > max_replans_) {
+    if (!event.engine.empty() && IndictsEngine(event.kind)) {
+      IRES_LOG(kInfo) << "engine " << event.engine << " failed ("
+                      << FailureKindName(event.kind)
+                      << "); tripping breaker and replanning";
+      (void)engines_->ReportFailure(event.engine);
+    } else {
+      // Node crashes leave the engine unindicted: the cluster health map
+      // already carries the dead node, and the replan packs around it.
+      IRES_LOG(kInfo) << "attempt " << attempt << " failed ("
+                      << FailureKindName(event.kind)
+                      << "); replanning without engine indictment";
+    }
+    outcome.failures.push_back(std::move(event));
+
+    if (outcome.replans >= max_replans_) {
       outcome.status = report.status;
       outcome.final_report = std::move(report);
       outcome.final_plan = std::move(plan).value();
+      engines_->AdvanceSimClock(outcome.total_execution_seconds);
       return outcome;
     }
+    ++outcome.replans;
 
     switch (strategy) {
       case ReplanStrategy::kIresReplan:

@@ -1,9 +1,11 @@
 #ifndef IRES_EXECUTOR_RECOVERING_EXECUTOR_H_
 #define IRES_EXECUTOR_RECOVERING_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
 #include "executor/enforcer.h"
+#include "executor/failure.h"
 #include "planner/dp_planner.h"
 
 namespace ires {
@@ -17,24 +19,53 @@ enum class ReplanStrategy {
   kTrivialReplan,
 };
 
+/// Metric-label / JSON name of a strategy ("ires_replan", "trivial_replan").
+const char* ReplanStrategyName(ReplanStrategy strategy);
+
+/// One recorded workflow-level failure (a failed execution attempt).
+struct FailureEvent {
+  /// 0-based execution attempt that failed (0 = the initial plan).
+  int attempt = 0;
+  int failed_step = -1;
+  FailureKind kind = FailureKind::kTransient;
+  /// Engine of the failed step; empty when no step is attributable.
+  std::string engine;
+  std::string message;
+};
+
 /// End-to-end outcome of a run with recovery.
 struct RecoveryOutcome {
   Status status;
-  /// Total simulated execution time across all attempts.
+  /// Total simulated execution time across all attempts (failed attempts
+  /// included — their partial makespans accumulate here).
   double total_execution_seconds = 0.0;
   /// Total wall-clock planning time across all attempts (milliseconds) —
   /// the "planning time" column of Figures 20-22.
   double total_planning_ms = 0.0;
   /// Planning time of replans only (excluding the initial plan).
   double replanning_ms = 0.0;
+  /// Replanning rounds actually performed. A run that gives up because the
+  /// budget is exhausted does not count the replan it never ran, so with
+  /// set_max_replans(0) this stays 0 even though one failure was recorded.
   int replans = 0;
+  /// In-place step retries summed across all execution attempts.
+  int step_retries = 0;
+  /// Every failed execution attempt, in order; failures.size() >= replans,
+  /// with equality iff the workflow eventually succeeded.
+  std::vector<FailureEvent> failures;
   ExecutionReport final_report;
   ExecutionPlan final_plan;
 };
 
 /// Plans, executes, monitors and — on failure — replans a workflow until it
-/// completes or no feasible plan remains. Failed engines are marked OFF so
-/// that replanning excludes them, exactly as §2.3 prescribes.
+/// completes or no feasible plan remains (§2.3), escalating by failure
+/// domain: transient faults and straggler kills are already retried in
+/// place by the Enforcer; failures that survive retries indict the hosting
+/// engine through the registry's circuit breaker (suspension with backoff,
+/// not permanent OFF), while node crashes leave engines unindicted — the
+/// node stays UNHEALTHY for the replan and the planner works around it.
+/// Each run advances the registry's shared simulated clock by its total
+/// execution time, so suspended engines heal as simulated work flows.
 class RecoveringExecutor {
  public:
   RecoveringExecutor(const DpPlanner* planner, Enforcer* enforcer,
@@ -43,6 +74,7 @@ class RecoveringExecutor {
 
   /// At most this many replans before giving up.
   void set_max_replans(int n) { max_replans_ = n; }
+  int max_replans() const { return max_replans_; }
 
   Result<RecoveryOutcome> Run(const WorkflowGraph& graph,
                               DpPlanner::Options options,

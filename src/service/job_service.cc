@@ -63,9 +63,9 @@ JobService::JobService(IresServer* server, Options options)
 
 JobService::~JobService() { Shutdown(); }
 
-Result<std::string> JobService::Submit(const WorkflowGraph& graph,
-                                       const std::string& workflow_name,
-                                       OptimizationPolicy policy) {
+Result<std::string> JobService::Submit(
+    const WorkflowGraph& graph, const std::string& workflow_name,
+    OptimizationPolicy policy, const IresServer::ExecutionOptions& exec) {
   // Admission gate: lint the workflow against the current library/engines
   // before it costs a queue slot or a worker. Runs outside mu_ — the
   // analyzer only reads internally synchronized registries.
@@ -95,6 +95,7 @@ Result<std::string> JobService::Submit(const WorkflowGraph& graph,
                   static_cast<unsigned long long>(next_job_number_++));
     job = std::make_shared<Job>();
     job->graph = graph;
+    job->exec = exec;
     job->record.id = id;
     job->record.workflow = workflow_name;
     job->record.policy = policy;
@@ -200,12 +201,13 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
     exec_started_at = NowSeconds();
   }
 
-  IresServer::WorkflowRunResult result =
-      server_->ExecutePlanned(job->graph, policy, planned.value(), trace);
+  IresServer::WorkflowRunResult result = server_->ExecutePlanned(
+      job->graph, policy, planned.value(), trace, job->exec);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->record.outcome = std::move(result.recovery);
+    job->record.chaos_injected = result.chaos_injected;
     job->record.exec_wall_seconds = NowSeconds() - exec_started_at;
     --active_;
     active_gauge_->Set(static_cast<double>(active_));

@@ -58,6 +58,9 @@ struct JobRecord {
   // Execution outcome (valid once RUNNING finishes).
   RecoveryOutcome outcome;
 
+  // What the job's chaos schedule injected (all zero without chaos).
+  ChaosScheduler::Counts chaos_injected;
+
   // Wall-clock timestamps, seconds since the Unix epoch (0 = not yet).
   double submitted_at = 0.0;
   double started_at = 0.0;
@@ -118,10 +121,15 @@ class JobService {
   JobService& operator=(const JobService&) = delete;
 
   /// Admits one workflow for asynchronous execution. Returns the job id,
-  /// or ResourceExhausted when the admission queue is full.
+  /// or ResourceExhausted when the admission queue is full. `exec` carries
+  /// the job's fault-tolerance regime — recovery strategy, replan budget,
+  /// retry policy and chaos schedule — so every submission can run under
+  /// its own failure discipline.
   Result<std::string> Submit(
       const WorkflowGraph& graph, const std::string& workflow_name,
-      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime());
+      OptimizationPolicy policy = OptimizationPolicy::MinimizeTime(),
+      const IresServer::ExecutionOptions& exec =
+          IresServer::ExecutionOptions());
 
   /// Snapshot of one job (NotFound for unknown ids).
   Result<JobRecord> Get(const std::string& id) const;
@@ -151,6 +159,7 @@ class JobService {
   struct Job {
     JobRecord record;
     WorkflowGraph graph;
+    IresServer::ExecutionOptions exec;  // immutable after Submit
     bool cancel_requested = false;
     uint64_t queue_span = 0;  // open "job.queue_wait" span id
   };

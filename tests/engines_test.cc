@@ -257,5 +257,125 @@ TEST(EngineRegistryTest, AddFindAvailability) {
   EXPECT_FALSE(registry.IsAvailable("Y"));
 }
 
+// ---- Circuit breaker. ------------------------------------------------------
+class BreakerTest : public ::testing::Test {
+ protected:
+  BreakerTest() {
+    SimulatedEngine::Config cfg;
+    cfg.name = "X";
+    EXPECT_TRUE(registry_.Add(std::make_unique<SimulatedEngine>(cfg)).ok());
+    EngineRegistry::BreakerConfig breaker;
+    breaker.base_suspension_seconds = 10.0;
+    breaker.suspension_multiplier = 2.0;
+    breaker.max_suspension_seconds = 100.0;
+    breaker.off_after_consecutive_trips = 3;
+    registry_.set_breaker_config(breaker);
+  }
+
+  EngineHealth HealthOf(const std::string& name) {
+    return registry_.HealthOf(name).value().health;
+  }
+
+  EngineRegistry registry_;
+};
+
+TEST_F(BreakerTest, TripSuspendsThenProbesThenCloses) {
+  const uint64_t epoch0 = registry_.availability_epoch();
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kSuspended);
+  EXPECT_FALSE(registry_.IsAvailable("X"));
+  EXPECT_GT(registry_.availability_epoch(), epoch0);
+
+  // Clock short of the suspension deadline: still out of rotation.
+  registry_.AdvanceSimClock(9.0);
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kSuspended);
+  // Past the deadline: half-open, available as a probe, epoch bumped again.
+  const uint64_t epoch1 = registry_.availability_epoch();
+  registry_.AdvanceSimClock(2.0);
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kHalfOpen);
+  EXPECT_TRUE(registry_.IsAvailable("X"));
+  EXPECT_GT(registry_.availability_epoch(), epoch1);
+
+  ASSERT_TRUE(registry_.ReportSuccess("X").ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kOn);
+  EXPECT_EQ(registry_.HealthOf("X").value().consecutive_trips, 0);
+  EXPECT_EQ(registry_.HealthOf("X").value().trips_total, 1u);
+}
+
+TEST_F(BreakerTest, BackoffEscalatesAndTripsToOff) {
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  EXPECT_DOUBLE_EQ(registry_.HealthOf("X").value().suspended_until, 10.0);
+  registry_.AdvanceSimClock(10.0);
+  ASSERT_EQ(HealthOf("X"), EngineHealth::kHalfOpen);
+
+  // Second trip while half-open: doubled suspension from the current clock.
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kSuspended);
+  EXPECT_DOUBLE_EQ(registry_.HealthOf("X").value().suspended_until,
+                   10.0 + 20.0);
+  registry_.AdvanceSimClock(20.0);
+  ASSERT_EQ(HealthOf("X"), EngineHealth::kHalfOpen);
+
+  // Third consecutive trip hits the limit: permanently OFF; the clock never
+  // resurrects it.
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kOff);
+  registry_.AdvanceSimClock(1e6);
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kOff);
+  EXPECT_FALSE(registry_.IsAvailable("X"));
+  EXPECT_EQ(registry_.HealthOf("X").value().trips_total, 3u);
+}
+
+TEST_F(BreakerTest, SuccessClosesStreakSoBackoffRestarts) {
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  registry_.AdvanceSimClock(10.0);
+  ASSERT_TRUE(registry_.ReportSuccess("X").ok());
+  ASSERT_EQ(HealthOf("X"), EngineHealth::kOn);
+
+  // The recovered streak is gone: the next trip starts at base backoff
+  // again instead of escalating toward OFF.
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kSuspended);
+  EXPECT_EQ(registry_.HealthOf("X").value().consecutive_trips, 1);
+  EXPECT_DOUBLE_EQ(registry_.HealthOf("X").value().suspended_until,
+                   10.0 + 10.0);
+}
+
+TEST_F(BreakerTest, ManualOffIgnoresFailuresAndRecovery) {
+  ASSERT_TRUE(registry_.SetAvailable("X", false).ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kOff);
+  // Neither failure reports nor any amount of simulated time resurrect a
+  // manually disabled engine.
+  ASSERT_TRUE(registry_.ReportFailure("X").ok());
+  registry_.AdvanceSimClock(1e9);
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kOff);
+  EXPECT_FALSE(registry_.IsAvailable("X"));
+  // Only an explicit ON undoes it, resetting the breaker entirely.
+  ASSERT_TRUE(registry_.SetAvailable("X", true).ok());
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kOn);
+  EXPECT_EQ(registry_.HealthOf("X").value().consecutive_trips, 0);
+}
+
+TEST_F(BreakerTest, NeverOffWhenTripLimitDisabled) {
+  EngineRegistry::BreakerConfig breaker = registry_.breaker_config();
+  breaker.off_after_consecutive_trips = 0;  // never amputate
+  registry_.set_breaker_config(breaker);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(registry_.ReportFailure("X").ok());
+    EXPECT_EQ(HealthOf("X"), EngineHealth::kSuspended) << i;
+  }
+  // Backoff is capped, so the engine always has a finite path back.
+  EXPECT_LE(registry_.HealthOf("X").value().suspended_until,
+            registry_.sim_clock_seconds() + 100.0);
+  registry_.AdvanceSimClock(100.0);
+  EXPECT_EQ(HealthOf("X"), EngineHealth::kHalfOpen);
+}
+
+TEST_F(BreakerTest, ReportsOnUnknownEngineFail) {
+  EXPECT_EQ(registry_.ReportFailure("Y").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.ReportSuccess("Y").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry_.HealthOf("Y").status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace ires

@@ -164,6 +164,137 @@ TEST_F(ExecutorTest, NodeFailureRecoverableViaReplan) {
   EXPECT_TRUE(outcome.value().status.ok());
 }
 
+// ------------------------------------------- retries and failure domains
+TEST_F(ExecutorTest, TransientFaultsRetryInPlace) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  auto plan = Plan(w);
+  ASSERT_TRUE(plan.ok());
+  Enforcer enforcer(registry_.get(), &cluster_, 30);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_seconds = 1.0;
+  enforcer.set_retry_policy(policy);
+  // First two start attempts of step 0 hit transient faults; the third
+  // succeeds inside the retry budget, so the workflow still completes.
+  enforcer.set_fault_oracle([](const PlanStep& step, double, int attempt) {
+    Enforcer::FaultDecision d;
+    if (step.id == 0 && attempt <= 2) {
+      d.fail = true;
+      d.kind = FailureKind::kTransient;
+    }
+    return d;
+  });
+  ExecutionReport report = enforcer.Execute(plan.value());
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_EQ(report.step_retries, 2);
+  EXPECT_EQ(report.steps[0].attempts, 3);
+  EXPECT_EQ(cluster_.active_allocations(), 0);
+}
+
+TEST_F(ExecutorTest, ExhaustedRetryBudgetAbortsWithTransientKind) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  auto plan = Plan(w);
+  ASSERT_TRUE(plan.ok());
+  Enforcer enforcer(registry_.get(), &cluster_, 31);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff_seconds = 1.0;
+  enforcer.set_retry_policy(policy);
+  enforcer.set_fault_oracle([](const PlanStep& step, double, int) {
+    Enforcer::FaultDecision d;
+    if (step.id == 0) {
+      d.fail = true;
+      d.kind = FailureKind::kTransient;
+    }
+    return d;
+  });
+  ExecutionReport report = enforcer.Execute(plan.value());
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_EQ(report.failed_step, 0);
+  EXPECT_EQ(report.failure_kind, FailureKind::kTransient);
+  EXPECT_EQ(report.steps[0].attempts, 2);
+  EXPECT_EQ(report.step_retries, 1);
+  EXPECT_EQ(cluster_.active_allocations(), 0);
+}
+
+TEST_F(ExecutorTest, StragglerDeadlineKillsAndRetries) {
+  const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
+  auto plan = Plan(w);
+  ASSERT_TRUE(plan.ok());
+  Enforcer enforcer(registry_.get(), &cluster_, 32);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff_seconds = 1.0;
+  policy.straggler_multiplier = 2.0;  // arm step deadlines
+  enforcer.set_retry_policy(policy);
+  const int target = plan.value().steps.back().id;
+  // The first attempt of the last step hangs (an injected straggler); the
+  // armed deadline kills it at 2x the estimate and the retry completes.
+  enforcer.set_fault_oracle(
+      [target](const PlanStep& step, double, int attempt) {
+        Enforcer::FaultDecision d;
+        if (step.id == target && attempt == 1) {
+          d.fail = true;
+          d.kind = FailureKind::kTimeout;
+        }
+        return d;
+      });
+  ExecutionReport report = enforcer.Execute(plan.value());
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_EQ(report.step_retries, 1);
+  EXPECT_EQ(report.steps[target].attempts, 2);
+  // The hung attempt burned (deadline + backoff) simulated time on top of
+  // the successful attempt's duration.
+  EXPECT_GT(report.steps[target].finish_seconds,
+            plan.value().steps[target].estimated_seconds * 2.0);
+  EXPECT_EQ(cluster_.active_allocations(), 0);
+}
+
+TEST_F(ExecutorTest, NodeScheduleAndHealthPersistAcrossExecutes) {
+  const GeneratedWorkload w = MakeGraphAnalyticsWorkflow(10e6);  // Hama
+  auto plan = Plan(w);
+  ASSERT_TRUE(plan.ok());
+  Enforcer enforcer(registry_.get(), &cluster_, 33);
+  for (int n = 0; n < cluster_.node_count(); ++n) {
+    enforcer.ScheduleNodeFailure(n, 1.0);
+  }
+  ExecutionReport first = enforcer.Execute(plan.value());
+  ASSERT_FALSE(first.status.ok());
+  EXPECT_EQ(first.failure_kind, FailureKind::kNodeCrash);
+  const int dead_after_first =
+      cluster_.node_count() - cluster_.healthy_node_count();
+  ASSERT_GT(dead_after_first, 0);
+
+  // A replan attempt on the same enforcer: nodes that already died stay
+  // dead (their events do not re-fire), while not-yet-fired failures still
+  // apply — the node-failure state machine survives RunFrom attempts.
+  ExecutionReport second = enforcer.Execute(plan.value());
+  const int dead_after_second =
+      cluster_.node_count() - cluster_.healthy_node_count();
+  EXPECT_GE(dead_after_second, dead_after_first);
+  if (!second.status.ok()) {
+    EXPECT_EQ(second.failure_kind, FailureKind::kNodeCrash);
+  }
+}
+
+TEST_F(ExecutorTest, NodeRecoveryScheduleHealsTheCluster) {
+  const GeneratedWorkload w = MakeGraphAnalyticsWorkflow(10e6);
+  auto plan = Plan(w);
+  ASSERT_TRUE(plan.ok());
+  Enforcer enforcer(registry_.get(), &cluster_, 34);
+  // Node 0 is already down (say, a prior attempt's crash); a chaos flap
+  // schedule brings it back two simulated seconds into the run.
+  cluster_.SetNodeHealth(0, NodeHealth::kUnhealthy);
+  enforcer.ScheduleNodeRecovery(0, 2.0);
+  ExecutionReport report = enforcer.Execute(plan.value());
+  ASSERT_TRUE(report.status.ok()) << report.status;
+  EXPECT_EQ(cluster_.healthy_node_count(), cluster_.node_count());
+  // Re-running skips the already-applied recovery on the healthy node.
+  ExecutionReport second = enforcer.Execute(plan.value());
+  ASSERT_TRUE(second.status.ok()) << second.status;
+  EXPECT_EQ(cluster_.healthy_node_count(), cluster_.node_count());
+}
+
 TEST_F(ExecutorTest, TraceExportsTimeline) {
   const GeneratedWorkload w = MakeTextAnalyticsWorkflow(20e3);
   auto plan = Plan(w);
@@ -326,6 +457,103 @@ TEST_F(RecoveryTest, UnrecoverableWhenNoAlternativeEngine) {
   // killing Python leaves no feasible replan.
   auto outcome = RunWithFailure("HelloWorld", ReplanStrategy::kIresReplan);
   EXPECT_FALSE(outcome.ok());
+}
+
+// ------------------------------------------- RecoveryOutcome accounting
+TEST_F(RecoveryTest, MaxReplansZeroFailsWithoutReplanning) {
+  workload_ = MakeHelloWorldWorkflow(0.5);
+  planner_ = std::make_unique<DpPlanner>(&workload_.library, registry_.get());
+  enforcer_ = std::make_unique<Enforcer>(registry_.get(), &cluster_, 40);
+  bool fired = false;
+  enforcer_->set_fault_injector([&fired](const PlanStep& step, double) {
+    if (fired || step.algorithm != "HelloWorld2") return false;
+    fired = true;
+    return true;
+  });
+  RecoveringExecutor recovering(planner_.get(), enforcer_.get(),
+                                registry_.get());
+  // A zero budget means the single failure is terminal even though a
+  // replan would have succeeded — and the replan that never ran is not
+  // counted.
+  recovering.set_max_replans(0);
+  RecoveryOutcome outcome = recovering.RunFrom(
+      workload_.graph, {}, ReplanStrategy::kIresReplan, nullptr);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.replans, 0);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].attempt, 0);
+  EXPECT_EQ(outcome.failures[0].kind, FailureKind::kEngineCrash);
+  EXPECT_FALSE(outcome.failures[0].engine.empty());
+}
+
+TEST_F(RecoveryTest, MaxReplansOneRecoversTheSameFailure) {
+  auto outcome = [this] {
+    workload_ = MakeHelloWorldWorkflow(0.5);
+    planner_ =
+        std::make_unique<DpPlanner>(&workload_.library, registry_.get());
+    enforcer_ = std::make_unique<Enforcer>(registry_.get(), &cluster_, 40);
+    bool fired = false;
+    enforcer_->set_fault_injector([fired](const PlanStep& step,
+                                          double) mutable {
+      if (fired || step.algorithm != "HelloWorld2") return false;
+      fired = true;
+      return true;
+    });
+    RecoveringExecutor recovering(planner_.get(), enforcer_.get(),
+                                  registry_.get());
+    recovering.set_max_replans(1);
+    return recovering.RunFrom(workload_.graph, {},
+                              ReplanStrategy::kIresReplan, nullptr);
+  }();
+  EXPECT_TRUE(outcome.status.ok()) << outcome.status;
+  EXPECT_EQ(outcome.replans, 1);
+  EXPECT_EQ(outcome.failures.size(), 1u);  // == replans on eventual success
+}
+
+TEST_F(RecoveryTest, ReplanningMsExcludesTheInitialPlan) {
+  workload_ = MakeHelloWorldWorkflow(0.5);
+  DpPlanner planner(&workload_.library, registry_.get());
+  Enforcer enforcer(registry_.get(), &cluster_, 41);
+  RecoveringExecutor recovering(&planner, &enforcer, registry_.get());
+  // Clean run: planning happened, replanning did not.
+  RecoveryOutcome clean = recovering.RunFrom(
+      workload_.graph, {}, ReplanStrategy::kIresReplan, nullptr);
+  ASSERT_TRUE(clean.status.ok());
+  EXPECT_GT(clean.total_planning_ms, 0.0);
+  EXPECT_EQ(clean.replanning_ms, 0.0);
+
+  // Failed-then-recovered run: the replan's planning time is counted in
+  // both totals, the initial plan only in total_planning_ms.
+  auto failed = RunWithFailure("HelloWorld2", ReplanStrategy::kIresReplan);
+  ASSERT_TRUE(failed.ok());
+  EXPECT_GT(failed.value().replanning_ms, 0.0);
+  EXPECT_GT(failed.value().total_planning_ms, failed.value().replanning_ms);
+}
+
+TEST_F(RecoveryTest, ExecutionSecondsAccumulateAcrossFailedAttempts) {
+  auto outcome = RunWithFailure("HelloWorld2", ReplanStrategy::kIresReplan);
+  ASSERT_TRUE(outcome.ok());
+  // The aborted first attempt's partial makespan is part of the total, so
+  // the total strictly exceeds the successful attempt's makespan.
+  EXPECT_GT(outcome.value().total_execution_seconds,
+            outcome.value().final_report.makespan_seconds);
+  EXPECT_EQ(outcome.value().step_retries, 0);  // nothing was retried in place
+}
+
+TEST_F(RecoveryTest, FailureSuspendsEngineInsteadOfAmputatingIt) {
+  auto outcome = RunWithFailure("HelloWorld2", ReplanStrategy::kIresReplan);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.value().failures.size(), 1u);
+  const std::string& engine = outcome.value().failures[0].engine;
+  auto health = registry_->HealthOf(engine);
+  ASSERT_TRUE(health.ok());
+  // The breaker suspended the engine rather than turning it OFF for good;
+  // once the suspension lapses on the simulated clock it probes half-open
+  // and is schedulable again — no restart or manual flip required.
+  EXPECT_NE(health.value().health, EngineHealth::kOff);
+  registry_->AdvanceSimClock(
+      registry_->breaker_config().max_suspension_seconds);
+  EXPECT_TRUE(registry_->IsAvailable(engine));
 }
 
 }  // namespace

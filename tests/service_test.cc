@@ -233,6 +233,62 @@ TEST(JobServiceTest, ShutdownCancelsQueuedJobs) {
   }
 }
 
+TEST(JobServiceTest, EngineRecoversAfterFailedJob) {
+  // Regression for the engine-availability leak: a job whose failure
+  // indicts Spark used to mark the engine OFF forever, so every later
+  // LineCount submission (Spark is its only engine) failed planning. With
+  // the circuit breaker the failure only suspends Spark on the simulated
+  // clock, and a later job probes and reuses it.
+  IresServer server;
+  RestApi setup(&server);
+  RegisterLineCount(&setup);
+  auto graph = server.ParseWorkflow(kGraph);
+  ASSERT_TRUE(graph.ok());
+
+  JobService::Options options;
+  options.workers = 1;
+  JobService jobs(&server, options);
+
+  // Job 1 runs under a chaos schedule that always crashes Spark; with no
+  // replan budget the failure is terminal.
+  IresServer::ExecutionOptions chaotic;
+  chaotic.max_replans = 0;
+  chaotic.chaos.seed = 21;
+  chaotic.chaos.engine_crash_probability = 1.0;
+  chaotic.chaos.crash_engine = "Spark";
+  auto first = jobs.Submit(graph.value(), "lc",
+                           OptimizationPolicy::MinimizeTime(), chaotic);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(jobs.WaitForIdle(30.0));
+
+  auto record = jobs.Get(first.value());
+  ASSERT_TRUE(record.ok());
+  ASSERT_EQ(record.value().state, JobState::kFailed);
+  ASSERT_FALSE(record.value().outcome.failures.empty());
+  EXPECT_EQ(record.value().outcome.failures[0].engine, "Spark");
+  // The breaker suspended Spark instead of amputating it.
+  auto health = server.engines().HealthOf("Spark");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health.value().health, EngineHealth::kOff);
+
+  // Simulated work elapses (other tenants' jobs); the suspension expires.
+  server.engines().AdvanceSimClock(
+      server.engines().breaker_config().max_suspension_seconds + 1.0);
+
+  // Job 2, no chaos: it must plan onto the recovered Spark and succeed.
+  auto second = jobs.Submit(graph.value(), "lc");
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_TRUE(jobs.WaitForIdle(30.0));
+  record = jobs.Get(second.value());
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record.value().state, JobState::kSucceeded)
+      << record.value().error;
+  // The successful probe closed the breaker back to ON.
+  health = server.engines().HealthOf("Spark");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value().health, EngineHealth::kOn);
+}
+
 // ------------------------------------------------------------ REST surface
 
 TEST(JobsRestTest, AsyncExecuteLifecycle) {
