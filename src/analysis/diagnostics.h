@@ -18,7 +18,8 @@ const char* DiagSeverityName(DiagSeverity severity);
 
 /// Stable diagnostic codes (see DESIGN.md "Static analysis" for the full
 /// table). WFxxx = workflow-graph lint, POxxx = optimization-policy lint,
-/// PLxxx = execution-plan verification. Codes are part of the API surface:
+/// SQxxx = SQL front-end rejection, PLxxx = execution-plan verification.
+/// Codes are part of the API surface:
 /// clients and tests match on them, so existing codes never change meaning.
 namespace diag {
 // -- WorkflowAnalyzer: structure pass.
@@ -42,6 +43,11 @@ inline constexpr char kArityMismatch[] = "WF014";
 inline constexpr char kOverCapacity[] = "WF015";
 // -- Policy sanity.
 inline constexpr char kBadPolicyWeights[] = "PO001";
+// -- SqlService: parse / resolve / optimize failures on POST /apiv1/sql.
+inline constexpr char kSqlParseError[] = "SQ001";
+inline constexpr char kSqlUnknownName[] = "SQ002";
+inline constexpr char kSqlUnsupportedQuery[] = "SQ003";
+inline constexpr char kSqlNoFeasiblePlan[] = "SQ004";
 // -- PlanAnalyzer.
 inline constexpr char kStepIdMismatch[] = "PL001";
 inline constexpr char kBadDependency[] = "PL002";

@@ -1,0 +1,66 @@
+#ifndef IRES_COMMON_JSON_H_
+#define IRES_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ires {
+
+/// A parsed JSON value — the request-body side of the REST surface. The
+/// server renders its responses with hand-written snprintf JSON (fast,
+/// allocation-light); requests arrive as arbitrary client JSON, which this
+/// small recursive-descent parser turns into a navigable tree. It accepts
+/// strict RFC 8259 input (no comments, no trailing commas) with a depth cap
+/// so hostile bodies cannot blow the stack.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  /// Object members in document order (duplicate keys keep the last).
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience readers with defaults (type mismatch returns the default).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Parses one complete JSON document; trailing non-whitespace is an
+  /// error, as is nesting deeper than 64 levels.
+  static Result<JsonValue> Parse(const std::string& text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace ires
+
+#endif  // IRES_COMMON_JSON_H_

@@ -1,0 +1,252 @@
+#include "core/request_options.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace ires {
+
+namespace {
+
+bool ParseDoubleText(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+Status BadField(const std::string& where, const std::string& what) {
+  return Status::InvalidArgument("options." + where + " " + what);
+}
+
+/// Reads one numeric member, enforcing [lo, hi]; absent members are OK.
+Status ReadNumber(const JsonValue& section, const std::string& where,
+                  const std::string& key, double lo, double hi, bool* present,
+                  double* out) {
+  *present = false;
+  const JsonValue* v = section.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number()) return BadField(where + "." + key, "must be a number");
+  if (v->number_value() < lo || v->number_value() > hi) {
+    return BadField(where + "." + key,
+                    "must be in [" + std::to_string(lo) + ", " +
+                        std::to_string(hi) + "]");
+  }
+  *present = true;
+  *out = v->number_value();
+  return Status::OK();
+}
+
+Status RejectUnknownKeys(const JsonValue& section, const std::string& where,
+                         std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : section.object()) {
+    bool ok = false;
+    for (const char* k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return BadField(where + "." + key, "is not a recognized option");
+  }
+  return Status::OK();
+}
+
+Status ApplyStrategy(const std::string& value, const std::string& where,
+                     IresServer::ExecutionOptions* exec) {
+  if (value == "ires") {
+    exec->strategy = ReplanStrategy::kIresReplan;
+  } else if (value == "trivial") {
+    exec->strategy = ReplanStrategy::kTrivialReplan;
+  } else {
+    return Status::InvalidArgument(where + " must be ires or trivial");
+  }
+  return Status::OK();
+}
+
+Status ParseOptionsBody(const JsonValue& options, ParsedExecution* out) {
+  if (!options.is_object()) {
+    return Status::InvalidArgument("options must be a JSON object");
+  }
+  IRES_RETURN_IF_ERROR(
+      RejectUnknownKeys(options, "", {"execution", "retry", "chaos"}));
+  bool present = false;
+  double number = 0.0;
+
+  if (const JsonValue* execution = options.Find("execution")) {
+    if (!execution->is_object()) {
+      return BadField("execution", "must be an object");
+    }
+    IRES_RETURN_IF_ERROR(RejectUnknownKeys(*execution, "execution",
+                                           {"mode", "strategy", "maxReplans"}));
+    if (const JsonValue* mode = execution->Find("mode")) {
+      if (!mode->is_string() ||
+          (mode->string_value() != "sync" && mode->string_value() != "async")) {
+        return BadField("execution.mode", "must be \"sync\" or \"async\"");
+      }
+      out->async = mode->string_value() == "async";
+    }
+    if (const JsonValue* strategy = execution->Find("strategy")) {
+      if (!strategy->is_string()) {
+        return BadField("execution.strategy", "must be a string");
+      }
+      IRES_RETURN_IF_ERROR(ApplyStrategy(strategy->string_value(),
+                                         "options.execution.strategy",
+                                         &out->exec));
+    }
+    IRES_RETURN_IF_ERROR(ReadNumber(*execution, "execution", "maxReplans", 0,
+                                    1000, &present, &number));
+    if (present) out->exec.max_replans = static_cast<int>(number);
+  }
+
+  if (const JsonValue* retry = options.Find("retry")) {
+    if (!retry->is_object()) return BadField("retry", "must be an object");
+    IRES_RETURN_IF_ERROR(RejectUnknownKeys(
+        *retry, "retry", {"attempts", "backoffSeconds", "stragglerMultiplier"}));
+    IRES_RETURN_IF_ERROR(
+        ReadNumber(*retry, "retry", "attempts", 1, 100, &present, &number));
+    if (present) out->exec.retry.max_attempts = static_cast<int>(number);
+    IRES_RETURN_IF_ERROR(ReadNumber(*retry, "retry", "backoffSeconds", 0,
+                                    1e9, &present, &number));
+    if (present) out->exec.retry.base_backoff_seconds = number;
+    IRES_RETURN_IF_ERROR(ReadNumber(*retry, "retry", "stragglerMultiplier", 0,
+                                    1e9, &present, &number));
+    if (present) out->exec.retry.straggler_multiplier = number;
+  }
+
+  if (const JsonValue* chaos = options.Find("chaos")) {
+    if (!chaos->is_object()) return BadField("chaos", "must be an object");
+    IRES_RETURN_IF_ERROR(RejectUnknownKeys(
+        *chaos, "chaos",
+        {"seed", "transient", "timeout", "crash", "crashEngine"}));
+    IRES_RETURN_IF_ERROR(
+        ReadNumber(*chaos, "chaos", "seed", 1, 1e18, &present, &number));
+    if (present) out->exec.chaos.seed = static_cast<uint64_t>(number);
+    IRES_RETURN_IF_ERROR(
+        ReadNumber(*chaos, "chaos", "transient", 0, 1, &present, &number));
+    if (present) out->exec.chaos.transient_probability = number;
+    IRES_RETURN_IF_ERROR(
+        ReadNumber(*chaos, "chaos", "timeout", 0, 1, &present, &number));
+    if (present) out->exec.chaos.timeout_probability = number;
+    IRES_RETURN_IF_ERROR(
+        ReadNumber(*chaos, "chaos", "crash", 0, 1, &present, &number));
+    if (present) out->exec.chaos.engine_crash_probability = number;
+    if (const JsonValue* engine = chaos->Find("crashEngine")) {
+      if (!engine->is_string()) {
+        return BadField("chaos.crashEngine", "must be a string");
+      }
+      out->exec.chaos.crash_engine = engine->string_value();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseExecutionOptions(const std::string& query,
+                             const JsonValue* options, ParsedExecution* out) {
+  *out = ParsedExecution();
+  bool used_legacy = false;
+  auto deprecated = [&](const std::string& key, const std::string& new_path) {
+    used_legacy = true;
+    out->warnings.push_back("query parameter '" + key +
+                            "' is deprecated and will be removed next "
+                            "release; set options." +
+                            new_path + " in the request body instead");
+  };
+
+  for (const std::string& pair :
+       query.empty() ? std::vector<std::string>{} : SplitAndTrim(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("query parameter needs a value: " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    double number = 0.0;
+    if (key == "mode") {
+      if (value == "async") {
+        out->async = true;
+      } else if (value != "sync") {
+        return Status::InvalidArgument("mode must be sync or async");
+      }
+    } else if (key == "strategy") {
+      deprecated(key, "execution.strategy");
+      IRES_RETURN_IF_ERROR(ApplyStrategy(value, "strategy", &out->exec));
+    } else if (key == "maxReplans") {
+      deprecated(key, "execution.maxReplans");
+      if (!ParseDoubleText(value, &number) || number < 0 || number > 1000) {
+        return Status::InvalidArgument("maxReplans must be in [0, 1000]");
+      }
+      out->exec.max_replans = static_cast<int>(number);
+    } else if (key == "retryAttempts") {
+      deprecated(key, "retry.attempts");
+      if (!ParseDoubleText(value, &number) || number < 1 || number > 100) {
+        return Status::InvalidArgument("retryAttempts must be in [1, 100]");
+      }
+      out->exec.retry.max_attempts = static_cast<int>(number);
+    } else if (key == "retryBackoffSeconds") {
+      deprecated(key, "retry.backoffSeconds");
+      if (!ParseDoubleText(value, &number) || number < 0) {
+        return Status::InvalidArgument("retryBackoffSeconds must be >= 0");
+      }
+      out->exec.retry.base_backoff_seconds = number;
+    } else if (key == "stragglerMultiplier") {
+      deprecated(key, "retry.stragglerMultiplier");
+      if (!ParseDoubleText(value, &number) || number < 0) {
+        return Status::InvalidArgument("stragglerMultiplier must be >= 0");
+      }
+      out->exec.retry.straggler_multiplier = number;
+    } else if (key == "chaosSeed") {
+      deprecated(key, "chaos.seed");
+      if (!ParseDoubleText(value, &number) || number < 1) {
+        return Status::InvalidArgument("chaosSeed must be a positive integer");
+      }
+      out->exec.chaos.seed = static_cast<uint64_t>(number);
+    } else if (key == "chaosTransient" || key == "chaosTimeout" ||
+               key == "chaosCrash") {
+      deprecated(key, key == "chaosTransient"
+                          ? "chaos.transient"
+                          : key == "chaosTimeout" ? "chaos.timeout"
+                                                  : "chaos.crash");
+      if (!ParseDoubleText(value, &number) || number < 0 || number > 1) {
+        return Status::InvalidArgument(key + " must be in [0, 1]");
+      }
+      if (key == "chaosTransient") {
+        out->exec.chaos.transient_probability = number;
+      } else if (key == "chaosTimeout") {
+        out->exec.chaos.timeout_probability = number;
+      } else {
+        out->exec.chaos.engine_crash_probability = number;
+      }
+    } else if (key == "chaosCrashEngine") {
+      deprecated(key, "chaos.crashEngine");
+      out->exec.chaos.crash_engine = value;
+    } else {
+      return Status::InvalidArgument("unsupported execute query key: " + key);
+    }
+  }
+
+  if (options != nullptr) {
+    if (used_legacy) {
+      return Status::InvalidArgument(
+          "execution options were supplied both as query parameters and in "
+          "the request body; move the query parameters into the body");
+    }
+    IRES_RETURN_IF_ERROR(ParseOptionsBody(*options, out));
+  }
+  return Status::OK();
+}
+
+std::string WarningsFragment(const std::vector<std::string>& warnings) {
+  if (warnings.empty()) return "";
+  std::string out = ",\"warnings\":[";
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(warnings[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ires

@@ -1,0 +1,55 @@
+#ifndef IRES_CORE_REQUEST_OPTIONS_H_
+#define IRES_CORE_REQUEST_OPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/ires_server.h"
+
+namespace ires {
+
+/// The per-request execution regime as decoded from one REST call, shared
+/// by POST /workflows/{name}/execute and POST /apiv1/sql.
+struct ParsedExecution {
+  bool async = false;
+  IresServer::ExecutionOptions exec;
+  /// Deprecation notices to surface in the success envelope's "warnings"
+  /// array (one per legacy query parameter used).
+  std::vector<std::string> warnings;
+};
+
+/// Decodes the execution options of one request from its query string and
+/// optional structured JSON `options` body (null when the request carried
+/// none):
+///
+///   {"execution": {"mode": "sync|async", "strategy": "ires|trivial",
+///                  "maxReplans": N},
+///    "retry":     {"attempts": N, "backoffSeconds": S,
+///                  "stragglerMultiplier": M},
+///    "chaos":     {"seed": N, "transient": P, "timeout": P, "crash": P,
+///                  "crashEngine": "name"}}
+///
+/// The flat query parameters of the pre-options API (`strategy`,
+/// `maxReplans`, `retryAttempts`, `retryBackoffSeconds`,
+/// `stragglerMultiplier`, `chaosSeed`, `chaosTransient`, `chaosTimeout`,
+/// `chaosCrash`, `chaosCrashEngine`) keep working as deprecated aliases for
+/// one release; each use appends a deprecation notice to `out->warnings`.
+/// Mixing the legacy parameters with a structured body is rejected
+/// (InvalidArgument) — there is no precedence rule to misremember. `mode`
+/// stays a first-class query parameter (it routes, it does not tune) and
+/// may be given either way.
+///
+/// Unknown query keys, unknown body sections/keys and out-of-range values
+/// all fail with InvalidArgument so typos never silently run with defaults.
+Status ParseExecutionOptions(const std::string& query,
+                             const JsonValue* options, ParsedExecution* out);
+
+/// Renders `warnings` as a `,"warnings":[...]` JSON fragment, or "" when
+/// empty — appended inside success envelopes.
+std::string WarningsFragment(const std::vector<std::string>& warnings);
+
+}  // namespace ires
+
+#endif  // IRES_CORE_REQUEST_OPTIONS_H_

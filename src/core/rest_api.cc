@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace ires {
@@ -115,100 +116,48 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
   return out;
 }
 
-/// Parses one strictly numeric query value; false on trailing garbage.
-bool ParseDouble(const std::string& text, double* out) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  *out = std::strtod(text.c_str(), &end);
-  return end == text.c_str() + text.size();
-}
-
-/// Execute-route query options: `mode` picks sync/async, the rest select
-/// the job's fault-tolerance regime (strategy, replan budget, retry policy,
-/// chaos schedule). Unknown keys and malformed values are rejected so typos
-/// never silently run with defaults.
-Status ParseExecuteQuery(const std::string& query, bool* async,
-                         IresServer::ExecutionOptions* exec) {
-  *async = false;
-  if (query.empty()) return Status::OK();
-  for (const std::string& pair : SplitAndTrim(query, '&')) {
-    const size_t eq = pair.find('=');
-    if (eq == std::string::npos) {
-      return Status::InvalidArgument("query parameter needs a value: " + pair);
-    }
-    const std::string key = pair.substr(0, eq);
-    const std::string value = pair.substr(eq + 1);
-    double number = 0.0;
-    if (key == "mode") {
-      if (value == "async") {
-        *async = true;
-      } else if (value != "sync") {
-        return Status::InvalidArgument("mode must be sync or async");
-      }
-    } else if (key == "strategy") {
-      if (value == "ires") {
-        exec->strategy = ReplanStrategy::kIresReplan;
-      } else if (value == "trivial") {
-        exec->strategy = ReplanStrategy::kTrivialReplan;
-      } else {
-        return Status::InvalidArgument("strategy must be ires or trivial");
-      }
-    } else if (key == "maxReplans") {
-      if (!ParseDouble(value, &number) || number < 0 || number > 1000) {
-        return Status::InvalidArgument("maxReplans must be in [0, 1000]");
-      }
-      exec->max_replans = static_cast<int>(number);
-    } else if (key == "retryAttempts") {
-      if (!ParseDouble(value, &number) || number < 1 || number > 100) {
-        return Status::InvalidArgument("retryAttempts must be in [1, 100]");
-      }
-      exec->retry.max_attempts = static_cast<int>(number);
-    } else if (key == "retryBackoffSeconds") {
-      if (!ParseDouble(value, &number) || number < 0) {
-        return Status::InvalidArgument("retryBackoffSeconds must be >= 0");
-      }
-      exec->retry.base_backoff_seconds = number;
-    } else if (key == "stragglerMultiplier") {
-      if (!ParseDouble(value, &number) || number < 0) {
-        return Status::InvalidArgument("stragglerMultiplier must be >= 0");
-      }
-      exec->retry.straggler_multiplier = number;
-    } else if (key == "chaosSeed") {
-      if (!ParseDouble(value, &number) || number < 1) {
-        return Status::InvalidArgument("chaosSeed must be a positive integer");
-      }
-      exec->chaos.seed = static_cast<uint64_t>(number);
-    } else if (key == "chaosTransient" || key == "chaosTimeout" ||
-               key == "chaosCrash") {
-      if (!ParseDouble(value, &number) || number < 0 || number > 1) {
-        return Status::InvalidArgument(key + " must be in [0, 1]");
-      }
-      if (key == "chaosTransient") {
-        exec->chaos.transient_probability = number;
-      } else if (key == "chaosTimeout") {
-        exec->chaos.timeout_probability = number;
-      } else {
-        exec->chaos.engine_crash_probability = number;
-      }
-    } else if (key == "chaosCrashEngine") {
-      exec->chaos.crash_engine = value;
-    } else {
-      return Status::InvalidArgument("unsupported execute query key: " + key);
-    }
+/// Decodes an execute/sql request body: either empty, or a JSON object
+/// whose only recognized member is "options" (plus "query" on the sql
+/// route, extracted by the caller). On success `options` points into
+/// `parsed` (null when the body carried no options).
+Status ExtractOptionsBody(const std::string& body, JsonValue* parsed,
+                          const JsonValue** options, bool allow_query) {
+  *options = nullptr;
+  if (Trim(body).empty()) return Status::OK();
+  IRES_ASSIGN_OR_RETURN(*parsed, JsonValue::Parse(body));
+  if (!parsed->is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
   }
+  for (const auto& [key, value] : parsed->object()) {
+    if (key == "options" || (allow_query && key == "query")) continue;
+    return Status::InvalidArgument("unrecognized request body member: " + key);
+  }
+  *options = parsed->Find("options");
   return Status::OK();
 }
 
 /// Metric-label form of a request path: resource names stay, per-entity
-/// segments become {name}/{id} so route cardinality is bounded by the API
-/// surface, not by traffic.
+/// segments become {name}/{id}, and action suffixes pass through only when
+/// they belong to the API's fixed action vocabulary — an arbitrary suffix
+/// collapses to {action}, so traffic can never mint new label values.
 std::string NormalizeRoute(const std::vector<std::string>& parts) {
   if (parts.size() < 2 || parts[0] != "apiv1") return "unknown";
   std::string route = "/apiv1/" + parts[1];
-  if (parts.size() >= 3) {
-    route += parts[1] == "jobs" ? "/{id}" : "/{name}";
+  if (parts.size() < 3) return route;
+  route += parts[1] == "jobs" ? "/{id}" : "/{name}";
+  if (parts.size() >= 4) {
+    static constexpr const char* kActions[] = {
+        "availability", "cancel", "execute", "health", "materialize",
+        "trace"};
+    bool known = false;
+    for (const char* action : kActions) {
+      if (parts[3] == action) {
+        known = true;
+        break;
+      }
+    }
+    route += known ? "/" + parts[3] : "/{action}";
   }
-  if (parts.size() >= 4) route += "/" + parts[3];
   return route;
 }
 
@@ -217,10 +166,13 @@ std::string NormalizeRoute(const std::vector<std::string>& parts) {
 RestApi::RestApi(IresServer* server)
     : server_(server),
       owned_jobs_(std::make_unique<JobService>(server)),
-      jobs_(owned_jobs_.get()) {}
+      jobs_(owned_jobs_.get()),
+      sql_(std::make_unique<SqlService>(server)) {}
 
 RestApi::RestApi(IresServer* server, JobService* jobs)
-    : server_(server), jobs_(jobs) {}
+    : server_(server),
+      jobs_(jobs),
+      sql_(std::make_unique<SqlService>(server)) {}
 
 RestApi::~RestApi() = default;
 
@@ -277,6 +229,7 @@ ApiResponse RestApi::Dispatch(const std::string& method,
   if (resource == "validate" && method == "POST" && parts.size() == 2) {
     return HandleValidate(body);
   }
+  if (resource == "sql") return HandleSql(method, parts, query, body);
   if (resource == "jobs") return HandleJobs(method, parts);
   if (resource == "stats" && method == "GET" && parts.size() == 2) {
     return HandleStats();
@@ -509,33 +462,123 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
               std::string(head) + JsonEscape(plan.value().ToString()) + "\"}"};
     }
     if (parts[3] == "execute") {
-      bool async = false;
-      IresServer::ExecutionOptions exec;
-      const Status parsed = ParseExecuteQuery(query, &async, &exec);
-      if (!parsed.ok()) return FromStatus(parsed);
-      if (async) {
-        auto job_id = jobs_->Submit(graph, parts[2],
-                                    OptimizationPolicy::MinimizeTime(), exec);
+      JsonValue body_json;
+      const JsonValue* options = nullptr;
+      const Status extracted =
+          ExtractOptionsBody(body, &body_json, &options, /*allow_query=*/false);
+      if (!extracted.ok()) return FromStatus(extracted);
+      ParsedExecution parsed;
+      const Status opt_status = ParseExecutionOptions(query, options, &parsed);
+      if (!opt_status.ok()) return FromStatus(opt_status);
+      const std::string warnings = WarningsFragment(parsed.warnings);
+      if (parsed.async) {
+        auto job_id =
+            jobs_->Submit(graph, parts[2], OptimizationPolicy::MinimizeTime(),
+                          parsed.exec);
         if (!job_id.ok()) return FromStatus(job_id.status());
-        return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"}"};
+        return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"" +
+                         warnings + "}"};
       }
       IresServer::WorkflowRunResult result = server_->RunWorkflow(
-          graph, OptimizationPolicy::MinimizeTime(), nullptr, exec);
+          graph, OptimizationPolicy::MinimizeTime(), nullptr, parsed.exec);
       if (!result.recovery.status.ok()) {
         return FromStatus(result.recovery.status);
       }
       char buf[256];
       std::snprintf(buf, sizeof(buf),
                     "{\"executionSeconds\":%.3f,\"planningMs\":%.3f,"
-                    "\"replans\":%d,\"stepRetries\":%d,\"planCacheHit\":%s}",
+                    "\"replans\":%d,\"stepRetries\":%d,\"planCacheHit\":%s",
                     result.recovery.total_execution_seconds,
                     result.recovery.total_planning_ms,
                     result.recovery.replans, result.recovery.step_retries,
                     result.plan_cache_hit ? "true" : "false");
-      return {200, buf};
+      return {200, std::string(buf) + warnings + "}"};
     }
   }
   return NotFoundError("unknown workflows route");
+}
+
+ApiResponse RestApi::HandleSql(const std::string& method,
+                               const std::vector<std::string>& parts,
+                               const std::string& query,
+                               const std::string& body) {
+  if (method != "POST" || parts.size() != 2) {
+    return NotFoundError("unknown sql route");
+  }
+  // The body is either bare SQL text or {"query": "...", "options": {...}}.
+  std::string sql_text = body;
+  JsonValue body_json;
+  const JsonValue* options = nullptr;
+  if (!Trim(body).empty() && Trim(body)[0] == '{') {
+    const Status extracted =
+        ExtractOptionsBody(body, &body_json, &options, /*allow_query=*/true);
+    if (!extracted.ok()) return FromStatus(extracted);
+    const JsonValue* q = body_json.Find("query");
+    if (q == nullptr || !q->is_string()) {
+      return ErrorEnvelope(StatusCode::kInvalidArgument,
+                           "JSON sql body needs a \"query\" string member");
+    }
+    sql_text = q->string_value();
+  }
+  if (Trim(sql_text).empty()) {
+    return ErrorEnvelope(StatusCode::kInvalidArgument, "empty SQL query");
+  }
+
+  ParsedExecution parsed;
+  const Status opt_status = ParseExecutionOptions(query, options, &parsed);
+  if (!opt_status.ok()) return FromStatus(opt_status);
+  const std::string warnings = WarningsFragment(parsed.warnings);
+
+  // Parse + MuSQLE optimize + lower. Front-end failures carry SQxxx
+  // diagnostics and surface as the structured 422 envelope, mirroring the
+  // workflow-lint rejections.
+  std::vector<Diagnostic> diagnostics;
+  auto prepared = sql_->Prepare(sql_text, &diagnostics);
+  if (!prepared.ok()) {
+    if (!diagnostics.empty()) return ValidationRejection(diagnostics);
+    return FromStatus(prepared.status());
+  }
+  const SqlService::PreparedQuery& pq = prepared.value();
+
+  // The lowered graph goes through the same pre-admission lint as any
+  // stored workflow before it reaches the planner.
+  const std::vector<Diagnostic> findings = server_->ValidateWorkflow(pq.graph);
+  if (HasErrors(findings)) return ValidationRejection(findings);
+
+  char sql_fields[320];
+  std::snprintf(sql_fields, sizeof(sql_fields),
+                "\"shapeId\":\"%s\",\"shapeCacheHit\":%s,"
+                "\"resultEngine\":\"%s\",\"estimatedSeconds\":%.3f,"
+                "\"scans\":%d,\"joins\":%d,\"moves\":%d",
+                JsonEscape(pq.shape_id).c_str(),
+                pq.shape_cache_hit ? "true" : "false",
+                JsonEscape(pq.result_engine).c_str(), pq.estimated_seconds,
+                pq.scan_ops, pq.join_ops, pq.move_ops);
+
+  if (parsed.async) {
+    auto job_id = jobs_->Submit(pq.graph, pq.shape_id,
+                                OptimizationPolicy::MinimizeTime(),
+                                parsed.exec);
+    if (!job_id.ok()) return FromStatus(job_id.status());
+    return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"," +
+                     sql_fields + warnings + "}"};
+  }
+
+  IresServer::WorkflowRunResult result = server_->RunWorkflow(
+      pq.graph, OptimizationPolicy::MinimizeTime(), nullptr, parsed.exec);
+  if (!result.recovery.status.ok()) {
+    return FromStatus(result.recovery.status);
+  }
+  char run_fields[192];
+  std::snprintf(run_fields, sizeof(run_fields),
+                ",\"executionSeconds\":%.3f,\"planningMs\":%.3f,"
+                "\"replans\":%d,\"stepRetries\":%d,\"planCacheHit\":%s",
+                result.recovery.total_execution_seconds,
+                result.recovery.total_planning_ms, result.recovery.replans,
+                result.recovery.step_retries,
+                result.plan_cache_hit ? "true" : "false");
+  return {200,
+          "{" + std::string(sql_fields) + run_fields + warnings + "}"};
 }
 
 ApiResponse RestApi::HandleJobs(const std::string& method,

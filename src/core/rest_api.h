@@ -8,7 +8,9 @@
 
 #include "common/strings.h"
 #include "core/ires_server.h"
+#include "core/request_options.h"
 #include "service/job_service.h"
+#include "service/sql_service.h"
 
 namespace ires {
 
@@ -46,6 +48,10 @@ struct ApiResponse {
 ///   POST /apiv1/workflows/{name}/execute        plan + run + refine models
 ///   POST /apiv1/workflows/{name}/execute?mode=async
 ///                                               submit; 202 + {"jobId":...}
+///   POST /apiv1/sql                             body: SQL text, or
+///                                               {"query":"...","options":{}}
+///                                               optimize + lower + run
+///                                               (?mode=async submits a job)
 ///   GET  /apiv1/jobs                            list job summaries
 ///   GET  /apiv1/jobs/{id}                       one job record
 ///   GET  /apiv1/jobs/{id}/trace                 Chrome trace-event JSON
@@ -53,6 +59,12 @@ struct ApiResponse {
 ///   GET  /apiv1/stats                           serving + plan-cache counters
 ///   GET  /apiv1/metrics                         Prometheus text exposition
 ///   GET  /apiv1/healthz                         liveness + queue saturation
+///
+/// The execute and sql routes accept a structured JSON `options` body
+/// (`{"execution":{...},"retry":{...},"chaos":{...}}`, see
+/// core/request_options.h). The flat tuning query parameters of the
+/// pre-options API remain as deprecated aliases for one release; responses
+/// to requests that still use them carry a "warnings" array.
 ///
 /// Every request is timed into `ires_http_request_seconds{method,route}`
 /// and counted in `ires_http_requests_total{method,route,code}`, with
@@ -101,6 +113,9 @@ class RestApi {
                               const std::string& query,
                               const std::string& body);
   ApiResponse HandleValidate(const std::string& body);
+  ApiResponse HandleSql(const std::string& method,
+                        const std::vector<std::string>& parts,
+                        const std::string& query, const std::string& body);
   ApiResponse ValidationRejection(const std::vector<Diagnostic>& findings);
   ApiResponse HandleJobs(const std::string& method,
                          const std::vector<std::string>& parts);
@@ -110,6 +125,7 @@ class RestApi {
   IresServer* server_;
   std::unique_ptr<JobService> owned_jobs_;
   JobService* jobs_;
+  std::unique_ptr<SqlService> sql_;
   std::mutex workflows_mu_;
   std::map<std::string, WorkflowGraph> workflows_;
 };

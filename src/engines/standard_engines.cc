@@ -103,6 +103,12 @@ std::unique_ptr<EngineRegistry> MakeStandardEngineRegistry() {
     engine->SetProfile("SPJQuery", Profile(15.0, 73.0, 0.95, 2.0, 0.2, 0.2));
     engine->SetProfile("SPJHeavyQuery",
                        Profile(15.0, 90.0, 0.95, 4.0, 0.2, 0.2));
+    // Federated SQL operators lowered from /apiv1/sql plans: high startup
+    // (job submission) but cluster-parallel scans/joins; moves model the
+    // bulk write into HDFS.
+    engine->SetProfile("SqlScan", Profile(8.0, 20.0, 0.95, 1.5, 0.3, 0.3));
+    engine->SetProfile("SqlJoin", Profile(15.0, 73.0, 0.95, 2.0, 0.2, 0.2));
+    engine->SetProfile("SqlMove", Profile(5.0, 15.0, 0.95, 1.2, 1.0, 1.0));
     engine->SetProfile("Wordcount", Profile(10.0, 90.0, 0.95, 1.5, 0.05, 0.1));
     engine->SetProfile("*", Profile(12.0, 150.0, 0.95, 2.0, 1.0, 1.0));
     (void)registry->Add(std::move(engine));
@@ -168,6 +174,11 @@ std::unique_ptr<EngineRegistry> MakeStandardEngineRegistry() {
     engine->SetProfile("SPJQuery", Profile(0.5, 15.0, 0.0, 0.05, 0.2, 0.2));
     engine->SetProfile("SPJHeavyQuery",
                        Profile(0.5, 25.0, 0.0, 0.05, 0.2, 0.2));
+    // Federated SQL operators: near-zero startup and sequential execution —
+    // unbeatable on small home-resident tables, loses past a few GB.
+    engine->SetProfile("SqlScan", Profile(0.2, 8.0, 0.0, 0.05, 0.3, 0.3));
+    engine->SetProfile("SqlJoin", Profile(0.5, 15.0, 0.0, 0.05, 0.2, 0.2));
+    engine->SetProfile("SqlMove", Profile(0.3, 20.0, 0.0, 0.05, 1.0, 1.0));
     engine->SetProfile("*", Profile(0.5, 50.0, 0.0, 0.05, 1.0, 1.0));
     (void)registry->Add(std::move(engine));
   }
@@ -187,6 +198,11 @@ std::unique_ptr<EngineRegistry> MakeStandardEngineRegistry() {
     engine->SetProfile("SPJQuery", Profile(1.0, 37.0, 0.95, 1.5, 0.2, 0.2));
     engine->SetProfile("SPJHeavyQuery",
                        Profile(1.0, 45.0, 0.95, 4.0, 0.2, 0.2));
+    // Federated SQL operators: fast in-memory scans/joins, but working sets
+    // above the 12 GB aggregate are infeasible (the planner routes around).
+    engine->SetProfile("SqlScan", Profile(0.5, 4.0, 0.95, 1.2, 0.3, 0.3));
+    engine->SetProfile("SqlJoin", Profile(1.0, 37.0, 0.95, 1.5, 0.2, 0.2));
+    engine->SetProfile("SqlMove", Profile(0.5, 10.0, 0.95, 1.2, 1.0, 1.0));
     engine->SetProfile("*", Profile(1.0, 40.0, 0.95, 1.5, 1.0, 1.0));
     (void)registry->Add(std::move(engine));
   }

@@ -1,5 +1,9 @@
 #include "sql/dpccp.h"
 
+#include <utility>
+
+#include "threading/thread_pool.h"
+
 namespace ires::sql {
 
 namespace {
@@ -30,11 +34,11 @@ void EnumerateCsgRec(const std::vector<uint32_t>& adjacency, uint32_t seed,
   }
 }
 
-}  // namespace
-
-void EnumerateCsgCmpPairs(
-    const std::vector<uint32_t>& adjacency, int n,
-    const std::function<void(uint32_t, uint32_t)>& emit) {
+// All csg-cmp-pairs whose csg grew from the start vertex `v` — one
+// iteration of the serial outer loop. Independent of every other start
+// vertex, which is what the parallel variant exploits.
+void EnumerateForSeed(const std::vector<uint32_t>& adjacency, int n, int v,
+                      const std::function<void(uint32_t, uint32_t)>& emit) {
   // EnumerateCmp for one csg S1: complements are connected sets seeded at
   // neighbors of S1 with index above min(S1), grown away from the
   // "forbidden" prefix.
@@ -45,24 +49,56 @@ void EnumerateCsgCmpPairs(
     const uint32_t neighbors = Neighborhood(adjacency, s1) & ~x;
     if (neighbors == 0) return;
     // Seeds in descending vertex order, as in the paper.
-    for (int v = n - 1; v >= 0; --v) {
-      const uint32_t bit = 1u << v;
+    for (int w = n - 1; w >= 0; --w) {
+      const uint32_t bit = 1u << w;
       if ((neighbors & bit) == 0) continue;
       emit(s1, bit);
       // Grow the complement through vertices outside X and outside the
-      // lower-ordered neighborhood seeds (B_v ∩ N).
-      const uint32_t b_v = (1u << (v + 1)) - 1;
-      EnumerateCsgRec(adjacency, bit, x | (b_v & neighbors),
+      // lower-ordered neighborhood seeds (B_w ∩ N).
+      const uint32_t b_w = (1u << (w + 1)) - 1;
+      EnumerateCsgRec(adjacency, bit, x | (b_w & neighbors),
                       [&](uint32_t s2) { emit(s1, s2); });
     }
   };
 
+  const uint32_t seed = 1u << v;
+  enumerate_cmp(seed);
+  const uint32_t b_v = (1u << (v + 1)) - 1;
+  EnumerateCsgRec(adjacency, seed, b_v,
+                  [&](uint32_t s1) { enumerate_cmp(s1); });
+}
+
+}  // namespace
+
+void EnumerateCsgCmpPairs(
+    const std::vector<uint32_t>& adjacency, int n,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
   for (int v = n - 1; v >= 0; --v) {
-    const uint32_t seed = 1u << v;
-    enumerate_cmp(seed);
-    const uint32_t b_v = (1u << (v + 1)) - 1;
-    EnumerateCsgRec(adjacency, seed, b_v,
-                    [&](uint32_t s1) { enumerate_cmp(s1); });
+    EnumerateForSeed(adjacency, n, v, emit);
+  }
+}
+
+void EnumerateCsgCmpPairsParallel(
+    const std::vector<uint32_t>& adjacency, int n, ThreadPool* pool,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
+  if (pool == nullptr || n <= 1) {
+    EnumerateCsgCmpPairs(adjacency, n, emit);
+    return;
+  }
+  // One bucket per start vertex, filled concurrently; index i holds the
+  // pairs of seed v = n-1-i, the i-th seed of the serial loop.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> buckets(
+      static_cast<size_t>(n));
+  ParallelFor(pool, static_cast<size_t>(n), [&](size_t i) {
+    const int v = n - 1 - static_cast<int>(i);
+    EnumerateForSeed(adjacency, n, v, [&](uint32_t s1, uint32_t s2) {
+      buckets[i].emplace_back(s1, s2);
+    });
+  });
+  // Replay in serial seed order — the concatenation is bit-identical to
+  // what EnumerateCsgCmpPairs would have emitted.
+  for (const auto& bucket : buckets) {
+    for (const auto& [s1, s2] : bucket) emit(s1, s2);
   }
 }
 
