@@ -64,9 +64,38 @@ const char* ArtifactKindName(ArtifactKind kind) {
   return "?";
 }
 
-IresServer::IresServer(Config config) : config_(config) {
+IresServer::IresServer(Config config)
+    : config_(config),
+      drift_(DriftObservatory::Options(), &metrics_),
+      slo_(&metrics_) {
   engines_ = MakeStandardEngineRegistry();
   engines_->EnableMetrics(&metrics_);
+  engines_->EnableJournal(&journal_);
+
+  // Default objectives over the normalized-route request metrics: latency
+  // per workload class plus an API-wide availability target. The routes
+  // must match NormalizeRoute's output exactly.
+  SloSpec dag_latency;
+  dag_latency.name = "dag-execute-latency";
+  dag_latency.workload = "dag";
+  dag_latency.method = "POST";
+  dag_latency.route = "/apiv1/workflows/{name}/execute";
+  dag_latency.latency_threshold_seconds = 1.0;
+  dag_latency.objective = 0.99;
+  slo_.AddSlo(dag_latency);
+  SloSpec sql_latency;
+  sql_latency.name = "sql-latency";
+  sql_latency.workload = "sql";
+  sql_latency.method = "POST";
+  sql_latency.route = "/apiv1/sql";
+  sql_latency.latency_threshold_seconds = 1.0;
+  sql_latency.objective = 0.99;
+  slo_.AddSlo(sql_latency);
+  SloSpec availability;
+  availability.name = "api-availability";
+  availability.workload = "all";
+  availability.objective = 0.999;
+  slo_.AddSlo(availability);
   cluster_ = std::make_unique<ClusterSimulator>(
       config.cluster_nodes, config.cores_per_node, config.memory_gb_per_node);
   planner_context_ = std::make_unique<PlannerContext>(&library_,
@@ -164,6 +193,21 @@ Result<IresServer::PlannedWorkflow> IresServer::PlanWorkflowCached(
       config_.use_refined_models ? models_.version() : 0;
   key.engine_epoch = engines_->availability_epoch();
 
+  // Plan decisions are journaled under the job id (== trace id) so a job's
+  // event stream replays why it got the plan it did.
+  const JournalWriter writer(&journal_, trace ? trace->trace_id() : "");
+  auto plan_chosen_detail = [](const ExecutionPlan& plan) {
+    std::string engines;
+    for (const std::string& engine : plan.EnginesUsed()) {
+      if (!engines.empty()) engines += "+";
+      engines += engine;
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "seconds=%.3f steps=%zu engines=",
+                  plan.estimated_seconds, plan.steps.size());
+    return std::string(buf) + engines;
+  };
+
   const uint64_t lookup_span =
       trace ? trace->BeginSpan("plan.cache_lookup", "plan") : 0;
   auto cached = plan_cache_->Lookup(key);
@@ -175,8 +219,12 @@ Result<IresServer::PlannedWorkflow> IresServer::PlanWorkflowCached(
     PlannedWorkflow out;
     out.plan = std::move(*cached);
     out.cache_hit = true;
+    writer.Emit(EventKind::kPlanCacheHit);
+    writer.Emit(EventKind::kPlanChosen, -1, "", "", out.plan.estimated_cost,
+                plan_chosen_detail(out.plan));
     return out;
   }
+  writer.Emit(EventKind::kPlanCacheMiss);
 
   const uint64_t dp_span = trace ? trace->BeginSpan("plan.dp", "plan") : 0;
   const auto start = std::chrono::steady_clock::now();
@@ -197,6 +245,8 @@ Result<IresServer::PlannedWorkflow> IresServer::PlanWorkflowCached(
   PlannedWorkflow out;
   out.plan = std::move(plan).value();
   out.planning_ms = planning_ms;
+  writer.Emit(EventKind::kPlanChosen, -1, "", "", out.plan.estimated_cost,
+              plan_chosen_detail(out.plan));
   // The key was captured before planning, so a library/model mutation that
   // lands mid-DP leaves this plan filed under the old versions — future
   // lookups (which read the new versions) can never be served the stale
@@ -266,10 +316,14 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
   Enforcer enforcer(engines_.get(), &cluster,
                     config_.seed + 0x9e3779b97f4a7c15ull * (run_id + 1));
   enforcer.set_retry_policy(exec.retry);
+  const std::string job_id = trace ? trace->trace_id() : "";
+  const JournalWriter writer(&journal_, job_id);
+  enforcer.set_journal(writer);
   ChaosScheduler chaos(exec.chaos);
   chaos.Arm(&enforcer);
   RecoveringExecutor recovering(planner_.get(), &enforcer, engines_.get());
   recovering.set_max_replans(exec.max_replans);
+  recovering.set_journal(writer);
   const uint64_t exec_span =
       trace ? trace->BeginSpan("job.execute", "job") : 0;
   result.recovery =
@@ -290,6 +344,10 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
   }
   RecordExecutionMetrics(result.recovery.final_plan,
                          result.recovery.final_report);
+  // Drift feeds on every completed step, success or not — a failed run's
+  // completed prefix is still evidence about the cost models.
+  ObserveDrift(result.recovery.final_plan, result.recovery.final_report,
+               job_id);
   if (result.recovery.status.ok()) {
     const uint64_t refine_span =
         trace ? trace->BeginSpan("model.refine", "model") : 0;
@@ -360,6 +418,38 @@ void IresServer::RecordExecutionMetrics(const ExecutionPlan& plan,
                     {{"engine", step.engine}})
         ->Increment(static_cast<uint64_t>(
             (result.finish_seconds - result.start_seconds) * 1000.0));
+  }
+}
+
+void IresServer::ObserveDrift(const ExecutionPlan& plan,
+                              const ExecutionReport& report,
+                              const std::string& job_id) {
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind != PlanStep::Kind::kOperator) continue;
+    if (step.id < 0 || step.id >= static_cast<int>(report.steps.size())) {
+      continue;
+    }
+    const StepResult& result = report.steps[step.id];
+    if (result.step_id < 0 || !result.status.ok()) continue;
+    const double actual = result.finish_seconds - result.start_seconds;
+    if (actual < 0.0) continue;
+    const bool newly_flagged = drift_.Observe(
+        step.algorithm, step.engine, step.estimated_seconds, actual, job_id);
+    if (!newly_flagged) continue;
+    // High drift means the estimator's view of this pair is stale; force a
+    // refit from its sample window right now instead of waiting for the
+    // periodic refit interval.
+    ModelLibrary::OperatorModels* models =
+        models_.Get(step.algorithm, step.engine);
+    if (models != nullptr) {
+      std::lock_guard<std::mutex> lock(models->mu);
+      (void)models->exec_time.Refit();
+    }
+    metrics_
+        .GetCounter("ires_model_refit_forced_total",
+                    "Forced exec-time refits triggered by drift flagging.",
+                    {{"engine", step.engine}})
+        ->Increment();
   }
 }
 

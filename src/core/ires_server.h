@@ -15,12 +15,15 @@
 #include "executor/enforcer.h"
 #include "executor/execution_monitor.h"
 #include "executor/recovering_executor.h"
+#include "modeling/drift.h"
 #include "modeling/refinement.h"
 #include "planner/dp_planner.h"
 #include "planner/plan_cache.h"
 #include "profiling/profiler.h"
 #include "provisioning/resource_provisioner.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/slo.h"
 #include "telemetry/trace_context.h"
 #include "workflow/workflow_graph.h"
 
@@ -226,6 +229,19 @@ class IresServer {
   /// instruments here, and GET /apiv1/metrics renders it.
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// The flight recorder: every decision-relevant transition (admission,
+  /// planning, step retries, breaker flips, replans) lands here, and
+  /// GET /apiv1/debug/events queries it.
+  EventJournal& journal() { return journal_; }
+
+  /// Cost-model drift observatory behind GET /apiv1/models/drift: residual
+  /// tracking of predicted vs simulated-actual step times, feeding forced
+  /// refits for high-drift (operator, engine) pairs.
+  DriftObservatory& drift() { return drift_; }
+
+  /// SLO burn-rate monitor rendered by /apiv1/healthz and /apiv1/metrics.
+  SloMonitor& slo() { return slo_; }
+
   /// The refined execution-time estimator for one (algorithm, engine)
   /// pair, created on first use.
   OnlineEstimator* estimator(const std::string& algorithm,
@@ -247,6 +263,11 @@ class IresServer {
   DpPlanner::Options MakePlannerOptions(const OptimizationPolicy& policy);
   void RefineFromReport(const ExecutionPlan& plan,
                         const ExecutionReport& report);
+  /// Feeds every completed operator step's (predicted, actual) time into
+  /// the drift observatory; newly flagged pairs get an immediate forced
+  /// refit of their exec-time estimator.
+  void ObserveDrift(const ExecutionPlan& plan, const ExecutionReport& report,
+                    const std::string& job_id);
   void RecordExecutionMetrics(const ExecutionPlan& plan,
                               const ExecutionReport& report);
   void RecordRecoveryMetrics(const RecoveryOutcome& recovery,
@@ -256,6 +277,10 @@ class IresServer {
   Config config_;
   /// Declared before every component that registers instruments in it.
   MetricsRegistry metrics_;
+  /// Declared right after metrics_ so every later component may journal.
+  EventJournal journal_;
+  DriftObservatory drift_;
+  SloMonitor slo_;
   OperatorLibrary library_;
   std::unique_ptr<EngineRegistry> engines_;
   std::unique_ptr<ClusterSimulator> cluster_;

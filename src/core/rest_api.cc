@@ -36,6 +36,13 @@ ApiResponse NotFoundError(const std::string& message) {
   return ErrorEnvelope(StatusCode::kNotFound, message);
 }
 
+bool ParseDoubleText(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
 ApiResponse FromStatus(const Status& status, int ok_code = 200,
                        const std::string& ok_body = "{\"ok\":true}") {
   if (status.ok()) return {ok_code, ok_body};
@@ -73,6 +80,7 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
   std::string out = "{\"id\":\"" + JsonEscape(record.id) +
                     "\",\"workflow\":\"" + JsonEscape(record.workflow) +
                     "\",\"policy\":\"" + JsonEscape(record.policy.ToString()) +
+                    "\",\"sloClass\":\"" + JsonEscape(record.slo_class) +
                     "\"," + buf;
   if (!record.error.empty()) {
     out += ",\"error\":\"" + JsonEscape(record.error) + "\"";
@@ -112,6 +120,11 @@ std::string JobRecordJson(const JobRecord& record, bool include_plan) {
   if (include_plan && !record.plan_summary.empty()) {
     out += ",\"plan\":\"" + JsonEscape(record.plan_summary) + "\"";
   }
+  // The flight-recorder snapshot captured at failure time: the decision
+  // sequence survives in the job record even after the journal ring wraps.
+  if (include_plan && !record.event_snapshot.empty()) {
+    out += ",\"eventSnapshot\":" + EventsToJson(record.event_snapshot);
+  }
   out += "}";
   return out;
 }
@@ -144,6 +157,15 @@ std::string NormalizeRoute(const std::vector<std::string>& parts) {
   if (parts.size() < 2 || parts[0] != "apiv1") return "unknown";
   std::string route = "/apiv1/" + parts[1];
   if (parts.size() < 3) return route;
+  // Namespaced observability resources: the sub-resource is part of the
+  // fixed API vocabulary, not a caller-minted entity name.
+  if (parts[1] == "debug" || parts[1] == "models") {
+    static constexpr const char* kSubResources[] = {"events", "drift"};
+    for (const char* sub : kSubResources) {
+      if (parts[2] == sub) return route + "/" + sub;
+    }
+    return route + "/{name}";
+  }
   route += parts[1] == "jobs" ? "/{id}" : "/{name}";
   if (parts.size() >= 4) {
     static constexpr const char* kActions[] = {
@@ -240,6 +262,14 @@ ApiResponse RestApi::Dispatch(const std::string& method,
   if (resource == "healthz" && method == "GET" && parts.size() == 2) {
     return HandleHealthz();
   }
+  if (resource == "debug" && method == "GET" && parts.size() == 3 &&
+      parts[2] == "events") {
+    return HandleDebugEvents(query);
+  }
+  if (resource == "models" && method == "GET" && parts.size() == 3 &&
+      parts[2] == "drift") {
+    return {200, server_->drift().ToJson()};
+  }
   return NotFoundError("unknown resource: " + resource);
 }
 
@@ -251,16 +281,72 @@ ApiResponse RestApi::HandleHealthz() {
                     : static_cast<double>(stats.queue_depth) /
                           static_cast<double>(capacity);
   const bool saturated = capacity > 0 && stats.queue_depth >= capacity;
+  // SLO accounting: a burning objective degrades the replica (visible to
+  // operators and dashboards) without failing the liveness probe — only
+  // saturation, which new submissions cannot survive, turns the probe red.
+  const std::string slo_json = server_->slo().ToJson();
+  const bool degraded = slo_json.find("\"burning\":[]") == std::string::npos;
+  const char* status =
+      saturated ? "saturated" : (degraded ? "degraded" : "ok");
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"status\":\"%s\",\"queueDepth\":%zu,"
                 "\"queueCapacity\":%zu,\"running\":%zu,\"workers\":%d,"
-                "\"saturation\":%.3f}",
-                saturated ? "saturated" : "ok", stats.queue_depth, capacity,
-                stats.running, stats.workers, saturation);
-  // A saturated admission queue is the load-shedding signal: health probes
-  // get 503 so load balancers drain this replica before submissions bounce.
-  return {saturated ? 503 : 200, buf};
+                "\"saturation\":%.3f,\"slo\":",
+                status, stats.queue_depth, capacity, stats.running,
+                stats.workers, saturation);
+  return {saturated ? 503 : 200, std::string(buf) + slo_json + "}"};
+}
+
+ApiResponse RestApi::HandleDebugEvents(const std::string& query) {
+  EventJournal::Filter filter;
+  for (const std::string& pair :
+       query.empty() ? std::vector<std::string>{} : SplitAndTrim(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return ErrorEnvelope(StatusCode::kInvalidArgument,
+                           "query parameter needs a value: " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    double number = 0.0;
+    if (key == "job") {
+      filter.job = value;
+    } else if (key == "kind") {
+      EventKind kind;
+      if (!ParseEventKind(value, &kind)) {
+        return ErrorEnvelope(StatusCode::kInvalidArgument,
+                             "unknown event kind: " + value);
+      }
+      filter.has_kind = true;
+      filter.kind = kind;
+    } else if (key == "since") {
+      if (!ParseDoubleText(value, &number) || number < 0) {
+        return ErrorEnvelope(StatusCode::kInvalidArgument,
+                             "since must be a sequence number >= 0");
+      }
+      filter.since_seq = static_cast<uint64_t>(number);
+    } else if (key == "limit") {
+      if (!ParseDoubleText(value, &number) || number < 1 || number > 4096) {
+        return ErrorEnvelope(StatusCode::kInvalidArgument,
+                             "limit must be in [1, 4096]");
+      }
+      filter.limit = static_cast<size_t>(number);
+    } else {
+      return ErrorEnvelope(StatusCode::kInvalidArgument,
+                           "unknown query parameter: " + key);
+    }
+  }
+  const EventJournal& journal = server_->journal();
+  const std::vector<JournalEvent> events = journal.Query(filter);
+  const EventJournal::Stats stats = journal.stats();
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                ",\"headSeq\":%llu,\"appended\":%llu,\"dropped\":%llu}",
+                static_cast<unsigned long long>(journal.head_seq()),
+                static_cast<unsigned long long>(stats.appended),
+                static_cast<unsigned long long>(stats.dropped));
+  return {200, "{\"events\":" + EventsToJson(events) + tail};
 }
 
 ApiResponse RestApi::HandleEngines(const std::string& method,
@@ -558,7 +644,7 @@ ApiResponse RestApi::HandleSql(const std::string& method,
   if (parsed.async) {
     auto job_id = jobs_->Submit(pq.graph, pq.shape_id,
                                 OptimizationPolicy::MinimizeTime(),
-                                parsed.exec);
+                                parsed.exec, /*slo_class=*/"sql");
     if (!job_id.ok()) return FromStatus(job_id.status());
     return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"," +
                      sql_fields + warnings + "}"};

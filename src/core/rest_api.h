@@ -59,6 +59,11 @@ struct ApiResponse {
 ///   GET  /apiv1/stats                           serving + plan-cache counters
 ///   GET  /apiv1/metrics                         Prometheus text exposition
 ///   GET  /apiv1/healthz                         liveness + queue saturation
+///                                               + SLO burn rates (degraded)
+///   GET  /apiv1/debug/events?job=&kind=&since=&limit=
+///                                               flight-recorder query
+///   GET  /apiv1/models/drift                    cost-model drift by
+///                                               (operator, engine) pair
 ///
 /// The execute and sql routes accept a structured JSON `options` body
 /// (`{"execution":{...},"retry":{...},"chaos":{...}}`, see
@@ -121,6 +126,7 @@ class RestApi {
                          const std::vector<std::string>& parts);
   ApiResponse HandleStats();
   ApiResponse HandleHealthz();
+  ApiResponse HandleDebugEvents(const std::string& query);
 
   IresServer* server_;
   std::unique_ptr<JobService> owned_jobs_;

@@ -84,7 +84,18 @@ bool EngineRegistry::TransitionLocked(const std::string& name,
                                       BreakerState* state,
                                       EngineHealth health) {
   const bool was_available = IsAvailableState(state->health);
+  const EngineHealth previous = state->health;
   state->health = health;
+  if (journal_ != nullptr && previous != health) {
+    JournalEvent event;
+    event.kind = EventKind::kBreakerState;
+    event.engine = name;
+    event.code = EngineHealthName(health);
+    event.value = static_cast<double>(state->consecutive_trips);
+    event.detail = std::string(EngineHealthName(previous)) + " -> " +
+                   EngineHealthName(health);
+    journal_->Append(std::move(event));
+  }
   const bool now_available = IsAvailableState(health);
   engines_.at(name)->set_available(now_available);
   if (metrics_ != nullptr) {
@@ -240,6 +251,11 @@ void EngineRegistry::EnableMetrics(MetricsRegistry* metrics) {
                    {{"engine", name}})
         ->Set(StateGaugeValue(state.health));
   }
+}
+
+void EngineRegistry::EnableJournal(EventJournal* journal) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  journal_ = journal;
 }
 
 }  // namespace ires

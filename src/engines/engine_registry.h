@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "engines/data_movement.h"
 #include "engines/engine.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metrics_registry.h"
 
 namespace ires {
@@ -108,6 +109,12 @@ class EngineRegistry {
   /// histogram into `metrics`. Call once at wiring time.
   void EnableMetrics(MetricsRegistry* metrics);
 
+  /// Journals every breaker transition as a process-scoped `breaker_state`
+  /// event (the job-scoped `breaker_trip` companion is emitted by the
+  /// recovering executor, which knows the indicting job). Call once at
+  /// wiring time.
+  void EnableJournal(EventJournal* journal);
+
   /// Monotonic counter bumped by every availability change (manual flips
   /// and breaker transitions); part of the plan-cache key.
   uint64_t availability_epoch() const {
@@ -148,6 +155,7 @@ class EngineRegistry {
   double sim_clock_ = 0.0;                      // guarded by health_mu_
   MetricsRegistry* metrics_ = nullptr;          // guarded by health_mu_
   Histogram* recovery_seconds_ = nullptr;       // guarded by health_mu_
+  EventJournal* journal_ = nullptr;             // guarded by health_mu_
 };
 
 }  // namespace ires

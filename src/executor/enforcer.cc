@@ -140,6 +140,10 @@ ExecutionReport Enforcer::Execute(const ExecutionPlan& plan) {
     const double backoff =
         retry_policy_.BackoffSeconds(result.attempts, &rng_);
     ++report.step_retries;
+    journal_.Emit(EventKind::kStepRetry, step_id,
+                  plan.steps[step_id].engine, "", backoff,
+                  "backoff after attempt " +
+                      std::to_string(result.attempts));
     events.push(SimEvent{now + backoff, step_id, -1, SimEvent::Kind::kRetry});
     return true;
   };
@@ -150,6 +154,8 @@ ExecutionReport Enforcer::Execute(const ExecutionPlan& plan) {
     result.step_id = step_id;
     result.start_seconds = now;
     ++result.attempts;
+    journal_.Emit(EventKind::kStepStart, step_id, step.engine, "",
+                  result.attempts, step.name);
 
     auto fail = [&](Status status, FailureKind kind) {
       start_failure = std::move(status);
@@ -177,6 +183,8 @@ ExecutionReport Enforcer::Execute(const ExecutionPlan& plan) {
       decision = {true, FailureKind::kEngineCrash};
     }
     if (decision.fail) {
+      journal_.Emit(EventKind::kChaosInject, step_id, step.engine,
+                    FailureKindName(decision.kind), result.attempts);
       switch (decision.kind) {
         case FailureKind::kTransient:
           if (schedule_retry(step_id)) return StartResult::kStarted;
@@ -337,6 +345,10 @@ ExecutionReport Enforcer::Execute(const ExecutionPlan& plan) {
         StepResult& result = report.steps[event.step_id];
         report.total_cost += step.resources.CostForDuration(
             now - result.start_seconds);
+        journal_.Emit(EventKind::kStragglerKill, event.step_id, step.engine,
+                      "", result.attempts,
+                      "deadline hit after " +
+                          std::to_string(now - result.start_seconds) + "s");
         if (!schedule_retry(event.step_id)) {
           abort_workflow(
               Status::ExecutionError(

@@ -11,6 +11,7 @@
 #include "engines/engine_registry.h"
 #include "executor/failure.h"
 #include "planner/execution_plan.h"
+#include "telemetry/event_journal.h"
 
 namespace ires {
 
@@ -82,6 +83,10 @@ class Enforcer {
     fault_oracle_ = std::move(oracle);
   }
 
+  /// Flight-recorder handle: step starts, retries, straggler kills and
+  /// chaos injections are journaled under the writer's job id.
+  void set_journal(JournalWriter journal) { journal_ = std::move(journal); }
+
   /// Per-step retry budget and straggler deadline. The default policy never
   /// retries (max_attempts = 1 semantics are preserved by retries applying
   /// only to transient/timeout failures, which are never produced without a
@@ -126,6 +131,7 @@ class Enforcer {
   Rng rng_;
   FaultInjector fault_injector_;
   FaultOracle fault_oracle_;
+  JournalWriter journal_;
   RetryPolicy retry_policy_;
   std::vector<NodeEvent> node_schedule_;
 };

@@ -99,6 +99,12 @@ RecoveryOutcome RecoveringExecutor::RunFrom(const WorkflowGraph& graph,
                       << FailureKindName(event.kind)
                       << "); tripping breaker and replanning";
       (void)engines_->ReportFailure(event.engine);
+      std::string breaker_state;
+      if (auto health = engines_->HealthOf(event.engine); health.ok()) {
+        breaker_state = EngineHealthName(health.value().health);
+      }
+      journal_.Emit(EventKind::kBreakerTrip, event.failed_step, event.engine,
+                    breaker_state, attempt, event.message);
     } else {
       // Node crashes leave the engine unindicted: the cluster health map
       // already carries the dead node, and the replan packs around it.
@@ -116,6 +122,10 @@ RecoveryOutcome RecoveringExecutor::RunFrom(const WorkflowGraph& graph,
       return outcome;
     }
     ++outcome.replans;
+    const FailureEvent& recorded = outcome.failures.back();
+    journal_.Emit(EventKind::kReplan, recorded.failed_step, recorded.engine,
+                  FailureKindName(recorded.kind), outcome.replans,
+                  ReplanStrategyName(strategy));
 
     switch (strategy) {
       case ReplanStrategy::kIresReplan:

@@ -76,6 +76,10 @@ class RecoveringExecutor {
   void set_max_replans(int n) { max_replans_ = n; }
   int max_replans() const { return max_replans_; }
 
+  /// Flight-recorder handle: breaker indictments and replanning rounds are
+  /// journaled under the writer's job id.
+  void set_journal(JournalWriter journal) { journal_ = std::move(journal); }
+
   Result<RecoveryOutcome> Run(const WorkflowGraph& graph,
                               DpPlanner::Options options,
                               ReplanStrategy strategy);
@@ -96,6 +100,7 @@ class RecoveringExecutor {
   const DpPlanner* planner_;
   Enforcer* enforcer_;
   EngineRegistry* engines_;
+  JournalWriter journal_;
   int max_replans_ = 5;
 };
 

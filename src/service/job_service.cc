@@ -65,7 +65,11 @@ JobService::~JobService() { Shutdown(); }
 
 Result<std::string> JobService::Submit(
     const WorkflowGraph& graph, const std::string& workflow_name,
-    OptimizationPolicy policy, const IresServer::ExecutionOptions& exec) {
+    OptimizationPolicy policy, const IresServer::ExecutionOptions& exec,
+    const std::string& slo_class) {
+  // Rejections carry no job id (none was assigned); the workflow name in
+  // the detail is the correlation handle instead.
+  const JournalWriter reject_writer(&server_->journal(), "");
   // Admission gate: lint the workflow against the current library/engines
   // before it costs a queue slot or a worker. Runs outside mu_ — the
   // analyzer only reads internally synchronized registries.
@@ -75,6 +79,15 @@ Result<std::string> JobService::Submit(
     if (HasErrors(findings)) {
       rejected_total_->Increment();
       CountValidationRejects(&server_->metrics(), findings);
+      std::string code;
+      for (const Diagnostic& finding : findings) {
+        if (finding.severity == DiagSeverity::kError) {
+          code = finding.code;
+          break;
+        }
+      }
+      reject_writer.Emit(EventKind::kAdmissionReject, -1, "", code, 0.0,
+                         workflow_name);
       return DiagnosticsToStatus(findings);
     }
   }
@@ -86,6 +99,9 @@ Result<std::string> JobService::Submit(
     }
     if (queued_ >= options_.queue_capacity) {
       rejected_total_->Increment();
+      reject_writer.Emit(EventKind::kAdmissionReject, -1, "",
+                         "ResourceExhausted",
+                         static_cast<double>(queued_), workflow_name);
       return Status::ResourceExhausted(
           "admission queue full (" +
           std::to_string(options_.queue_capacity) + " queued jobs)");
@@ -100,6 +116,7 @@ Result<std::string> JobService::Submit(
     job->record.workflow = workflow_name;
     job->record.policy = policy;
     job->record.state = JobState::kQueued;
+    job->record.slo_class = slo_class;
     job->record.submitted_at = NowSeconds();
     job->record.trace = std::make_shared<TraceContext>(job->record.id);
     job->queue_span =
@@ -109,10 +126,17 @@ Result<std::string> JobService::Submit(
     ++queued_;
     queued_gauge_->Set(static_cast<double>(queued_));
     submitted_total_->Increment();
+    JournalWriter(&server_->journal(), job->record.id)
+        .Emit(EventKind::kAdmissionAccept, -1, "", slo_class,
+              static_cast<double>(queued_), workflow_name);
   }
   pool_->Submit([this, job] { RunJob(job); });
   return job->record.id;
 }
+
+/// Events attached to a failed job record — enough to replay admission,
+/// planning, every retry round and the terminal failure.
+constexpr size_t kFailureSnapshotEvents = 64;
 
 void JobService::FinalizeLocked(Job* job) {
   job->record.finished_at = NowSeconds();
@@ -121,6 +145,18 @@ void JobService::FinalizeLocked(Job* job) {
     case JobState::kFailed: failed_total_->Increment(); break;
     case JobState::kCancelled: cancelled_total_->Increment(); break;
     default: break;
+  }
+  if (job->record.state == JobState::kFailed) {
+    // Journal the terminal event first so the snapshot includes it, then
+    // pin the job's event stream to the record — the ring buffer will
+    // eventually overwrite these events, but the postmortem keeps them.
+    EventJournal& journal = server_->journal();
+    JournalWriter(&journal, job->record.id)
+        .Emit(EventKind::kJobFailed, -1, "", "", 0.0, job->record.error);
+    EventJournal::Filter filter;
+    filter.job = job->record.id;
+    filter.limit = kFailureSnapshotEvents;
+    job->record.event_snapshot = journal.Query(filter);
   }
   // A job cancelled before pickup never measured its queue wait — the
   // whole lifetime *was* the queue wait.

@@ -11,6 +11,7 @@
 
 #include "core/ires_server.h"
 #include "threading/thread_pool.h"
+#include "telemetry/event_journal.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace_context.h"
 
@@ -46,6 +47,15 @@ struct JobRecord {
   OptimizationPolicy policy;
   JobState state = JobState::kQueued;
   std::string error;             // terminal failure message, if any
+
+  /// SLO workload class this job is accounted under ("dag" for workflow
+  /// submissions, "sql" for the SQL route).
+  std::string slo_class = "dag";
+
+  /// Flight-recorder snapshot attached when the job reaches FAILED: the
+  /// last K journal events carrying this job's id, in sequence order — the
+  /// postmortem survives even after the ring buffer wraps past them.
+  std::vector<JournalEvent> event_snapshot;
 
   // Chosen-plan summary (available once PLANNING completes; no re-planning
   // needed thanks to IresServer::WorkflowRunResult).
@@ -125,11 +135,13 @@ class JobService {
   /// the job's fault-tolerance regime — recovery strategy, replan budget,
   /// retry policy and chaos schedule — so every submission can run under
   /// its own failure discipline.
+  /// `slo_class` tags the job's SLO workload class ("dag" or "sql").
   Result<std::string> Submit(
       const WorkflowGraph& graph, const std::string& workflow_name,
       OptimizationPolicy policy = OptimizationPolicy::MinimizeTime(),
       const IresServer::ExecutionOptions& exec =
-          IresServer::ExecutionOptions());
+          IresServer::ExecutionOptions(),
+      const std::string& slo_class = "dag");
 
   /// Snapshot of one job (NotFound for unknown ids).
   Result<JobRecord> Get(const std::string& id) const;

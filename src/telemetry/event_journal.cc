@@ -1,0 +1,188 @@
+#include "telemetry/event_journal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace ires {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kAdmissionAccept, "admission_accept"},
+    {EventKind::kAdmissionReject, "admission_reject"},
+    {EventKind::kPlanCacheHit, "plan_cache_hit"},
+    {EventKind::kPlanCacheMiss, "plan_cache_miss"},
+    {EventKind::kPlanChosen, "plan_chosen"},
+    {EventKind::kStepStart, "step_start"},
+    {EventKind::kStepRetry, "step_retry"},
+    {EventKind::kStragglerKill, "straggler_kill"},
+    {EventKind::kChaosInject, "chaos_inject"},
+    {EventKind::kBreakerTrip, "breaker_trip"},
+    {EventKind::kBreakerState, "breaker_state"},
+    {EventKind::kReplan, "replan"},
+    {EventKind::kJobFailed, "job_failed"},
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  for (const KindName& entry : kKindNames) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "?";
+}
+
+bool ParseEventKind(const std::string& name, EventKind* out) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string EventToJson(const JournalEvent& event) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"seq\":%llu,\"t\":%.6f,\"kind\":\"",
+                static_cast<unsigned long long>(event.seq),
+                event.wall_seconds);
+  std::string out = std::string(head) + EventKindName(event.kind) + "\"";
+  if (!event.job.empty()) out += ",\"job\":\"" + JsonEscape(event.job) + "\"";
+  if (event.step >= 0) out += ",\"step\":" + std::to_string(event.step);
+  if (!event.engine.empty()) {
+    out += ",\"engine\":\"" + JsonEscape(event.engine) + "\"";
+  }
+  if (!event.code.empty()) {
+    out += ",\"code\":\"" + JsonEscape(event.code) + "\"";
+  }
+  if (event.value != 0.0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), ",\"value\":%.6g", event.value);
+    out += buf;
+  }
+  if (!event.detail.empty()) {
+    out += ",\"detail\":\"" + JsonEscape(event.detail) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string EventsToJson(const std::vector<JournalEvent>& events) {
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    out += EventToJson(events[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+EventJournal::Options SanitizeOptions(EventJournal::Options options) {
+  if (options.shards == 0) options.shards = 1;
+  if (options.capacity_per_shard == 0) options.capacity_per_shard = 1;
+  return options;
+}
+}  // namespace
+
+EventJournal::EventJournal(Options options)
+    : options_(SanitizeOptions(options)) {
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring.reserve(options_.capacity_per_shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+EventJournal::Shard& EventJournal::ShardForThisThread() {
+  const size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      shards_.size();
+  return *shards_[index];
+}
+
+void EventJournal::Append(JournalEvent event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  event.wall_seconds = NowSeconds();
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // The sequence number is drawn under the shard mutex, so ring order and
+  // sequence order agree within a shard (strict per-shard monotonicity) and
+  // the global counter still totally orders events across shards.
+  event.seq = next_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ++shard.appended;
+  if (shard.ring.size() < options_.capacity_per_shard) {
+    shard.ring.push_back(std::move(event));
+  } else {
+    shard.ring[shard.next] = std::move(event);
+    ++shard.dropped;
+  }
+  shard.next = (shard.next + 1) % options_.capacity_per_shard;
+}
+
+std::vector<JournalEvent> EventJournal::Query(const Filter& filter) const {
+  std::vector<JournalEvent> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const JournalEvent& event : shard->ring) {
+      if (event.seq <= filter.since_seq) continue;
+      if (!filter.job.empty() && event.job != filter.job) continue;
+      if (filter.has_kind && event.kind != filter.kind) continue;
+      out.push_back(event);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JournalEvent& a, const JournalEvent& b) {
+              return a.seq < b.seq;
+            });
+  if (filter.limit > 0 && out.size() > filter.limit) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<ptrdiff_t>(out.size() - filter.limit));
+  }
+  return out;
+}
+
+EventJournal::Stats EventJournal::stats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.appended += shard->appended;
+    stats.dropped += shard->dropped;
+  }
+  return stats;
+}
+
+void JournalWriter::Emit(EventKind kind, int step, std::string engine,
+                         std::string code, double value,
+                         std::string detail) const {
+  if (journal_ == nullptr) return;
+  JournalEvent event;
+  event.kind = kind;
+  event.job = job_;
+  event.step = step;
+  event.engine = std::move(engine);
+  event.code = std::move(code);
+  event.value = value;
+  event.detail = std::move(detail);
+  journal_->Append(std::move(event));
+}
+
+}  // namespace ires

@@ -1,0 +1,161 @@
+#ifndef IRES_TELEMETRY_EVENT_JOURNAL_H_
+#define IRES_TELEMETRY_EVENT_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ires {
+
+/// Decision-relevant transitions recorded by the flight recorder. Every
+/// kind answers one "why did the serving layer do that?" question after the
+/// fact: why a job was (not) admitted, which plan it got and at what cost,
+/// how its steps fared, and how the fault-tolerance machinery escalated.
+enum class EventKind : uint8_t {
+  kAdmissionAccept,   // job admitted into the queue
+  kAdmissionReject,   // validation 422 or queue-full 429 (no job id)
+  kPlanCacheHit,      // planner served from the plan cache
+  kPlanCacheMiss,     // planner fell through to DP
+  kPlanChosen,        // the plan a job will execute (cost, engines)
+  kStepStart,         // one step start attempt on its engine
+  kStepRetry,         // in-place retry scheduled after a transient/timeout
+  kStragglerKill,     // attempt killed at its straggler deadline
+  kChaosInject,       // the fault oracle injected a fault into an attempt
+  kBreakerTrip,       // a job's failure indicted an engine (job-scoped)
+  kBreakerState,      // registry-level breaker transition (process-scoped)
+  kReplan,            // recovering executor started a replanning round
+  kJobFailed,         // job reached FAILED (terminal)
+};
+
+/// Stable snake_case name ("plan_cache_miss") used in JSON and the REST
+/// `kind` filter.
+const char* EventKindName(EventKind kind);
+/// Inverse of EventKindName; false when `name` matches no kind.
+bool ParseEventKind(const std::string& name, EventKind* out);
+
+/// One journal entry. `seq` is unique and strictly increasing journal-wide
+/// (and therefore strictly monotonic within each shard); events causally
+/// ordered by the serving layer (submit happens-before worker pickup) carry
+/// ordered sequence numbers, so sorting a query result by `seq` replays the
+/// decision history. The payload fields are kind-specific; unused ones stay
+/// at their defaults and are omitted from JSON.
+struct JournalEvent {
+  uint64_t seq = 0;
+  double wall_seconds = 0.0;  // Unix-epoch seconds at Append time
+  EventKind kind = EventKind::kAdmissionAccept;
+  std::string job;     // job id; empty for process-scoped events
+  int step = -1;       // plan step id, where applicable
+  std::string engine;  // engine involved, where applicable
+  std::string code;    // diagnostic code / failure kind / breaker state
+  double value = 0.0;  // kind-specific scalar (cost, backoff, attempt, ...)
+  std::string detail;  // free-form human summary
+};
+
+std::string EventToJson(const JournalEvent& event);
+std::string EventsToJson(const std::vector<JournalEvent>& events);
+
+/// Bounded structured event journal — the flight recorder behind
+/// `GET /apiv1/debug/events` and the failure snapshots attached to job
+/// records. Writers append into one of a fixed set of ring-buffer shards
+/// (selected by thread id), so concurrent emitters contend only on their
+/// shard's mutex and each critical section is a counter bump plus one slot
+/// move. The ring overwrites its oldest entries when full and counts the
+/// overwritten events, so postmortems know whether history was truncated.
+///
+/// Disabled journals (set_enabled(false)) drop events after one relaxed
+/// atomic load — the switch the overhead bench flips to measure the cost of
+/// always-on recording.
+class EventJournal {
+ public:
+  struct Options {
+    size_t shards = 8;
+    size_t capacity_per_shard = 1024;
+  };
+
+  EventJournal() : EventJournal(Options()) {}
+  explicit EventJournal(Options options);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one event, assigning `seq` and `wall_seconds`. Thread-safe.
+  void Append(JournalEvent event);
+
+  struct Filter {
+    std::string job;         // empty = any job (including process-scoped)
+    bool has_kind = false;   // when true, only `kind` events match
+    EventKind kind = EventKind::kAdmissionAccept;
+    uint64_t since_seq = 0;  // only events with seq > since_seq
+    size_t limit = 256;      // keep the *latest* `limit` matches
+  };
+
+  /// Matching events, sorted by `seq` ascending. When more than
+  /// `filter.limit` events match, the oldest are dropped — the journal is a
+  /// postmortem tool, so the most recent history wins.
+  std::vector<JournalEvent> Query(const Filter& filter) const;
+
+  struct Stats {
+    uint64_t appended = 0;  // events accepted into a ring
+    uint64_t dropped = 0;   // events overwritten by ring wrap
+  };
+  Stats stats() const;
+
+  /// Highest sequence number assigned so far (0 = nothing recorded).
+  uint64_t head_seq() const {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<JournalEvent> ring;  // capacity fixed at construction
+    size_t next = 0;                 // ring write cursor
+    uint64_t appended = 0;
+    uint64_t dropped = 0;
+  };
+
+  Shard& ShardForThisThread();
+
+  const Options options_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_seq_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// A journal handle bound to one job id — what the per-run executor stack
+/// (enforcer, recovering executor) carries so every event it emits is
+/// attributed to the job being served. Copyable and cheap; a
+/// default-constructed writer (or one built over a null journal) swallows
+/// emissions, so call sites need no null checks.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(EventJournal* journal, std::string job)
+      : journal_(journal), job_(std::move(job)) {}
+
+  void Emit(EventKind kind, int step = -1, std::string engine = "",
+            std::string code = "", double value = 0.0,
+            std::string detail = "") const;
+
+  explicit operator bool() const { return journal_ != nullptr; }
+  const std::string& job() const { return job_; }
+  EventJournal* journal() const { return journal_; }
+
+ private:
+  EventJournal* journal_ = nullptr;
+  std::string job_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_TELEMETRY_EVENT_JOURNAL_H_

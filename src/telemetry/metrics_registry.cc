@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/strings.h"
+
 namespace ires {
 
 namespace {
@@ -24,6 +26,21 @@ std::string EscapeLabelValue(const std::string& value) {
     switch (c) {
       case '\\': out += "\\\\"; break;
       case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text escaping per the exposition format: only `\` and newline are
+/// escaped (quotes are legal in help text, unlike in label values).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       default: out += c;
     }
@@ -124,6 +141,16 @@ double Histogram::Quantile(double q) const {
   return snap.bounds.empty() ? 0.0 : snap.bounds.back();
 }
 
+uint64_t Histogram::CountAtOrBelow(double value) const {
+  const Snapshot snap = snapshot();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.bounds.size(); ++i) {
+    if (snap.bounds[i] > value) break;
+    cumulative += snap.counts[i];
+  }
+  return cumulative;
+}
+
 const std::vector<double>& MetricsRegistry::DefaultLatencyBuckets() {
   static const std::vector<double> kBuckets = {
       0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -188,7 +215,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
-    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
     switch (family.type) {
       case Type::kCounter: {
         out += "# TYPE " + name + " counter\n";
@@ -231,6 +258,28 @@ std::string MetricsRegistry::RenderPrometheus() const {
   return out;
 }
 
+void MetricsRegistry::VisitCounters(
+    const std::string& name,
+    const std::function<void(const LabelSet&, uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kCounter) return;
+  for (const auto& [labels, counter] : it->second.counters) {
+    fn(labels, counter->Value());
+  }
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::string& name,
+    const std::function<void(const LabelSet&, const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != Type::kHistogram) return;
+  for (const auto& [labels, histogram] : it->second.histograms) {
+    fn(labels, *histogram);
+  }
+}
+
 std::string MetricsRegistry::RenderJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{";
@@ -242,7 +291,9 @@ std::string MetricsRegistry::RenderJson() const {
       if (i > 0) key += ",";
       key += labels[i].first + "=" + labels[i].second;
     }
-    return key;
+    // Label values are arbitrary strings; without escaping, a quote or
+    // backslash in one would corrupt the whole JSON document.
+    return JsonEscape(key);
   };
   for (const auto& [name, family] : families_) {
     if (!first_family) out += ",";

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +68,13 @@ class Histogram {
   /// bucket clamps to the largest finite bound.
   double Quantile(double q) const;
 
+  /// Observations that fell into buckets whose upper bound is <= `value`
+  /// (Prometheus `le` semantics) — how the SLO layer counts "good" requests
+  /// against a latency threshold without a second recording path. `value`
+  /// should be one of the bucket bounds; anything between bounds rounds
+  /// down to the previous bound.
+  uint64_t CountAtOrBelow(double value) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
@@ -109,6 +117,20 @@ class MetricsRegistry {
   /// The same snapshot as a JSON object keyed by metric name — what the
   /// bench harness dumps into BENCH_telemetry.json for run-over-run diffs.
   std::string RenderJson() const;
+
+  /// Visits every child of the counter family `name` (no-op when absent or
+  /// not a counter family). The SLO layer uses this to aggregate
+  /// `ires_http_requests_total` across routes/codes without owning a
+  /// parallel data path. Don't call registry methods from `fn` (the
+  /// registry mutex is held).
+  void VisitCounters(
+      const std::string& name,
+      const std::function<void(const LabelSet&, uint64_t)>& fn) const;
+
+  /// Histogram-family analogue of VisitCounters.
+  void VisitHistograms(
+      const std::string& name,
+      const std::function<void(const LabelSet&, const Histogram&)>& fn) const;
 
   /// Latency buckets (seconds) used when GetHistogram gets no bounds:
   /// 1ms .. 60s, roughly exponential.

@@ -1,0 +1,232 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace ires {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+const std::string* LabelValue(const LabelSet& labels, const char* key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool MatchesLabel(const std::string& want, const LabelSet& labels,
+                  const char* key) {
+  if (want.empty()) return true;
+  const std::string* have = LabelValue(labels, key);
+  return have != nullptr && *have == want;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(MetricsRegistry* metrics)
+    : SloMonitor(metrics, Options()) {}
+
+SloMonitor::SloMonitor(MetricsRegistry* metrics, Options options, Clock clock)
+    : metrics_(metrics),
+      options_(std::move(options)),
+      clock_(std::move(clock)) {
+  if (options_.windows_seconds.empty()) {
+    options_.windows_seconds = {60.0, 600.0};
+  }
+  std::sort(options_.windows_seconds.begin(), options_.windows_seconds.end());
+}
+
+double SloMonitor::Now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SloMonitor::AddSlo(SloSpec spec) {
+  if (spec.objective <= 0.0 || spec.objective >= 1.0) spec.objective = 0.99;
+  std::lock_guard<std::mutex> lock(mu_);
+  SloState state;
+  state.spec = std::move(spec);
+  slos_.push_back(std::move(state));
+}
+
+void SloMonitor::Collect(const SloSpec& spec, uint64_t* good,
+                         uint64_t* total) const {
+  *good = 0;
+  *total = 0;
+  if (metrics_ == nullptr) return;
+  if (spec.latency_threshold_seconds > 0.0) {
+    metrics_->VisitHistograms(
+        "ires_http_request_seconds",
+        [&](const LabelSet& labels, const Histogram& histogram) {
+          if (!MatchesLabel(spec.method, labels, "method")) return;
+          if (!MatchesLabel(spec.route, labels, "route")) return;
+          *good += histogram.CountAtOrBelow(spec.latency_threshold_seconds);
+          *total += histogram.Count();
+        });
+  } else {
+    metrics_->VisitCounters(
+        "ires_http_requests_total",
+        [&](const LabelSet& labels, uint64_t value) {
+          if (!MatchesLabel(spec.method, labels, "method")) return;
+          if (!MatchesLabel(spec.route, labels, "route")) return;
+          *total += value;
+          const std::string* code = LabelValue(labels, "code");
+          const bool server_error =
+              code != nullptr && !code->empty() && (*code)[0] == '5';
+          if (!server_error) *good += value;
+        });
+  }
+}
+
+std::vector<SloMonitor::SloStatus> SloMonitor::Evaluate() {
+  const double now = Now();
+  const double max_window = options_.windows_seconds.back();
+
+  std::vector<SloStatus> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(slos_.size());
+  for (SloState& state : slos_) {
+    uint64_t good = 0;
+    uint64_t total = 0;
+    Collect(state.spec, &good, &total);
+
+    // Counters are cumulative and monotone; clamp defensively so a racing
+    // snapshot can never produce negative deltas below.
+    if (good > total) good = total;
+
+    if (state.history.empty() ||
+        now - state.history.back().t >=
+            options_.min_sample_interval_seconds) {
+      state.history.push_back({now, good, total});
+    }
+    // Keep one sample older than the widest window as its baseline.
+    while (state.history.size() > 1 &&
+           state.history[1].t <= now - max_window) {
+      state.history.pop_front();
+    }
+
+    SloStatus status;
+    status.spec = state.spec;
+    status.lifetime_total = total;
+    status.lifetime_good = good;
+    status.compliance =
+        total == 0 ? 1.0
+                   : static_cast<double>(good) / static_cast<double>(total);
+
+    const double budget = 1.0 - state.spec.objective;
+    bool any_traffic = false;
+    bool all_burning = true;
+    for (double window : options_.windows_seconds) {
+      // Baseline: the newest sample at or before the window start, so the
+      // delta covers at most `window` seconds of traffic.
+      const Sample* baseline = &state.history.front();
+      for (const Sample& sample : state.history) {
+        if (sample.t <= now - window) baseline = &sample;
+      }
+      WindowStatus ws;
+      ws.window_seconds = window;
+      const uint64_t delta_total =
+          total >= baseline->total ? total - baseline->total : 0;
+      const uint64_t base_bad = baseline->total - baseline->good;
+      const uint64_t cur_bad = total - good;
+      const uint64_t delta_bad = cur_bad >= base_bad ? cur_bad - base_bad : 0;
+      ws.total = delta_total;
+      ws.bad = delta_bad;
+      ws.has_traffic = delta_total > 0;
+      if (ws.has_traffic) {
+        const double bad_fraction = static_cast<double>(delta_bad) /
+                                    static_cast<double>(delta_total);
+        ws.burn_rate = bad_fraction / budget;
+        any_traffic = true;
+        if (ws.burn_rate <= 1.0) all_burning = false;
+      }
+      if (metrics_ != nullptr) {
+        metrics_
+            ->GetGauge("ires_slo_burn_rate",
+                       "Error-budget burn rate per SLO and window (1 = "
+                       "budget spent exactly by period end)",
+                       {{"slo", state.spec.name},
+                        {"window", FormatDouble(window) + "s"}})
+            ->Set(ws.burn_rate);
+      }
+      status.windows.push_back(ws);
+    }
+    status.burning = any_traffic && all_burning;
+
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetGauge("ires_slo_compliance",
+                     "Lifetime good-request fraction per SLO",
+                     {{"slo", state.spec.name}})
+          ->Set(status.compliance);
+    }
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::vector<std::string> SloMonitor::Burning() {
+  std::vector<std::string> out;
+  for (const SloStatus& status : Evaluate()) {
+    if (status.burning) out.push_back(status.spec.name);
+  }
+  return out;
+}
+
+std::string SloMonitor::ToJson() {
+  const std::vector<SloStatus> statuses = Evaluate();
+  std::string out = "{\"slos\":[";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    const SloStatus& status = statuses[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + JsonEscape(status.spec.name) + "\"";
+    out += ",\"workload\":\"" + JsonEscape(status.spec.workload) + "\"";
+    if (!status.spec.method.empty()) {
+      out += ",\"method\":\"" + JsonEscape(status.spec.method) + "\"";
+    }
+    if (!status.spec.route.empty()) {
+      out += ",\"route\":\"" + JsonEscape(status.spec.route) + "\"";
+    }
+    out += ",\"objective\":" + FormatDouble(status.spec.objective);
+    if (status.spec.latency_threshold_seconds > 0.0) {
+      out += ",\"latencyThresholdSeconds\":" +
+             FormatDouble(status.spec.latency_threshold_seconds);
+    }
+    out += ",\"total\":" + std::to_string(status.lifetime_total);
+    out += ",\"compliance\":" + FormatDouble(status.compliance);
+    out += std::string(",\"burning\":") + (status.burning ? "true" : "false");
+    out += ",\"windows\":[";
+    for (size_t w = 0; w < status.windows.size(); ++w) {
+      const WindowStatus& ws = status.windows[w];
+      if (w > 0) out += ",";
+      out += "{\"seconds\":" + FormatDouble(ws.window_seconds);
+      out += ",\"total\":" + std::to_string(ws.total);
+      out += ",\"bad\":" + std::to_string(ws.bad);
+      out += ",\"burnRate\":" + FormatDouble(ws.burn_rate) + "}";
+    }
+    out += "]}";
+  }
+  out += "],\"burning\":[";
+  bool first = true;
+  for (const SloStatus& status : statuses) {
+    if (!status.burning) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(status.spec.name) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ires

@@ -1,0 +1,125 @@
+#ifndef IRES_TELEMETRY_SLO_H_
+#define IRES_TELEMETRY_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics_registry.h"
+
+namespace ires {
+
+/// One declarative service-level objective over the normalized-route
+/// request metrics the REST layer already records. Two shapes:
+///   - latency SLO (`latency_threshold_seconds > 0`): a request is good
+///     when it completed within the threshold, counted from the
+///     `ires_http_request_seconds` histogram buckets;
+///   - availability SLO (`latency_threshold_seconds == 0`): a request is
+///     good when its response code was not 5xx, counted from
+///     `ires_http_requests_total`.
+/// Empty `method`/`route` match every child, so one spec can cover a single
+/// endpoint or the whole API surface.
+struct SloSpec {
+  std::string name;      // stable id, e.g. "dag-execute-latency"
+  std::string workload;  // workload class: "dag", "sql" or "all"
+  std::string method;    // "POST"; empty = any method
+  std::string route;     // normalized route; empty = any route
+  double latency_threshold_seconds = 0.0;  // 0 = availability SLO
+  double objective = 0.99;                 // target good fraction, (0,1)
+};
+
+/// Multi-window burn-rate monitor. Each evaluation snapshots cumulative
+/// (good, total) per SLO from the metrics registry, appends it to a
+/// rate-limited history, and computes for every window
+///
+///   burn_rate = (bad_in_window / total_in_window) / (1 - objective)
+///
+/// — the Google-SRE burn-rate formulation: 1.0 means the error budget is
+/// being spent exactly at the rate that exhausts it by the period's end;
+/// an SLO is *burning* when every window that saw traffic burns above 1
+/// (the multi-window AND keeps one slow request from flapping healthz).
+///
+/// Thread-safe; the clock is injectable so tests can march time forward
+/// deterministically.
+class SloMonitor {
+ public:
+  struct Options {
+    std::vector<double> windows_seconds = {60.0, 600.0};
+    /// Minimum spacing between stored history samples; evaluations inside
+    /// the interval reuse the last stored baseline.
+    double min_sample_interval_seconds = 1.0;
+  };
+
+  using Clock = std::function<double()>;  // monotonic seconds
+
+  explicit SloMonitor(MetricsRegistry* metrics);
+  SloMonitor(MetricsRegistry* metrics, Options options,
+             Clock clock = Clock());
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  void AddSlo(SloSpec spec);
+
+  struct WindowStatus {
+    double window_seconds = 0.0;
+    uint64_t total = 0;  // requests observed inside the window
+    uint64_t bad = 0;
+    double burn_rate = 0.0;
+    bool has_traffic = false;
+  };
+
+  struct SloStatus {
+    SloSpec spec;
+    uint64_t lifetime_total = 0;
+    uint64_t lifetime_good = 0;
+    double compliance = 1.0;  // lifetime good fraction
+    std::vector<WindowStatus> windows;
+    bool burning = false;
+  };
+
+  /// Samples current counts, updates burn-rate gauges, returns per-SLO
+  /// status in registration order.
+  std::vector<SloStatus> Evaluate();
+
+  /// Names of SLOs currently burning (convenience over Evaluate).
+  std::vector<std::string> Burning();
+
+  /// The healthz "slo" object: every SLO's objective, compliance and
+  /// per-window burn rates plus the burning list.
+  std::string ToJson();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Sample {
+    double t = 0.0;
+    uint64_t good = 0;
+    uint64_t total = 0;
+  };
+
+  struct SloState {
+    SloSpec spec;
+    std::deque<Sample> history;
+  };
+
+  /// Cumulative (good, total) for `spec` from the registry, lock-free with
+  /// respect to mu_ (the registry has its own mutex).
+  void Collect(const SloSpec& spec, uint64_t* good, uint64_t* total) const;
+
+  double Now() const;
+
+  MetricsRegistry* metrics_;
+  Options options_;
+  Clock clock_;
+
+  mutable std::mutex mu_;
+  std::vector<SloState> slos_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_TELEMETRY_SLO_H_

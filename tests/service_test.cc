@@ -289,6 +289,60 @@ TEST(JobServiceTest, EngineRecoversAfterFailedJob) {
   EXPECT_EQ(health.value().health, EngineHealth::kOn);
 }
 
+TEST(JobServiceTest, FailedJobCarriesSloClassAndEventSnapshot) {
+  IresServer server;
+  RestApi setup(&server);
+  RegisterLineCount(&setup);
+  auto graph = server.ParseWorkflow(kGraph);
+  ASSERT_TRUE(graph.ok());
+
+  JobService::Options options;
+  options.workers = 1;
+  JobService jobs(&server, options);
+
+  // A doomed job (chaos always crashes Spark, no replan budget) must carry
+  // its flight-recorder snapshot into the terminal record; a caller-tagged
+  // SLO class sticks.
+  IresServer::ExecutionOptions chaotic;
+  chaotic.max_replans = 0;
+  chaotic.chaos.seed = 33;
+  chaotic.chaos.engine_crash_probability = 1.0;
+  chaotic.chaos.crash_engine = "Spark";
+  auto failed = jobs.Submit(graph.value(), "lc",
+                            OptimizationPolicy::MinimizeTime(), chaotic,
+                            /*slo_class=*/"sql");
+  ASSERT_TRUE(failed.ok()) << failed.status();
+  ASSERT_TRUE(jobs.WaitForIdle(30.0));
+
+  auto record = jobs.Get(failed.value());
+  ASSERT_TRUE(record.ok());
+  ASSERT_EQ(record.value().state, JobState::kFailed);
+  EXPECT_EQ(record.value().slo_class, "sql");
+  ASSERT_FALSE(record.value().event_snapshot.empty());
+  // Snapshot is this job's history in order, ending at the terminal event.
+  for (const JournalEvent& event : record.value().event_snapshot) {
+    EXPECT_EQ(event.job, failed.value());
+  }
+  EXPECT_EQ(record.value().event_snapshot.back().kind, EventKind::kJobFailed);
+  EXPECT_EQ(record.value().event_snapshot.front().kind,
+            EventKind::kAdmissionAccept);
+
+  // A successful job stays snapshot-free (the journal is queryable, but
+  // only failures pin history into the record). Let the suspension from the
+  // failure above expire first.
+  server.engines().AdvanceSimClock(
+      server.engines().breaker_config().max_suspension_seconds + 1.0);
+  auto ok = jobs.Submit(graph.value(), "lc");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_TRUE(jobs.WaitForIdle(30.0));
+  record = jobs.Get(ok.value());
+  ASSERT_TRUE(record.ok());
+  ASSERT_EQ(record.value().state, JobState::kSucceeded)
+      << record.value().error;
+  EXPECT_EQ(record.value().slo_class, "dag");
+  EXPECT_TRUE(record.value().event_snapshot.empty());
+}
+
 // ------------------------------------------------------------ REST surface
 
 TEST(JobsRestTest, AsyncExecuteLifecycle) {

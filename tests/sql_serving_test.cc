@@ -397,5 +397,25 @@ TEST_F(SqlApiTest, UnknownActionSegmentsCollapseInRouteLabels) {
   EXPECT_EQ(metrics.body.find("fuzzer-crafted-suffix"), std::string::npos);
 }
 
+TEST_F(SqlApiTest, ObservabilityRoutesNormalizeWithoutMintingLabels) {
+  // The namespaced observability resources keep their fixed sub-resource
+  // names in the route label; anything else under debug/ or models/
+  // collapses to {name}.
+  (void)api_.Handle("GET", "/apiv1/debug/events");
+  (void)api_.Handle("GET", "/apiv1/models/drift");
+  (void)api_.Handle("GET", "/apiv1/debug/fuzzer-minted-sub");
+  (void)api_.Handle("GET", "/apiv1/models/fuzzer-minted-sub");
+  ApiResponse metrics = api_.Handle("GET", "/apiv1/metrics");
+  EXPECT_NE(metrics.body.find("route=\"/apiv1/debug/events\""),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("route=\"/apiv1/models/drift\""),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("route=\"/apiv1/debug/{name}\""),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("route=\"/apiv1/models/{name}\""),
+            std::string::npos);
+  EXPECT_EQ(metrics.body.find("fuzzer-minted-sub"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ires

@@ -60,6 +60,39 @@ TEST(MetricsRegistryTest, LabelsDistinguishChildrenAndOrderIsCanonical) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, LabelValuesEscapePerExpositionFormat) {
+  // Regression: the exposition format requires `\`, `"` and newline in
+  // label values to render as \\, \" and \n — one label value carrying all
+  // three must survive a round trip through the text format unambiguously.
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter(
+      "ires_escape_total", "Escaping.",
+      {{"path", "C:\\logs\n\"prod\" dir"}});
+  ASSERT_NE(c, nullptr);
+  c->Increment();
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(
+      text.find("ires_escape_total{path=\"C:\\\\logs\\n\\\"prod\\\" dir\"} 1"),
+      std::string::npos)
+      << text;
+  // The raw newline must never reach the output inside a label value.
+  EXPECT_EQ(text.find("C:\\logs\n"), std::string::npos);
+
+  // HELP text escapes `\` and newline (quotes are legal there).
+  Counter* h = registry.GetCounter("ires_escape_help_total",
+                                   "line one\nback\\slash");
+  ASSERT_NE(h, nullptr);
+  const std::string help = registry.RenderPrometheus();
+  EXPECT_NE(
+      help.find("# HELP ires_escape_help_total line one\\nback\\\\slash"),
+      std::string::npos)
+      << help;
+
+  // The JSON rendering escapes label keys and values too.
+  const std::string json = registry.RenderJson();
+  EXPECT_EQ(json.find("\nprod"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, TypeMismatchOnNameIsRefused) {
   MetricsRegistry registry;
   ASSERT_NE(registry.GetCounter("ires_thing", "A counter."), nullptr);
