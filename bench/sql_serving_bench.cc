@@ -18,7 +18,7 @@
 #include "sql/musqle_optimizer.h"
 #include "sql/sql_parser.h"
 #include "sql/tpch_queries.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 
 namespace {
 
@@ -118,14 +118,14 @@ struct EnumerationResult {
   double speedup = 0.0;
 };
 
-/// Times raw csg-cmp-pair enumeration serially vs. fanned out over a pool
-/// on an n-vertex clique (the emitted sequences are bit-identical; only the
-/// wall clock moves). With a trivial emit callback this measures the *cost
-/// envelope* of the bit-identity guarantee — per-seed buckets and the
-/// ordered replay are pure overhead when emission itself is free, and a
+/// Times raw csg-cmp-pair enumeration serially vs. fanned out over the
+/// scheduler on an n-vertex clique (the emitted sequences are bit-identical;
+/// only the wall clock moves). With a trivial emit callback this measures
+/// the *cost envelope* of the bit-identity guarantee — per-seed buckets and
+/// the ordered replay are pure overhead when emission itself is free, and a
 /// clique maximally skews the per-seed work toward the lowest seed. The
 /// ratio column is what the guarantee costs at each width.
-EnumerationResult RunEnumeration(int n, int iters, ThreadPool* pool) {
+EnumerationResult RunEnumeration(int n, int iters, TaskScheduler* scheduler) {
   EnumerationResult r;
   r.vertices = n;
   std::vector<uint32_t> adjacency(n, 0);
@@ -147,7 +147,7 @@ EnumerationResult RunEnumeration(int n, int iters, ThreadPool* pool) {
   const double p0 = NowSeconds();
   for (int i = 0; i < iters; ++i) {
     long long pairs = 0;
-    sql::EnumerateCsgCmpPairsParallel(adjacency, n, pool,
+    sql::EnumerateCsgCmpPairsParallel(adjacency, n, scheduler,
                                       [&](uint32_t, uint32_t) { ++pairs; });
     r.pairs = pairs;
   }
@@ -205,13 +205,13 @@ int main(int argc, char** argv) {
   // Parallel-DPccp overhead sweep over clique join graphs past TPC-H size
   // (worst case: trivial emit cost, maximal per-seed skew — the lowest seed
   // owns every subgraph containing vertex 0).
-  ThreadPool pool(4);
+  TaskScheduler scheduler(4);
   const std::vector<int> widths = smoke ? std::vector<int>{10}
                                         : std::vector<int>{8, 10, 12, 14};
   json += "  \"enumeration\": [\n";
   first = true;
   for (const int n : widths) {
-    const EnumerationResult e = RunEnumeration(n, enum_iters, &pool);
+    const EnumerationResult e = RunEnumeration(n, enum_iters, &scheduler);
     std::printf("dpccp clique n=%-2d pairs=%-9lld serial=%8.2fms "
                 "parallel=%8.2fms  x%.2f\n",
                 e.vertices, e.pairs, e.serial_ms, e.parallel_ms, e.speedup);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,7 @@
 #include "telemetry/metrics_registry.h"
 #include "telemetry/slo.h"
 #include "telemetry/trace_context.h"
+#include "threading/task_scheduler.h"
 #include "workflow/workflow_graph.h"
 
 namespace ires {
@@ -81,6 +83,14 @@ class IresServer {
     bool provision_resources = false;
     /// Capacity of the planner-level plan cache (0 disables caching).
     size_t plan_cache_capacity = 128;
+    /// Worker threads of the shared task scheduler every subsystem
+    /// (job execution, SQL optimization, planner fan-out, NSGA-II) runs
+    /// on; <=0 uses the hardware concurrency.
+    int scheduler_workers = 0;
+    /// Injectable clock (seconds) for the scheduler's backlog tracker —
+    /// what /apiv1/healthz saturation tests march forward. Null uses the
+    /// steady clock.
+    std::function<double()> scheduler_clock;
   };
 
   IresServer() : IresServer(Config()) {}
@@ -242,6 +252,12 @@ class IresServer {
   /// SLO burn-rate monitor rendered by /apiv1/healthz and /apiv1/metrics.
   SloMonitor& slo() { return slo_; }
 
+  /// The shared work-stealing execution substrate. One instance per server:
+  /// JobService dispatch, the SQL optimizer's DPccp enumeration, planner
+  /// fan-out and NSGA-II evaluation all run here, so a busy subsystem can
+  /// soak up the workers an idle one isn't using.
+  TaskScheduler& scheduler() { return *scheduler_; }
+
   /// The refined execution-time estimator for one (algorithm, engine)
   /// pair, created on first use.
   OnlineEstimator* estimator(const std::string& algorithm,
@@ -281,6 +297,9 @@ class IresServer {
   EventJournal journal_;
   DriftObservatory drift_;
   SloMonitor slo_;
+  /// Declared right after the telemetry it reports into and before every
+  /// component that executes on it — destroyed (joined) after them all.
+  std::unique_ptr<TaskScheduler> scheduler_;
   OperatorLibrary library_;
   std::unique_ptr<EngineRegistry> engines_;
   std::unique_ptr<ClusterSimulator> cluster_;

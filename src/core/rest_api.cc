@@ -281,20 +281,36 @@ ApiResponse RestApi::HandleHealthz() {
                     : static_cast<double>(stats.queue_depth) /
                           static_cast<double>(capacity);
   const bool saturated = capacity > 0 && stats.queue_depth >= capacity;
+  // Execution-substrate saturation: all subsystems share one work-stealing
+  // scheduler, so its ready-queue depth is the replica-wide backpressure
+  // signal (it replaced the old per-pool ires_pool_pending_tasks gauges).
+  // A transient burst is normal; a backlog that *stays* above
+  // workers x backlog_per_worker for longer than the grace window means the
+  // replica is falling behind and the probe degrades.
+  TaskScheduler& sched = server_->scheduler();
+  const size_t sched_pending = sched.pending();
+  const double backlog_seconds = sched.BacklogSeconds();
+  constexpr double kBacklogGraceSeconds = 1.0;
+  const bool sched_backlogged = backlog_seconds > kBacklogGraceSeconds;
   // SLO accounting: a burning objective degrades the replica (visible to
   // operators and dashboards) without failing the liveness probe — only
   // saturation, which new submissions cannot survive, turns the probe red.
   const std::string slo_json = server_->slo().ToJson();
-  const bool degraded = slo_json.find("\"burning\":[]") == std::string::npos;
+  const bool degraded =
+      sched_backlogged ||
+      slo_json.find("\"burning\":[]") == std::string::npos;
   const char* status =
       saturated ? "saturated" : (degraded ? "degraded" : "ok");
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "{\"status\":\"%s\",\"queueDepth\":%zu,"
                 "\"queueCapacity\":%zu,\"running\":%zu,\"workers\":%d,"
-                "\"saturation\":%.3f,\"slo\":",
+                "\"saturation\":%.3f,"
+                "\"scheduler\":{\"pendingTasks\":%zu,\"workers\":%d,"
+                "\"backlogSeconds\":%.3f,\"backlogged\":%s},\"slo\":",
                 status, stats.queue_depth, capacity, stats.running,
-                stats.workers, saturation);
+                stats.workers, saturation, sched_pending, sched.worker_count(),
+                backlog_seconds, sched_backlogged ? "true" : "false");
   return {saturated ? 503 : 200, std::string(buf) + slo_json + "}"};
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/plan_analyzer.h"
+#include "common/arena.h"
 #include "common/interner.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -29,12 +30,21 @@ struct InputChoice {
   double move_cost = 0.0;
 };
 
+// DP-table storage draws from a per-plan bump arena: entry buckets and
+// input-choice lists are allocated thousands of times per plan and all die
+// together when Plan() returns, so a warm plan performs no per-entry heap
+// round-trips (see common/arena.h; planner_bench measures the delta).
+using ChoiceAlloc = ArenaAllocator<InputChoice>;
+using ChoiceVec = std::vector<InputChoice, ChoiceAlloc>;
+
 // One dpTable record: the best known way to materialize a dataset node in a
 // particular (store, format). Strings shared by every entry of one producer
 // (operator name, engine, algorithm, params) live once in the candidate
 // snapshot and are referenced by (producer_op_node, producer_cand); the
 // (store, format) pair is interned to ids so bucket dedup compares ints.
 struct Entry {
+  explicit Entry(const ChoiceAlloc& alloc) : inputs(alloc) {}
+
   DatasetInstance instance;
   int32_t store_id = -1;
   int32_t format_id = -1;
@@ -46,10 +56,12 @@ struct Entry {
   int producer_cand = -1;  // index into the producer node's snapshot
   Resources resources;
   OperatorRunEstimate op_estimate;
-  std::vector<InputChoice> inputs;
+  ChoiceVec inputs;
   double op_input_bytes = 0.0;
   double op_input_records = 0.0;
 };
+
+using EntryVec = std::vector<Entry, ArenaAllocator<Entry>>;
 
 }  // namespace
 
@@ -71,7 +83,10 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
   const DataMovementModel& movement = engines_->movement();
   const PlannerContext& ctx = context();
 
-  std::vector<std::vector<Entry>> dp_table(graph.size());
+  Arena plan_arena;
+  const ChoiceAlloc choice_alloc(&plan_arena);
+  std::vector<EntryVec> dp_table(graph.size(),
+                                 EntryVec(ArenaAllocator<Entry>(&plan_arena)));
   // Per operator node: the resolved candidates, kept alive for the whole
   // plan so entry back-references stay valid.
   std::vector<CandidateSnapshot> snapshots(graph.size());
@@ -84,7 +99,7 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
 
     auto pre_it = options.materialized_intermediates.find(node.name);
     if (pre_it != options.materialized_intermediates.end()) {
-      Entry entry;
+      Entry entry(choice_alloc);
       entry.instance = pre_it->second;
       entry.instance.dataset_node = node.name;
       entry.store_id = interner.Intern(entry.instance.store);
@@ -102,7 +117,7 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
       return Status::FailedPrecondition("source dataset is abstract: " +
                                         node.name);
     }
-    Entry entry;
+    Entry entry(choice_alloc);
     entry.instance.dataset_node = node.name;
     entry.instance.store = dataset->store();
     entry.instance.format = dataset->format();
@@ -143,14 +158,14 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
       double input_cost = 0.0;
       double total_bytes = 0.0;
       double total_records = 0.0;
-      std::vector<InputChoice> choices;
+      ChoiceVec choices(choice_alloc);
       choices.reserve(node.inputs.size());
       for (size_t port = 0; port < node.inputs.size() && feasible; ++port) {
         const int in_node = node.inputs[port];
         const IoRequirement& req = cand.InputReq(port);
         double best = std::numeric_limits<double>::infinity();
         InputChoice best_choice;
-        const std::vector<Entry>& entries = dp_table[in_node];
+        const EntryVec& entries = dp_table[in_node];
         for (size_t e = 0; e < entries.size(); ++e) {
           const Entry& tin = entries[e];
           if (InstanceSatisfies(tin.instance, req)) {
@@ -219,7 +234,7 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
         const int out_node = node.outputs[port];
         if (out_node < 0) continue;
         const IoRequirement& out_req = cand.OutputReq(port);
-        Entry entry;
+        Entry entry(choice_alloc);
         entry.instance.dataset_node = graph.node(out_node).name;
         entry.instance.store =
             !out_req.store.empty() ? out_req.store : engine->native_store();
@@ -251,7 +266,7 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
         // Keep one record per (store, format): the cheapest. Buckets hold
         // at most one entry per distinct location, so a flat vector with
         // interned-id comparison beats any map.
-        std::vector<Entry>& bucket = dp_table[out_node];
+        EntryVec& bucket = dp_table[out_node];
         if (bucket.capacity() == 0) bucket.reserve(candidates.size());
         auto existing = std::find_if(
             bucket.begin(), bucket.end(), [&](const Entry& other) {
@@ -268,7 +283,7 @@ Result<ExecutionPlan> DpPlanner::Plan(const WorkflowGraph& graph,
   }
 
   // ---- Pick the optimal target entry (line 32). ---------------------------
-  const std::vector<Entry>& target_entries = dp_table[graph.target()];
+  const EntryVec& target_entries = dp_table[graph.target()];
   if (target_entries.empty()) {
     return Status::FailedPrecondition(
         "no feasible execution plan reaches the target dataset");

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/plan_analyzer.h"
+#include "common/arena.h"
 #include "common/interner.h"
 #include "common/logging.h"
 #include "planner/planner_common.h"
@@ -111,11 +112,18 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
   const PlannerContext& ctx = context();
   const int cap = std::max(2, options.max_frontier_size);
 
-  std::vector<Entry> arena;
+  // The entry store and dp buckets grow only in the serial phases (init +
+  // phase-2 merge), so they can draw from a per-plan bump arena. The
+  // parallel phase 1 reads them but never mutates, and its staged
+  // containers stay heap-allocated — Arena is single-threaded by design.
+  Arena plan_arena;
+  using IdVec = std::vector<int, ArenaAllocator<int>>;
+  std::vector<Entry, ArenaAllocator<Entry>> arena{
+      ArenaAllocator<Entry>(&plan_arena)};
   // Per dataset node: ids of the current Pareto entries (across all
   // store/format variants; dominance is checked within a variant only,
   // since a "worse" location can still enable a cheaper downstream plan).
-  std::vector<std::vector<int>> dp(graph.size());
+  std::vector<IdVec> dp(graph.size(), IdVec(ArenaAllocator<int>(&plan_arena)));
   // Candidate snapshots per operator node, kept for plan reconstruction.
   std::vector<CandidateSnapshot> snapshots(graph.size());
   StringInterner interner;
@@ -123,7 +131,7 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
   auto insert_entry = [&](int node, Entry entry) {
     entry.store_id = interner.Intern(entry.instance.store);
     entry.format_id = interner.Intern(entry.instance.format);
-    std::vector<int>& bucket = dp[node];
+    IdVec& bucket = dp[node];
     // Drop the new entry if a same-location entry dominates it; drop
     // dominated same-location entries.
     for (int id : bucket) {
@@ -153,7 +161,7 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
     for (int e : bucket) {
       groups[{arena[e].store_id, arena[e].format_id}].push_back(e);
     }
-    std::vector<int> pruned;
+    IdVec pruned{ArenaAllocator<int>(&plan_arena)};
     for (auto& [key, ids] : groups) {
       std::sort(ids.begin(), ids.end(), [&](int a, int b) {
         return arena[a].seconds < arena[b].seconds;
@@ -218,7 +226,7 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
       Entry entry;
     };
     std::vector<std::vector<PendingEntry>> staged(candidates.size());
-    ParallelFor(options.pool, candidates.size(), [&](size_t cand_idx) {
+    ParallelFor(options.scheduler, candidates.size(), [&](size_t cand_idx) {
       const ResolvedCandidate& cand = candidates[cand_idx];
       if (!cand.engine_available) return;
       const SimulatedEngine* engine = cand.engine;
@@ -318,7 +326,8 @@ Result<std::vector<ParetoPlanner::FrontierPlan>> ParetoPlanner::PlanFrontier(
   }
 
   // ---- Collect the target frontier (across locations). ---------------------
-  std::vector<int> target_ids = dp[graph.target()];
+  std::vector<int> target_ids(dp[graph.target()].begin(),
+                              dp[graph.target()].end());
   if (target_ids.empty()) {
     return Status::FailedPrecondition(
         "no feasible execution plan reaches the target dataset");

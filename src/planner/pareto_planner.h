@@ -13,7 +13,7 @@
 #include "planner/cost_estimator.h"
 #include "planner/execution_plan.h"
 #include "planner/planner_context.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 #include "workflow/workflow_graph.h"
 
 namespace ires {
@@ -30,7 +30,7 @@ class ParetoPlanner {
  public:
   struct Options {
     /// Cost model library; null = analytic models. Must be thread-safe for
-    /// concurrent Estimate calls when `pool` is set.
+    /// concurrent Estimate calls when `scheduler` is set.
     const CostEstimator* estimator = nullptr;
     /// Frontier-size cap per dpTable bucket; larger = finer frontier,
     /// slower planning. Pruning keeps the extremes plus evenly spread
@@ -39,10 +39,10 @@ class ParetoPlanner {
     /// Replanning support, as in DpPlanner.
     std::map<std::string, DatasetInstance> materialized_intermediates;
     /// When set, per-candidate input combination and cost estimation fan
-    /// out across the pool. The result is bit-identical to the serial path:
-    /// the parallel phase only reads the dpTable, and entries are merged in
-    /// candidate-index order afterwards.
-    ThreadPool* pool = nullptr;
+    /// out across the scheduler. The result is bit-identical to the serial
+    /// path: the parallel phase only reads the dpTable, and entries are
+    /// merged in candidate-index order afterwards.
+    TaskScheduler* scheduler = nullptr;
   };
 
   /// One frontier plan with its objective vector.

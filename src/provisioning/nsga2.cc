@@ -110,7 +110,7 @@ std::vector<Nsga2::Individual> Nsga2::Optimize(
   // the RNG, so it can run as a parallel batch after the (serial, RNG-
   // consuming) gene generation without perturbing the random stream.
   auto evaluate_all = [&](std::vector<Individual>* individuals) {
-    ParallelFor(options_.pool, individuals->size(), [&](size_t i) {
+    ParallelFor(options_.scheduler, individuals->size(), [&](size_t i) {
       (*individuals)[i].objectives = evaluate((*individuals)[i].genes);
     });
   };

@@ -6,7 +6,7 @@
 
 #include "common/rng.h"
 #include "modeling/linalg.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 
 namespace ires {
 
@@ -25,12 +25,12 @@ class Nsga2 {
     double sbx_eta = 15.0;        // SBX distribution index
     double mutation_eta = 20.0;   // polynomial mutation index
     uint64_t seed = 2002;
-    /// When set, each generation's objective evaluations fan out across the
-    /// pool. Bit-identical to the serial run: evaluation never consumes the
-    /// RNG, so genes are still produced by one serial RNG stream and only
-    /// the (pure) objective calls run concurrently. The evaluate callback
-    /// must then be thread-safe.
-    ThreadPool* pool = nullptr;
+    /// When set, each generation's objective evaluations fan out across
+    /// the scheduler. Bit-identical to the serial run: evaluation never
+    /// consumes the RNG, so genes are still produced by one serial RNG
+    /// stream and only the (pure) objective calls run concurrently. The
+    /// evaluate callback must then be thread-safe.
+    TaskScheduler* scheduler = nullptr;
   };
 
   struct Individual {

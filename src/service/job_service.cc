@@ -58,7 +58,8 @@ JobService::JobService(IresServer* server, Options options)
   job_duration_seconds_ = metrics.GetHistogram(
       "ires_job_duration_seconds",
       "Wall-clock submission-to-terminal latency per job.");
-  pool_ = std::make_unique<ThreadPool>(options_.workers, &metrics);
+  sched_ = options_.scheduler != nullptr ? options_.scheduler
+                                         : &server_->scheduler();
 }
 
 JobService::~JobService() { Shutdown(); }
@@ -129,9 +130,31 @@ Result<std::string> JobService::Submit(
     JournalWriter(&server_->journal(), job->record.id)
         .Emit(EventKind::kAdmissionAccept, -1, "", slo_class,
               static_cast<double>(queued_), workflow_name);
+    run_queue_.push_back(job);
+    DispatchLocked();
   }
-  pool_->Submit([this, job] { RunJob(job); });
   return job->record.id;
+}
+
+void JobService::DispatchLocked() {
+  while (dispatched_ < static_cast<size_t>(options_.workers) &&
+         !run_queue_.empty()) {
+    std::shared_ptr<Job> job = run_queue_.front();
+    run_queue_.pop_front();
+    if (IsTerminal(job->record.state)) continue;  // cancelled while queued
+    ++dispatched_;
+    if (!sched_->Submit([this, job] { RunJob(job); }, "job.run")) {
+      // The scheduler has shut down under us (it journals the
+      // task_rejected) — terminate the record instead of stranding it.
+      --dispatched_;
+      if (job->record.state == JobState::kQueued) {
+        job->record.state = JobState::kCancelled;
+        --queued_;
+        queued_gauge_->Set(static_cast<double>(queued_));
+        FinalizeLocked(job.get());
+      }
+    }
+  }
 }
 
 /// Events attached to a failed job record — enough to replay admission,
@@ -172,6 +195,14 @@ void JobService::FinalizeLocked(Job* job) {
 }
 
 void JobService::RunJob(const std::shared_ptr<Job>& job) {
+  ExecuteJob(job);
+  std::lock_guard<std::mutex> lock(mu_);
+  --dispatched_;
+  DispatchLocked();
+  if (dispatched_ == 0) idle_.notify_all();  // Shutdown waits on this
+}
+
+void JobService::ExecuteJob(const std::shared_ptr<Job>& job) {
   OptimizationPolicy policy;
   TraceContext* trace = job->record.trace.get();
   uint64_t plan_span = 0;
@@ -305,7 +336,7 @@ JobService::Stats JobService::stats() const {
   s.cancelled = cancelled_total_->Value();
   s.queue_depth = queued_;
   s.running = active_;
-  s.workers = pool_ ? pool_->worker_count() : 0;
+  s.workers = options_.workers;
   return s;
 }
 
@@ -317,16 +348,16 @@ bool JobService::WaitForIdle(double timeout_seconds) const {
 }
 
 void JobService::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutting_down_ = true;
-  }
-  // Drain the pool: queued tasks observe shutting_down_ and cancel their
-  // jobs; running jobs finish.
-  pool_->Shutdown();
-  // Tasks the pool dropped without running leave their jobs QUEUED — sweep
-  // them to CANCELLED so every record still reaches a terminal state.
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  // Undispatched jobs never reach the scheduler again.
+  run_queue_.clear();
+  // Dispatched jobs drain on the (still running) shared scheduler: ones
+  // still QUEUED observe shutting_down_ and self-cancel, PLANNING/RUNNING
+  // ones finish. The scheduler itself is the server's — never stopped here.
+  idle_.wait(lock, [this] { return dispatched_ == 0; });
+  // Sweep whatever never ran to CANCELLED so every record still reaches a
+  // terminal state.
   for (auto& [id, job] : jobs_) {
     if (job->record.state == JobState::kQueued) {
       job->record.state = JobState::kCancelled;

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,7 +11,7 @@
 #include <vector>
 
 #include "core/ires_server.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace_context.h"
@@ -92,11 +93,14 @@ struct JobRecord {
 };
 
 /// The concurrent serving layer: accepts workflow submissions into a
-/// bounded admission queue and drives the plan→execute→refine pipeline on a
-/// fixed-size worker pool. Submissions beyond the queue bound are rejected
-/// with ResourceExhausted (HTTP 429 through the REST mapping) — the
-/// admission-control primitive that lets a long-lived multi-user IReS
-/// deployment shed load instead of collapsing under it.
+/// bounded admission queue and drives the plan→execute→refine pipeline on
+/// the server's shared TaskScheduler, holding at most `workers` jobs
+/// in flight at once (the concurrency cap the private worker pool used to
+/// provide — but idle capacity is now shared with every other subsystem).
+/// Submissions beyond the queue bound are rejected with ResourceExhausted
+/// (HTTP 429 through the REST mapping) — the admission-control primitive
+/// that lets a long-lived multi-user IReS deployment shed load instead of
+/// collapsing under it.
 ///
 /// Telemetry: lifecycle counters (`ires_jobs_total{outcome=...}`), queue
 /// depth / active gauges, and queue-wait / job-duration histograms all live
@@ -104,10 +108,14 @@ struct JobRecord {
 class JobService {
  public:
   struct Options {
+    /// Maximum jobs dispatched to the scheduler concurrently — the job
+    /// service's share of the substrate, not a thread count.
     int workers = 4;
     /// Jobs admitted but not yet picked up by a worker. Submissions are
     /// rejected once this many are waiting.
     size_t queue_capacity = 64;
+    /// Execution substrate; null uses the server's shared scheduler.
+    TaskScheduler* scheduler = nullptr;
   };
 
   struct Stats {
@@ -176,7 +184,14 @@ class JobService {
     uint64_t queue_span = 0;  // open "job.queue_wait" span id
   };
 
+  /// Scheduler-task wrapper: runs the job, then releases its dispatch slot
+  /// and pulls the next queued job in.
   void RunJob(const std::shared_ptr<Job>& job);
+  void ExecuteJob(const std::shared_ptr<Job>& job);
+  /// Feeds queued jobs to the scheduler while dispatch slots are free.
+  /// Jobs the scheduler refuses (shut down) are cancelled on the spot, so
+  /// no record is ever stranded in QUEUED.
+  void DispatchLocked();
   /// Closes out a job reaching a terminal state while holding mu_:
   /// timestamps, the terminal counter, the duration histogram and the idle
   /// broadcast. `job.state` must already be terminal.
@@ -192,6 +207,10 @@ class JobService {
   uint64_t next_job_number_ = 1;
   size_t queued_ = 0;
   size_t active_ = 0;  // PLANNING or RUNNING
+  /// Jobs handed to the scheduler whose RunJob has not returned yet;
+  /// bounded by options_.workers.
+  size_t dispatched_ = 0;
+  std::deque<std::shared_ptr<Job>> run_queue_;
   bool shutting_down_ = false;
 
   // Registry-backed instruments (stats() reads the counters back, so the
@@ -206,8 +225,9 @@ class JobService {
   Histogram* queue_wait_seconds_;
   Histogram* job_duration_seconds_;
 
-  // Last: destroyed first, so workers join before state they use dies.
-  std::unique_ptr<ThreadPool> pool_;
+  /// The shared substrate (not owned); Shutdown drains our dispatched jobs
+  /// but never stops the scheduler itself.
+  TaskScheduler* sched_;
 };
 
 }  // namespace ires

@@ -40,9 +40,11 @@ SqlService::SqlService(IresServer* server, Options options)
       catalog_(sql::MakeTpchCatalog(options.tpch_scale_gb, "PostgreSQL",
                                     "MemSQL", "SparkSQL")),
       engines_(sql::MakeStandardSqlEngines()) {
-  if (options_.optimizer_threads > 0 && options_.optimizer.pool == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(options_.optimizer_threads);
-    options_.optimizer.pool = pool_.get();
+  if (options_.optimizer_threads > 0 &&
+      options_.optimizer.scheduler == nullptr) {
+    options_.optimizer.scheduler = options_.scheduler != nullptr
+                                       ? options_.scheduler
+                                       : &server_->scheduler();
   }
   optimizer_ = std::make_unique<sql::MusqleOptimizer>(&catalog_, &engines_,
                                                       options_.optimizer);

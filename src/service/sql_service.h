@@ -14,7 +14,7 @@
 #include "sql/musqle_optimizer.h"
 #include "sql/sql_engine.h"
 #include "telemetry/metrics_registry.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 
 namespace ires {
 
@@ -40,9 +40,12 @@ class SqlService {
   struct Options {
     /// TPC-H catalog scale (GB) behind the federated fleet.
     double tpch_scale_gb = 10.0;
-    /// Workers for parallel DPccp enumeration (0 = enumerate serially on
+    /// Degree of parallel DPccp enumeration (0 = enumerate serially on
     /// the caller). Plans are bit-identical either way.
     int optimizer_threads = 4;
+    /// Execution substrate for the enumeration fan-out; null uses the
+    /// server's shared scheduler (when optimizer_threads > 0).
+    TaskScheduler* scheduler = nullptr;
     sql::MusqleOptimizer::Options optimizer;
   };
 
@@ -84,7 +87,6 @@ class SqlService {
   Options options_;
   sql::Catalog catalog_;
   std::map<std::string, std::unique_ptr<sql::SqlEngine>> engines_;
-  std::unique_ptr<ThreadPool> pool_;  // DPccp enumeration workers
   std::unique_ptr<sql::MusqleOptimizer> optimizer_;
 
   mutable std::mutex mu_;

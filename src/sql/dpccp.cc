@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 
 namespace ires::sql {
 
@@ -79,9 +79,9 @@ void EnumerateCsgCmpPairs(
 }
 
 void EnumerateCsgCmpPairsParallel(
-    const std::vector<uint32_t>& adjacency, int n, ThreadPool* pool,
+    const std::vector<uint32_t>& adjacency, int n, TaskScheduler* scheduler,
     const std::function<void(uint32_t, uint32_t)>& emit) {
-  if (pool == nullptr || n <= 1) {
+  if (scheduler == nullptr || n <= 1) {
     EnumerateCsgCmpPairs(adjacency, n, emit);
     return;
   }
@@ -89,7 +89,7 @@ void EnumerateCsgCmpPairsParallel(
   // pairs of seed v = n-1-i, the i-th seed of the serial loop.
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> buckets(
       static_cast<size_t>(n));
-  ParallelFor(pool, static_cast<size_t>(n), [&](size_t i) {
+  ParallelFor(scheduler, static_cast<size_t>(n), [&](size_t i) {
     const int v = n - 1 - static_cast<int>(i);
     EnumerateForSeed(adjacency, n, v, [&](uint32_t s1, uint32_t s2) {
       buckets[i].emplace_back(s1, s2);

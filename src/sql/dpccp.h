@@ -6,7 +6,7 @@
 #include <vector>
 
 namespace ires {
-class ThreadPool;
+class TaskScheduler;
 }  // namespace ires
 
 namespace ires::sql {
@@ -27,13 +27,13 @@ void EnumerateCsgCmpPairs(
 
 /// Parallel variant: the serial outer loop over start vertices (v = n-1..0)
 /// decomposes into independent per-seed enumerations, which run across
-/// `pool` via ParallelFor into per-seed buckets. Buckets are replayed to
-/// `emit` in the serial seed order, so the emitted pair sequence is
+/// `scheduler` via ParallelFor into per-seed buckets. Buckets are replayed
+/// to `emit` in the serial seed order, so the emitted pair sequence is
 /// bit-identical to EnumerateCsgCmpPairs — callers may swap the two freely.
-/// A null pool degrades to the serial enumeration. `emit` is only ever
+/// A null scheduler degrades to the serial enumeration. `emit` is only ever
 /// invoked from the calling thread.
 void EnumerateCsgCmpPairsParallel(
-    const std::vector<uint32_t>& adjacency, int n, ThreadPool* pool,
+    const std::vector<uint32_t>& adjacency, int n, TaskScheduler* scheduler,
     const std::function<void(uint32_t, uint32_t)>& emit);
 
 /// Number of connected subgraphs of the graph (used by tests and to size

@@ -13,7 +13,7 @@
 #include "sql/sql_parser.h"
 
 namespace ires {
-class ThreadPool;
+class TaskScheduler;
 }  // namespace ires
 
 namespace ires::sql {
@@ -82,10 +82,11 @@ class MusqleOptimizer {
     double explain_call_seconds = 2e-3;
     double inject_call_seconds = 5e-4;
     Enumeration enumeration = Enumeration::kDpccp;
-    /// When set, kDpccp enumeration fans out across this pool (per-seed
-    /// buckets, replayed in serial order — plans stay bit-identical to the
-    /// serial enumeration). Null keeps everything on the calling thread.
-    ThreadPool* pool = nullptr;
+    /// When set, kDpccp enumeration fans out across this scheduler
+    /// (per-seed buckets, replayed in serial order — plans stay
+    /// bit-identical to the serial enumeration). Null keeps everything on
+    /// the calling thread.
+    TaskScheduler* scheduler = nullptr;
   };
 
   MusqleOptimizer(const Catalog* catalog,

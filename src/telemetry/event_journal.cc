@@ -31,6 +31,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kBreakerState, "breaker_state"},
     {EventKind::kReplan, "replan"},
     {EventKind::kJobFailed, "job_failed"},
+    {EventKind::kTaskSpan, "task_span"},
+    {EventKind::kTaskRejected, "task_rejected"},
 };
 
 double NowSeconds() {

@@ -28,6 +28,8 @@ enum class EventKind : uint8_t {
   kBreakerState,      // registry-level breaker transition (process-scoped)
   kReplan,            // recovering executor started a replanning round
   kJobFailed,         // job reached FAILED (terminal)
+  kTaskSpan,          // labelled scheduler task ran (value = run seconds)
+  kTaskRejected,      // Submit refused after scheduler Shutdown
 };
 
 /// Stable snake_case name ("plan_cache_miss") used in JSON and the REST

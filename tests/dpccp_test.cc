@@ -4,7 +4,7 @@
 
 #include "common/rng.h"
 #include "sql/dpccp.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 
 namespace ires::sql {
 namespace {
@@ -127,7 +127,7 @@ TEST(DpccpTest, CliqueCsgCountIsAllSubsets) {
 // the optimizer's tie-breaking (and thus the chosen plan) depends on
 // emission order.
 TEST(DpccpTest, ParallelEmissionSequenceIsBitIdenticalToSerial) {
-  ThreadPool pool(4);
+  TaskScheduler scheduler(4);
   Rng rng(42);
   for (int round = 0; round < 12; ++round) {
     const int n = static_cast<int>(rng.UniformInt(1, 8));
@@ -147,7 +147,7 @@ TEST(DpccpTest, ParallelEmissionSequenceIsBitIdenticalToSerial) {
     EnumerateCsgCmpPairs(adjacency, n, [&](uint32_t s1, uint32_t s2) {
       serial.emplace_back(s1, s2);
     });
-    EnumerateCsgCmpPairsParallel(adjacency, n, &pool,
+    EnumerateCsgCmpPairsParallel(adjacency, n, &scheduler,
                                  [&](uint32_t s1, uint32_t s2) {
                                    parallel.emplace_back(s1, s2);
                                  });

@@ -40,7 +40,8 @@ TEST(EventKindTest, NamesRoundTripThroughParse) {
       EventKind::kStepRetry,       EventKind::kStragglerKill,
       EventKind::kChaosInject,     EventKind::kBreakerTrip,
       EventKind::kBreakerState,    EventKind::kReplan,
-      EventKind::kJobFailed,
+      EventKind::kJobFailed,       EventKind::kTaskSpan,
+      EventKind::kTaskRejected,
   };
   std::set<std::string> names;
   for (EventKind kind : kinds) {

@@ -15,7 +15,7 @@
 #include "planner/pareto_planner.h"
 #include "planner/planner_context.h"
 #include "provisioning/nsga2.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 #include "workloadgen/pegasus.h"
 
 namespace ires {
@@ -244,12 +244,12 @@ TEST(PlannerContextTest, ParetoParallelMatchesSerialBitForBit) {
   GeneratedWorkload w = MakeWorkload(32, 6);
   EngineRegistry registry;
   PegasusGenerator::RegisterSyntheticEngines(&registry, 6);
-  ThreadPool pool(4);
+  TaskScheduler scheduler(4);
 
   ParetoPlanner planner(&w.library, &registry);
   ParetoPlanner::Options serial;
   ParetoPlanner::Options parallel;
-  parallel.pool = &pool;
+  parallel.scheduler = &scheduler;
 
   auto serial_frontier = planner.PlanFrontier(w.graph, serial);
   auto parallel_frontier = planner.PlanFrontier(w.graph, parallel);
@@ -267,7 +267,7 @@ TEST(PlannerContextTest, ParetoParallelMatchesSerialBitForBit) {
 }
 
 TEST(PlannerContextTest, NsgaParallelMatchesSerialBitForBit) {
-  ThreadPool pool(4);
+  TaskScheduler scheduler(4);
   const std::vector<std::pair<double, double>> bounds = {
       {1.0, 8.0}, {1.0, 4.0}, {0.5, 6.0}};
   const Nsga2::Evaluate evaluate = [](const Vector& genes) {
@@ -281,7 +281,7 @@ TEST(PlannerContextTest, NsgaParallelMatchesSerialBitForBit) {
   serial_options.population = 24;
   serial_options.generations = 20;
   Nsga2::Options parallel_options = serial_options;
-  parallel_options.pool = &pool;
+  parallel_options.scheduler = &scheduler;
 
   const auto serial_front = Nsga2(serial_options).Optimize(bounds, evaluate);
   const auto parallel_front =

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <string>
 #include <thread>
 
@@ -238,10 +240,13 @@ TEST_F(RestApiTest, MetricsEndpointMovesWhenJobsRun) {
   EXPECT_NE(text.find("ires_job_queue_wait_seconds_count 1"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("ires_pool_task_wait_seconds_count 1"),
+  EXPECT_NE(text.find("ires_sched_task_wait_seconds_count 1"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("ires_pool_pending_tasks 0"), std::string::npos)
+  EXPECT_NE(text.find("ires_sched_pending_tasks 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ires_sched_tasks_total{event=\"executed\"} 1"),
+            std::string::npos)
       << text;
 }
 
@@ -253,6 +258,54 @@ TEST_F(RestApiTest, HealthzReportsQueueState) {
   EXPECT_NE(health.body.find("\"queueCapacity\":64"), std::string::npos);
   EXPECT_NE(health.body.find("\"saturation\":0.000"), std::string::npos);
   EXPECT_EQ(JsonNumber(health.body, "workers"), 4.0);
+}
+
+// Sustained scheduler backlog (measured on an injected fake clock) must
+// degrade the health probe without failing it: the replica is falling
+// behind on the shared execution substrate but can still serve.
+TEST(RestApiSchedulerHealthTest, SustainedBacklogDegradesHealthz) {
+  std::atomic<double> now{50.0};
+  IresServer::Config config;
+  config.scheduler_workers = 1;
+  config.scheduler_clock = [&now] { return now.load(); };
+  IresServer server(config);
+  RestApi api(&server);
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  TaskScheduler& sched = server.scheduler();
+  ASSERT_TRUE(sched.Submit([released] { released.wait(); }));
+  // Let the single worker pick the blocker up, then queue pure backlog
+  // above workers * backlog_per_worker (1 * 4).
+  while (sched.pending() != 0) std::this_thread::yield();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(sched.Submit([released] { released.wait(); }));
+  }
+
+  // First probe arms the backlog timer; depth is high but not yet
+  // *sustained*, so the replica still reports ok.
+  ApiResponse first = api.Handle("GET", "/apiv1/healthz");
+  ASSERT_EQ(first.code, 200) << first.body;
+  EXPECT_NE(first.body.find("\"backlogged\":false"), std::string::npos)
+      << first.body;
+  EXPECT_NE(first.body.find("\"status\":\"ok\""), std::string::npos)
+      << first.body;
+
+  now.store(52.5);  // 2.5s of sustained backlog > the 1s grace window
+  ApiResponse degraded = api.Handle("GET", "/apiv1/healthz");
+  ASSERT_EQ(degraded.code, 200) << degraded.body;  // degraded, not dead
+  EXPECT_NE(degraded.body.find("\"status\":\"degraded\""), std::string::npos)
+      << degraded.body;
+  EXPECT_NE(degraded.body.find("\"backlogged\":true"), std::string::npos)
+      << degraded.body;
+  EXPECT_NE(degraded.body.find("\"backlogSeconds\":2.500"), std::string::npos)
+      << degraded.body;
+
+  release.set_value();
+  while (sched.pending() != 0) std::this_thread::yield();
+  ApiResponse healthy = api.Handle("GET", "/apiv1/healthz");
+  EXPECT_NE(healthy.body.find("\"status\":\"ok\""), std::string::npos)
+      << healthy.body;
 }
 
 TEST_F(RestApiTest, JobTraceEndpointReturnsChromeTraceJson) {

@@ -13,7 +13,7 @@
 
 #include "core/rest_api.h"
 #include "service/job_service.h"
-#include "threading/thread_pool.h"
+#include "threading/task_scheduler.h"
 #include "telemetry/trace_context.h"
 
 namespace ires {
@@ -48,23 +48,23 @@ void RegisterLineCount(RestApi* api) {
   ASSERT_EQ(api->Handle("POST", "/apiv1/workflows/lc", kGraph).code, 201);
 }
 
-// --------------------------------------------------------------- ThreadPool
+// ------------------------------------------------------------ TaskScheduler
 
-TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+TEST(TaskSchedulerTest, RunsAllSubmittedTasks) {
   std::atomic<int> ran{0};
   {
-    ThreadPool pool(4);
+    TaskScheduler scheduler(4);
     for (int i = 0; i < 100; ++i) {
-      ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+      ASSERT_TRUE(scheduler.Submit([&ran] { ran.fetch_add(1); }));
     }
   }  // destructor drains + joins
   EXPECT_EQ(ran.load(), 100);
 }
 
-TEST(ThreadPoolTest, RejectsAfterShutdown) {
-  ThreadPool pool(2);
-  pool.Shutdown();
-  EXPECT_FALSE(pool.Submit([] {}));
+TEST(TaskSchedulerTest, RejectsAfterShutdown) {
+  TaskScheduler scheduler(2);
+  scheduler.Shutdown();
+  EXPECT_FALSE(scheduler.Submit([] {}));
 }
 
 // --------------------------------------------------------------- JobService
@@ -515,7 +515,7 @@ TEST(ServiceStressTest, ConcurrentSubmissionsAllTerminalNoLostUpdates) {
   EXPECT_NE(metrics.find("ires_job_queue_wait_seconds_count 64"),
             std::string::npos)
       << metrics;
-  EXPECT_NE(metrics.find("ires_pool_task_wait_seconds_count 64"),
+  EXPECT_NE(metrics.find("ires_sched_task_wait_seconds_count 64"),
             std::string::npos)
       << metrics;
 }
