@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
 #include <thread>
+#include <utility>
+
+#include "common/mutex.h"
 
 namespace ires {
 
@@ -13,10 +15,13 @@ namespace {
 
 std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
 
-/// Guards both the sink pointer and the actual emission, so concurrent
-/// Log calls serialize whole lines.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
+/// Guards both the sink slot and the actual emission, so a SetSink swap
+/// never races a Log call into a half-replaced sink and concurrent
+/// worker-pool logs never interleave mid-line. kLogger is the innermost
+/// rank in the table: log lines are emitted from under any other lock,
+/// and the sink itself must acquire nothing ranked.
+ires::Mutex& SinkMutex() {
+  static ires::Mutex mu(LockRank::kLogger, "logger.sink");
   return mu;
 }
 
@@ -64,7 +69,7 @@ void Logger::set_threshold(LogLevel level) {
 }
 
 void Logger::SetSink(Sink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   SinkSlot() = std::move(sink);
 }
 
@@ -80,7 +85,7 @@ void Logger::Log(LogLevel level, const std::string& message) {
     return;
   }
   const std::string line = Format(level, message);
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   if (SinkSlot()) {
     SinkSlot()(level, line);
   } else {

@@ -1,0 +1,151 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ires {
+namespace lock_rank {
+namespace {
+
+std::atomic<bool> g_checks_enabled{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+  const char* name;
+  bool shared;
+};
+
+// Acquisition-ordered list of ranked locks this thread holds (outermost
+// first). Bookkeeping only runs while checking is enabled, so the release
+// path must tolerate entries that were never recorded.
+thread_local std::vector<HeldLock> t_held;
+
+// Witness table for the blessed direction of each rank edge: the first
+// time any thread acquires rank B while holding rank A we remember that
+// thread's lock set. When a later thread attempts the inverted order we
+// can print *both* sides of the would-be deadlock, not just the current
+// stack. Keyed by rank (not address) so the witness survives mutex
+// destruction; guarded by a raw std::mutex that is deliberately outside
+// the rank system (it is a leaf internal to the checker itself).
+std::mutex g_edges_mu;
+std::map<std::pair<int, int>, std::string>& Edges() {
+  static std::map<std::pair<int, int>, std::string> edges;
+  return edges;
+}
+
+std::string Describe(const std::vector<HeldLock>& held) {
+  std::ostringstream out;
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << held[i].name << "(" << LockRankValue(held[i].rank)
+        << (held[i].shared ? ", shared" : "") << ")";
+  }
+  if (held.empty()) out << "<none>";
+  return out.str();
+}
+
+void RecordEdges(LockRank acquired) {
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
+  std::string snapshot =
+      "thread " + tid.str() + " held [" + Describe(t_held) + "]";
+  std::lock_guard<std::mutex> lock(g_edges_mu);
+  auto& edges = Edges();
+  for (const HeldLock& held : t_held) {
+    edges.emplace(
+        std::make_pair(LockRankValue(held.rank), LockRankValue(acquired)),
+        snapshot);
+  }
+}
+
+[[noreturn]] void Die(const char* kind, const HeldLock& attempted) {
+  std::ostringstream msg;
+  msg << "lock-rank violation (" << kind << "): thread attempting to acquire "
+      << attempted.name << "(" << LockRankValue(attempted.rank)
+      << (attempted.shared ? ", shared" : "") << ") while holding ["
+      << Describe(t_held) << "]";
+  // Print the recorded blessed direction of the conflicting edge(s), i.e.
+  // the "other stack" of the potential deadlock.
+  {
+    std::lock_guard<std::mutex> lock(g_edges_mu);
+    const auto& edges = Edges();
+    for (const HeldLock& held : t_held) {
+      auto it = edges.find(std::make_pair(LockRankValue(attempted.rank),
+                                          LockRankValue(held.rank)));
+      if (it != edges.end()) {
+        msg << "; opposite order " << LockRankValue(attempted.rank) << "->"
+            << LockRankValue(held.rank) << " previously taken by "
+            << it->second;
+      }
+    }
+  }
+  std::fprintf(stderr, "[ires::Mutex] %s\n", msg.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool ChecksEnabled() {
+  return g_checks_enabled.load(std::memory_order_relaxed);
+}
+
+void SetChecksEnabled(bool enabled) {
+  g_checks_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void CheckAcquire(const void* mu, LockRank rank, const char* name,
+                  bool shared) {
+  if (!ChecksEnabled()) return;
+  HeldLock attempted{mu, rank, name, shared};
+  for (const HeldLock& held : t_held) {
+    if (held.mu == mu) {
+      Die(held.shared && !shared ? "shared->exclusive upgrade"
+                                 : "recursive acquire",
+          attempted);
+    }
+  }
+  if (!t_held.empty() &&
+      LockRankValue(rank) <= LockRankValue(t_held.back().rank)) {
+    Die("rank inversion", attempted);
+  }
+}
+
+void OnAcquire(const void* mu, LockRank rank, const char* name, bool shared) {
+  if (!ChecksEnabled()) return;
+  CheckAcquire(mu, rank, name, shared);
+  RecordEdges(rank);
+  t_held.push_back({mu, rank, name, shared});
+}
+
+void OnRelease(const void* mu) {
+  // Locks are usually released LIFO, but scan the whole list so manual
+  // Lock/Unlock pairs with overlapping lifetimes (and holds recorded
+  // before checking was toggled off) stay consistent.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+int HeldCount() { return static_cast<int>(t_held.size()); }
+
+std::string DescribeHeld() { return Describe(t_held); }
+
+}  // namespace lock_rank
+}  // namespace ires

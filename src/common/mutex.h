@@ -1,0 +1,200 @@
+#ifndef IRES_COMMON_MUTEX_H_
+#define IRES_COMMON_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "common/mutex_ranks.h"
+#include "common/thread_annotations.h"
+
+namespace ires {
+
+namespace lock_rank {
+
+/// Runtime lock-order registry. Each thread keeps the ordered list of
+/// ranked locks it currently holds; every acquisition of an `ires::Mutex`
+/// or `ires::SharedMutex` must strictly increase the maximum held rank.
+/// Violations (inversion, recursive acquire, shared->exclusive upgrade)
+/// print both lock sets — the current thread's and the one recorded for
+/// the blessed direction of the same edge — and abort.
+///
+/// Checking defaults to ON in debug builds (!NDEBUG) and OFF in release;
+/// tests flip it explicitly so the death tests pass in either build type.
+bool ChecksEnabled();
+void SetChecksEnabled(bool enabled);
+
+/// RAII enable/disable for tests (restores the previous setting).
+class ScopedChecksForTest {
+ public:
+  explicit ScopedChecksForTest(bool enabled)
+      : previous_(ChecksEnabled()) {
+    SetChecksEnabled(enabled);
+  }
+  ~ScopedChecksForTest() { SetChecksEnabled(previous_); }
+  ScopedChecksForTest(const ScopedChecksForTest&) = delete;
+  ScopedChecksForTest& operator=(const ScopedChecksForTest&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Validates an intended acquisition against the calling thread's held
+/// set without recording it: aborts on inversion, recursive acquire, or
+/// shared->exclusive upgrade, and is a no-op otherwise. The wrappers call
+/// this *before* blocking on the underlying primitive, so a would-be
+/// self-deadlock (relocking a mutex this thread already holds) dies with
+/// a diagnostic instead of hanging forever in pthread_mutex_lock.
+void CheckAcquire(const void* mu, LockRank rank, const char* name,
+                  bool shared);
+
+/// Validates like CheckAcquire, then records the hold in the thread's
+/// ordered held-lock list and the edge-witness table. Called with the
+/// underlying lock held (TryLock success) or about to be taken (blocking
+/// Lock — recording before the block means a thread stuck waiting shows
+/// the contended lock in DescribeHeld, which is what you want in a hang
+/// dump). `shared` distinguishes reader holds so an upgrade on the same
+/// instance is reported as such. OnRelease runs before the underlying
+/// unlock.
+void OnAcquire(const void* mu, LockRank rank, const char* name, bool shared);
+void OnRelease(const void* mu);
+
+/// Number of ranked locks the calling thread currently holds (0 when
+/// checking is disabled — bookkeeping only runs while enabled).
+int HeldCount();
+
+/// Human-readable "name(rank), name(rank)" list of the calling thread's
+/// held locks, outermost first. For tests and diagnostics.
+std::string DescribeHeld();
+
+}  // namespace lock_rank
+
+/// Annotated, rank-checked replacement for std::mutex. All mutex-holding
+/// classes in src/ use this (tools/lockcheck rejects the raw std
+/// primitives outside src/common/). The lowercase lock()/unlock() aliases
+/// satisfy BasicLockable so std::condition_variable_any can wait on it
+/// while keeping the rank bookkeeping consistent across the
+/// release/reacquire inside wait().
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, const char* name = "mutex")
+      : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    // Check+record BEFORE blocking: a recursive acquire must abort with a
+    // diagnostic, not deadlock inside the underlying pthread mutex.
+    lock_rank::OnAcquire(this, rank_, name_, /*shared=*/false);
+    mu_.lock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    // A successful try-acquire cannot deadlock, but it still goes through
+    // the full ordering check: out-of-order try-locks mask ordering rot
+    // that would bite the next blocking acquire of the same edge. The
+    // check runs first (recursive try_lock is UB on std::mutex); the
+    // record only lands if the lock is actually taken.
+    lock_rank::CheckAcquire(this, rank_, name_, /*shared=*/false);
+    if (!mu_.try_lock()) return false;
+    lock_rank::OnAcquire(this, rank_, name_, /*shared=*/false);
+    return true;
+  }
+  void Unlock() RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+
+  // BasicLockable aliases for std::condition_variable_any.
+  void lock() ACQUIRE() { Lock(); }
+  void unlock() RELEASE() { Unlock(); }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+/// Annotated, rank-checked replacement for std::shared_mutex. Shared
+/// (reader) holds participate in the same per-thread ordering; acquiring
+/// the exclusive side while already holding the shared side of the same
+/// instance is reported as an upgrade attempt and aborts.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf,
+                       const char* name = "shared_mutex")
+      : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    // Check+record before blocking: a shared->exclusive upgrade attempt
+    // must abort with a diagnostic, not self-deadlock in lock().
+    lock_rank::OnAcquire(this, rank_, name_, /*shared=*/false);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lock_rank::OnRelease(this);
+    mu_.unlock();
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    lock_rank::OnAcquire(this, rank_, name_, /*shared=*/true);
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    lock_rank::OnRelease(this);
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+/// RAII exclusive lock on an ires::Mutex (std::lock_guard equivalent).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on an ires::SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on an ires::SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace ires
+
+#endif  // IRES_COMMON_MUTEX_H_

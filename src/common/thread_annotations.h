@@ -1,0 +1,80 @@
+#ifndef IRES_COMMON_THREAD_ANNOTATIONS_H_
+#define IRES_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis capability macros (the `-Wthread-safety`
+/// attribute family). Under Clang every macro expands to the corresponding
+/// attribute and the analysis proves, at compile time, that each
+/// GUARDED_BY member is only touched with its mutex held, that every
+/// REQUIRES contract is met at each call site, and that EXCLUDES methods
+/// are never entered with the lock already held. Under GCC (which has no
+/// such analysis) they expand to nothing, so the annotations are free
+/// documentation there — the CI `thread-safety` job builds src/ + tools/
+/// with Clang and `-Werror=thread-safety`, which is where the proofs are
+/// actually checked.
+///
+/// The vocabulary (mirrors the Clang documentation and Abseil's
+/// thread_annotations.h):
+///   GUARDED_BY(mu)      field: reads need mu held (shared ok), writes
+///                       need it exclusively
+///   PT_GUARDED_BY(mu)   pointer field: the *pointee* is guarded by mu
+///   REQUIRES(mu)        function: caller must hold mu exclusively
+///   REQUIRES_SHARED(mu) function: caller must hold mu (shared suffices)
+///   EXCLUDES(mu)        function: caller must NOT hold mu (the public
+///                       entry points of a class that locks internally)
+///   ACQUIRE/RELEASE     function acquires/releases the capability
+///   CAPABILITY("mutex") class declares itself a lockable capability
+///   SCOPED_CAPABILITY   RAII class that acquires in its constructor and
+///                       releases in its destructor
+///   NO_THREAD_SAFETY_ANALYSIS
+///                       opt one function out of the analysis. Repo
+///                       policy: every use carries a comment justifying
+///                       why the analysis cannot see the invariant
+///                       (tools/lockcheck rejects bare escapes).
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define IRES_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef IRES_THREAD_ANNOTATION_
+#define IRES_THREAD_ANNOTATION_(x)  // not Clang: annotations are comments
+#endif
+
+#define CAPABILITY(x) IRES_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY IRES_THREAD_ANNOTATION_(scoped_lockable)
+
+#define GUARDED_BY(x) IRES_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) IRES_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) IRES_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) IRES_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) IRES_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  IRES_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) IRES_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  IRES_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) IRES_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  IRES_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  IRES_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  IRES_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  IRES_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) IRES_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) IRES_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  IRES_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) IRES_THREAD_ANNOTATION_(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  IRES_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // IRES_COMMON_THREAD_ANNOTATIONS_H_

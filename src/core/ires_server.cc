@@ -36,7 +36,7 @@ Result<OperatorRunEstimate> ModelBasedCostEstimator::Estimate(
       models_->Find(request.algorithm, engine.name());
   if (models == nullptr) return estimate;
   const Vector features = Profiler::FeatureVector(request);
-  std::lock_guard<std::mutex> lock(models->mu);
+  MutexLock lock(models->mu);
   if (models->exec_time.has_model()) {
     const double predicted = models->exec_time.Predict(features);
     if (predicted > 0.0) {
@@ -450,7 +450,7 @@ void IresServer::ObserveDrift(const ExecutionPlan& plan,
     ModelLibrary::OperatorModels* models =
         models_.Get(step.algorithm, step.engine);
     if (models != nullptr) {
-      std::lock_guard<std::mutex> lock(models->mu);
+      MutexLock lock(models->mu);
       (void)models->exec_time.Refit();
     }
     metrics_
@@ -461,8 +461,13 @@ void IresServer::ObserveDrift(const ExecutionPlan& plan,
   }
 }
 
-OnlineEstimator* IresServer::estimator(const std::string& algorithm,
-                                       const std::string& engine) {
+// Analysis waiver: hands out a pointer to a pair-guarded estimator without
+// the pair lock. This is an inspection accessor for tests and offline tools
+// only — the quiescence contract is the caller's (see the header comment),
+// and no lock discipline here could check it.
+OnlineEstimator* IresServer::estimator(
+    const std::string& algorithm,
+    const std::string& engine) NO_THREAD_SAFETY_ANALYSIS {
   return &models_.Get(algorithm, engine)->exec_time;
 }
 

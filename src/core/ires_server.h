@@ -259,7 +259,9 @@ class IresServer {
   TaskScheduler& scheduler() { return *scheduler_; }
 
   /// The refined execution-time estimator for one (algorithm, engine)
-  /// pair, created on first use.
+  /// pair, created on first use. Inspection accessor: bypasses the
+  /// per-pair model lock, so it is only safe while no concurrent
+  /// ObserveRun/Refit can touch the pair (tests, offline tools).
   OnlineEstimator* estimator(const std::string& algorithm,
                              const std::string& engine);
 

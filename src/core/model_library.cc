@@ -16,7 +16,7 @@ constexpr const char* kMetricNames[] = {"execTime", "outputBytes",
                                         "outputRecords"};
 
 OnlineEstimator* MetricEstimator(ModelLibrary::OperatorModels* models,
-                                 int metric) {
+                                 int metric) REQUIRES(models->mu) {
   switch (metric) {
     case 0: return &models->exec_time;
     case 1: return &models->output_bytes;
@@ -28,7 +28,7 @@ OnlineEstimator* MetricEstimator(ModelLibrary::OperatorModels* models,
 
 ModelLibrary::OperatorModels* ModelLibrary::Get(const std::string& algorithm,
                                                 const std::string& engine) {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(map_mu_);
   auto key = std::make_pair(algorithm, engine);
   auto it = models_.find(key);
   if (it == models_.end()) {
@@ -40,7 +40,7 @@ ModelLibrary::OperatorModels* ModelLibrary::Get(const std::string& algorithm,
 
 const ModelLibrary::OperatorModels* ModelLibrary::Find(
     const std::string& algorithm, const std::string& engine) const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(map_mu_);
   auto it = models_.find({algorithm, engine});
   return it == models_.end() ? nullptr : it->second.get();
 }
@@ -54,7 +54,7 @@ double ModelLibrary::ObserveRun(const std::string& algorithm,
   const Vector features = Profiler::FeatureVector(request);
   double exec_time_error = 0.0;
   {
-    std::lock_guard<std::mutex> lock(models->mu);
+    MutexLock lock(models->mu);
     exec_time_error = models->exec_time.Observe(features, actual_seconds);
     models->output_bytes.Observe(features, output_bytes);
     models->output_records.Observe(features, output_records);
@@ -64,18 +64,19 @@ double ModelLibrary::ObserveRun(const std::string& algorithm,
 }
 
 size_t ModelLibrary::size() const {
-  std::lock_guard<std::mutex> lock(map_mu_);
+  MutexLock lock(map_mu_);
   return models_.size();
 }
 
 Status ModelLibrary::SaveToDirectory(const std::string& dir) const {
   namespace fs = std::filesystem;
-  std::lock_guard<std::mutex> map_lock(map_mu_);
+  // Blessed nesting: map (kModelLibraryMap) -> pair (kModelLibraryPair).
+  MutexLock map_lock(map_mu_);
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return Status::Internal("mkdir failed: " + dir);
   for (const auto& [key, models] : models_) {
-    std::lock_guard<std::mutex> lock(models->mu);
+    MutexLock lock(models->mu);
     for (int metric = 0; metric < 3; ++metric) {
       const OnlineEstimator* estimator =
           MetricEstimator(models.get(), metric);
@@ -133,11 +134,10 @@ Status ModelLibrary::LoadFromDirectory(const std::string& dir) {
       samples.push_back(std::move(sample));
     }
     OperatorModels* models = Get(algorithm, engine);
-    OnlineEstimator* estimator = MetricEstimator(models, metric);
     // A failed refit (e.g. too few samples) still keeps the samples.
     {
-      std::lock_guard<std::mutex> lock(models->mu);
-      (void)estimator->ImportSamples(samples);
+      MutexLock lock(models->mu);
+      (void)MetricEstimator(models, metric)->ImportSamples(samples);
     }
     version_.fetch_add(1, std::memory_order_acq_rel);
   }

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engines/engine.h"
 #include "modeling/refinement.h"
 
@@ -19,21 +20,25 @@ namespace ires {
 /// execution time, output size and output cardinality — and persists the
 /// underlying profiling samples across server restarts.
 ///
-/// Thread safety: the pair map is guarded by a library-level mutex, and
-/// every OperatorModels carries its own mutex so that refinement from N
-/// concurrent jobs serializes per (algorithm, engine) while distinct pairs
-/// refine in parallel. Callers touching the estimators directly must hold
-/// that per-pair mutex (ObserveRun and the model-based cost estimator do);
-/// single-threaded tools (tests, offline profiling) may skip it.
+/// Thread safety: the pair map is guarded by a library-level mutex
+/// (kModelLibraryMap), and every OperatorModels carries its own mutex
+/// (kModelLibraryPair) so that refinement from N concurrent jobs
+/// serializes per (algorithm, engine) while distinct pairs refine in
+/// parallel. Callers touching the estimators directly must hold that
+/// per-pair mutex (ObserveRun and the model-based cost estimator do).
+/// SaveToDirectory nests map -> pair, which is the blessed direction
+/// (kModelLibraryMap < kModelLibraryPair).
 class ModelLibrary {
  public:
   /// The per-(operator, engine) metric estimators.
   struct OperatorModels {
-    /// Serializes refits/predictions on this pair across jobs.
-    mutable std::mutex mu;
-    OnlineEstimator exec_time;
-    OnlineEstimator output_bytes;
-    OnlineEstimator output_records;
+    /// Serializes refits/predictions on this pair across jobs. All pair
+    /// mutexes share kModelLibraryPair: no code path ever holds two pairs
+    /// at once (each job run touches exactly one (algorithm, engine)).
+    mutable Mutex mu{LockRank::kModelLibraryPair, "models.pair"};
+    OnlineEstimator exec_time GUARDED_BY(mu);
+    OnlineEstimator output_bytes GUARDED_BY(mu);
+    OnlineEstimator output_records GUARDED_BY(mu);
   };
 
   ModelLibrary() = default;
@@ -42,9 +47,10 @@ class ModelLibrary {
 
   /// The models for one pair, created on first use.
   OperatorModels* Get(const std::string& algorithm,
-                      const std::string& engine);
+                      const std::string& engine) EXCLUDES(map_mu_);
   const OperatorModels* Find(const std::string& algorithm,
-                             const std::string& engine) const;
+                             const std::string& engine) const
+      EXCLUDES(map_mu_);
 
   /// Feeds one observed run into all metric estimators (serialized per
   /// pair) and bumps version(). Returns the exec-time estimator's
@@ -52,9 +58,10 @@ class ModelLibrary {
   /// telemetry layer tracks per (algorithm, engine).
   double ObserveRun(const std::string& algorithm, const std::string& engine,
                     const OperatorRunRequest& request, double actual_seconds,
-                    double output_bytes, double output_records);
+                    double output_bytes, double output_records)
+      EXCLUDES(map_mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(map_mu_);
 
   /// Monotonic counter bumped by every observation/import; part of the
   /// plan-cache key so refined models invalidate cached plans.
@@ -65,17 +72,18 @@ class ModelLibrary {
   /// Persists every estimator's sample window as CSV files
   /// (`<dir>/<algorithm>__<engine>.<metric>.csv`, one `target,f0,f1,...`
   /// row per sample). Overwrites existing files.
-  Status SaveToDirectory(const std::string& dir) const;
+  Status SaveToDirectory(const std::string& dir) const EXCLUDES(map_mu_);
 
   /// Loads every CSV produced by SaveToDirectory and refits the estimators.
-  Status LoadFromDirectory(const std::string& dir);
+  Status LoadFromDirectory(const std::string& dir) EXCLUDES(map_mu_);
 
  private:
-  mutable std::mutex map_mu_;  // guards models_ (not the estimators)
+  /// Guards models_ (the map, not the estimators behind the pointers).
+  mutable Mutex map_mu_{LockRank::kModelLibraryMap, "models.map"};
   std::atomic<uint64_t> version_{0};
   std::map<std::pair<std::string, std::string>,
            std::unique_ptr<OperatorModels>>
-      models_;
+      models_ GUARDED_BY(map_mu_);
 };
 
 }  // namespace ires

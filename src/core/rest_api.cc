@@ -514,7 +514,7 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
                                      const std::string& query,
                                      const std::string& body) {
   if (method == "GET" && parts.size() == 2) {
-    std::lock_guard<std::mutex> lock(workflows_mu_);
+    ReaderLock lock(workflows_mu_);
     std::vector<std::string> names;
     for (const auto& [name, graph] : workflows_) names.push_back(name);
     return {200, JsonStringArray(names)};
@@ -524,7 +524,7 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
     if (!graph.ok()) return FromStatus(graph.status());
     const Status valid = graph.value().Validate();
     if (!valid.ok()) return FromStatus(valid);
-    std::lock_guard<std::mutex> lock(workflows_mu_);
+    WriterLock lock(workflows_mu_);
     if (workflows_.count(parts[2]) > 0) {
       return ErrorEnvelope(StatusCode::kAlreadyExists,
                            "workflow exists: " + parts[2]);
@@ -536,7 +536,7 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
     // Snapshot the graph under the lock; planning/execution run without it.
     WorkflowGraph graph;
     {
-      std::lock_guard<std::mutex> lock(workflows_mu_);
+      ReaderLock lock(workflows_mu_);
       auto it = workflows_.find(parts[2]);
       if (it == workflows_.end()) {
         return NotFoundError("workflow: " + parts[2]);

@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 #include "core/ires_server.h"
 #include "core/request_options.h"
 #include "service/job_service.h"
@@ -116,7 +117,8 @@ class RestApi {
   ApiResponse HandleWorkflows(const std::string& method,
                               const std::vector<std::string>& parts,
                               const std::string& query,
-                              const std::string& body);
+                              const std::string& body)
+      EXCLUDES(workflows_mu_);
   ApiResponse HandleValidate(const std::string& body);
   ApiResponse HandleSql(const std::string& method,
                         const std::vector<std::string>& parts,
@@ -132,8 +134,12 @@ class RestApi {
   std::unique_ptr<JobService> owned_jobs_;
   JobService* jobs_;
   std::unique_ptr<SqlService> sql_;
-  std::mutex workflows_mu_;
-  std::map<std::string, WorkflowGraph> workflows_;
+  /// The workflow store is read-mostly (every execute/materialize snapshots
+  /// a graph; stores are rare), so readers share the lock. kRestApiWorkflows
+  /// is the outermost rank: handler sections lock it before any service or
+  /// planner lock can be taken downstream.
+  SharedMutex workflows_mu_{LockRank::kRestApiWorkflows, "rest.workflows"};
+  std::map<std::string, WorkflowGraph> workflows_ GUARDED_BY(workflows_mu_);
 };
 
 }  // namespace ires

@@ -51,7 +51,7 @@ Status EngineRegistry::Add(std::unique_ptr<SimulatedEngine> engine) {
     return Status::AlreadyExists("engine: " + name);
   }
   engines_.emplace(name, std::move(engine));
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   health_[name] = BreakerState{};
   if (metrics_ != nullptr) {
     metrics_
@@ -110,7 +110,7 @@ bool EngineRegistry::TransitionLocked(const std::string& name,
 
 Status EngineRegistry::SetAvailable(const std::string& name, bool on) {
   if (Find(name) == nullptr) return Status::NotFound("engine: " + name);
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   BreakerState& state = health_[name];
   if (on) {
     state.manual_off = false;
@@ -134,7 +134,7 @@ bool EngineRegistry::IsAvailable(const std::string& name) const {
 
 Status EngineRegistry::ReportFailure(const std::string& name) {
   if (Find(name) == nullptr) return Status::NotFound("engine: " + name);
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   BreakerState& state = health_[name];
   if (state.manual_off) return Status::OK();  // an operator said OFF; obey
   if (IsAvailableState(state.health)) state.tripped_at = sim_clock_;
@@ -163,7 +163,7 @@ Status EngineRegistry::ReportFailure(const std::string& name) {
 
 Status EngineRegistry::ReportSuccess(const std::string& name) {
   if (Find(name) == nullptr) return Status::NotFound("engine: " + name);
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   BreakerState& state = health_[name];
   switch (state.health) {
     case EngineHealth::kHalfOpen: {
@@ -191,7 +191,7 @@ Status EngineRegistry::ReportSuccess(const std::string& name) {
 }
 
 double EngineRegistry::AdvanceSimClock(double delta_seconds) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   if (delta_seconds > 0.0) sim_clock_ += delta_seconds;
   bool changed = false;
   for (auto& [name, state] : health_) {
@@ -205,14 +205,14 @@ double EngineRegistry::AdvanceSimClock(double delta_seconds) {
 }
 
 double EngineRegistry::sim_clock_seconds() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return sim_clock_;
 }
 
 Result<EngineRegistry::HealthSnapshot> EngineRegistry::HealthOf(
     const std::string& name) const {
   if (Find(name) == nullptr) return Status::NotFound("engine: " + name);
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   HealthSnapshot snapshot;
   auto it = health_.find(name);
   if (it == health_.end()) return snapshot;  // never reported: ON
@@ -224,17 +224,17 @@ Result<EngineRegistry::HealthSnapshot> EngineRegistry::HealthOf(
 }
 
 void EngineRegistry::set_breaker_config(const BreakerConfig& config) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   breaker_ = config;
 }
 
 EngineRegistry::BreakerConfig EngineRegistry::breaker_config() const {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   return breaker_;
 }
 
 void EngineRegistry::EnableMetrics(MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   metrics_ = metrics;
   if (metrics_ == nullptr) {
     recovery_seconds_ = nullptr;
@@ -254,7 +254,7 @@ void EngineRegistry::EnableMetrics(MetricsRegistry* metrics) {
 }
 
 void EngineRegistry::EnableJournal(EventJournal* journal) {
-  std::lock_guard<std::mutex> lock(health_mu_);
+  MutexLock lock(health_mu_);
   journal_ = journal;
 }
 

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engines/data_movement.h"
 #include "engines/engine.h"
 #include "telemetry/event_journal.h"
@@ -65,7 +66,7 @@ class EngineRegistry {
   EngineRegistry() = default;
 
   /// Registers an engine; names must be unique.
-  Status Add(std::unique_ptr<SimulatedEngine> engine);
+  Status Add(std::unique_ptr<SimulatedEngine> engine) EXCLUDES(health_mu_);
 
   SimulatedEngine* Find(const std::string& name);
   const SimulatedEngine* Find(const std::string& name) const;
@@ -78,42 +79,44 @@ class EngineRegistry {
   /// `off` is a manual OFF that only another SetAvailable(name, true)
   /// undoes — failure-driven recovery never resurrects a manually disabled
   /// engine.
-  Status SetAvailable(const std::string& name, bool on);
+  Status SetAvailable(const std::string& name, bool on)
+      EXCLUDES(health_mu_);
   bool IsAvailable(const std::string& name) const;
 
   /// Records a failure indicting `name` (engine crash, exhausted retries):
   /// trips the breaker to SUSPENDED with exponential backoff on the
   /// simulated clock, or to OFF once the consecutive-trip limit is hit.
   /// Manual OFF states are left untouched.
-  Status ReportFailure(const std::string& name);
+  Status ReportFailure(const std::string& name) EXCLUDES(health_mu_);
 
   /// Records a successful use of `name`: closes a HALF_OPEN probe back to
   /// ON (recording time-to-recovery) and resets the consecutive-trip
   /// streak. No-op in every other state.
-  Status ReportSuccess(const std::string& name);
+  Status ReportSuccess(const std::string& name) EXCLUDES(health_mu_);
 
   /// Advances the shared simulated clock (the executor adds each run's
   /// makespan) and promotes SUSPENDED engines whose deadline passed to
   /// HALF_OPEN. Returns the new clock value.
-  double AdvanceSimClock(double delta_seconds);
-  double sim_clock_seconds() const;
+  double AdvanceSimClock(double delta_seconds) EXCLUDES(health_mu_);
+  double sim_clock_seconds() const EXCLUDES(health_mu_);
 
   /// Breaker state of one engine (ON for engines never reported).
-  Result<HealthSnapshot> HealthOf(const std::string& name) const;
+  Result<HealthSnapshot> HealthOf(const std::string& name) const
+      EXCLUDES(health_mu_);
 
-  void set_breaker_config(const BreakerConfig& config);
-  BreakerConfig breaker_config() const;
+  void set_breaker_config(const BreakerConfig& config) EXCLUDES(health_mu_);
+  BreakerConfig breaker_config() const EXCLUDES(health_mu_);
 
   /// Publishes `ires_engine_state` gauges, `ires_engine_trips_total`
   /// counters and the `ires_engine_recovery_sim_seconds` time-to-recovery
   /// histogram into `metrics`. Call once at wiring time.
-  void EnableMetrics(MetricsRegistry* metrics);
+  void EnableMetrics(MetricsRegistry* metrics) EXCLUDES(health_mu_);
 
   /// Journals every breaker transition as a process-scoped `breaker_state`
   /// event (the job-scoped `breaker_trip` companion is emitted by the
   /// recovering executor, which knows the indicting job). Call once at
   /// wiring time.
-  void EnableJournal(EventJournal* journal);
+  void EnableJournal(EventJournal* journal) EXCLUDES(health_mu_);
 
   /// Monotonic counter bumped by every availability change (manual flips
   /// and breaker transitions); part of the plan-cache key.
@@ -136,11 +139,13 @@ class EngineRegistry {
     uint64_t trips_total = 0;
   };
 
-  /// Applies `health` to the engine atomic + state gauge. Caller holds
-  /// health_mu_; returns true when engine availability actually changed
-  /// (the caller then bumps the epoch).
+  /// Applies `health` to the engine atomic + state gauge. Returns true
+  /// when engine availability actually changed (the caller then bumps the
+  /// epoch). Nests journal shard and metrics-registry locks under
+  /// health_mu_ — the blessed direction (kEngineRegistry <
+  /// kEventJournalShard < kMetricsRegistry).
   bool TransitionLocked(const std::string& name, BreakerState* state,
-                        EngineHealth health);
+                        EngineHealth health) REQUIRES(health_mu_);
   void BumpEpoch() {
     availability_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -149,13 +154,13 @@ class EngineRegistry {
   DataMovementModel movement_;
   std::atomic<uint64_t> availability_epoch_{0};
 
-  mutable std::mutex health_mu_;
-  std::map<std::string, BreakerState> health_;  // guarded by health_mu_
-  BreakerConfig breaker_;                       // guarded by health_mu_
-  double sim_clock_ = 0.0;                      // guarded by health_mu_
-  MetricsRegistry* metrics_ = nullptr;          // guarded by health_mu_
-  Histogram* recovery_seconds_ = nullptr;       // guarded by health_mu_
-  EventJournal* journal_ = nullptr;             // guarded by health_mu_
+  mutable Mutex health_mu_{LockRank::kEngineRegistry, "engines.health"};
+  std::map<std::string, BreakerState> health_ GUARDED_BY(health_mu_);
+  BreakerConfig breaker_ GUARDED_BY(health_mu_);
+  double sim_clock_ GUARDED_BY(health_mu_) = 0.0;
+  MetricsRegistry* metrics_ GUARDED_BY(health_mu_) = nullptr;
+  Histogram* recovery_seconds_ GUARDED_BY(health_mu_) = nullptr;
+  EventJournal* journal_ GUARDED_BY(health_mu_) = nullptr;
 };
 
 }  // namespace ires

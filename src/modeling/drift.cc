@@ -51,7 +51,7 @@ bool DriftObservatory::Observe(const std::string& op,
   double score = 0.0;
   bool flagged = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PairState& state = pairs_[{op, engine}];
     if (state.residual_counts.empty()) {
       state.residual_counts.assign(options_.residual_bounds.size() + 1, 0);
@@ -123,7 +123,7 @@ bool DriftObservatory::Observe(const std::string& op,
 std::vector<DriftObservatory::PairSnapshot> DriftObservatory::Snapshot()
     const {
   std::vector<PairSnapshot> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(pairs_.size());
   for (const auto& [key, state] : pairs_) {
     PairSnapshot snap;
@@ -151,7 +151,7 @@ std::vector<DriftObservatory::PairSnapshot> DriftObservatory::Snapshot()
 std::vector<std::pair<std::string, std::string>>
 DriftObservatory::RefinementCandidates() const {
   std::vector<std::pair<std::string, std::string>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [key, state] : pairs_) {
     if (state.flagged) out.push_back(key);
   }

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics_registry.h"
 
 namespace ires {
@@ -52,7 +53,7 @@ class DriftObservatory {
   /// refinement candidate (the caller's hook to trigger a refit).
   bool Observe(const std::string& op, const std::string& engine,
                double predicted_seconds, double actual_seconds,
-               const std::string& job_id);
+               const std::string& job_id) EXCLUDES(mu_);
 
   struct PairSnapshot {
     std::string op;
@@ -68,15 +69,15 @@ class DriftObservatory {
   };
 
   /// All tracked pairs, sorted by (op, engine).
-  std::vector<PairSnapshot> Snapshot() const;
+  std::vector<PairSnapshot> Snapshot() const EXCLUDES(mu_);
 
   /// Currently flagged (op, engine) pairs, sorted.
   std::vector<std::pair<std::string, std::string>> RefinementCandidates()
-      const;
+      const EXCLUDES(mu_);
 
   /// The GET /apiv1/models/drift body: thresholds, every pair's residual
   /// summary, and the refinement-candidate list.
-  std::string ToJson() const;
+  std::string ToJson() const EXCLUDES(mu_);
 
   const Options& options() const { return options_; }
 
@@ -95,8 +96,11 @@ class DriftObservatory {
   Options options_;
   MetricsRegistry* metrics_;
 
-  mutable std::mutex mu_;
-  std::map<std::pair<std::string, std::string>, PairState> pairs_;
+  /// Observe publishes to the metrics registry after dropping this lock,
+  /// so no nesting under kDriftObservatory is ever needed.
+  mutable Mutex mu_{LockRank::kDriftObservatory, "drift.pairs"};
+  std::map<std::pair<std::string, std::string>, PairState> pairs_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace ires

@@ -2,8 +2,8 @@
 
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
+#include <utility>
 
 namespace ires {
 
@@ -22,7 +22,7 @@ Result<std::string> ReadFile(const std::filesystem::path& path) {
 }  // namespace
 
 OperatorLibrary::OperatorLibrary(const OperatorLibrary& other) {
-  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  ReaderLock lock(other.mu_);
   materialized_ = other.materialized_;
   abstract_ = other.abstract_;
   datasets_ = other.datasets_;
@@ -38,7 +38,7 @@ OperatorLibrary& OperatorLibrary::operator=(const OperatorLibrary& other) {
 }
 
 OperatorLibrary::OperatorLibrary(OperatorLibrary&& other) noexcept {
-  std::unique_lock<std::shared_mutex> lock(other.mu_);
+  WriterLock lock(other.mu_);
   materialized_ = std::move(other.materialized_);
   abstract_ = std::move(other.abstract_);
   datasets_ = std::move(other.datasets_);
@@ -50,13 +50,31 @@ OperatorLibrary::OperatorLibrary(OperatorLibrary&& other) noexcept {
 OperatorLibrary& OperatorLibrary::operator=(
     OperatorLibrary&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
-  materialized_ = std::move(other.materialized_);
-  abstract_ = std::move(other.abstract_);
-  datasets_ = std::move(other.datasets_);
-  algorithm_index_ = std::move(other.algorithm_index_);
-  version_.store(other.version_.load(std::memory_order_acquire),
-                 std::memory_order_release);
+  // The two library locks share one rank, so they are never held together:
+  // drain `other` under its lock into locals, then install under ours.
+  // (The old scoped_lock over both also risked the classic ABBA deadlock
+  // when two threads assigned in opposite directions.)
+  std::map<std::string, MaterializedOperator> materialized;
+  std::map<std::string, AbstractOperator> abstract;
+  std::map<std::string, Dataset> datasets;
+  std::multimap<std::string, std::string> algorithm_index;
+  uint64_t version = 0;
+  {
+    WriterLock lock(other.mu_);
+    materialized = std::move(other.materialized_);
+    abstract = std::move(other.abstract_);
+    datasets = std::move(other.datasets_);
+    algorithm_index = std::move(other.algorithm_index_);
+    version = other.version_.load(std::memory_order_acquire);
+  }
+  {
+    WriterLock lock(mu_);
+    materialized_ = std::move(materialized);
+    abstract_ = std::move(abstract);
+    datasets_ = std::move(datasets);
+    algorithm_index_ = std::move(algorithm_index);
+    version_.store(version, std::memory_order_release);
+  }
   return *this;
 }
 
@@ -64,7 +82,7 @@ Status OperatorLibrary::AddMaterialized(MaterializedOperator op) {
   if (op.name().empty()) {
     return Status::InvalidArgument("materialized operator needs a name");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (materialized_.count(op.name()) > 0) {
     return Status::AlreadyExists("materialized operator: " + op.name());
   }
@@ -78,7 +96,7 @@ Status OperatorLibrary::AddAbstract(AbstractOperator op) {
   if (op.name().empty()) {
     return Status::InvalidArgument("abstract operator needs a name");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (abstract_.count(op.name()) > 0) {
     return Status::AlreadyExists("abstract operator: " + op.name());
   }
@@ -91,7 +109,7 @@ Status OperatorLibrary::AddDataset(Dataset dataset) {
   if (dataset.name().empty()) {
     return Status::InvalidArgument("dataset needs a name");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (datasets_.count(dataset.name()) > 0) {
     return Status::AlreadyExists("dataset: " + dataset.name());
   }
@@ -103,7 +121,7 @@ Status OperatorLibrary::AddDataset(Dataset dataset) {
 std::vector<const MaterializedOperator*>
 OperatorLibrary::FindMaterializedOperators(
     const AbstractOperator& abstract) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<const MaterializedOperator*> out;
   const std::string algorithm = abstract.algorithm();
   auto consider = [&](const MaterializedOperator& candidate) {
@@ -125,7 +143,7 @@ OperatorLibrary::FindMaterializedOperators(
 
 OperatorLibrary::MatchSnapshot OperatorLibrary::FindMaterializedSnapshot(
     const AbstractOperator& abstract) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   MatchSnapshot snapshot;
   snapshot.version = version_.load(std::memory_order_acquire);
   const std::string algorithm = abstract.algorithm();
@@ -147,27 +165,27 @@ OperatorLibrary::MatchSnapshot OperatorLibrary::FindMaterializedSnapshot(
 
 const MaterializedOperator* OperatorLibrary::FindMaterializedByName(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = materialized_.find(name);
   return it == materialized_.end() ? nullptr : &it->second;
 }
 
 const AbstractOperator* OperatorLibrary::FindAbstractByName(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = abstract_.find(name);
   return it == abstract_.end() ? nullptr : &it->second;
 }
 
 const Dataset* OperatorLibrary::FindDatasetByName(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : &it->second;
 }
 
 int OperatorLibrary::RemoveByEngine(const std::string& engine) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   int removed = 0;
   for (auto it = materialized_.begin(); it != materialized_.end();) {
     if (it->second.engine() == engine) {
@@ -185,22 +203,22 @@ int OperatorLibrary::RemoveByEngine(const std::string& engine) {
 }
 
 size_t OperatorLibrary::materialized_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return materialized_.size();
 }
 
 size_t OperatorLibrary::abstract_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return abstract_.size();
 }
 
 size_t OperatorLibrary::dataset_count() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return datasets_.size();
 }
 
 std::vector<std::string> OperatorLibrary::MaterializedNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(materialized_.size());
   for (const auto& [name, op] : materialized_) names.push_back(name);
@@ -257,7 +275,7 @@ Status OperatorLibrary::LoadFromDirectory(const std::string& dir) {
 
 Status OperatorLibrary::SaveToDirectory(const std::string& dir) const {
   namespace fs = std::filesystem;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   std::error_code ec;
   auto write_file = [](const fs::path& path,
                        const std::string& content) -> Status {

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "operators/dataset.h"
 #include "operators/operator.h"
 
@@ -39,13 +40,13 @@ class OperatorLibrary {
   OperatorLibrary& operator=(OperatorLibrary&& other) noexcept;
 
   /// Registers a materialized operator. Names must be unique.
-  Status AddMaterialized(MaterializedOperator op);
+  Status AddMaterialized(MaterializedOperator op) EXCLUDES(mu_);
 
   /// Registers an abstract operator (reusable across workflows).
-  Status AddAbstract(AbstractOperator op);
+  Status AddAbstract(AbstractOperator op) EXCLUDES(mu_);
 
   /// Registers a dataset description.
-  Status AddDataset(Dataset dataset);
+  Status AddDataset(Dataset dataset) EXCLUDES(mu_);
 
   /// All materialized operators matching `abstract`: algorithm-index lookup
   /// followed by full metadata-tree matching.
@@ -55,7 +56,7 @@ class OperatorLibrary {
   /// use FindMaterializedSnapshot (or the PlannerContext cache built on it)
   /// instead.
   std::vector<const MaterializedOperator*> FindMaterializedOperators(
-      const AbstractOperator& abstract) const;
+      const AbstractOperator& abstract) const EXCLUDES(mu_);
 
   /// Version-stamped, owning variant of FindMaterializedOperators: the
   /// matching operators are copied out under one shared lock together with
@@ -66,23 +67,26 @@ class OperatorLibrary {
     uint64_t version = 0;
     std::vector<MaterializedOperator> operators;
   };
-  MatchSnapshot FindMaterializedSnapshot(const AbstractOperator& abstract) const;
+  MatchSnapshot FindMaterializedSnapshot(const AbstractOperator& abstract)
+      const EXCLUDES(mu_);
 
   const MaterializedOperator* FindMaterializedByName(
-      const std::string& name) const;
-  const AbstractOperator* FindAbstractByName(const std::string& name) const;
-  const Dataset* FindDatasetByName(const std::string& name) const;
+      const std::string& name) const EXCLUDES(mu_);
+  const AbstractOperator* FindAbstractByName(const std::string& name) const
+      EXCLUDES(mu_);
+  const Dataset* FindDatasetByName(const std::string& name) const
+      EXCLUDES(mu_);
 
   /// Removes every materialized operator bound to `engine` (used when an
   /// engine is reported unavailable). Returns the number removed.
-  int RemoveByEngine(const std::string& engine);
+  int RemoveByEngine(const std::string& engine) EXCLUDES(mu_);
 
-  size_t materialized_count() const;
-  size_t abstract_count() const;
-  size_t dataset_count() const;
+  size_t materialized_count() const EXCLUDES(mu_);
+  size_t abstract_count() const EXCLUDES(mu_);
+  size_t dataset_count() const EXCLUDES(mu_);
 
   /// Names of all materialized operators, sorted.
-  std::vector<std::string> MaterializedNames() const;
+  std::vector<std::string> MaterializedNames() const EXCLUDES(mu_);
 
   /// Monotonic counter bumped by every successful mutation; part of the
   /// plan-cache key, so plans computed against an older library version are
@@ -93,14 +97,22 @@ class OperatorLibrary {
 
   /// Read-only views over the registered artefacts (for merging/export).
   /// Not synchronized: only safe while no concurrent mutation can run
-  /// (setup, tests, single-threaded tools).
-  const std::map<std::string, MaterializedOperator>& materialized() const {
+  /// (setup, tests, single-threaded tools) — which is exactly why the
+  /// analysis waiver is justified: the quiescence contract is the caller's,
+  /// and no lock discipline inside this class could check it.
+  const std::map<std::string, MaterializedOperator>& materialized() const
+      NO_THREAD_SAFETY_ANALYSIS {
     return materialized_;
   }
-  const std::map<std::string, AbstractOperator>& abstract() const {
+  const std::map<std::string, AbstractOperator>& abstract() const
+      NO_THREAD_SAFETY_ANALYSIS {
     return abstract_;
   }
-  const std::map<std::string, Dataset>& datasets() const { return datasets_; }
+  // Same quiescence-contract waiver as materialized() above.
+  const std::map<std::string, Dataset>& datasets() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return datasets_;
+  }
 
   /// Loads a library from an on-disk layout mirroring the platform's
   /// `asapLibrary/` directory:
@@ -112,19 +124,19 @@ class OperatorLibrary {
 
   /// Writes the library back out in the same layout (description files are
   /// regenerated from the metadata trees). Existing files are overwritten.
-  Status SaveToDirectory(const std::string& dir) const;
+  Status SaveToDirectory(const std::string& dir) const EXCLUDES(mu_);
 
  private:
-  void ReindexMaterialized();
+  void ReindexMaterialized() REQUIRES(mu_);
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_{LockRank::kOperatorLibrary, "operators.library"};
   std::atomic<uint64_t> version_{0};
-  std::map<std::string, MaterializedOperator> materialized_;
-  std::map<std::string, AbstractOperator> abstract_;
-  std::map<std::string, Dataset> datasets_;
+  std::map<std::string, MaterializedOperator> materialized_ GUARDED_BY(mu_);
+  std::map<std::string, AbstractOperator> abstract_ GUARDED_BY(mu_);
+  std::map<std::string, Dataset> datasets_ GUARDED_BY(mu_);
   // algorithm name -> materialized operator names.
-  std::multimap<std::string, std::string> algorithm_index_;
+  std::multimap<std::string, std::string> algorithm_index_ GUARDED_BY(mu_);
 };
 
 }  // namespace ires

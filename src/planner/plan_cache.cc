@@ -22,7 +22,7 @@ PlanCache::PlanCache(size_t capacity, MetricsRegistry* metrics)
 }
 
 std::optional<ExecutionPlan> PlanCache::Lookup(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     misses_->Increment();
@@ -33,7 +33,7 @@ std::optional<ExecutionPlan> PlanCache::Lookup(const Key& key) {
 }
 
 void PlanCache::Insert(const Key& key, const ExecutionPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (capacity_ == 0) return;
   if (entries_.count(key) > 0) return;
   while (entries_.size() >= capacity_ && !insertion_order_.empty()) {
@@ -48,14 +48,14 @@ void PlanCache::Insert(const Key& key, const ExecutionPlan& plan) {
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   insertion_order_.clear();
   entries_gauge_->Set(0.0);
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats out;
   out.hits = hits_->Value();
   out.misses = misses_->Value();

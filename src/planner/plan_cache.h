@@ -5,11 +5,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "planner/execution_plan.h"
 #include "telemetry/metrics_registry.h"
 
@@ -60,14 +61,14 @@ class PlanCache {
                      MetricsRegistry* metrics = nullptr);
 
   /// Returns a copy of the cached plan for `key`, counting a hit/miss.
-  std::optional<ExecutionPlan> Lookup(const Key& key);
+  std::optional<ExecutionPlan> Lookup(const Key& key) EXCLUDES(mu_);
 
   /// Stores `plan` under `key` (no-op if already present), evicting the
   /// oldest entry when full.
-  void Insert(const Key& key, const ExecutionPlan& plan);
+  void Insert(const Key& key, const ExecutionPlan& plan) EXCLUDES(mu_);
 
-  void Clear();
-  Stats stats() const;
+  void Clear() EXCLUDES(mu_);
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
@@ -77,9 +78,9 @@ class PlanCache {
   Counter* insertions_;
   Counter* evictions_;
   Gauge* entries_gauge_;
-  mutable std::mutex mu_;
-  std::map<Key, ExecutionPlan> entries_;
-  std::deque<Key> insertion_order_;  // FIFO eviction
+  mutable Mutex mu_{LockRank::kPlanCache, "planner.plan_cache"};
+  std::map<Key, ExecutionPlan> entries_ GUARDED_BY(mu_);
+  std::deque<Key> insertion_order_ GUARDED_BY(mu_);  // FIFO eviction
 };
 
 }  // namespace ires

@@ -79,7 +79,7 @@ CandidateSnapshot PlannerContext::Resolve(const std::string& name) const {
   const uint64_t engine_epoch = engines_->availability_epoch();
   Shard& shard = shards_[std::hash<std::string>{}(name) % kShards];
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLock lock(shard.mu);
     auto it = shard.entries.find(name);
     if (it != shard.entries.end() &&
         it->second->library_version == library_version &&
@@ -97,7 +97,7 @@ CandidateSnapshot PlannerContext::Resolve(const std::string& name) const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count());
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLock lock(shard.mu);
     // Concurrent rebuilds of the same entry race benignly: every built set
     // is self-consistent, the last writer wins.
     shard.entries[name] = set;

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engines/engine_registry.h"
 #include "operators/operator_library.h"
 #include "planner/planner_common.h"
@@ -127,10 +128,15 @@ class PlannerContext {
  private:
   static constexpr size_t kShards = 8;
 
+  /// All shards share kPlannerContextShard: Resolve touches exactly one
+  /// shard, and the resolution itself (library matching, engine lookups)
+  /// runs *between* the shared-lock probe and the unique-lock store, so no
+  /// two shard locks are ever held at once.
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<const CandidateSnapshot::Set>>
-        entries;
+    mutable SharedMutex mu{LockRank::kPlannerContextShard, "planner.shard"};
+    std::unordered_map<std::string,
+                       std::shared_ptr<const CandidateSnapshot::Set>>
+        entries GUARDED_BY(mu);
   };
 
   std::shared_ptr<const CandidateSnapshot::Set> Build(

@@ -26,7 +26,6 @@ Resources Decode(const Vector& genes, bool centralized,
 Resources NsgaResourceProvisioner::Advise(const SimulatedEngine& engine,
                                           const OperatorRunRequest& request,
                                           const OptimizationPolicy& policy) {
-  std::lock_guard<std::mutex> lock(mu_);
   const bool centralized = engine.kind() == EngineKind::kCentralized;
   const std::vector<std::pair<double, double>> bounds = {
       {1.0, static_cast<double>(limits_.max_containers)},
@@ -45,24 +44,32 @@ Resources NsgaResourceProvisioner::Advise(const SimulatedEngine& engine,
     return {estimate.value().exec_seconds, estimate.value().cost};
   };
 
+  // The GA — including its possibly pooled objective evaluation, which
+  // blocks in TaskGroup::Wait — runs entirely on locals. mu_ is only taken
+  // at the end to publish the front: a ranked lock must never be held
+  // across Wait (caller-helps waiting executes arbitrary unrelated tasks).
   Nsga2 ga(ga_);
-  std::vector<Nsga2::Individual> front = ga.Optimize(bounds, evaluate);
+  std::vector<Nsga2::Individual> raw_front = ga.Optimize(bounds, evaluate);
 
-  last_front_.clear();
-  for (const Nsga2::Individual& ind : front) {
+  std::vector<FrontPoint> front;
+  for (const Nsga2::Individual& ind : raw_front) {
     if (ind.objectives[0] >= 1e12) continue;  // infeasible sentinel
     FrontPoint point;
     point.resources = Decode(ind.genes, centralized, limits_);
     point.seconds = ind.objectives[0];
     point.cost = ind.objectives[1];
-    last_front_.push_back(point);
+    front.push_back(point);
   }
-  if (last_front_.empty()) return request.resources;  // keep the default
+  {
+    MutexLock lock(mu_);
+    last_front_ = front;
+  }
+  if (front.empty()) return request.resources;  // keep the default
 
   switch (policy.objective) {
     case OptimizationPolicy::Objective::kMinimizeCost: {
       const auto best = std::min_element(
-          last_front_.begin(), last_front_.end(),
+          front.begin(), front.end(),
           [](const FrontPoint& a, const FrontPoint& b) {
             return a.cost < b.cost;
           });
@@ -73,12 +80,12 @@ Resources NsgaResourceProvisioner::Advise(const SimulatedEngine& engine,
       // band — the model's local minima flatten out once parallelism stops
       // paying, so this lands on the knee instead of max resources.
       double best_time = std::numeric_limits<double>::infinity();
-      for (const FrontPoint& p : last_front_) {
+      for (const FrontPoint& p : front) {
         best_time = std::min(best_time, p.seconds);
       }
       const double limit = best_time * (1.0 + time_tolerance_);
       const FrontPoint* chosen = nullptr;
-      for (const FrontPoint& p : last_front_) {
+      for (const FrontPoint& p : front) {
         if (p.seconds > limit) continue;
         if (chosen == nullptr || p.cost < chosen->cost) chosen = &p;
       }
@@ -86,7 +93,7 @@ Resources NsgaResourceProvisioner::Advise(const SimulatedEngine& engine,
     }
     case OptimizationPolicy::Objective::kWeighted: {
       const auto best = std::min_element(
-          last_front_.begin(), last_front_.end(),
+          front.begin(), front.end(),
           [&](const FrontPoint& a, const FrontPoint& b) {
             return policy.Metric(a.seconds, a.cost) <
                    policy.Metric(b.seconds, b.cost);

@@ -1,8 +1,10 @@
 #ifndef IRES_PROVISIONING_RESOURCE_PROVISIONER_H_
 #define IRES_PROVISIONING_RESOURCE_PROVISIONER_H_
 
-#include <mutex>
+#include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "planner/dp_planner.h"
 #include "provisioning/nsga2.h"
 
@@ -28,20 +30,29 @@ class NsgaResourceProvisioner : public ResourceAdvisor {
   NsgaResourceProvisioner(Limits limits, Nsga2::Options ga)
       : limits_(limits), ga_(ga) {}
 
-  /// Thread-safe: concurrent planners serialize on an internal mutex (the
-  /// GA mutates per-call search state and last_front()).
+  /// Thread-safe. The GA (and its possibly pooled objective evaluation)
+  /// runs entirely on call-local state; mu_ is only taken afterwards to
+  /// publish the computed front. Holding mu_ across the GA would hold a
+  /// ranked lock across TaskGroup::Wait — the scheduler's caller-helps
+  /// waiting executes arbitrary unrelated tasks, which is outside the
+  /// scheduler analysis boundary (see DESIGN.md).
   Resources Advise(const SimulatedEngine& engine,
                    const OperatorRunRequest& request,
-                   const OptimizationPolicy& policy) override;
+                   const OptimizationPolicy& policy) override EXCLUDES(mu_);
 
-  /// Exposes the full Pareto front for the last Advise call (time, cost)
-  /// pairs with their decoded resources; used by the Fig. 17 bench.
+  /// The full Pareto front computed by the most recent Advise call
+  /// (time, cost) pairs with their decoded resources; used by the Fig. 17
+  /// bench. Returns a copy: concurrent Advise calls replace the stored
+  /// front wholesale.
   struct FrontPoint {
     Resources resources;
     double seconds = 0.0;
     double cost = 0.0;
   };
-  const std::vector<FrontPoint>& last_front() const { return last_front_; }
+  std::vector<FrontPoint> last_front() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return last_front_;
+  }
 
   /// When minimizing time, accept up to this relative slowdown versus the
   /// fastest front point in exchange for a cheaper allocation (the "right
@@ -49,11 +60,11 @@ class NsgaResourceProvisioner : public ResourceAdvisor {
   void set_time_tolerance(double tolerance) { time_tolerance_ = tolerance; }
 
  private:
-  std::mutex mu_;
+  mutable Mutex mu_{LockRank::kResourceProvisioner, "provisioner.front"};
   Limits limits_;
   Nsga2::Options ga_;
   double time_tolerance_ = 0.05;
-  std::vector<FrontPoint> last_front_;
+  std::vector<FrontPoint> last_front_ GUARDED_BY(mu_);
 };
 
 }  // namespace ires

@@ -6,10 +6,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/ires_server.h"
 #include "threading/task_scheduler.h"
 #include "telemetry/event_journal.h"
@@ -149,33 +150,38 @@ class JobService {
       OptimizationPolicy policy = OptimizationPolicy::MinimizeTime(),
       const IresServer::ExecutionOptions& exec =
           IresServer::ExecutionOptions(),
-      const std::string& slo_class = "dag");
+      const std::string& slo_class = "dag") EXCLUDES(mu_);
 
   /// Snapshot of one job (NotFound for unknown ids).
-  Result<JobRecord> Get(const std::string& id) const;
+  Result<JobRecord> Get(const std::string& id) const EXCLUDES(mu_);
 
   /// Snapshots of all jobs, oldest submission first.
-  std::vector<JobRecord> List() const;
+  std::vector<JobRecord> List() const EXCLUDES(mu_);
 
   /// Requests cancellation. A QUEUED job transitions to CANCELLED
   /// immediately; a PLANNING job is cancelled before execution starts; a
   /// RUNNING job records the request but completes (see the state machine
   /// above). Terminal jobs return FailedPrecondition.
-  Status Cancel(const std::string& id);
+  Status Cancel(const std::string& id) EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
   const Options& options() const { return options_; }
 
   /// Blocks until no job is QUEUED/PLANNING/RUNNING or `timeout_seconds`
   /// elapses; returns true when idle was reached. Test/benchmark helper.
-  bool WaitForIdle(double timeout_seconds) const;
+  bool WaitForIdle(double timeout_seconds) const EXCLUDES(mu_);
 
   /// Stops admitting work, cancels queued jobs and joins the workers.
   /// Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
  private:
+  /// Per-job mutable state. The analysis cannot express "guarded by the
+  /// owning service's mu_" on a nested struct, so the contract is
+  /// documented instead: after Submit publishes a Job, `record`,
+  /// `cancel_requested` and `queue_span` are only touched under mu_
+  /// (`graph` and `exec` are immutable after Submit).
   struct Job {
     JobRecord record;
     WorkflowGraph graph;
@@ -186,32 +192,39 @@ class JobService {
 
   /// Scheduler-task wrapper: runs the job, then releases its dispatch slot
   /// and pulls the next queued job in.
-  void RunJob(const std::shared_ptr<Job>& job);
-  void ExecuteJob(const std::shared_ptr<Job>& job);
+  void RunJob(const std::shared_ptr<Job>& job) EXCLUDES(mu_);
+  void ExecuteJob(const std::shared_ptr<Job>& job) EXCLUDES(mu_);
   /// Feeds queued jobs to the scheduler while dispatch slots are free.
   /// Jobs the scheduler refuses (shut down) are cancelled on the spot, so
-  /// no record is ever stranded in QUEUED.
-  void DispatchLocked();
+  /// no record is ever stranded in QUEUED. Enqueueing under mu_ is safe:
+  /// TaskScheduler::Submit only takes scheduler locks (all ranked above
+  /// kJobService) and never blocks in TaskGroup::Wait.
+  void DispatchLocked() REQUIRES(mu_);
   /// Closes out a job reaching a terminal state while holding mu_:
   /// timestamps, the terminal counter, the duration histogram and the idle
   /// broadcast. `job.state` must already be terminal.
-  void FinalizeLocked(Job* job);
+  void FinalizeLocked(Job* job) REQUIRES(mu_);
 
   IresServer* server_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable idle_;
-  std::map<std::string, std::shared_ptr<Job>> jobs_;  // id -> job
-  std::vector<std::string> submission_order_;
-  uint64_t next_job_number_ = 1;
-  size_t queued_ = 0;
-  size_t active_ = 0;  // PLANNING or RUNNING
+  /// kJobService sits below every planner/registry/telemetry rank: job
+  /// bookkeeping sections journal events, end trace spans and move gauges
+  /// while holding mu_.
+  mutable Mutex mu_{LockRank::kJobService, "jobs.service"};
+  /// Waits on mu_ directly (condition_variable_any), so the rank registry
+  /// sees every release/reacquire across the wait.
+  mutable std::condition_variable_any idle_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_ GUARDED_BY(mu_);
+  std::vector<std::string> submission_order_ GUARDED_BY(mu_);
+  uint64_t next_job_number_ GUARDED_BY(mu_) = 1;
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  size_t active_ GUARDED_BY(mu_) = 0;  // PLANNING or RUNNING
   /// Jobs handed to the scheduler whose RunJob has not returned yet;
   /// bounded by options_.workers.
-  size_t dispatched_ = 0;
-  std::deque<std::shared_ptr<Job>> run_queue_;
-  bool shutting_down_ = false;
+  size_t dispatched_ GUARDED_BY(mu_) = 0;
+  std::deque<std::shared_ptr<Job>> run_queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 
   // Registry-backed instruments (stats() reads the counters back, so the
   // legacy accessors and /apiv1/metrics can never disagree).

@@ -96,7 +96,7 @@ Result<SqlService::PreparedQuery> SqlService::Prepare(
   const std::string shape = sql::QueryShape(query);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = shape_cache_.find(shape);
     if (it != shape_cache_.end()) {
       shape_hits_->Increment();
@@ -148,7 +148,7 @@ Result<SqlService::PreparedQuery> SqlService::Prepare(
   out.graph = low.graph;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shape_cache_.emplace(shape, out);
   }
   count_outcome("ok");
@@ -156,7 +156,7 @@ Result<SqlService::PreparedQuery> SqlService::Prepare(
 }
 
 size_t SqlService::shape_cache_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shape_cache_.size();
 }
 

@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/ires_server.h"
 #include "sql/catalog.h"
 #include "sql/lowering.h"
@@ -75,12 +76,13 @@ class SqlService {
   /// finding describing it — the REST layer renders those as the structured
   /// 422 envelope. Internal errors leave `diagnostics` empty.
   Result<PreparedQuery> Prepare(const std::string& sql_text,
-                                std::vector<Diagnostic>* diagnostics);
+                                std::vector<Diagnostic>* diagnostics)
+      EXCLUDES(mu_);
 
   const sql::Catalog& catalog() const { return catalog_; }
 
   /// Entries currently held by the shape cache.
-  size_t shape_cache_size() const;
+  size_t shape_cache_size() const EXCLUDES(mu_);
 
  private:
   IresServer* server_;
@@ -89,8 +91,11 @@ class SqlService {
   std::map<std::string, std::unique_ptr<sql::SqlEngine>> engines_;
   std::unique_ptr<sql::MusqleOptimizer> optimizer_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, PreparedQuery> shape_cache_;
+  /// Guards only the shape cache; the miss path (parse, optimize, lower)
+  /// runs between the probe and the insert, so the optimizer's scheduler
+  /// fan-out never happens under this lock.
+  mutable Mutex mu_{LockRank::kSqlShapeCache, "sql.shape_cache"};
+  std::map<std::string, PreparedQuery> shape_cache_ GUARDED_BY(mu_);
 
   Counter* shape_hits_;
   Counter* shape_misses_;

@@ -125,7 +125,7 @@ void EventJournal::Append(JournalEvent event) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
   event.wall_seconds = NowSeconds();
   Shard& shard = ShardForThisThread();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   // The sequence number is drawn under the shard mutex, so ring order and
   // sequence order agree within a shard (strict per-shard monotonicity) and
   // the global counter still totally orders events across shards.
@@ -143,7 +143,7 @@ void EventJournal::Append(JournalEvent event) {
 std::vector<JournalEvent> EventJournal::Query(const Filter& filter) const {
   std::vector<JournalEvent> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     for (const JournalEvent& event : shard->ring) {
       if (event.seq <= filter.since_seq) continue;
       if (!filter.job.empty() && event.job != filter.job) continue;
@@ -165,7 +165,7 @@ std::vector<JournalEvent> EventJournal::Query(const Filter& filter) const {
 EventJournal::Stats EventJournal::stats() const {
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.appended += shard->appended;
     stats.dropped += shard->dropped;
   }

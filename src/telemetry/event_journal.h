@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ires {
 
@@ -118,12 +120,15 @@ class EventJournal {
   size_t shard_count() const { return shards_.size(); }
 
  private:
+  /// All shard mutexes share kEventJournalShard: Query/stats lock shards
+  /// one at a time (released before the next is taken), so no two shard
+  /// locks are ever held simultaneously and the equal rank is safe.
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<JournalEvent> ring;  // capacity fixed at construction
-    size_t next = 0;                 // ring write cursor
-    uint64_t appended = 0;
-    uint64_t dropped = 0;
+    mutable Mutex mu{LockRank::kEventJournalShard, "journal.shard"};
+    std::vector<JournalEvent> ring GUARDED_BY(mu);  // fixed capacity
+    size_t next GUARDED_BY(mu) = 0;                 // ring write cursor
+    uint64_t appended GUARDED_BY(mu) = 0;
+    uint64_t dropped GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardForThisThread();

@@ -176,7 +176,7 @@ MetricsRegistry::Family* MetricsRegistry::GetFamily(const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = GetFamily(name, help, Type::kCounter);
   if (family == nullptr) return nullptr;
   auto& child = family->counters[Sorted(labels)];
@@ -187,7 +187,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = GetFamily(name, help, Type::kGauge);
   if (family == nullptr) return nullptr;
   auto& child = family->gauges[Sorted(labels)];
@@ -199,7 +199,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          const LabelSet& labels,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Family* family = GetFamily(name, help, Type::kHistogram);
   if (family == nullptr) return nullptr;
   if (family->bounds.empty()) {
@@ -212,7 +212,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
     out += "# HELP " + name + " " + EscapeHelp(family.help) + "\n";
@@ -261,7 +261,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 void MetricsRegistry::VisitCounters(
     const std::string& name,
     const std::function<void(const LabelSet&, uint64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end() || it->second.type != Type::kCounter) return;
   for (const auto& [labels, counter] : it->second.counters) {
@@ -272,7 +272,7 @@ void MetricsRegistry::VisitCounters(
 void MetricsRegistry::VisitHistograms(
     const std::string& name,
     const std::function<void(const LabelSet&, const Histogram&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end() || it->second.type != Type::kHistogram) return;
   for (const auto& [labels, histogram] : it->second.histograms) {
@@ -281,7 +281,7 @@ void MetricsRegistry::VisitHistograms(
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{";
   bool first_family = true;
   auto label_key = [](const LabelSet& labels) {

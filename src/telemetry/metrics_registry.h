@@ -6,10 +6,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ires {
 
@@ -100,37 +102,38 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* GetCounter(const std::string& name, const std::string& help,
-                      const LabelSet& labels = {});
+                      const LabelSet& labels = {}) EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, const std::string& help,
-                  const LabelSet& labels = {});
+                  const LabelSet& labels = {}) EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, const std::string& help,
                           const LabelSet& labels = {},
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {}) EXCLUDES(mu_);
 
   /// Prometheus text exposition format, families sorted by name:
   ///   # HELP name help
   ///   # TYPE name counter|gauge|histogram
   ///   name{label="value"} 42
   /// Histograms render cumulative `_bucket{le=...}`, `_sum` and `_count`.
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const EXCLUDES(mu_);
 
   /// The same snapshot as a JSON object keyed by metric name — what the
   /// bench harness dumps into BENCH_telemetry.json for run-over-run diffs.
-  std::string RenderJson() const;
+  std::string RenderJson() const EXCLUDES(mu_);
 
   /// Visits every child of the counter family `name` (no-op when absent or
   /// not a counter family). The SLO layer uses this to aggregate
   /// `ires_http_requests_total` across routes/codes without owning a
   /// parallel data path. Don't call registry methods from `fn` (the
   /// registry mutex is held).
-  void VisitCounters(
-      const std::string& name,
-      const std::function<void(const LabelSet&, uint64_t)>& fn) const;
+  void VisitCounters(const std::string& name,
+                     const std::function<void(const LabelSet&, uint64_t)>& fn)
+      const EXCLUDES(mu_);
 
   /// Histogram-family analogue of VisitCounters.
-  void VisitHistograms(
-      const std::string& name,
-      const std::function<void(const LabelSet&, const Histogram&)>& fn) const;
+  void VisitHistograms(const std::string& name,
+                       const std::function<void(const LabelSet&,
+                                                const Histogram&)>& fn) const
+      EXCLUDES(mu_);
 
   /// Latency buckets (seconds) used when GetHistogram gets no bounds:
   /// 1ms .. 60s, roughly exponential.
@@ -149,10 +152,10 @@ class MetricsRegistry {
   };
 
   Family* GetFamily(const std::string& name, const std::string& help,
-                    Type type);
+                    Type type) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "metrics.registry"};
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
 };
 
 }  // namespace ires

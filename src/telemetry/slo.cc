@@ -54,7 +54,7 @@ double SloMonitor::Now() const {
 
 void SloMonitor::AddSlo(SloSpec spec) {
   if (spec.objective <= 0.0 || spec.objective >= 1.0) spec.objective = 0.99;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SloState state;
   state.spec = std::move(spec);
   slos_.push_back(std::move(state));
@@ -94,7 +94,7 @@ std::vector<SloMonitor::SloStatus> SloMonitor::Evaluate() {
   const double max_window = options_.windows_seconds.back();
 
   std::vector<SloStatus> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(slos_.size());
   for (SloState& state : slos_) {
     uint64_t good = 0;

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics_registry.h"
 
 namespace ires {
@@ -62,7 +63,7 @@ class SloMonitor {
   SloMonitor(const SloMonitor&) = delete;
   SloMonitor& operator=(const SloMonitor&) = delete;
 
-  void AddSlo(SloSpec spec);
+  void AddSlo(SloSpec spec) EXCLUDES(mu_);
 
   struct WindowStatus {
     double window_seconds = 0.0;
@@ -83,14 +84,14 @@ class SloMonitor {
 
   /// Samples current counts, updates burn-rate gauges, returns per-SLO
   /// status in registration order.
-  std::vector<SloStatus> Evaluate();
+  std::vector<SloStatus> Evaluate() EXCLUDES(mu_);
 
   /// Names of SLOs currently burning (convenience over Evaluate).
-  std::vector<std::string> Burning();
+  std::vector<std::string> Burning() EXCLUDES(mu_);
 
   /// The healthz "slo" object: every SLO's objective, compliance and
   /// per-window burn rates plus the burning list.
-  std::string ToJson();
+  std::string ToJson() EXCLUDES(mu_);
 
   const Options& options() const { return options_; }
 
@@ -116,8 +117,10 @@ class SloMonitor {
   Options options_;
   Clock clock_;
 
-  mutable std::mutex mu_;
-  std::vector<SloState> slos_;
+  /// kSloMonitor < kMetricsRegistry: Evaluate visits the registry and
+  /// updates burn-rate gauges while holding mu_.
+  mutable Mutex mu_{LockRank::kSloMonitor, "slo.monitor"};
+  std::vector<SloState> slos_ GUARDED_BY(mu_);
 };
 
 }  // namespace ires

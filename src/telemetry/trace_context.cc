@@ -45,7 +45,7 @@ double TraceContext::ElapsedUs() const {
 uint64_t TraceContext::BeginSpan(const std::string& name,
                                  const std::string& category) {
   const double start = ElapsedUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TraceSpan span;
   span.id = next_span_id_++;
   span.name = name;
@@ -59,7 +59,7 @@ uint64_t TraceContext::BeginSpan(const std::string& name,
 void TraceContext::EndSpan(
     uint64_t span_id, std::vector<std::pair<std::string, std::string>> args) {
   const double now = ElapsedUs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
     if (it->id != span_id) continue;
     if (!it->finished()) {
@@ -74,7 +74,7 @@ void TraceContext::AddSpan(
     const std::string& name, const std::string& category, int timeline,
     double start_us, double duration_us,
     std::vector<std::pair<std::string, std::string>> args) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TraceSpan span;
   span.id = next_span_id_++;
   span.name = name;
@@ -87,7 +87,7 @@ void TraceContext::AddSpan(
 }
 
 std::vector<TraceSpan> TraceContext::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 

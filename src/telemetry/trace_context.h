@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ires {
 
@@ -53,28 +55,31 @@ class TraceContext {
   double ElapsedUs() const;
 
   /// Opens a wall-clock span now; EndSpan closes it. Returns the span id.
-  uint64_t BeginSpan(const std::string& name, const std::string& category);
+  uint64_t BeginSpan(const std::string& name, const std::string& category)
+      EXCLUDES(mu_);
   void EndSpan(uint64_t span_id,
-               std::vector<std::pair<std::string, std::string>> args = {});
+               std::vector<std::pair<std::string, std::string>> args = {})
+      EXCLUDES(mu_);
 
   /// Records an already-measured interval (explicit start/duration in
   /// microseconds on `timeline`). Used for simulated-time step spans and
   /// for spans whose bounds were captured outside the context.
   void AddSpan(const std::string& name, const std::string& category,
                int timeline, double start_us, double duration_us,
-               std::vector<std::pair<std::string, std::string>> args = {});
+               std::vector<std::pair<std::string, std::string>> args = {})
+      EXCLUDES(mu_);
 
   /// Copy of every recorded span, in recording order.
-  std::vector<TraceSpan> Snapshot() const;
+  std::vector<TraceSpan> Snapshot() const EXCLUDES(mu_);
 
-  std::string ToChromeTraceJson() const;
+  std::string ToChromeTraceJson() const EXCLUDES(mu_);
 
  private:
   const std::string trace_id_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  uint64_t next_span_id_ = 1;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mu_{LockRank::kTraceContext, "trace.spans"};
+  uint64_t next_span_id_ GUARDED_BY(mu_) = 1;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
 };
 
 }  // namespace ires

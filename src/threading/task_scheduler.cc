@@ -197,7 +197,7 @@ bool TaskScheduler::Enqueue(Task* task) {
   // Shared lock vs. Shutdown's unique lock: once Shutdown returns, no
   // enqueue can still be in flight with the flag unseen, so "false" and
   // "will be drained" are exhaustive and exclusive outcomes.
-  std::shared_lock<std::shared_mutex> gate(gate_);
+  ReaderLock gate(gate_);
   if (shutting_down_.load(std::memory_order_relaxed)) return false;
   task->enqueued_at = ClockSeconds();
   ready_count_.fetch_add(1, std::memory_order_seq_cst);
@@ -205,7 +205,7 @@ bool TaskScheduler::Enqueue(Task* task) {
   if (self >= 0) {
     workers_[self]->deque.Push(task);
   } else {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(inject_mu_);
     inject_.push_back(task);
   }
   if (pending_gauge_ != nullptr) pending_gauge_->Add(1.0);
@@ -219,7 +219,7 @@ void TaskScheduler::NotifyOne() {
   // the parker sees the new task on its re-check, or we see parked_ > 0 and
   // take the lock to wake it. No lost wakeup either way.
   if (parked_.load(std::memory_order_seq_cst) > 0) {
-    std::lock_guard<std::mutex> lock(park_mu_);
+    MutexLock lock(park_mu_);
     park_cv_.notify_one();
   }
 }
@@ -228,7 +228,7 @@ TaskScheduler::Task* TaskScheduler::TryAcquire(int worker_index) {
   Task* task = nullptr;
   if (worker_index >= 0) task = workers_[worker_index]->deque.Pop();
   if (task == nullptr) {
-    std::lock_guard<std::mutex> lock(inject_mu_);
+    MutexLock lock(inject_mu_);
     if (!inject_.empty()) {
       task = inject_.front();
       inject_.pop_front();
@@ -313,14 +313,16 @@ void TaskScheduler::WorkerLoop(int index) {
     // Park. The seq_cst parked_ increment happens-before the ready_count
     // re-check; see NotifyOne for the pairing. The timed wait is
     // belt-and-suspenders against any missed signal (worst case: one 50ms
-    // hiccup, not a hang).
-    std::unique_lock<std::mutex> lock(park_mu_);
+    // hiccup, not a hang). condition_variable_any waits directly on the
+    // ires::Mutex, so the rank registry tracks the release/reacquire
+    // inside wait_for.
+    MutexLock lock(park_mu_);
     parked_.fetch_add(1, std::memory_order_seq_cst);
     if (ready_count_.load(std::memory_order_seq_cst) == 0 &&
         !shutting_down_.load(std::memory_order_acquire)) {
       parks_.fetch_add(1, std::memory_order_relaxed);
       if (parks_total_ != nullptr) parks_total_->Increment();
-      park_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      park_cv_.wait_for(park_mu_, std::chrono::milliseconds(50));
     }
     parked_.fetch_sub(1, std::memory_order_seq_cst);
   }
@@ -354,16 +356,15 @@ bool TaskScheduler::Submit(std::function<void()> fn,
 
 void TaskScheduler::Shutdown() {
   {
-    std::unique_lock<std::shared_mutex> gate(gate_);
-    if (shutting_down_.exchange(true)) {
-      gate.unlock();
-      // Second caller: still wait for the joins below (idempotent, and the
-      // destructor must not return while threads run).
-    }
+    // A second caller sees exchange(true) return true but still waits for
+    // the joins below (idempotent, and the destructor must not return
+    // while threads run).
+    WriterLock gate(gate_);
+    shutting_down_.exchange(true);
   }
   {
     // Taken so a parker between its re-check and wait cannot miss the wake.
-    std::lock_guard<std::mutex> lock(park_mu_);
+    MutexLock lock(park_mu_);
     park_cv_.notify_all();
   }
   for (std::thread& thread : threads_) {
@@ -393,7 +394,7 @@ TaskScheduler::Stats TaskScheduler::stats() const {
 double TaskScheduler::BacklogSeconds() {
   const size_t depth = pending();
   const size_t threshold = workers_.size() * backlog_per_worker_;
-  std::lock_guard<std::mutex> lock(backlog_mu_);
+  MutexLock lock(backlog_mu_);
   if (depth <= threshold) {
     backlog_since_ = -1.0;
     return 0.0;
@@ -452,7 +453,7 @@ void TaskGroup::Run(std::function<void()> fn, const std::string& label) {
   task->label = label;
   Task* raw = task.get();
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
+    MutexLock lock(done_mu_);
     tasks_.push_back(std::move(task));
   }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
@@ -466,13 +467,13 @@ void TaskGroup::Dispatch(Task* task) {
 }
 
 void TaskGroup::PushInline(Task* task) {
-  std::lock_guard<std::mutex> lock(done_mu_);
+  MutexLock lock(done_mu_);
   inline_ready_.push_back(task);
   done_cv_.notify_all();
 }
 
 TaskGroup::Task* TaskGroup::PopInline() {
-  std::lock_guard<std::mutex> lock(done_mu_);
+  MutexLock lock(done_mu_);
   if (inline_ready_.empty()) return nullptr;
   Task* task = inline_ready_.front();
   inline_ready_.pop_front();
@@ -496,7 +497,7 @@ void TaskGroup::OnTaskFinished() {
   // will never touch the group again. Without that pairing, Wait could
   // return (and the group be destroyed) while the finisher is still inside
   // the notify, a use-after-free on done_mu_.
-  std::lock_guard<std::mutex> lock(done_mu_);
+  MutexLock lock(done_mu_);
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     done_cv_.notify_all();
   }
@@ -506,7 +507,7 @@ void TaskGroup::Wait() {
   for (;;) {
     if (outstanding_.load(std::memory_order_acquire) == 0) {
       // Lock-synchronized re-check; see OnTaskFinished.
-      std::lock_guard<std::mutex> lock(done_mu_);
+      MutexLock lock(done_mu_);
       if (outstanding_.load(std::memory_order_acquire) == 0) return;
       continue;
     }
@@ -532,13 +533,13 @@ void TaskGroup::Wait() {
         continue;
       }
     }
-    std::unique_lock<std::mutex> lock(done_mu_);
+    MutexLock lock(done_mu_);
     if (outstanding_.load(std::memory_order_acquire) == 0) return;
     if (!inline_ready_.empty()) continue;
     // Short timed wait: our remaining tasks are running on workers (or
     // queued behind other groups' work we cannot see from here) — re-poll
     // rather than risk a missed notify during heavy churn.
-    done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    done_cv_.wait_for(done_mu_, std::chrono::milliseconds(1));
   }
 }
 

@@ -7,12 +7,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "telemetry/event_journal.h"
 #include "telemetry/metrics_registry.h"
 
@@ -40,12 +40,20 @@ class WorkDeque {
   WorkDeque(const WorkDeque&) = delete;
   WorkDeque& operator=(const WorkDeque&) = delete;
 
+  // The deque is the analysis boundary of the thread-safety sweep: it is
+  // lock-free (no capability to annotate), and its correctness rests on the
+  // Chase–Lev ownership protocol — owner-only Push/Pop at the bottom,
+  // CAS-claimed Steal at the top, memory orders per Lê et al. (PPoPP'13),
+  // see the proof notes in task_scheduler.cc — not on any mutex the
+  // analysis could check. NO_THREAD_SAFETY_ANALYSIS marks that boundary
+  // explicitly rather than leaving the methods silently unchecked.
+
   /// Owner only: push one task at the bottom.
-  void Push(Task* task);
+  void Push(Task* task) NO_THREAD_SAFETY_ANALYSIS;
   /// Owner only: pop the most recently pushed task; null when empty.
-  Task* Pop();
+  Task* Pop() NO_THREAD_SAFETY_ANALYSIS;
   /// Any thread: take the oldest task; null when empty or lost a race.
-  Task* Steal();
+  Task* Steal() NO_THREAD_SAFETY_ANALYSIS;
 
   /// Approximate (racy) size — telemetry only.
   size_t ApproxSize() const;
@@ -169,7 +177,7 @@ class TaskScheduler {
 
   /// Stops admission, drains every queued task and joins the workers.
   /// Idempotent; called by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(gate_, park_mu_);
 
   int worker_count() const { return static_cast<int>(workers_.size()); }
 
@@ -192,7 +200,7 @@ class TaskScheduler {
   /// clock (poll-driven: healthz calls it on every scrape). Returns 0 and
   /// re-arms whenever the backlog clears — the saturation signal behind
   /// /apiv1/healthz "degraded".
-  double BacklogSeconds();
+  double BacklogSeconds() EXCLUDES(backlog_mu_);
 
  private:
   friend class TaskGroup;
@@ -208,13 +216,13 @@ class TaskScheduler {
   void WorkerLoop(int index);
   /// Enqueues a ready task: own deque on a worker thread, injection queue
   /// otherwise. Returns false (task untouched) after Shutdown.
-  bool Enqueue(Task* task);
+  bool Enqueue(Task* task) EXCLUDES(gate_, inject_mu_, park_mu_);
   /// Dequeues one task for `worker_index` (own pop → inject → steal), or
   /// for an external helper (worker_index < 0: inject → steal).
-  Task* TryAcquire(int worker_index);
+  Task* TryAcquire(int worker_index) EXCLUDES(inject_mu_);
   /// Runs a task, fires successors, settles group/detached accounting.
   void Execute(Task* task, int worker_index);
-  void NotifyOne();
+  void NotifyOne() EXCLUDES(park_mu_);
   double ClockSeconds() const;
   /// This thread's worker index in *this* scheduler, or -1 (external
   /// helper — including workers of a different scheduler instance).
@@ -229,21 +237,21 @@ class TaskScheduler {
   /// flag — so "Submit returns false" and "the task will be drained" are
   /// mutually exclusive with no in-between window (the old ThreadPool
   /// dropped tasks submitted during its drain).
-  std::shared_mutex gate_;
+  SharedMutex gate_{LockRank::kSchedulerGate, "sched.gate"};
   std::atomic<bool> shutting_down_{false};
   /// Tasks enqueued anywhere, not yet dequeued. Parking and drain gate on
   /// this, so enqueue/dequeue keep it exactly consistent.
   std::atomic<int64_t> ready_count_{0};
 
-  mutable std::mutex inject_mu_;
-  std::deque<Task*> inject_;
+  mutable Mutex inject_mu_{LockRank::kSchedulerInject, "sched.inject"};
+  std::deque<Task*> inject_ GUARDED_BY(inject_mu_);
 
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
+  Mutex park_mu_{LockRank::kSchedulerPark, "sched.park"};
+  std::condition_variable_any park_cv_;
   std::atomic<int> parked_{0};
 
-  std::mutex backlog_mu_;
-  double backlog_since_ = -1.0;
+  Mutex backlog_mu_{LockRank::kSchedulerBacklog, "sched.backlog"};
+  double backlog_since_ GUARDED_BY(backlog_mu_) = -1.0;
 
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> parks_{0};
@@ -306,11 +314,16 @@ class TaskGroup {
 
   /// Submits one independent task (usable before or after Launch, and for
   /// plain fan-out without Defer/Launch).
-  void Run(std::function<void()> fn, const std::string& label = "");
+  void Run(std::function<void()> fn, const std::string& label = "")
+      EXCLUDES(done_mu_);
 
   /// Blocks until every task in the group has finished, executing tasks
   /// (help) instead of sleeping whenever any are runnable. Reentrant.
-  void Wait();
+  /// Never call Wait (or ParallelFor) while holding ANY ranked mutex: the
+  /// caller helps by executing arbitrary unrelated tasks, which may
+  /// acquire any rank in the table — the lock-rank registry turns such a
+  /// call into a deterministic abort instead of a latent deadlock.
+  void Wait() EXCLUDES(done_mu_);
 
   /// Tasks not yet finished (telemetry/tests).
   int64_t outstanding() const {
@@ -322,23 +335,27 @@ class TaskGroup {
   using Task = sched_internal::Task;
 
   /// Called by the scheduler (or inline execution) when one task finishes.
-  void OnTaskFinished();
+  void OnTaskFinished() EXCLUDES(done_mu_);
   /// Fallback for tasks the scheduler refused (shutdown) — the waiter runs
   /// them inline, preserving the no-work-lost guarantee.
-  void PushInline(Task* task);
-  Task* PopInline();
+  void PushInline(Task* task) EXCLUDES(done_mu_);
+  Task* PopInline() EXCLUDES(done_mu_);
   /// Routes a ready task to the scheduler or the inline list.
   void Dispatch(Task* task);
   /// Runs a task on the caller without a scheduler (null-scheduler groups).
   void ExecuteInline(Task* task);
 
   TaskScheduler* scheduler_;
+  /// Not GUARDED_BY(done_mu_): Defer/DependsOn/Launch run in the owner's
+  /// single-threaded setup phase by contract (asserted via launched_);
+  /// after Launch only Run appends, and it does lock done_mu_ because it
+  /// may race the scheduler's Execute reading task pointers.
   std::vector<std::unique_ptr<Task>> tasks_;
   bool launched_ = false;
   std::atomic<int64_t> outstanding_{0};
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::deque<Task*> inline_ready_;  // guarded by done_mu_
+  Mutex done_mu_{LockRank::kTaskGroup, "sched.group"};
+  std::condition_variable_any done_cv_;
+  std::deque<Task*> inline_ready_ GUARDED_BY(done_mu_);
 };
 
 /// Runs `fn(0) .. fn(n-1)` across the scheduler, blocking until every index

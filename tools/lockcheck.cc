@@ -1,0 +1,207 @@
+// lockcheck: concurrency-policy checker for the src/ tree.
+//
+// The thread-safety story rests on every lock in the codebase being an
+// annotated, rank-checked ires::Mutex/SharedMutex (src/common/mutex.h).
+// Clang's -Wthread-safety proves the annotation layer; this tool enforces
+// the conventions the analysis cannot express:
+//
+//   1. No raw synchronization primitives outside src/common/: std::mutex,
+//      std::shared_mutex, std::recursive_mutex, std::timed_mutex,
+//      std::lock_guard, std::unique_lock, std::shared_lock,
+//      std::scoped_lock and plain std::condition_variable (which cannot
+//      wait on an ires::Mutex — condition_variable_any can, and keeps the
+//      rank registry's bookkeeping consistent across the wait).
+//   2. Every `*Locked(...)` method declaration in a header carries a
+//      REQUIRES(...) clause — the naming convention promises "caller holds
+//      the lock", and the annotation makes the analysis hold callers to it.
+//   3. Every NO_THREAD_SAFETY_ANALYSIS waiver is justified: a comment
+//      within the ten preceding lines must say why (matched by the words
+//      "waiver" or "boundary"), so no escape hatch lands silently.
+//
+// Usage: lockcheck <src-root>
+// Exit status: 0 clean, 1 violations (listed file:line: message), 2 usage.
+//
+// Wired as the `lockcheck` ctest, so a raw std::mutex reintroduced anywhere
+// in src/ fails the suite even under compilers without -Wthread-safety.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string message;
+};
+
+/// Raw primitives banned outside src/common/. Order matters:
+/// condition_variable_any must be recognized (and allowed) before the
+/// plain condition_variable token can claim the prefix.
+const char* const kBannedTokens[] = {
+    "std::mutex",         "std::shared_mutex", "std::recursive_mutex",
+    "std::timed_mutex",   "std::lock_guard",   "std::unique_lock",
+    "std::shared_lock",   "std::scoped_lock",  "std::condition_variable",
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// First occurrence of `token` in `line` at a token boundary and before
+/// any // comment, or npos. "std::condition_variable_any" never matches
+/// the "std::condition_variable" token (boundary check).
+size_t FindToken(const std::string& line, const std::string& token) {
+  const size_t comment = line.find("//");
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    if (comment != std::string::npos && pos > comment) return std::string::npos;
+    const size_t end = pos + token.size();
+    const bool boundary = end >= line.size() || !IsIdentChar(line[end]);
+    if (boundary) {
+      // "_any" after condition_variable is the allowed cv type.
+      return pos;
+    }
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+/// A comment anywhere in the window justifying an analysis waiver.
+bool HasWaiverComment(const std::vector<std::string>& lines, size_t index) {
+  const size_t begin = index >= 10 ? index - 10 : 0;
+  for (size_t i = begin; i <= index && i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const size_t comment = line.find("//");
+    if (comment == std::string::npos) continue;
+    std::string text = line.substr(comment);
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (text.find("waiver") != std::string::npos ||
+        text.find("boundary") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A `...Locked(` method declaration starting at lines[index]: the
+/// declaration text through its terminator (';' or '{') must contain
+/// REQUIRES. Definitions in .cc files restate the annotation-free
+/// signature, so only headers are held to this.
+bool LockedDeclHasRequires(const std::vector<std::string>& lines,
+                           size_t index) {
+  std::string decl;
+  for (size_t i = index; i < lines.size() && i < index + 8; ++i) {
+    decl += lines[i];
+    decl += ' ';
+    const size_t stop = lines[i].find_first_of(";{");
+    if (stop != std::string::npos && i > index) break;
+    if (stop != std::string::npos && i == index &&
+        lines[i].find("Locked") < stop) {
+      // Terminator after the name on the same line ends the declaration
+      // only if it follows the parameter list's closing paren.
+      const size_t close = lines[i].rfind(')');
+      if (close != std::string::npos && stop > close) break;
+    }
+  }
+  return decl.find("REQUIRES") != std::string::npos;
+}
+
+/// Position of a `<name>Locked(` call-or-declaration on this line where
+/// <name>Locked is an identifier tail (not e.g. "BlockedBy").
+size_t FindLockedDecl(const std::string& line) {
+  const size_t comment = line.find("//");
+  size_t pos = 0;
+  while ((pos = line.find("Locked", pos)) != std::string::npos) {
+    if (comment != std::string::npos && pos > comment) {
+      return std::string::npos;
+    }
+    const size_t end = pos + 6;  // strlen("Locked")
+    if (end < line.size() && line[end] == '(') return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+void CheckFile(const fs::path& path, bool in_common,
+               std::vector<Violation>* out) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  const bool is_header = path.extension() == ".h";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!in_common) {
+      for (const char* token : kBannedTokens) {
+        if (FindToken(lines[i], token) != std::string::npos) {
+          out->push_back({path.string(), i + 1,
+                          std::string("raw ") + token +
+                              " outside src/common/ — use the annotated "
+                              "ires::Mutex/SharedMutex wrappers "
+                              "(common/mutex.h)"});
+        }
+      }
+      if (lines[i].find("NO_THREAD_SAFETY_ANALYSIS") != std::string::npos &&
+          !HasWaiverComment(lines, i)) {
+        out->push_back({path.string(), i + 1,
+                        "NO_THREAD_SAFETY_ANALYSIS without a justification "
+                        "comment (say why within the 10 preceding lines, "
+                        "mentioning 'waiver' or 'boundary')"});
+      }
+    }
+    if (is_header && FindLockedDecl(lines[i]) != std::string::npos &&
+        !LockedDeclHasRequires(lines, i)) {
+      out->push_back({path.string(), i + 1,
+                      "*Locked() declaration without REQUIRES(...) — the "
+                      "suffix promises the caller holds the lock; annotate "
+                      "it so the analysis enforces that"});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <src-root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "lockcheck: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  size_t files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".h" && path.extension() != ".cc") continue;
+    const std::string rel = fs::relative(path, root).generic_string();
+    const bool in_common = rel.rfind("common/", 0) == 0;
+    ++files;
+    CheckFile(path, in_common, &violations);
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return a.file != b.file ? a.file < b.file : a.line < b.line;
+            });
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: %s\n", v.file.c_str(), v.line, v.message.c_str());
+  }
+  std::printf("lockcheck: %zu files, %zu violation%s\n", files,
+              violations.size(), violations.size() == 1 ? "" : "s");
+  return violations.empty() ? 0 : 1;
+}
