@@ -113,15 +113,18 @@ Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics) {
 }
 
 void CountValidationRejects(MetricsRegistry* metrics,
-                            const std::vector<Diagnostic>& diagnostics) {
+                            const std::vector<Diagnostic>& diagnostics,
+                            const std::string& tenant) {
   if (metrics == nullptr) return;
   for (const Diagnostic& d : diagnostics) {
     if (d.severity != DiagSeverity::kError) continue;
+    LabelSet labels = {{"code", d.code}};
+    if (!tenant.empty()) labels.emplace_back("tenant", tenant);
     metrics
         ->GetCounter("ires_validation_rejects_total",
                      "Workflow submissions rejected by static analysis, "
                      "by diagnostic code.",
-                     {{"code", d.code}})
+                     labels)
         ->Increment();
   }
 }

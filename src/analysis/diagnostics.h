@@ -127,8 +127,11 @@ Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics);
 
 /// Bumps `ires_validation_rejects_total{code=...}` once per error-severity
 /// diagnostic. Call at the rejection site (not from dry-run linting).
+/// A non-empty `tenant` adds a tenant label so multi-tenant deployments can
+/// attribute rejects; empty keeps the legacy single-label series.
 void CountValidationRejects(MetricsRegistry* metrics,
-                            const std::vector<Diagnostic>& diagnostics);
+                            const std::vector<Diagnostic>& diagnostics,
+                            const std::string& tenant = std::string());
 
 }  // namespace ires
 

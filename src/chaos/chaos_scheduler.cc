@@ -54,4 +54,49 @@ Enforcer::FaultDecision ChaosScheduler::Decide(const PlanStep& step,
   return decision;
 }
 
+bool ControlPlaneChaos::DecideKill(char phase) {
+  if (!config_.enabled()) return false;
+  const double probability = phase == 'p'
+                                 ? config_.kill_mid_plan_probability
+                                 : config_.kill_mid_run_probability;
+  if (probability <= 0.0) return false;
+  bool kill = false;
+  {
+    MutexLock lock(mu_);
+    if (kills_ >= config_.max_kills) return false;
+    kill = rng_.Uniform(0.0, 1.0) < probability;
+    if (kill) ++kills_;
+  }
+  if (kill) {
+    (phase == 'p' ? kills_mid_plan_ : kills_mid_run_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  return kill;
+}
+
+bool ControlPlaneChaos::DecideTorn() {
+  if (config_.torn_append_probability <= 0.0) return false;
+  bool torn = false;
+  {
+    MutexLock lock(mu_);
+    torn = rng_.Uniform(0.0, 1.0) < config_.torn_append_probability;
+  }
+  if (torn) torn_appends_.fetch_add(1, std::memory_order_relaxed);
+  return torn;
+}
+
+bool ControlPlaneChaos::DecidePartition() {
+  if (!config_.enabled() || config_.heartbeat_partition_probability <= 0.0) {
+    return false;
+  }
+  bool partition = false;
+  {
+    MutexLock lock(mu_);
+    partition =
+        rng_.Uniform(0.0, 1.0) < config_.heartbeat_partition_probability;
+  }
+  if (partition) partitions_.fetch_add(1, std::memory_order_relaxed);
+  return partition;
+}
+
 }  // namespace ires

@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "executor/enforcer.h"
 #include "executor/failure.h"
 
@@ -91,6 +93,87 @@ class ChaosScheduler {
   std::atomic<uint64_t> transient_{0};
   std::atomic<uint64_t> timeout_{0};
   std::atomic<uint64_t> engine_crash_{0};
+};
+
+/// Control-plane fault schedule: replica kills at precise job phase
+/// boundaries, torn journal appends riding the kill, and heartbeat
+/// partitions. Like ChaosConfig, a zero seed disables everything and the
+/// same seed replays the same fault sequence against the same workload.
+struct ControlPlaneChaosConfig {
+  uint64_t seed = 0;
+
+  /// Probability a job's replica is killed just before planning starts
+  /// (evaluated once per job pickup).
+  double kill_mid_plan_probability = 0.0;
+  /// Probability the replica is killed right after a step's outputs
+  /// materialize (evaluated once per completed step) — the mid-run kill
+  /// that proves journal-checkpoint resume.
+  double kill_mid_run_probability = 0.0;
+  /// Probability a kill also tears the journal's in-flight append (the
+  /// crash-during-journal-append fault).
+  double torn_append_probability = 0.0;
+  /// Probability per heartbeat tick that one replica's heartbeats stop
+  /// arriving (a partition; heals on RestartReplica/HealReplica).
+  double heartbeat_partition_probability = 0.0;
+
+  /// Hard cap on injected replica kills across the scheduler's lifetime —
+  /// soaks bound their fault volume the same way retry budgets do.
+  int max_kills = 4;
+
+  bool enabled() const {
+    return seed != 0 &&
+           (kill_mid_plan_probability > 0.0 ||
+            kill_mid_run_probability > 0.0 ||
+            heartbeat_partition_probability > 0.0);
+  }
+};
+
+/// Seeded decision source for control-plane faults. Thread-safe: the
+/// control plane consults it from every replica's job threads at once, so
+/// the RNG sits behind a leaf-rank mutex (decisions acquire nothing else).
+class ControlPlaneChaos {
+ public:
+  explicit ControlPlaneChaos(const ControlPlaneChaosConfig& config)
+      : config_(config), rng_(config.seed == 0 ? 1 : config.seed) {}
+
+  ControlPlaneChaos(const ControlPlaneChaos&) = delete;
+  ControlPlaneChaos& operator=(const ControlPlaneChaos&) = delete;
+
+  /// Whether to kill the probing replica at this phase boundary
+  /// ('p' = about to plan, 's' = step just completed). Honors max_kills.
+  bool DecideKill(char phase) EXCLUDES(mu_);
+  /// Whether a decided kill also tears the journal append.
+  bool DecideTorn() EXCLUDES(mu_);
+  /// Whether this heartbeat tick partitions a replica.
+  bool DecidePartition() EXCLUDES(mu_);
+
+  struct Counts {
+    uint64_t kills_mid_plan = 0;
+    uint64_t kills_mid_run = 0;
+    uint64_t torn_appends = 0;
+    uint64_t partitions = 0;
+    uint64_t kills() const { return kills_mid_plan + kills_mid_run; }
+  };
+  Counts counts() const {
+    Counts c;
+    c.kills_mid_plan = kills_mid_plan_.load(std::memory_order_relaxed);
+    c.kills_mid_run = kills_mid_run_.load(std::memory_order_relaxed);
+    c.torn_appends = torn_appends_.load(std::memory_order_relaxed);
+    c.partitions = partitions_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  const ControlPlaneChaosConfig& config() const { return config_; }
+
+ private:
+  const ControlPlaneChaosConfig config_;
+  mutable Mutex mu_{LockRank::kLeaf, "chaos.control_plane"};
+  Rng rng_ GUARDED_BY(mu_);
+  int kills_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> kills_mid_plan_{0};
+  std::atomic<uint64_t> kills_mid_run_{0};
+  std::atomic<uint64_t> torn_appends_{0};
+  std::atomic<uint64_t> partitions_{0};
 };
 
 }  // namespace ires

@@ -42,9 +42,17 @@ namespace ires {
 enum class LockRank : int {
   /// RestApi's stored-workflow table; outermost, taken at the HTTP edge.
   kRestApiWorkflows = 100,
+  /// ControlPlane routing/assignment table. Holds while calling into
+  /// replica JobServices (Submit/stats) and the job journal, so it must
+  /// precede both kJobService and kJobJournal.
+  kControlPlane = 150,
   /// JobService job table / admission queue. Holds while submitting
   /// scheduler tasks, journaling and tracing — everything below.
   kJobService = 200,
+  /// JobJournal record log. Appended to from under the control-plane lock
+  /// *and* from replica finalization paths holding kJobService, hence it
+  /// sits between kJobService and the caches below.
+  kJobJournal = 230,
   /// SqlService parameterized-shape cache (lookup/insert only; never held
   /// across optimize).
   kSqlShapeCache = 250,

@@ -324,6 +324,7 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
   Enforcer enforcer(engines_.get(), &cluster,
                     config_.seed + 0x9e3779b97f4a7c15ull * (run_id + 1));
   enforcer.set_retry_policy(exec.retry);
+  if (exec.step_observer) enforcer.set_step_observer(exec.step_observer);
   const std::string job_id = trace ? trace->trace_id() : "";
   const JournalWriter writer(&journal_, job_id);
   enforcer.set_journal(writer);
@@ -334,9 +335,17 @@ IresServer::WorkflowRunResult IresServer::ExecutePlanned(
   recovering.set_journal(writer);
   const uint64_t exec_span =
       trace ? trace->BeginSpan("job.execute", "job") : 0;
-  result.recovery =
-      recovering.RunFrom(graph, MakePlannerOptions(policy), exec.strategy,
-                         &planned.plan, planned.planning_ms);
+  DpPlanner::Options planner_options = MakePlannerOptions(policy);
+  const ExecutionPlan* initial_plan = &planned.plan;
+  if (!exec.resume_materialized.empty()) {
+    // Failover resume: the cached plan predates the crash; replan with the
+    // journaled checkpoints entering the dpTable at cost 0 so the resumed
+    // run schedules only the residual workflow.
+    planner_options.materialized_intermediates = exec.resume_materialized;
+    initial_plan = nullptr;
+  }
+  result.recovery = recovering.RunFrom(graph, planner_options, exec.strategy,
+                                       initial_plan, planned.planning_ms);
   result.chaos_injected = chaos.counts();
   RecordRecoveryMetrics(result.recovery, exec, result.chaos_injected);
   if (trace) {

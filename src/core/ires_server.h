@@ -175,6 +175,14 @@ class IresServer {
     int max_replans = 5;
     RetryPolicy retry;
     ChaosConfig chaos;
+    /// Failover resume: step outputs a previous incarnation of this job
+    /// already materialized (from the write-ahead job journal). Non-empty
+    /// discards the cached initial plan and plans fresh with these entering
+    /// the dpTable at cost 0, so completed steps are never re-executed.
+    std::map<std::string, DatasetInstance> resume_materialized;
+    /// Per-completed-step callback (see Enforcer::StepObserver); carried
+    /// here so the job service can checkpoint steps into the job journal.
+    Enforcer::StepObserver step_observer;
   };
 
   /// Everything one workflow run produced: the recovery outcome plus the

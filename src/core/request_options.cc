@@ -170,6 +170,18 @@ Status ParseExecutionOptions(const std::string& query,
       } else if (value != "sync") {
         return Status::InvalidArgument("mode must be sync or async");
       }
+    } else if (key == "tenant") {
+      // Routing identity like mode, not a tuning knob: stays a query
+      // parameter for good.
+      if (value.empty()) {
+        return Status::InvalidArgument("tenant must be non-empty");
+      }
+      out->tenant = value;
+    } else if (key == "idempotencyKey") {
+      if (value.empty()) {
+        return Status::InvalidArgument("idempotencyKey must be non-empty");
+      }
+      out->idempotency_key = value;
     } else if (key == "strategy") {
       deprecated(key, "execution.strategy");
       IRES_RETURN_IF_ERROR(ApplyStrategy(value, "strategy", &out->exec));

@@ -15,6 +15,12 @@ namespace ires {
 struct ParsedExecution {
   bool async = false;
   IresServer::ExecutionOptions exec;
+  /// Admission identity: the control plane accounts the job under this
+  /// tenant's QoS class, weight and quota (`?tenant=` query parameter).
+  std::string tenant = "default";
+  /// Client dedupe key (`?idempotencyKey=`): resubmitting with a known key
+  /// returns the original job id instead of admitting a duplicate.
+  std::string idempotency_key;
   /// Deprecation notices to surface in the success envelope's "warnings"
   /// array (one per legacy query parameter used).
   std::vector<std::string> warnings;

@@ -187,13 +187,19 @@ std::string NormalizeRoute(const std::vector<std::string>& parts) {
 
 RestApi::RestApi(IresServer* server)
     : server_(server),
-      owned_jobs_(std::make_unique<JobService>(server)),
-      jobs_(owned_jobs_.get()),
+      owned_plane_(std::make_unique<ControlPlane>(server)),
+      plane_(owned_plane_.get()),
       sql_(std::make_unique<SqlService>(server)) {}
 
 RestApi::RestApi(IresServer* server, JobService* jobs)
     : server_(server),
-      jobs_(jobs),
+      owned_plane_(std::make_unique<ControlPlane>(server, jobs)),
+      plane_(owned_plane_.get()),
+      sql_(std::make_unique<SqlService>(server)) {}
+
+RestApi::RestApi(IresServer* server, ControlPlane* plane)
+    : server_(server),
+      plane_(plane),
       sql_(std::make_unique<SqlService>(server)) {}
 
 RestApi::~RestApi() = default;
@@ -211,6 +217,23 @@ ApiResponse RestApi::Handle(const std::string& method,
 
   const auto start = std::chrono::steady_clock::now();
   ApiResponse response = Dispatch(method, parts, query, body, path);
+  // Backpressure responses tell the client when to come back: a
+  // Retry-After header derived from replica backlog, mirrored as
+  // retryAfterSeconds inside the error envelope so JSON-only clients see
+  // it too.
+  if (response.code == 429 || response.code == 503) {
+    const int retry_after = static_cast<int>(plane_->RetryAfterSeconds());
+    response.headers["Retry-After"] = std::to_string(retry_after);
+    static constexpr char kEnvelopeSuffix[] = "\"}}";
+    if (response.body.size() >= sizeof(kEnvelopeSuffix) - 1 &&
+        response.body.compare(
+            response.body.size() - (sizeof(kEnvelopeSuffix) - 1),
+            sizeof(kEnvelopeSuffix) - 1, kEnvelopeSuffix) == 0) {
+      response.body.insert(response.body.size() - 2,
+                           ",\"retryAfterSeconds\":" +
+                               std::to_string(retry_after));
+    }
+  }
   const double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -274,8 +297,9 @@ ApiResponse RestApi::Dispatch(const std::string& method,
 }
 
 ApiResponse RestApi::HandleHealthz() {
-  const JobService::Stats stats = jobs_->stats();
-  const size_t capacity = jobs_->options().queue_capacity;
+  const JobService::Stats stats = plane_->AggregateStats();
+  const ControlPlane::Health plane_health = plane_->health();
+  const size_t capacity = plane_health.queue_capacity;
   const double saturation =
       capacity == 0 ? 0.0
                     : static_cast<double>(stats.queue_depth) /
@@ -296,8 +320,10 @@ ApiResponse RestApi::HandleHealthz() {
   // operators and dashboards) without failing the liveness probe — only
   // saturation, which new submissions cannot survive, turns the probe red.
   const std::string slo_json = server_->slo().ToJson();
+  // A down (or suspect) replica degrades the aggregate even when the
+  // survivors keep absorbing the load — operators need to see it.
   const bool degraded =
-      sched_backlogged ||
+      sched_backlogged || plane_health.degraded ||
       slo_json.find("\"burning\":[]") == std::string::npos;
   const char* status =
       saturated ? "saturated" : (degraded ? "degraded" : "ok");
@@ -307,11 +333,27 @@ ApiResponse RestApi::HandleHealthz() {
                 "\"queueCapacity\":%zu,\"running\":%zu,\"workers\":%d,"
                 "\"saturation\":%.3f,"
                 "\"scheduler\":{\"pendingTasks\":%zu,\"workers\":%d,"
-                "\"backlogSeconds\":%.3f,\"backlogged\":%s},\"slo\":",
+                "\"backlogSeconds\":%.3f,\"backlogged\":%s},\"replicas\":[",
                 status, stats.queue_depth, capacity, stats.running,
                 stats.workers, saturation, sched_pending, sched.worker_count(),
                 backlog_seconds, sched_backlogged ? "true" : "false");
-  return {saturated ? 503 : 200, std::string(buf) + slo_json + "}"};
+  std::string out = buf;
+  for (size_t i = 0; i < plane_health.replicas.size(); ++i) {
+    const ControlPlane::ReplicaHealth& replica = plane_health.replicas[i];
+    char rbuf[224];
+    std::snprintf(rbuf, sizeof(rbuf),
+                  "%s{\"id\":%d,\"state\":\"%s\",\"partitioned\":%s,"
+                  "\"queueDepth\":%zu,\"running\":%zu,"
+                  "\"backlogSeconds\":%.3f,\"journalLag\":%llu}",
+                  i > 0 ? "," : "", replica.id,
+                  ControlPlane::ReplicaStateName(replica.state),
+                  replica.partitioned ? "true" : "false", replica.queue_depth,
+                  replica.running, replica.backlog_seconds,
+                  static_cast<unsigned long long>(replica.journal_lag));
+    out += rbuf;
+  }
+  out += "],\"slo\":";
+  return {saturated ? 503 : 200, out + slo_json + "}"};
 }
 
 ApiResponse RestApi::HandleDebugEvents(const std::string& query) {
@@ -574,9 +616,12 @@ ApiResponse RestApi::HandleWorkflows(const std::string& method,
       if (!opt_status.ok()) return FromStatus(opt_status);
       const std::string warnings = WarningsFragment(parsed.warnings);
       if (parsed.async) {
-        auto job_id =
-            jobs_->Submit(graph, parts[2], OptimizationPolicy::MinimizeTime(),
-                          parsed.exec);
+        ControlPlane::SubmitRequest submit;
+        submit.workflow_name = parts[2];
+        submit.exec = parsed.exec;
+        submit.tenant = parsed.tenant;
+        submit.idempotency_key = parsed.idempotency_key;
+        auto job_id = plane_->Submit(graph, submit);
         if (!job_id.ok()) return FromStatus(job_id.status());
         return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"" +
                          warnings + "}"};
@@ -658,9 +703,13 @@ ApiResponse RestApi::HandleSql(const std::string& method,
                 pq.scan_ops, pq.join_ops, pq.move_ops);
 
   if (parsed.async) {
-    auto job_id = jobs_->Submit(pq.graph, pq.shape_id,
-                                OptimizationPolicy::MinimizeTime(),
-                                parsed.exec, /*slo_class=*/"sql");
+    ControlPlane::SubmitRequest submit;
+    submit.workflow_name = pq.shape_id;
+    submit.exec = parsed.exec;
+    submit.slo_class = "sql";
+    submit.tenant = parsed.tenant;
+    submit.idempotency_key = parsed.idempotency_key;
+    auto job_id = plane_->Submit(pq.graph, submit);
     if (!job_id.ok()) return FromStatus(job_id.status());
     return {202, "{\"jobId\":\"" + JsonEscape(job_id.value()) + "\"," +
                      sql_fields + warnings + "}"};
@@ -688,7 +737,7 @@ ApiResponse RestApi::HandleJobs(const std::string& method,
   if (method == "GET" && parts.size() == 2) {
     std::string out = "[";
     bool first = true;
-    for (const JobRecord& record : jobs_->List()) {
+    for (const JobRecord& record : plane_->List()) {
       if (!first) out += ",";
       first = false;
       out += JobRecordJson(record, /*include_plan=*/false);
@@ -697,12 +746,12 @@ ApiResponse RestApi::HandleJobs(const std::string& method,
     return {200, out};
   }
   if (method == "GET" && parts.size() == 3) {
-    auto record = jobs_->Get(parts[2]);
+    auto record = plane_->Get(parts[2]);
     if (!record.ok()) return FromStatus(record.status());
     return {200, JobRecordJson(record.value(), /*include_plan=*/true)};
   }
   if (method == "GET" && parts.size() == 4 && parts[3] == "trace") {
-    auto record = jobs_->Get(parts[2]);
+    auto record = plane_->Get(parts[2]);
     if (!record.ok()) return FromStatus(record.status());
     if (!record.value().trace) {
       return ErrorEnvelope(StatusCode::kFailedPrecondition,
@@ -711,13 +760,13 @@ ApiResponse RestApi::HandleJobs(const std::string& method,
     return {200, record.value().trace->ToChromeTraceJson()};
   }
   if (method == "POST" && parts.size() == 4 && parts[3] == "cancel") {
-    return FromStatus(jobs_->Cancel(parts[2]));
+    return FromStatus(plane_->Cancel(parts[2]));
   }
   return NotFoundError("unknown jobs route");
 }
 
 ApiResponse RestApi::HandleStats() {
-  const JobService::Stats jobs = jobs_->stats();
+  const JobService::Stats jobs = plane_->AggregateStats();
   const PlanCache::Stats cache = server_->plan_cache().stats();
   char buf[512];
   std::snprintf(

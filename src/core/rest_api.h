@@ -10,15 +10,19 @@
 #include "common/thread_annotations.h"
 #include "core/ires_server.h"
 #include "core/request_options.h"
+#include "service/control_plane.h"
 #include "service/job_service.h"
 #include "service/sql_service.h"
 
 namespace ires {
 
-/// Response of one API call: an HTTP-style status code plus a JSON body.
+/// Response of one API call: an HTTP-style status code plus a JSON body,
+/// plus any response headers a transport should forward (currently just
+/// Retry-After on 429/503).
 struct ApiResponse {
   int code = 200;
   std::string body;
+  std::map<std::string, std::string> headers;
 
   bool ok() const { return code >= 200 && code < 300; }
 };
@@ -89,12 +93,18 @@ struct ApiResponse {
 ///   anything else        -> 500
 class RestApi {
  public:
-  /// Owns a default-configured JobService for the async routes.
+  /// Owns a default-configured single-replica ControlPlane for the async
+  /// routes (the job-service behavior of old, plus journaling).
   explicit RestApi(IresServer* server);
 
-  /// Uses an externally configured JobService (not owned) — lets tests and
-  /// deployments bound the worker pool / admission queue themselves.
+  /// Wraps an externally configured JobService (not owned) as the control
+  /// plane's single replica — lets tests and deployments bound the worker
+  /// pool / admission queue themselves.
   RestApi(IresServer* server, JobService* jobs);
+
+  /// Serves an externally configured (possibly multi-replica) control
+  /// plane (not owned).
+  RestApi(IresServer* server, ControlPlane* plane);
 
   ~RestApi();
 
@@ -131,8 +141,8 @@ class RestApi {
   ApiResponse HandleDebugEvents(const std::string& query);
 
   IresServer* server_;
-  std::unique_ptr<JobService> owned_jobs_;
-  JobService* jobs_;
+  std::unique_ptr<ControlPlane> owned_plane_;
+  ControlPlane* plane_;
   std::unique_ptr<SqlService> sql_;
   /// The workflow store is read-mostly (every execute/materialize snapshots
   /// a graph; stores are rare), so readers share the lock. kRestApiWorkflows

@@ -93,6 +93,7 @@ ExecutionReport Enforcer::Execute(const ExecutionPlan& plan) {
     report.makespan_seconds = std::max(report.makespan_seconds, event.time);
     for (const DatasetInstance& out : plan.steps[event.step_id].outputs) {
       report.materialized[out.dataset_node] = out;
+      if (step_observer_) step_observer_(event.step_id, out);
     }
   };
 

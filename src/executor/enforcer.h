@@ -72,6 +72,13 @@ class Enforcer {
   using FaultOracle =
       std::function<FaultDecision(const PlanStep&, double now, int attempt)>;
 
+  /// Invoked once per output dataset as a step completes (after the output
+  /// is recorded in the report's materialized map). The job service uses
+  /// this to journal step checkpoints, and the control-plane chaos layer
+  /// to kill a replica mid-run at a precise step boundary. Runs on the
+  /// executing thread with no service locks held.
+  using StepObserver = std::function<void(int step_id, const DatasetInstance&)>;
+
   Enforcer(EngineRegistry* engines, ClusterSimulator* cluster,
            uint64_t seed = 777)
       : engines_(engines), cluster_(cluster), rng_(seed) {}
@@ -81,6 +88,9 @@ class Enforcer {
   }
   void set_fault_oracle(FaultOracle oracle) {
     fault_oracle_ = std::move(oracle);
+  }
+  void set_step_observer(StepObserver observer) {
+    step_observer_ = std::move(observer);
   }
 
   /// Flight-recorder handle: step starts, retries, straggler kills and
@@ -131,6 +141,7 @@ class Enforcer {
   Rng rng_;
   FaultInjector fault_injector_;
   FaultOracle fault_oracle_;
+  StepObserver step_observer_;
   JournalWriter journal_;
   RetryPolicy retry_policy_;
   std::vector<NodeEvent> node_schedule_;

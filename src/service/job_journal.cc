@@ -1,0 +1,431 @@
+#include "service/job_journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ires {
+
+namespace {
+
+struct PhaseName {
+  JournalPhase phase;
+  const char* name;
+};
+
+constexpr PhaseName kPhaseNames[] = {
+    {JournalPhase::kSubmitted, "submitted"},
+    {JournalPhase::kPlanning, "planning"},
+    {JournalPhase::kRunning, "running"},
+    {JournalPhase::kStepCompleted, "step_completed"},
+    {JournalPhase::kTerminal, "terminal"},
+};
+
+/// Wire escaping for free-form fields: '|' separates fields and '\n'
+/// separates records, so both (plus the escape char itself) are
+/// percent-encoded.
+std::string EscapeField(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '|': out += "%7C"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool UnescapeField(const std::string& text, std::string* out) {
+  out->clear();
+  out->reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      *out += text[i];
+      continue;
+    }
+    if (i + 2 >= text.size()) return false;
+    const std::string hex = text.substr(i + 1, 2);
+    if (hex == "25") *out += '%';
+    else if (hex == "7C") *out += '|';
+    else if (hex == "0A") *out += '\n';
+    else return false;
+    i += 2;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str(), &end, 10);
+  return end == text.c_str() + text.size();
+}
+
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = static_cast<int>(std::strtol(text.c_str(), &end, 10));
+  return end == text.c_str() + text.size();
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+constexpr size_t kWireFields = 17;
+
+std::string EncodeRecord(const JobJournalRecord& r) {
+  char numeric[160];
+  std::snprintf(numeric, sizeof(numeric), "%llu|%llu|%d|%d|%.1f|%.1f",
+                static_cast<unsigned long long>(r.seq),
+                static_cast<unsigned long long>(r.incarnation), r.replica,
+                r.step, r.artifact.bytes, r.artifact.records);
+  // v1|seq|inc|replica|step|bytes|records|phase|job|tenant|ikey|workflow|
+  // slo|node|store|format|state|detail  — the numeric prefix first so a
+  // torn suffix only ever loses string payload, like a real torn page.
+  std::string line = "v1|";
+  line += numeric;
+  line += "|";
+  line += JournalPhaseName(r.phase);
+  for (const std::string* field :
+       {&r.job, &r.tenant, &r.idempotency_key, &r.workflow, &r.slo_class,
+        &r.artifact.dataset_node, &r.artifact.store, &r.artifact.format,
+        &r.state, &r.detail}) {
+    line += "|";
+    line += EscapeField(*field);
+  }
+  return line;
+}
+
+bool DecodeRecord(const std::string& line, JobJournalRecord* out) {
+  const std::vector<std::string> fields = SplitFields(line);
+  if (fields.size() != kWireFields + 1 || fields[0] != "v1") return false;
+  uint64_t u = 0;
+  int i = 0;
+  double d = 0.0;
+  if (!ParseU64(fields[1], &u)) return false;
+  out->seq = u;
+  if (!ParseU64(fields[2], &u)) return false;
+  out->incarnation = u;
+  if (!ParseInt(fields[3], &i)) return false;
+  out->replica = i;
+  if (!ParseInt(fields[4], &i)) return false;
+  out->step = i;
+  if (!ParseDouble(fields[5], &d)) return false;
+  out->artifact.bytes = d;
+  if (!ParseDouble(fields[6], &d)) return false;
+  out->artifact.records = d;
+  if (!ParseJournalPhase(fields[7], &out->phase)) return false;
+  std::string* strings[] = {&out->job,
+                            &out->tenant,
+                            &out->idempotency_key,
+                            &out->workflow,
+                            &out->slo_class,
+                            &out->artifact.dataset_node,
+                            &out->artifact.store,
+                            &out->artifact.format,
+                            &out->state,
+                            &out->detail};
+  for (size_t f = 0; f < 10; ++f) {
+    if (!UnescapeField(fields[8 + f], strings[f])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* JournalPhaseName(JournalPhase phase) {
+  for (const PhaseName& entry : kPhaseNames) {
+    if (entry.phase == phase) return entry.name;
+  }
+  return "?";
+}
+
+bool ParseJournalPhase(const std::string& name, JournalPhase* out) {
+  for (const PhaseName& entry : kPhaseNames) {
+    if (name == entry.name) {
+      *out = entry.phase;
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobJournal::EmitFence(const JobJournalRecord& record) const {
+  if (events_ == nullptr) return;
+  JournalWriter(events_, record.job)
+      .Emit(EventKind::kJournalFence, record.step, "",
+            JournalPhaseName(record.phase),
+            static_cast<double>(record.incarnation), record.state);
+}
+
+void JobJournal::ApplyLocked(const JobJournalRecord& record) {
+  JobEntry& entry = jobs_[record.job];
+  switch (record.phase) {
+    case JournalPhase::kSubmitted:
+      entry.incarnation = record.incarnation;
+      entry.replica = record.replica;
+      entry.tenant = record.tenant;
+      entry.idempotency_key = record.idempotency_key;
+      entry.workflow = record.workflow;
+      entry.slo_class = record.slo_class;
+      entry.opened_seq = record.seq;
+      ++open_by_tenant_[record.tenant];
+      break;
+    case JournalPhase::kPlanning:
+      break;
+    case JournalPhase::kRunning:
+      entry.was_running = true;
+      break;
+    case JournalPhase::kStepCompleted:
+      entry.materialized[record.artifact.dataset_node] = record.artifact;
+      break;
+    case JournalPhase::kTerminal: {
+      entry.terminal = true;
+      entry.terminal_state = record.state;
+      auto it = open_by_tenant_.find(entry.tenant);
+      if (it != open_by_tenant_.end() && it->second > 0) --it->second;
+      break;
+    }
+  }
+  last_seq_by_replica_[record.replica] = record.seq;
+}
+
+bool JobJournal::Open(const std::string& job, int replica,
+                      const std::string& tenant,
+                      const std::string& idempotency_key,
+                      const std::string& workflow,
+                      const std::string& slo_class) {
+  MutexLock lock(mu_);
+  if (jobs_.count(job) > 0) return false;
+  JobJournalRecord record;
+  record.seq = next_seq_++;
+  record.job = job;
+  record.incarnation = 1;
+  record.phase = JournalPhase::kSubmitted;
+  record.replica = replica;
+  record.tenant = tenant;
+  record.idempotency_key = idempotency_key;
+  record.workflow = workflow;
+  record.slo_class = slo_class;
+  if (tear_next_) {
+    tear_next_ = false;
+    record.torn = true;
+    ++torn_;
+  }
+  ApplyLocked(record);
+  log_.push_back(std::move(record));
+  return true;
+}
+
+bool JobJournal::Append(JobJournalRecord record) {
+  bool fenced = false;
+  {
+    MutexLock lock(mu_);
+    auto it = jobs_.find(record.job);
+    if (it == jobs_.end() || record.incarnation < it->second.incarnation ||
+        it->second.terminal) {
+      ++fenced_;
+      fenced = true;
+    } else {
+      record.seq = next_seq_++;
+      record.replica = it->second.replica;
+      if (tear_next_) {
+        tear_next_ = false;
+        record.torn = true;
+        ++torn_;
+      }
+      ApplyLocked(record);
+      log_.push_back(std::move(record));
+      return true;
+    }
+  }
+  // Fence events are emitted outside mu_: EmitFence locks journal shards.
+  if (fenced) EmitFence(record);
+  return false;
+}
+
+uint64_t JobJournal::Reassign(const std::string& job, int new_replica) {
+  MutexLock lock(mu_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end() || it->second.terminal) return 0;
+  it->second.incarnation += 1;
+  it->second.replica = new_replica;
+  return it->second.incarnation;
+}
+
+uint64_t JobJournal::IncarnationOf(const std::string& job) const {
+  MutexLock lock(mu_);
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? 0 : it->second.incarnation;
+}
+
+bool JobJournal::IsTerminal(const std::string& job) const {
+  MutexLock lock(mu_);
+  auto it = jobs_.find(job);
+  return it != jobs_.end() && it->second.terminal;
+}
+
+std::string JobJournal::TerminalState(const std::string& job) const {
+  MutexLock lock(mu_);
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? "" : it->second.terminal_state;
+}
+
+std::vector<JobJournal::OpenJob> JobJournal::OpenJobsOn(int replica) const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<uint64_t, OpenJob>> found;
+  for (const auto& [id, entry] : jobs_) {
+    if (entry.terminal || entry.replica != replica) continue;
+    OpenJob open;
+    open.job = id;
+    open.incarnation = entry.incarnation;
+    open.tenant = entry.tenant;
+    open.idempotency_key = entry.idempotency_key;
+    open.workflow = entry.workflow;
+    open.slo_class = entry.slo_class;
+    open.was_running = entry.was_running;
+    open.materialized = entry.materialized;
+    found.emplace_back(entry.opened_seq, std::move(open));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<OpenJob> out;
+  out.reserve(found.size());
+  for (auto& [seq, open] : found) out.push_back(std::move(open));
+  return out;
+}
+
+size_t JobJournal::OpenCountForTenant(const std::string& tenant) const {
+  MutexLock lock(mu_);
+  auto it = open_by_tenant_.find(tenant);
+  return it == open_by_tenant_.end() ? 0 : it->second;
+}
+
+void JobJournal::TearNext() {
+  MutexLock lock(mu_);
+  tear_next_ = true;
+}
+
+std::string JobJournal::Encode() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const JobJournalRecord& record : log_) {
+    std::string line = EncodeRecord(record);
+    if (record.torn) {
+      // A crash mid-write leaves a prefix with no terminator. The writer
+      // realigns to a fresh line when it reopens the log (tail
+      // truncation), so later appends survive — only the torn record's
+      // own payload is lost.
+      out += line.substr(0, line.size() / 2);
+      out += "\n";
+      continue;
+    }
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+JobJournal::DecodeResult JobJournal::Decode(const std::string& text) {
+  DecodeResult result;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    const bool unterminated = end == std::string::npos;
+    if (unterminated) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    JobJournalRecord record;
+    // An unterminated final line is torn by definition — even if its text
+    // happens to parse, the write never committed.
+    if (unterminated || !DecodeRecord(line, &record)) {
+      ++result.torn;
+      continue;
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+void JobJournal::Replay(const std::vector<JobJournalRecord>& records) {
+  MutexLock lock(mu_);
+  log_.clear();
+  jobs_.clear();
+  open_by_tenant_.clear();
+  last_seq_by_replica_.clear();
+  next_seq_ = 1;
+  fenced_ = 0;
+  torn_ = 0;
+  tear_next_ = false;
+  for (const JobJournalRecord& record : records) {
+    JobJournalRecord copy = record;
+    copy.torn = false;
+    if (copy.seq >= next_seq_) next_seq_ = copy.seq + 1;
+    // A replayed SUBMITTED may carry an incarnation > 1 is impossible on
+    // the wire (Open always writes 1), so ApplyLocked is sufficient.
+    ApplyLocked(copy);
+    // Replay keeps the journal's fencing current: later records may carry
+    // a bumped incarnation after a pre-crash Reassign survived only in
+    // the records themselves.
+    auto it = jobs_.find(copy.job);
+    if (it != jobs_.end() && copy.incarnation > it->second.incarnation) {
+      it->second.incarnation = copy.incarnation;
+    }
+    log_.push_back(std::move(copy));
+  }
+}
+
+uint64_t JobJournal::ReplicaLag(int replica) const {
+  MutexLock lock(mu_);
+  const uint64_t head = next_seq_ - 1;
+  auto it = last_seq_by_replica_.find(replica);
+  const uint64_t last = it == last_seq_by_replica_.end() ? 0 : it->second;
+  return head >= last ? head - last : 0;
+}
+
+JobJournal::Stats JobJournal::stats() const {
+  MutexLock lock(mu_);
+  Stats s;
+  s.appended = next_seq_ - 1;
+  s.fenced = fenced_;
+  s.torn = torn_;
+  s.head_seq = next_seq_ - 1;
+  for (const auto& [id, entry] : jobs_) {
+    if (!entry.terminal) ++s.open_jobs;
+  }
+  return s;
+}
+
+std::vector<JobJournalRecord> JobJournal::RecordsFor(
+    const std::string& job) const {
+  MutexLock lock(mu_);
+  std::vector<JobJournalRecord> out;
+  for (const JobJournalRecord& record : log_) {
+    if (record.job == job) out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace ires

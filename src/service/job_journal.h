@@ -1,0 +1,199 @@
+#ifndef IRES_SERVICE_JOB_JOURNAL_H_
+#define IRES_SERVICE_JOB_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "planner/execution_plan.h"
+#include "telemetry/event_journal.h"
+
+namespace ires {
+
+/// Lifecycle phase of one job-journal record. The write-ahead discipline
+/// is: SUBMITTED is appended before the job reaches a replica's queue, and
+/// every later transition is appended before the replica acts on it — so a
+/// replica crash can lose in-flight work but never the knowledge that the
+/// work was accepted.
+enum class JournalPhase : uint8_t {
+  kSubmitted,      // accepted by the control plane, routed to a replica
+  kPlanning,       // replica picked the job up and started planning
+  kRunning,        // execution started (detail carries the plan pointer)
+  kStepCompleted,  // one plan step's output materialized (artifact payload)
+  kTerminal,       // SUCCEEDED / FAILED / CANCELLED — exactly once per job
+};
+
+const char* JournalPhaseName(JournalPhase phase);
+bool ParseJournalPhase(const std::string& name, JournalPhase* out);
+
+/// One record of the write-ahead job journal.
+struct JobJournalRecord {
+  uint64_t seq = 0;              // assigned by Append, strictly increasing
+  std::string job;               // job id
+  uint64_t incarnation = 1;      // fencing token (bumped on failover)
+  JournalPhase phase = JournalPhase::kSubmitted;
+  int replica = 0;               // replica the record was written for/by
+  std::string tenant;            // admission tenant (kSubmitted)
+  std::string idempotency_key;   // client dedupe key (kSubmitted, optional)
+  std::string workflow;          // workflow name (kSubmitted)
+  std::string slo_class;         // SLO class (kSubmitted)
+  int step = -1;                 // plan step id (kStepCompleted)
+  DatasetInstance artifact;      // materialized output (kStepCompleted)
+  std::string state;             // terminal JobState name (kTerminal)
+  std::string detail;            // plan pointer / error / free-form
+  /// Set when a simulated crash tore this append: the record occupies its
+  /// seq slot but Encode emits a truncated line, so replay drops it.
+  bool torn = false;
+};
+
+/// The write-ahead job journal of the sharded control plane: every
+/// accepted job's lifecycle transitions land here with an incarnation
+/// fencing token, so that after a replica is killed
+///
+///   - the control plane can enumerate the replica's open (non-terminal)
+///     jobs together with their already-materialized step outputs, and
+///     resubmit them to a live replica that resumes from the last
+///     journaled step instead of restarting;
+///   - any append the dead (or partitioned) incarnation still attempts is
+///     fenced: `Reassign` bumps the job's incarnation, and appends carrying
+///     a stale token are dropped and counted, which makes the terminal
+///     record exactly-once even when the old incarnation was actually
+///     alive and finished the job behind a partition.
+///
+/// The journal is in-process (the repo simulates the distributed control
+/// plane in one address space) but the record log round-trips through a
+/// crash-tolerant text encoding: Encode/Decode tolerate a torn or
+/// truncated final record, which the chaos scheduler exercises by tearing
+/// an append mid-crash.
+///
+/// Thread-safe; the single mutex ranks at kJobJournal so both the control
+/// plane (kControlPlane) and replica finalization paths (kJobService) may
+/// append while holding their own locks.
+class JobJournal {
+ public:
+  /// `events` (optional) receives kJournalFence / kJournalTorn flight-
+  /// recorder events so fencing shows up in postmortems.
+  explicit JobJournal(EventJournal* events = nullptr) : events_(events) {}
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Opens one accepted job: appends its kSubmitted record at incarnation
+  /// 1 and registers the assignment. False when the id is already known.
+  bool Open(const std::string& job, int replica, const std::string& tenant,
+            const std::string& idempotency_key, const std::string& workflow,
+            const std::string& slo_class) EXCLUDES(mu_);
+
+  /// Fenced append. Returns false — dropping the record and counting a
+  /// fence — when the job is unknown, the record's incarnation is stale,
+  /// or the job already holds a terminal record (terminal records are
+  /// exactly-once by construction). `record.seq` is assigned on success.
+  bool Append(JobJournalRecord record) EXCLUDES(mu_);
+
+  /// Fences the job's current incarnation and reassigns it to
+  /// `new_replica`, returning the new incarnation token. Returns 0 — and
+  /// changes nothing — when the job is unknown or already terminal, which
+  /// is what makes kill-versus-completion races safe: whichever of
+  /// "terminal append" and "Reassign" wins, the loser becomes a no-op.
+  uint64_t Reassign(const std::string& job, int new_replica) EXCLUDES(mu_);
+
+  uint64_t IncarnationOf(const std::string& job) const EXCLUDES(mu_);
+  bool IsTerminal(const std::string& job) const EXCLUDES(mu_);
+  /// Terminal JobState name, or "" while the job is open/unknown.
+  std::string TerminalState(const std::string& job) const EXCLUDES(mu_);
+
+  /// One open job eligible for failover, with everything a live replica
+  /// needs to resume it.
+  struct OpenJob {
+    std::string job;
+    uint64_t incarnation = 1;
+    std::string tenant;
+    std::string idempotency_key;
+    std::string workflow;
+    std::string slo_class;
+    bool was_running = false;  // reached kRunning before the crash
+    /// Folded kStepCompleted artifacts: dataset node -> instance. Seeds
+    /// DpPlanner::Options::materialized_intermediates on resume.
+    std::map<std::string, DatasetInstance> materialized;
+  };
+
+  /// Non-terminal jobs currently assigned to `replica`, oldest first.
+  std::vector<OpenJob> OpenJobsOn(int replica) const EXCLUDES(mu_);
+
+  /// Open (non-terminal) jobs accounted to `tenant` — the quota input.
+  size_t OpenCountForTenant(const std::string& tenant) const EXCLUDES(mu_);
+
+  /// Arms the crash-during-append fault: the next accepted Append is
+  /// recorded torn (present in memory, truncated on the wire).
+  void TearNext() EXCLUDES(mu_);
+
+  /// Text encoding of the full log, one record per line; torn records
+  /// emit only a line prefix, exactly like a crash mid-write would leave.
+  std::string Encode() const EXCLUDES(mu_);
+
+  struct DecodeResult {
+    std::vector<JobJournalRecord> records;  // every intact record, in order
+    size_t torn = 0;  // unparsable (torn/truncated) lines skipped
+  };
+  /// Tolerant decode: a torn or truncated final record — or any line a
+  /// crash mangled — is counted and skipped, never fatal.
+  static DecodeResult Decode(const std::string& text);
+
+  /// Rebuilds the journal state from decoded records (recovery replay).
+  /// Existing state is discarded; fencing is not re-applied — the records
+  /// were already accepted once.
+  void Replay(const std::vector<JobJournalRecord>& records) EXCLUDES(mu_);
+
+  /// Records appended by (for) `replica` lag behind the journal head by
+  /// this many sequence numbers — the healthz "journalLag" column.
+  uint64_t ReplicaLag(int replica) const EXCLUDES(mu_);
+
+  struct Stats {
+    uint64_t appended = 0;  // records accepted (Open + Append)
+    uint64_t fenced = 0;    // stale-incarnation / post-terminal drops
+    uint64_t torn = 0;      // records recorded torn
+    size_t open_jobs = 0;   // known jobs without a terminal record
+    uint64_t head_seq = 0;  // last assigned sequence number
+  };
+  Stats stats() const EXCLUDES(mu_);
+
+  /// All records for one job, in order (test/debug helper).
+  std::vector<JobJournalRecord> RecordsFor(const std::string& job) const
+      EXCLUDES(mu_);
+
+ private:
+  struct JobEntry {
+    uint64_t incarnation = 1;
+    int replica = 0;
+    std::string tenant;
+    std::string idempotency_key;
+    std::string workflow;
+    std::string slo_class;
+    bool was_running = false;
+    bool terminal = false;
+    std::string terminal_state;
+    std::map<std::string, DatasetInstance> materialized;
+    uint64_t opened_seq = 0;  // orders OpenJobsOn results
+  };
+
+  void ApplyLocked(const JobJournalRecord& record) REQUIRES(mu_);
+  void EmitFence(const JobJournalRecord& record) const;
+
+  EventJournal* events_;
+  mutable Mutex mu_{LockRank::kJobJournal, "jobs.journal"};
+  std::vector<JobJournalRecord> log_ GUARDED_BY(mu_);
+  std::map<std::string, JobEntry> jobs_ GUARDED_BY(mu_);
+  std::map<std::string, size_t> open_by_tenant_ GUARDED_BY(mu_);
+  std::map<int, uint64_t> last_seq_by_replica_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  uint64_t fenced_ GUARDED_BY(mu_) = 0;
+  uint64_t torn_ GUARDED_BY(mu_) = 0;
+  bool tear_next_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace ires
+
+#endif  // IRES_SERVICE_JOB_JOURNAL_H_

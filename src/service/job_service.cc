@@ -1,7 +1,10 @@
 #include "service/job_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+
+#include "service/job_journal.h"
 
 namespace ires {
 
@@ -48,6 +51,8 @@ JobService::JobService(IresServer* server, Options options)
       metrics.GetCounter("ires_jobs_total", help, {{"event", "failed"}});
   cancelled_total_ =
       metrics.GetCounter("ires_jobs_total", help, {{"event", "cancelled"}});
+  preempted_total_ =
+      metrics.GetCounter("ires_jobs_total", help, {{"event", "preempted"}});
   queued_gauge_ = metrics.GetGauge("ires_jobs_queued",
                                    "Jobs admitted and awaiting a worker.");
   active_gauge_ = metrics.GetGauge("ires_jobs_active",
@@ -68,18 +73,41 @@ Result<std::string> JobService::Submit(
     const WorkflowGraph& graph, const std::string& workflow_name,
     OptimizationPolicy policy, const IresServer::ExecutionOptions& exec,
     const std::string& slo_class) {
+  return Submit(graph, workflow_name, policy, exec, slo_class, SubmitMeta());
+}
+
+Result<std::string> JobService::Submit(
+    const WorkflowGraph& graph, const std::string& workflow_name,
+    OptimizationPolicy policy, const IresServer::ExecutionOptions& exec,
+    const std::string& slo_class, const SubmitMeta& meta) {
   // Rejections carry no job id (none was assigned); the workflow name in
   // the detail is the correlation handle instead.
   const JournalWriter reject_writer(&server_->journal(), "");
+  auto count_admission_reject = [this, &meta](const char* reason) {
+    rejected_total_->Increment();
+    server_->metrics()
+        .GetCounter("ires_admission_rejects_total",
+                    "Submissions bounced at admission, by tenant and "
+                    "reason.",
+                    {{"tenant", meta.tenant}, {"reason", reason}})
+        ->Increment();
+  };
+  if (crashed()) {
+    count_admission_reject("replica_down");
+    reject_writer.Emit(EventKind::kAdmissionReject, -1, "", "Unavailable",
+                       0.0, workflow_name);
+    return Status::Unavailable("replica is down");
+  }
   // Admission gate: lint the workflow against the current library/engines
   // before it costs a queue slot or a worker. Runs outside mu_ — the
-  // analyzer only reads internally synchronized registries.
-  {
+  // analyzer only reads internally synchronized registries. Failover
+  // resubmissions were validated at first admission and skip the gate.
+  if (!meta.recovered) {
     const std::vector<Diagnostic> findings =
         server_->ValidateWorkflow(graph, &policy);
     if (HasErrors(findings)) {
-      rejected_total_->Increment();
-      CountValidationRejects(&server_->metrics(), findings);
+      count_admission_reject("validation");
+      CountValidationRejects(&server_->metrics(), findings, meta.tenant);
       std::string code;
       for (const Diagnostic& finding : findings) {
         if (finding.severity == DiagSeverity::kError) {
@@ -98,18 +126,52 @@ Result<std::string> JobService::Submit(
     if (shutting_down_) {
       return Status::FailedPrecondition("job service is shutting down");
     }
-    if (queued_ >= options_.queue_capacity) {
-      rejected_total_->Increment();
-      reject_writer.Emit(EventKind::kAdmissionReject, -1, "",
-                         "ResourceExhausted",
-                         static_cast<double>(queued_), workflow_name);
-      return Status::ResourceExhausted(
-          "admission queue full (" +
-          std::to_string(options_.queue_capacity) + " queued jobs)");
+    // A full queue preempts a strictly-lower-class QUEUED job to admit a
+    // higher-class newcomer; failover resubmissions bypass the bound
+    // entirely (the job already paid for admission once).
+    if (!meta.recovered && queued_ >= options_.queue_capacity) {
+      Job* victim = nullptr;
+      for (const std::shared_ptr<Job>& queued_job : run_queue_) {
+        if (queued_job->record.state != JobState::kQueued) continue;
+        if (queued_job->qos_class <= meta.qos_class) continue;
+        if (victim == nullptr || queued_job->qos_class > victim->qos_class ||
+            (queued_job->qos_class == victim->qos_class &&
+             queued_job->vfinish > victim->vfinish)) {
+          victim = queued_job.get();
+        }
+      }
+      if (victim != nullptr) {
+        victim->record.state = JobState::kCancelled;
+        victim->record.error = "preempted by higher-class admission";
+        --queued_;
+        preempted_total_->Increment();
+        FinalizeLocked(victim);
+      } else {
+        count_admission_reject("queue_full");
+        reject_writer.Emit(EventKind::kAdmissionReject, -1, "",
+                           "ResourceExhausted",
+                           static_cast<double>(queued_), workflow_name);
+        return Status::ResourceExhausted(
+            "admission queue full (" +
+            std::to_string(options_.queue_capacity) + " queued jobs)");
+      }
     }
-    char id[32];
-    std::snprintf(id, sizeof(id), "job-%06llu",
-                  static_cast<unsigned long long>(next_job_number_++));
+    std::string id = meta.id_override;
+    if (id.empty()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "job-%06llu",
+                    static_cast<unsigned long long>(next_job_number_++));
+      id = buf;
+    }
+    // A failover resubmission can route a job id back to a replica that
+    // still holds the crashed incarnation's record. Tombstone the old
+    // record first so its queue entry is inert and the accounting stays
+    // balanced; the map slot then belongs to the new incarnation.
+    auto existing = jobs_.find(id);
+    const bool replacing = existing != jobs_.end();
+    if (replacing && !IsTerminal(existing->second->record.state)) {
+      AbandonLocked(existing->second.get());
+    }
     job = std::make_shared<Job>();
     job->graph = graph;
     job->exec = exec;
@@ -118,15 +180,37 @@ Result<std::string> JobService::Submit(
     job->record.policy = policy;
     job->record.state = JobState::kQueued;
     job->record.slo_class = slo_class;
+    job->record.tenant = meta.tenant;
+    job->record.qos_class = meta.qos_class;
+    job->record.idempotency_key = meta.idempotency_key;
+    job->record.replica = meta.replica;
+    job->record.incarnation = meta.incarnation;
+    job->record.resumed = meta.recovered;
+    job->record.resumed_steps =
+        static_cast<int>(exec.resume_materialized.size());
     job->record.submitted_at = NowSeconds();
     job->record.trace = std::make_shared<TraceContext>(job->record.id);
+    job->qos_class = meta.qos_class;
+    job->weight = meta.weight > 0.0 ? meta.weight : 1.0;
+    job->journal = meta.journal;
+    job->incarnation = meta.incarnation;
+    // Weighted-fair virtual finish time: a tenant's backlog spaces out at
+    // 1/weight virtual seconds per job, so under contention dispatch
+    // interleaves tenants proportionally to weight instead of FIFO.
+    double& tenant_vtime = tenant_vtime_[meta.tenant];
+    job->vfinish = std::max(vclock_, tenant_vtime) + 1.0 / job->weight;
+    tenant_vtime = job->vfinish;
     job->queue_span =
         job->record.trace->BeginSpan("job.queue_wait", "job");
-    jobs_.emplace(job->record.id, job);
-    submission_order_.push_back(job->record.id);
+    jobs_[job->record.id] = job;
+    if (!replacing) submission_order_.push_back(job->record.id);
     ++queued_;
     queued_gauge_->Set(static_cast<double>(queued_));
     submitted_total_->Increment();
+    if (job->journal != nullptr && !meta.recovered) {
+      job->journal->Open(job->record.id, meta.replica, meta.tenant,
+                         meta.idempotency_key, workflow_name, slo_class);
+    }
     JournalWriter(&server_->journal(), job->record.id)
         .Emit(EventKind::kAdmissionAccept, -1, "", slo_class,
               static_cast<double>(queued_), workflow_name);
@@ -139,9 +223,27 @@ Result<std::string> JobService::Submit(
 void JobService::DispatchLocked() {
   while (dispatched_ < static_cast<size_t>(options_.workers) &&
          !run_queue_.empty()) {
-    std::shared_ptr<Job> job = run_queue_.front();
-    run_queue_.pop_front();
-    if (IsTerminal(job->record.state)) continue;  // cancelled while queued
+    // Sweep entries cancelled or preempted while queued.
+    for (auto it = run_queue_.begin(); it != run_queue_.end();) {
+      it = IsTerminal((*it)->record.state) ? run_queue_.erase(it)
+                                           : std::next(it);
+    }
+    if (run_queue_.empty()) break;
+    // Weighted-fair pick: lowest QoS class first, earliest virtual finish
+    // time within the class (FIFO order is the single-tenant special case
+    // because vfinish is assigned monotonically per tenant).
+    auto best = run_queue_.begin();
+    for (auto it = std::next(run_queue_.begin()); it != run_queue_.end();
+         ++it) {
+      if ((*it)->qos_class < (*best)->qos_class ||
+          ((*it)->qos_class == (*best)->qos_class &&
+           (*it)->vfinish < (*best)->vfinish)) {
+        best = it;
+      }
+    }
+    std::shared_ptr<Job> job = *best;
+    run_queue_.erase(best);
+    vclock_ = std::max(vclock_, job->vfinish);
     ++dispatched_;
     if (!sched_->Submit([this, job] { RunJob(job); }, "job.run")) {
       // The scheduler has shut down under us (it journals the
@@ -189,9 +291,49 @@ void JobService::FinalizeLocked(Job* job) {
     job->record.trace->EndSpan(
         job->queue_span, {{"outcome", JobStateName(job->record.state)}});
   }
-  job_duration_seconds_->Observe(job->record.finished_at -
-                                 job->record.submitted_at);
+  // Write-ahead terminal record. Fenced (a no-op) when the control plane
+  // already reassigned this job to a newer incarnation — that is exactly
+  // what makes the journal's terminal record exactly-once.
+  if (job->journal != nullptr) {
+    JobJournalRecord rec;
+    rec.job = job->record.id;
+    rec.incarnation = job->incarnation;
+    rec.phase = JournalPhase::kTerminal;
+    rec.replica = job->record.replica;
+    rec.tenant = job->record.tenant;
+    rec.state = JobStateName(job->record.state);
+    rec.detail = job->record.error;
+    job->journal->Append(std::move(rec));
+  }
+  const double duration =
+      job->record.finished_at - job->record.submitted_at;
+  // EWMA job duration feeds BacklogSeconds (the Retry-After hint).
+  ewma_seconds_ = ewma_seconds_ == 0.0 ? duration
+                                       : 0.8 * ewma_seconds_ + 0.2 * duration;
+  job_duration_seconds_->Observe(duration);
   idle_.notify_all();
+}
+
+void JobService::AbandonLocked(Job* job) {
+  if (IsTerminal(job->record.state)) return;
+  if (job->record.state == JobState::kQueued) {
+    --queued_;
+    queued_gauge_->Set(static_cast<double>(queued_));
+  } else {
+    --active_;
+    active_gauge_->Set(static_cast<double>(active_));
+  }
+  job->record.state = JobState::kCancelled;
+  job->record.error = "abandoned: replica crashed";
+  FinalizeLocked(job);
+}
+
+double JobService::BacklogSeconds() const {
+  MutexLock lock(mu_);
+  if (queued_ == 0) return 0.0;
+  const double per_job = ewma_seconds_ > 0.0 ? ewma_seconds_ : 1.0;
+  return static_cast<double>(queued_) * per_job /
+         static_cast<double>(std::max(1, options_.workers));
 }
 
 void JobService::RunJob(const std::shared_ptr<Job>& job) {
@@ -203,12 +345,19 @@ void JobService::RunJob(const std::shared_ptr<Job>& job) {
 }
 
 void JobService::ExecuteJob(const std::shared_ptr<Job>& job) {
+  // Mid-plan kill point: the probe fires with no lock held, and a kill it
+  // takes is observed by the crashed_ check right below.
+  if (phase_probe_) phase_probe_(job->record.id, 0, 'p');
   OptimizationPolicy policy;
   TraceContext* trace = job->record.trace.get();
   uint64_t plan_span = 0;
   {
     MutexLock lock(mu_);
     if (job->record.state != JobState::kQueued) return;  // cancelled earlier
+    if (crashed_.load(std::memory_order_acquire)) {
+      AbandonLocked(job.get());
+      return;
+    }
     if (job->cancel_requested || shutting_down_) {
       job->record.state = JobState::kCancelled;
       --queued_;
@@ -227,6 +376,15 @@ void JobService::ExecuteJob(const std::shared_ptr<Job>& job) {
     ++active_;
     queued_gauge_->Set(static_cast<double>(queued_));
     active_gauge_->Set(static_cast<double>(active_));
+    if (job->journal != nullptr) {
+      JobJournalRecord rec;
+      rec.job = job->record.id;
+      rec.incarnation = job->incarnation;
+      rec.phase = JournalPhase::kPlanning;
+      rec.replica = job->record.replica;
+      rec.tenant = job->record.tenant;
+      job->journal->Append(std::move(rec));
+    }
     policy = job->record.policy;
   }
 
@@ -235,6 +393,7 @@ void JobService::ExecuteJob(const std::shared_ptr<Job>& job) {
   double exec_started_at = 0.0;
   {
     MutexLock lock(mu_);
+    if (IsTerminal(job->record.state)) return;  // abandoned while planning
     job->record.plan_seconds = NowSeconds() - job->record.started_at;
     if (!planned.ok()) {
       trace->EndSpan(plan_span, {{"ok", "false"}});
@@ -255,6 +414,10 @@ void JobService::ExecuteJob(const std::shared_ptr<Job>& job) {
     job->record.estimated_seconds = plan.estimated_seconds;
     job->record.estimated_cost = plan.estimated_cost;
     job->record.plan_cache_hit = planned.value().cache_hit;
+    if (crashed_.load(std::memory_order_acquire)) {
+      AbandonLocked(job.get());
+      return;
+    }
     // Cancellation window between planning and execution: once the
     // enforcer starts, the run is not preemptible.
     if (job->cancel_requested) {
@@ -265,17 +428,74 @@ void JobService::ExecuteJob(const std::shared_ptr<Job>& job) {
       return;
     }
     job->record.state = JobState::kRunning;
+    if (job->journal != nullptr) {
+      JobJournalRecord rec;
+      rec.job = job->record.id;
+      rec.incarnation = job->incarnation;
+      rec.phase = JournalPhase::kRunning;
+      rec.replica = job->record.replica;
+      rec.tenant = job->record.tenant;
+      rec.detail = "steps=" + std::to_string(plan.steps.size()) +
+                   " estimatedSeconds=" +
+                   std::to_string(plan.estimated_seconds);
+      job->journal->Append(std::move(rec));
+    }
     exec_started_at = NowSeconds();
   }
 
+  if (phase_probe_) phase_probe_(job->record.id, 0, 'r');
+
+  // Chain the caller's step observer with the journal checkpoint: every
+  // materialized output is appended (fenced once the job is reassigned)
+  // and the step probe — the mid-run kill point — fires after the append,
+  // so a kill taken there always finds the checkpoint already durable.
+  IresServer::ExecutionOptions exec = job->exec;
+  {
+    const Enforcer::StepObserver caller = exec.step_observer;
+    const std::string job_id = job->record.id;
+    const std::string tenant = job->record.tenant;
+    const int replica = job->record.replica;
+    JobJournal* journal = job->journal;
+    const uint64_t incarnation = job->incarnation;
+    const std::shared_ptr<Job> jobref = job;
+    exec.step_observer = [this, jobref, caller, job_id, tenant, replica,
+                          journal, incarnation](int step_id,
+                                                const DatasetInstance& out) {
+      if (caller) caller(step_id, out);
+      const int done =
+          jobref->completed_steps.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      if (journal != nullptr) {
+        JobJournalRecord rec;
+        rec.job = job_id;
+        rec.incarnation = incarnation;
+        rec.phase = JournalPhase::kStepCompleted;
+        rec.replica = replica;
+        rec.tenant = tenant;
+        rec.step = step_id;
+        rec.artifact = out;
+        journal->Append(std::move(rec));
+      }
+      if (phase_probe_) phase_probe_(job_id, done, 's');
+    };
+  }
+
   IresServer::WorkflowRunResult result = server_->ExecutePlanned(
-      job->graph, policy, planned.value(), trace, job->exec);
+      job->graph, policy, planned.value(), trace, exec);
 
   {
     MutexLock lock(mu_);
+    if (IsTerminal(job->record.state)) return;  // abandoned mid-run
     job->record.outcome = std::move(result.recovery);
     job->record.chaos_injected = result.chaos_injected;
     job->record.exec_wall_seconds = NowSeconds() - exec_started_at;
+    if (crashed_.load(std::memory_order_acquire)) {
+      // The run finished on a killed replica; the reassigned incarnation
+      // owns the job now, so this record is a tombstone and its terminal
+      // journal append is fenced away inside AbandonLocked's finalize.
+      AbandonLocked(job.get());
+      return;
+    }
     --active_;
     active_gauge_->Set(static_cast<double>(active_));
     if (job->record.outcome.status.ok()) {

@@ -1,9 +1,11 @@
 #ifndef IRES_SERVICE_JOB_SERVICE_H_
 #define IRES_SERVICE_JOB_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +20,8 @@
 #include "telemetry/trace_context.h"
 
 namespace ires {
+
+class JobJournal;
 
 /// Lifecycle of one submitted workflow job:
 ///
@@ -53,6 +57,22 @@ struct JobRecord {
   /// SLO workload class this job is accounted under ("dag" for workflow
   /// submissions, "sql" for the SQL route).
   std::string slo_class = "dag";
+
+  /// Admission tenant and QoS class (0 = gold … 2 = bronze) the job was
+  /// accounted under; "default"/1 for direct submissions.
+  std::string tenant = "default";
+  int qos_class = 1;
+  /// Client-supplied dedupe key, empty when none was given.
+  std::string idempotency_key;
+  /// Control-plane placement: the replica index serving this record and
+  /// the journal fencing token of this execution incarnation.
+  int replica = 0;
+  uint64_t incarnation = 1;
+  /// Set when this record is a failover resubmission that resumed from
+  /// journaled checkpoints; resumed_steps counts the step outputs it
+  /// inherited instead of re-executing.
+  bool resumed = false;
+  int resumed_steps = 0;
 
   /// Flight-recorder snapshot attached when the job reaches FAILED: the
   /// last K journal events carrying this job's id, in sequence order — the
@@ -130,6 +150,43 @@ class JobService {
     int workers = 0;
   };
 
+  /// Control-plane metadata riding one submission. Default-constructed it
+  /// reproduces the legacy direct-submission behavior exactly (tenant
+  /// "default", silver class, no journal, locally minted id).
+  struct SubmitMeta {
+    std::string tenant = "default";
+    /// QoS class: 0 = gold, 1 = silver, 2 = bronze. Lower dispatches
+    /// first, and a full queue preempts strictly-lower-class QUEUED jobs
+    /// to admit a higher-class newcomer.
+    int qos_class = 1;
+    /// Weighted-fair share within the class: a tenant with weight 2 gets
+    /// twice the dispatch rate of a weight-1 tenant under contention.
+    double weight = 1.0;
+    std::string idempotency_key;
+    /// Control-plane-minted global job id; empty mints a local one.
+    std::string id_override;
+    /// Journal fencing token of this execution incarnation.
+    uint64_t incarnation = 1;
+    /// Replica index this service serves as (control-plane placement).
+    int replica = 0;
+    /// Write-ahead job journal receiving lifecycle records; null disables
+    /// journaling (the legacy path).
+    JobJournal* journal = nullptr;
+    /// Failover resubmission: the job was validated and admitted once
+    /// already, so the lint gate and the queue-capacity bound are skipped
+    /// and execution resumes from exec.resume_materialized.
+    bool recovered = false;
+  };
+
+  /// Probe invoked at job phase boundaries with no service lock held:
+  /// 'p' just before planning, 'r' just before execution, 's' after each
+  /// completed step (completed_steps carries the running count). The
+  /// control plane's chaos layer uses it to kill replicas mid-plan and
+  /// mid-run at deterministic points.
+  using PhaseProbe =
+      std::function<void(const std::string& job_id, int completed_steps,
+                         char phase)>;
+
   explicit JobService(IresServer* server);
   JobService(IresServer* server, Options options);
 
@@ -151,6 +208,38 @@ class JobService {
       const IresServer::ExecutionOptions& exec =
           IresServer::ExecutionOptions(),
       const std::string& slo_class = "dag") EXCLUDES(mu_);
+
+  /// Control-plane submission: same admission pipeline plus tenant
+  /// accounting, weighted-fair queuing, QoS preemption and write-ahead
+  /// journaling per `meta`.
+  Result<std::string> Submit(const WorkflowGraph& graph,
+                             const std::string& workflow_name,
+                             OptimizationPolicy policy,
+                             const IresServer::ExecutionOptions& exec,
+                             const std::string& slo_class,
+                             const SubmitMeta& meta) EXCLUDES(mu_);
+
+  /// Installs the phase probe. Must be called before the first Submit —
+  /// the probe pointer is read without synchronization from job threads.
+  void set_phase_probe(PhaseProbe probe) { phase_probe_ = std::move(probe); }
+
+  /// Simulated replica crash: admission starts refusing with Unavailable
+  /// and every in-flight job abandons at its next phase boundary (its
+  /// journal appends are fenced once the control plane reassigns it).
+  /// The scheduler and existing records survive — this kills the replica
+  /// *role*, not the process.
+  void SimulateCrash() { crashed_.store(true, std::memory_order_release); }
+  /// Replica restart: admission resumes. Local records from before the
+  /// crash remain readable.
+  void ClearCrash() { crashed_.store(false, std::memory_order_release); }
+  bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  /// Estimated seconds until a newly queued job would start: queue depth
+  /// times the EWMA job duration over the dispatch width. The Retry-After
+  /// hint source.
+  double BacklogSeconds() const EXCLUDES(mu_);
 
   /// Snapshot of one job (NotFound for unknown ids).
   Result<JobRecord> Get(const std::string& id) const EXCLUDES(mu_);
@@ -188,6 +277,18 @@ class JobService {
     IresServer::ExecutionOptions exec;  // immutable after Submit
     bool cancel_requested = false;
     uint64_t queue_span = 0;  // open "job.queue_wait" span id
+    // Weighted-fair queuing state (immutable after Submit): dispatch picks
+    // the queued job with the lowest (qos_class, vfinish).
+    int qos_class = 1;
+    double weight = 1.0;
+    double vfinish = 0.0;
+    // Write-ahead journal handle + fencing token (immutable after Submit;
+    // null journal disables journaling).
+    JobJournal* journal = nullptr;
+    uint64_t incarnation = 1;
+    // Completed-step counter fed by the enforcer's step observer (its own
+    // thread), read by the phase probe.
+    std::atomic<int> completed_steps{0};
   };
 
   /// Scheduler-task wrapper: runs the job, then releases its dispatch slot
@@ -204,6 +305,10 @@ class JobService {
   /// timestamps, the terminal counter, the duration histogram and the idle
   /// broadcast. `job.state` must already be terminal.
   void FinalizeLocked(Job* job) REQUIRES(mu_);
+  /// Marks an in-flight job CANCELLED because this replica crashed; the
+  /// control plane re-runs it elsewhere under a fresh incarnation, so the
+  /// local record is just a tombstone.
+  void AbandonLocked(Job* job) REQUIRES(mu_);
 
   IresServer* server_;
   const Options options_;
@@ -226,6 +331,20 @@ class JobService {
   std::deque<std::shared_ptr<Job>> run_queue_ GUARDED_BY(mu_);
   bool shutting_down_ GUARDED_BY(mu_) = false;
 
+  /// Replica-crash flag read at every phase boundary by job threads.
+  std::atomic<bool> crashed_{false};
+  /// Installed before the first Submit; read without synchronization.
+  PhaseProbe phase_probe_;
+
+  /// Weighted-fair queuing state: the service-wide virtual clock and each
+  /// tenant's virtual finish time. A job's vfinish is
+  /// max(vclock_, tenant_vtime_[tenant]) + 1/weight, and DispatchLocked
+  /// picks the queued job with the lowest (qos_class, vfinish).
+  double vclock_ GUARDED_BY(mu_) = 0.0;
+  std::map<std::string, double> tenant_vtime_ GUARDED_BY(mu_);
+  /// EWMA of terminal job durations (seconds); feeds BacklogSeconds.
+  double ewma_seconds_ GUARDED_BY(mu_) = 0.0;
+
   // Registry-backed instruments (stats() reads the counters back, so the
   // legacy accessors and /apiv1/metrics can never disagree).
   Counter* submitted_total_;
@@ -233,6 +352,7 @@ class JobService {
   Counter* succeeded_total_;
   Counter* failed_total_;
   Counter* cancelled_total_;
+  Counter* preempted_total_;
   Gauge* queued_gauge_;
   Gauge* active_gauge_;
   Histogram* queue_wait_seconds_;

@@ -33,6 +33,10 @@ constexpr KindName kKindNames[] = {
     {EventKind::kJobFailed, "job_failed"},
     {EventKind::kTaskSpan, "task_span"},
     {EventKind::kTaskRejected, "task_rejected"},
+    {EventKind::kReplicaState, "replica_state"},
+    {EventKind::kJobFailover, "job_failover"},
+    {EventKind::kJournalFence, "journal_fence"},
+    {EventKind::kJournalTorn, "journal_torn"},
 };
 
 double NowSeconds() {

@@ -32,6 +32,10 @@ enum class EventKind : uint8_t {
   kJobFailed,         // job reached FAILED (terminal)
   kTaskSpan,          // labelled scheduler task ran (value = run seconds)
   kTaskRejected,      // Submit refused after scheduler Shutdown
+  kReplicaState,      // control-plane replica up/suspect/down transition
+  kJobFailover,       // job re-routed to a live replica after a crash
+  kJournalFence,      // stale-incarnation journal append dropped
+  kJournalTorn,       // journal append torn by a simulated crash
 };
 
 /// Stable snake_case name ("plan_cache_miss") used in JSON and the REST

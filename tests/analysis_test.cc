@@ -678,11 +678,14 @@ TEST(ValidationApiTest, JobServiceSubmitGatesOnTheLinter) {
   EXPECT_EQ(id.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(id.status().message().find("WF011"), std::string::npos)
       << id.status().message();
+  // Submit-path rejects are tenant-attributable (direct submissions land
+  // on the "default" tenant).
   EXPECT_EQ(server.metrics()
                 .GetCounter("ires_validation_rejects_total",
                             "Workflow submissions rejected by static "
                             "analysis, by diagnostic code.",
-                            {{"code", diag::kUnresolvableOperator}})
+                            {{"code", diag::kUnresolvableOperator},
+                             {"tenant", "default"}})
                 ->Value(),
             1u);
 }
